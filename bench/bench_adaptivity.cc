@@ -1,0 +1,191 @@
+// Experiment E12 (slide 22, "Query Plan: Fixed or Adaptive?"): the
+// survey's adaptivity axis, measured. (a) An eddy-style adaptive filter
+// chain [AH00] vs the same filters in a fixed order when predicate
+// selectivities drift mid-stream. (b) The N-way window join's probe
+// order: adaptive fewest-matches-first vs fixed stream order [VNB03].
+// (c) Sketched aggregates replacing holistic ones (slide 38) inside a
+// grouped query: accuracy vs state.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "exec/aggregate_op.h"
+#include "exec/eddy.h"
+#include "exec/mjoin.h"
+#include "exec/plan.h"
+
+namespace sqp {
+namespace {
+
+using bench::Fmt;
+using bench::FmtInt;
+using bench::Table;
+
+TupleRef T(int64_t ts, int64_t a, int64_t b) {
+  return MakeTuple(ts, {Value(ts), Value(a), Value(b)});
+}
+
+void PrintEddyDrift() {
+  // Two filters whose selectivities swap every phase; stream of 5
+  // phases. The adaptive chain re-ranks within each phase.
+  const int kPhases = 5;
+  const int kPerPhase = 20000;
+  auto make_stream = [&]() {
+    Rng rng(111);
+    std::vector<TupleRef> tuples;
+    for (int64_t i = 0; i < int64_t{kPhases} * kPerPhase; ++i) {
+      bool odd_phase = (i / kPerPhase) % 2 == 1;
+      int64_t a = odd_phase ? static_cast<int64_t>(rng.Uniform(499))
+                            : 500 + static_cast<int64_t>(rng.Uniform(500));
+      int64_t b = odd_phase ? 500 + static_cast<int64_t>(rng.Uniform(500))
+                            : static_cast<int64_t>(rng.Uniform(499));
+      tuples.push_back(T(i, a, b));
+    }
+    return tuples;
+  };
+  std::vector<TupleRef> tuples = make_stream();
+
+  auto run = [&](bool adaptive) {
+    EddyOp::Options opt;
+    opt.filters = {{Lt(Col(1), Lit(int64_t{500})), 1.0},
+                   {Lt(Col(2), Lit(int64_t{500})), 1.0}};
+    opt.adaptive = adaptive;
+    opt.reorder_interval = 256;
+    Plan plan;
+    auto* eddy = plan.Make<EddyOp>(opt);
+    auto* sink = plan.Make<CountingSink>();
+    eddy->SetOutput(sink);
+    for (const TupleRef& t : tuples) eddy->Push(Element(t));
+    return std::make_pair(eddy->evaluations(), sink->tuples());
+  };
+  auto [adaptive_evals, r1] = run(true);
+  auto [static_evals, r2] = run(false);
+
+  Table t({"plan", "predicate evaluations", "evals/tuple", "results"});
+  t.AddRow({"fixed order", FmtInt(static_evals),
+            Fmt(double(static_evals) / double(tuples.size()), 3), FmtInt(r2)});
+  t.AddRow({"eddy (adaptive)", FmtInt(adaptive_evals),
+            Fmt(double(adaptive_evals) / double(tuples.size()), 3),
+            FmtInt(r1)});
+  t.Print("E12a / slide 22: drifting selectivities, fixed vs adaptive order");
+  std::printf(
+      "shape: both produce identical results (%llu); the fixed order pays\n"
+      "~2 evaluations/tuple in the phases where its first filter stopped\n"
+      "being selective; the eddy re-ranks and stays near 1.\n",
+      static_cast<unsigned long long>(r1));
+}
+
+void PrintMJoinOrder() {
+  Table t({"skew (key-domain ratio)", "fixed-order partials",
+           "adaptive partials", "saved"});
+  for (uint64_t wide : {8u, 32u, 128u}) {
+    Rng rng(112);
+    std::vector<std::pair<int, TupleRef>> inputs;
+    int64_t ts = 0;
+    for (int i = 0; i < 30000; ++i) {
+      ++ts;
+      int side = static_cast<int>(rng.Uniform(3));
+      // Stream 2's keys are spread over `wide`x the domain -> its match
+      // lists are the short ones.
+      int64_t key = side == 2
+                        ? static_cast<int64_t>(rng.Uniform(4 * wide))
+                        : static_cast<int64_t>(rng.Uniform(4));
+      inputs.emplace_back(side, T(ts, key, i));
+    }
+    auto partials = [&](bool adaptive) {
+      MultiWindowJoinOp::Options opt;
+      opt.streams = {{1, 300}, {1, 300}, {1, 300}};
+      opt.adaptive_order = adaptive;
+      Plan plan;
+      auto* mjoin = plan.Make<MultiWindowJoinOp>(opt);
+      auto* sink = plan.Make<CountingSink>();
+      mjoin->SetOutput(sink);
+      for (auto& [side, tup] : inputs) mjoin->Push(Element(tup), side);
+      return mjoin->partial_results();
+    };
+    uint64_t fixed = partials(false);
+    uint64_t adaptive = partials(true);
+    t.AddRow({FmtInt(wide), FmtInt(fixed), FmtInt(adaptive),
+              Fmt(100.0 * (1.0 - double(adaptive) / double(fixed)), 1) + "%"});
+  }
+  t.Print("E12b: 3-way window join, probe-order ablation [VNB03]");
+}
+
+void PrintSketchedGroupBy() {
+  // Grouped count(distinct) over an unbounded-ish domain: exact holistic
+  // vs HLL-backed, state and accuracy.
+  Rng rng(113);
+  std::vector<TupleRef> tuples;
+  for (int64_t i = 0; i < 200000; ++i) {
+    tuples.push_back(T(i, static_cast<int64_t>(rng.Uniform(16)),
+                       static_cast<int64_t>(rng.Uniform(50000))));
+  }
+  auto run = [&](AggKind kind) {
+    GroupByOptions opt;
+    opt.key_cols = {1};
+    opt.aggs = {{kind, 2, 0.5}};
+    Plan plan;
+    auto* gb = plan.Make<GroupByAggregateOp>(opt);
+    auto* sink = plan.Make<CollectorSink>();
+    gb->SetOutput(sink);
+    for (const TupleRef& t : tuples) gb->Push(Element(t));
+    size_t state = gb->StateBytes();
+    gb->Flush();
+    std::map<int64_t, double> result;
+    for (const TupleRef& r : sink->tuples()) {
+      result[r->at(1).AsInt()] = r->at(2).ToDouble();
+    }
+    return std::make_pair(state, result);
+  };
+  auto [exact_state, exact] = run(AggKind::kCountDistinct);
+  auto [approx_state, approx] = run(AggKind::kApproxCountDistinct);
+  double mean_err = 0;
+  for (auto& [k, v] : exact) {
+    mean_err += std::abs(approx[k] - v) / v;
+  }
+  mean_err /= static_cast<double>(exact.size());
+
+  Table t({"variant", "state (KiB)", "mean rel err over 16 groups"});
+  t.AddRow({"count_distinct (holistic)", FmtInt(exact_state / 1024), "0"});
+  t.AddRow({"approx_count_distinct (HLL)", FmtInt(approx_state / 1024),
+            Fmt(mean_err, 4)});
+  t.Print("E12c / slide 38: sketched aggregate inside a grouped query");
+}
+
+void BM_Eddy(benchmark::State& state) {
+  bool adaptive = state.range(0) != 0;
+  Rng rng(114);
+  std::vector<TupleRef> tuples;
+  for (int64_t i = 0; i < 10000; ++i) {
+    tuples.push_back(T(i, static_cast<int64_t>(rng.Uniform(1000)),
+                       static_cast<int64_t>(rng.Uniform(1000))));
+  }
+  EddyOp::Options opt;
+  opt.filters = {{Lt(Col(1), Lit(int64_t{100})), 1.0},
+                 {Lt(Col(2), Lit(int64_t{900})), 1.0}};
+  opt.adaptive = adaptive;
+  for (auto _ : state) {
+    Plan plan;
+    auto* eddy = plan.Make<EddyOp>(opt);
+    auto* sink = plan.Make<CountingSink>();
+    eddy->SetOutput(sink);
+    for (const TupleRef& t : tuples) eddy->Push(Element(t));
+    benchmark::DoNotOptimize(sink->tuples());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(tuples.size()));
+}
+BENCHMARK(BM_Eddy)->Arg(0)->Arg(1)->ArgNames({"adaptive"});
+
+}  // namespace
+}  // namespace sqp
+
+int main(int argc, char** argv) {
+  sqp::PrintEddyDrift();
+  sqp::PrintMJoinOrder();
+  sqp::PrintSketchedGroupBy();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

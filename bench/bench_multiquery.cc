@@ -1,0 +1,129 @@
+// Experiment E8 (slide 45, "Multi-query Processing on Streams"):
+// sharing across queries. (a) N range filters over the same attribute
+// evaluated per tuple via an interval index vs N independent predicate
+// tests; (b) M sliding-window joins differing only in window length
+// evaluated by one shared max-window join vs M dedicated joins.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "opt/sharing.h"
+
+namespace sqp {
+namespace {
+
+using bench::Fmt;
+using bench::FmtInt;
+using bench::Table;
+
+void PrintSharedFilters() {
+  Table t({"queries", "naive (ms)", "shared index (ms)", "speedup"});
+  Rng data_rng(51);
+  std::vector<double> values;
+  for (int i = 0; i < 100000; ++i) values.push_back(data_rng.NextDouble() * 1000);
+
+  for (size_t nq : {16u, 64u, 256u, 1024u}) {
+    SharedRangeFilter f;
+    Rng rng(52);
+    for (size_t q = 0; q < nq; ++q) {
+      double lo = rng.NextDouble() * 1000.0;
+      f.AddRange(lo, lo + 5.0 + rng.NextDouble() * 50.0);
+    }
+    f.Build();
+
+    auto t0 = std::chrono::steady_clock::now();
+    size_t naive_hits = 0;
+    for (double v : values) naive_hits += f.MatchNaive(v).size();
+    auto t1 = std::chrono::steady_clock::now();
+    size_t shared_hits = 0;
+    for (double v : values) shared_hits += f.Match(v).size();
+    auto t2 = std::chrono::steady_clock::now();
+    if (naive_hits != shared_hits) {
+      std::printf("MISMATCH %zu vs %zu\n", naive_hits, shared_hits);
+    }
+    double naive_ms = std::chrono::duration<double>(t1 - t0).count() * 1e3;
+    double shared_ms = std::chrono::duration<double>(t2 - t1).count() * 1e3;
+    t.AddRow({FmtInt(nq), Fmt(naive_ms, 1), Fmt(shared_ms, 1),
+              Fmt(naive_ms / shared_ms, 1)});
+  }
+  t.Print("E8 / slide 45: N range predicates per tuple, shared vs naive");
+}
+
+void PrintSharedJoins() {
+  Rng rng(53);
+  std::vector<std::pair<int, TupleRef>> inputs;
+  int64_t ts = 0;
+  for (int i = 0; i < 100000; ++i) {
+    ts += static_cast<int64_t>(rng.Uniform(3));
+    inputs.emplace_back(
+        rng.Bernoulli(0.5) ? 0 : 1,
+        MakeTuple(ts, {Value(ts),
+                       Value(static_cast<int64_t>(rng.Uniform(200)))}));
+  }
+
+  Table t({"queries", "dedicated joins (ms)", "shared join (ms)", "speedup",
+           "shared state (KiB)"});
+  for (size_t nq : {2u, 4u, 8u, 16u}) {
+    std::vector<int64_t> windows;
+    for (size_t q = 0; q < nq; ++q) {
+      windows.push_back(100 << (q % 5));  // 100..1600, repeating.
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<uint64_t> dedicated_results(nq);
+    for (size_t q = 0; q < nq; ++q) {
+      SharedWindowJoin j({windows[q]}, {1}, {1});
+      for (auto& [side, tup] : inputs) j.Push(side, tup);
+      dedicated_results[q] = j.results()[0];
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    SharedWindowJoin shared(windows, {1}, {1});
+    for (auto& [side, tup] : inputs) shared.Push(side, tup);
+    auto t2 = std::chrono::steady_clock::now();
+
+    for (size_t q = 0; q < nq; ++q) {
+      if (shared.results()[q] != dedicated_results[q]) {
+        std::printf("MISMATCH q=%zu\n", q);
+      }
+    }
+    double ded_ms = std::chrono::duration<double>(t1 - t0).count() * 1e3;
+    double sh_ms = std::chrono::duration<double>(t2 - t1).count() * 1e3;
+    t.AddRow({FmtInt(nq), Fmt(ded_ms, 1), Fmt(sh_ms, 1),
+              Fmt(ded_ms / sh_ms, 1), FmtInt(shared.StateBytes() / 1024)});
+  }
+  t.Print("E8 / slide 45: M window joins, shared max-window operator");
+}
+
+void BM_SharedFilterMatch(benchmark::State& state) {
+  bool shared = state.range(0) != 0;
+  SharedRangeFilter f;
+  Rng rng(54);
+  for (int q = 0; q < 512; ++q) {
+    double lo = rng.NextDouble() * 1000.0;
+    f.AddRange(lo, lo + 20.0);
+  }
+  f.Build();
+  double x = 0;
+  for (auto _ : state) {
+    x += 1.37;
+    if (x > 1000) x = 0;
+    auto hits = shared ? f.Match(x) : f.MatchNaive(x);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SharedFilterMatch)->Arg(0)->Arg(1)->ArgNames({"shared"});
+
+}  // namespace
+}  // namespace sqp
+
+int main(int argc, char** argv) {
+  sqp::PrintSharedFilters();
+  sqp::PrintSharedJoins();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

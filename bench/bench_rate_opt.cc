@@ -1,0 +1,105 @@
+// Experiment E1 (slide 41, "Rate-Based Optimization"): two orderings of
+// the same pair of filters over a 500 tuples/sec stream. The slow,
+// selective operator (service 50 t/s, sel 0.1) placed first throttles the
+// stream to an output rate of 0.5 t/s; placing the very fast filter
+// first yields 5 t/s — a 10x difference invisible to a work-based cost
+// model. The analytic model reproduces the slide numbers exactly; the
+// google-benchmark section then validates the effect on the real
+// executor by measuring throughput of the two physical plans.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "exec/plan.h"
+#include "exec/select.h"
+#include "opt/rate_optimizer.h"
+
+namespace sqp {
+namespace {
+
+using bench::Fmt;
+using bench::Table;
+
+void PrintSlide41() {
+  RatedStage slow{"slow(sel=.1,svc=50/s)", 0.1, 50.0};
+  RatedStage fast{"fast(sel=.1,svc=inf)", 0.1, 1e18};
+  const double input = 500.0;
+
+  Table t({"plan", "output rate (t/s)", "work (s/s)"});
+  t.AddRow({"slow -> fast (paper: 0.5 t/s)",
+            Fmt(PipelineOutputRate(input, {slow, fast}), 2),
+            Fmt(PipelineWork(input, {slow, fast}), 3)});
+  t.AddRow({"fast -> slow (paper: 5 t/s)",
+            Fmt(PipelineOutputRate(input, {fast, slow}), 2),
+            Fmt(PipelineWork(input, {fast, slow}), 3)});
+  t.Print("E1 / slide 41: rate-based plan selection (s1=500 t/s)");
+
+  auto best = MaximizeOutputRate(input, {slow, fast});
+  std::printf("rate-based optimizer picks: %s first (rate %.2f t/s)\n",
+              best.order[0] == 1 ? "fast" : "slow", best.output_rate);
+
+  // Randomized extension: 6 filters, exhaustive rate-based search vs the
+  // classic rank (least-work) order.
+  Rng rng(17);
+  Table t2({"trial", "rate-optimal (t/s)", "rank-order (t/s)", "ratio"});
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<RatedStage> stages;
+    for (int i = 0; i < 6; ++i) {
+      stages.push_back({"f" + std::to_string(i),
+                        0.05 + rng.NextDouble() * 0.9,
+                        20.0 + rng.NextDouble() * 2000.0});
+    }
+    auto rate_plan = MaximizeOutputRate(1000.0, stages);
+    auto work_plan = MinimizeWork(1000.0, stages);
+    t2.AddRow({std::to_string(trial), Fmt(rate_plan.output_rate, 3),
+               Fmt(work_plan.output_rate, 3),
+               Fmt(rate_plan.output_rate /
+                       std::max(1e-9, work_plan.output_rate),
+                   2)});
+  }
+  t2.Print("E1 extension: 6-filter pipelines, rate-based vs rank ordering");
+}
+
+// Physical validation: run both filter orders over real tuples; the
+// cheap-first order does less evaluation work per input tuple when the
+// expensive predicate is selective.
+void BM_FilterOrder(benchmark::State& state) {
+  bool expensive_first = state.range(0) != 0;
+  // Expensive predicate: substring search in a payload; cheap: int cmp.
+  ExprRef cheap = Eq(Col(1), Lit(int64_t{1}));
+  ExprRef expensive = ContainsFn(Col(2), Lit("needle"));
+
+  Rng rng(1);
+  std::vector<TupleRef> tuples;
+  for (int i = 0; i < 4096; ++i) {
+    std::string payload(200, 'x');
+    if (rng.Bernoulli(0.5)) payload.replace(100, 6, "needle");
+    tuples.push_back(MakeTuple(
+        i, {Value(int64_t{i}), Value(static_cast<int64_t>(rng.Uniform(10))),
+            Value(std::move(payload))}));
+  }
+  for (auto _ : state) {
+    Plan plan;
+    auto* first = plan.Make<SelectOp>(expensive_first ? expensive : cheap);
+    auto* second = plan.Make<SelectOp>(expensive_first ? cheap : expensive);
+    auto* sink = plan.Make<CountingSink>();
+    first->SetOutput(second);
+    second->SetOutput(sink);
+    for (const TupleRef& t : tuples) first->Push(Element(t));
+    benchmark::DoNotOptimize(sink->tuples());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(tuples.size()));
+}
+BENCHMARK(BM_FilterOrder)->Arg(0)->Arg(1)->ArgNames({"expensive_first"});
+
+}  // namespace
+}  // namespace sqp
+
+int main(int argc, char** argv) {
+  sqp::PrintSlide41();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

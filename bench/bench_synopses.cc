@@ -1,0 +1,229 @@
+// Experiment E7 (slides 38/53, "Aggregation & Approximation"): accuracy
+// vs space for the synopsis toolbox — GK quantiles (the one Gigascope
+// ships, slide 53), Count-Min heavy hitters, HLL/FM distinct counts,
+// reservoir sampling, AMS join-size estimation, and the exponential
+// histogram for sliding-window counts.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "synopsis/ams.h"
+#include "synopsis/count_min.h"
+#include "synopsis/distinct.h"
+#include "synopsis/exp_histogram.h"
+#include "synopsis/gk_quantile.h"
+#include "synopsis/misra_gries.h"
+#include "synopsis/reservoir.h"
+
+namespace sqp {
+namespace {
+
+using bench::Fmt;
+using bench::FmtInt;
+using bench::Table;
+
+constexpr int kN = 200000;
+
+std::vector<double> LatencyStream() {
+  Rng rng(41);
+  std::vector<double> v;
+  v.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    // Log-normal-ish RTTs: most small, heavy tail.
+    v.push_back(std::exp(rng.Gaussian() * 1.2 + 3.0));
+  }
+  return v;
+}
+
+void PrintQuantiles() {
+  auto data = LatencyStream();
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  auto true_q = [&](double q) {
+    return sorted[static_cast<size_t>(q * (sorted.size() - 1))];
+  };
+
+  Table t({"synopsis", "space (KiB)", "p50 rel err", "p95 rel err",
+           "p99 rel err"});
+  for (double eps : {0.05, 0.01, 0.001}) {
+    GkQuantile gk(eps);
+    for (double v : data) gk.Add(v);
+    auto err = [&](double q) {
+      return std::fabs(gk.Query(q) - true_q(q)) / true_q(q);
+    };
+    t.AddRow({"GK eps=" + Fmt(eps, 3), FmtInt(gk.MemoryBytes() / 1024),
+              Fmt(err(0.5), 4), Fmt(err(0.95), 4), Fmt(err(0.99), 4)});
+  }
+  for (size_t cap : {256u, 4096u}) {
+    ReservoirSample rs(cap, 42);
+    for (double v : data) rs.Add(Value(v));
+    auto err = [&](double q) {
+      return std::fabs(rs.EstimateQuantile(q) - true_q(q)) / true_q(q);
+    };
+    t.AddRow({"reservoir n=" + FmtInt(cap), FmtInt(rs.MemoryBytes() / 1024),
+              Fmt(err(0.5), 4), Fmt(err(0.95), 4), Fmt(err(0.99), 4)});
+  }
+  t.Print("E7: quantiles over 200k heavy-tailed latencies (slide 53)");
+}
+
+void PrintFrequencyAndDistinct() {
+  Rng rng(43);
+  ZipfGenerator zipf(100000, 1.05);
+  std::unordered_map<int64_t, uint64_t> truth;
+  CountMinSketch cm01 = CountMinSketch::FromError(0.01, 0.01, 1);
+  CountMinSketch cm001 = CountMinSketch::FromError(0.001, 0.01, 2);
+  MisraGries mg(1000);
+  HyperLogLog hll(12);
+  FlajoletMartin fm(64, 3);
+  for (int i = 0; i < kN; ++i) {
+    int64_t v = static_cast<int64_t>(zipf.Next(rng));
+    truth[v]++;
+    Value val(v);
+    cm01.Add(val);
+    cm001.Add(val);
+    mg.Add(val);
+    hll.Add(val);
+    fm.Add(val);
+  }
+  // Mean relative error over the top-50 items.
+  std::vector<std::pair<uint64_t, int64_t>> top;
+  for (auto& [v, c] : truth) top.emplace_back(c, v);
+  std::sort(top.rbegin(), top.rend());
+  auto mean_err = [&](auto estimate) {
+    double sum = 0;
+    for (int i = 0; i < 50; ++i) {
+      double est = static_cast<double>(estimate(top[static_cast<size_t>(i)].second));
+      sum += std::fabs(est - double(top[static_cast<size_t>(i)].first)) /
+             double(top[static_cast<size_t>(i)].first);
+    }
+    return sum / 50.0;
+  };
+
+  Table t({"synopsis", "space (KiB)", "metric", "value"});
+  t.AddRow({"CM eps=.01", FmtInt(cm01.MemoryBytes() / 1024),
+            "top-50 mean rel err",
+            Fmt(mean_err([&](int64_t v) { return cm01.Estimate(Value(v)); }), 4)});
+  t.AddRow({"CM eps=.001", FmtInt(cm001.MemoryBytes() / 1024),
+            "top-50 mean rel err",
+            Fmt(mean_err([&](int64_t v) { return cm001.Estimate(Value(v)); }), 4)});
+  t.AddRow({"MisraGries k=1000", FmtInt(mg.MemoryBytes() / 1024),
+            "top-50 mean rel err",
+            Fmt(mean_err([&](int64_t v) { return mg.Estimate(Value(v)); }), 4)});
+  double true_distinct = static_cast<double>(truth.size());
+  t.AddRow({"HLL p=12", FmtInt(hll.MemoryBytes() / 1024), "distinct rel err",
+            Fmt(std::fabs(hll.Estimate() - true_distinct) / true_distinct, 4)});
+  t.AddRow({"FM 64 maps", FmtInt(fm.MemoryBytes() / 1024), "distinct rel err",
+            Fmt(std::fabs(fm.Estimate() - true_distinct) / true_distinct, 4)});
+  std::printf("\n(true distinct count: %.0f over %d tuples)\n", true_distinct,
+              kN);
+  t.Print("E7: frequency & distinct synopses (Zipf 1.05, 100k domain)");
+}
+
+void PrintJoinSizeAndWindow() {
+  Rng rng(44);
+  ZipfGenerator zipf(2000, 0.8);
+  AmsSketch a(9, 64, 5), b(9, 64, 5);
+  std::unordered_map<int64_t, int64_t> fa, fb;
+  for (int i = 0; i < 50000; ++i) {
+    int64_t x = static_cast<int64_t>(zipf.Next(rng));
+    int64_t y = static_cast<int64_t>(zipf.Next(rng));
+    a.Add(Value(x));
+    fa[x]++;
+    b.Add(Value(y));
+    fb[y]++;
+  }
+  double truth = 0;
+  for (auto& [v, c] : fa) {
+    truth += static_cast<double>(c) * static_cast<double>(fb[v]);
+  }
+  double est = AmsSketch::EstimateJoinSize(a, b);
+
+  Table t({"synopsis", "space (KiB)", "metric", "true", "estimate",
+           "rel err"});
+  t.AddRow({"AMS 9x64", FmtInt(a.MemoryBytes() / 1024), "join size",
+            Fmt(truth, 0), Fmt(est, 0),
+            Fmt(std::fabs(est - truth) / truth, 4)});
+
+  // Exponential histogram: sliding count of 1s.
+  ExpHistogram eh(10000, 0.05);
+  Rng rng2(45);
+  std::vector<int64_t> events;
+  int64_t now = 0;
+  for (int i = 0; i < kN; ++i) {
+    now += static_cast<int64_t>(rng2.Uniform(3));
+    eh.Add(now);
+    events.push_back(now);
+  }
+  uint64_t true_count = 0;
+  for (int64_t e : events) {
+    if (e > now - 10000) ++true_count;
+  }
+  t.AddRow({"ExpHist eps=.05", FmtInt(eh.MemoryBytes() / 1024),
+            "window count", FmtInt(true_count), FmtInt(eh.Estimate(now)),
+            Fmt(std::fabs(double(eh.Estimate(now)) - double(true_count)) /
+                    double(true_count),
+                4)});
+  t.Print("E7: join-size sketching and sliding-window counting");
+}
+
+void BM_SynopsisInsert(benchmark::State& state) {
+  int which = static_cast<int>(state.range(0));
+  Rng rng(7);
+  std::vector<Value> vals;
+  for (int i = 0; i < 10000; ++i) {
+    vals.push_back(Value(static_cast<int64_t>(rng.Uniform(100000))));
+  }
+  for (auto _ : state) {
+    switch (which) {
+      case 0: {
+        CountMinSketch cm(2048, 4, 1);
+        for (const Value& v : vals) cm.Add(v);
+        benchmark::DoNotOptimize(cm.total());
+        break;
+      }
+      case 1: {
+        HyperLogLog hll(12);
+        for (const Value& v : vals) hll.Add(v);
+        benchmark::DoNotOptimize(hll.Estimate());
+        break;
+      }
+      case 2: {
+        GkQuantile gk(0.01);
+        for (const Value& v : vals) gk.Add(v.ToDouble());
+        benchmark::DoNotOptimize(gk.n());
+        break;
+      }
+      case 3: {
+        ReservoirSample rs(1024, 2);
+        for (const Value& v : vals) rs.Add(v);
+        benchmark::DoNotOptimize(rs.seen());
+        break;
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(vals.size()));
+}
+BENCHMARK(BM_SynopsisInsert)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->ArgNames({"cm_hll_gk_rsv"});
+
+}  // namespace
+}  // namespace sqp
+
+int main(int argc, char** argv) {
+  sqp::PrintQuantiles();
+  sqp::PrintFrequencyAndDistinct();
+  sqp::PrintJoinSizeAndWindow();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

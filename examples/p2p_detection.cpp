@@ -1,0 +1,85 @@
+// P2P traffic detection (slide 10): the tutorial's Gigascope case study.
+//
+// An ISP wants to measure P2P traffic. The NetFlow approach classifies
+// by well-known port numbers; the Gigascope approach searches each TCP
+// payload for protocol keywords. Because most P2P traffic hides on
+// non-standard ports, the payload query finds ~3x more — the slide's
+// headline number, reproduced here against ground truth from the
+// generator.
+//
+//   ./build/examples/p2p_detection
+
+#include <cstdio>
+
+#include "exec/aggregate_op.h"
+#include "exec/plan.h"
+#include "exec/select.h"
+#include "stream/generators.h"
+
+int main() {
+  using namespace sqp;
+  using gen::PacketCols;
+
+  gen::PacketOptions options;
+  options.p2p_fraction = 0.30;
+  options.p2p_on_known_port = 1.0 / 3.0;  // 2/3 of P2P hides its port.
+  gen::PacketGenerator tap(options);
+
+  Plan plan;
+
+  // NetFlow-style: WHERE dst_port IN (kazaa, gnutella) -> sum(len).
+  auto* by_port = plan.Make<SelectOp>(
+      Or(Eq(Col(PacketCols::kDstPort), Lit(gen::kKazaaPort)),
+         Eq(Col(PacketCols::kDstPort), Lit(gen::kGnutellaPort))),
+      "port-filter");
+  GroupByOptions agg;
+  agg.aggs = {{AggKind::kCount, -1, 0.5}, {AggKind::kSum, PacketCols::kLen, 0.5}};
+  auto* port_sum = plan.Make<GroupByAggregateOp>(agg, "port-sum");
+  auto* port_sink = plan.Make<CollectorSink>();
+  Plan::Connect(by_port, port_sum);
+  Plan::Connect(port_sum, port_sink);
+
+  // Gigascope-style: WHERE contains(payload, keyword) -> sum(len).
+  ExprRef keyword_match =
+      Or(Or(ContainsFn(Col(PacketCols::kPayload), Lit("X-Kazaa-")),
+            ContainsFn(Col(PacketCols::kPayload), Lit("GNUTELLA"))),
+         ContainsFn(Col(PacketCols::kPayload), Lit("BitTorrent")));
+  auto* by_payload = plan.Make<SelectOp>(keyword_match, "payload-filter");
+  auto* payload_sum = plan.Make<GroupByAggregateOp>(agg, "payload-sum");
+  auto* payload_sink = plan.Make<CollectorSink>();
+  Plan::Connect(by_payload, payload_sum);
+  Plan::Connect(payload_sum, payload_sink);
+
+  const int kPackets = 500000;
+  for (int i = 0; i < kPackets; ++i) {
+    TupleRef pkt = tap.Next();
+    by_port->Push(Element(pkt));
+    by_payload->Push(Element(pkt));
+  }
+  by_port->Flush();
+  by_payload->Flush();
+
+  auto row = [](const CollectorSink& sink) {
+    // [ts, count, sum(len)] — single group (no keys).
+    return std::make_pair(sink.tuples()[0]->at(1).AsInt(),
+                          sink.tuples()[0]->at(2).AsInt());
+  };
+  auto [port_pkts, port_bytes] = row(*port_sink);
+  auto [kw_pkts, kw_bytes] = row(*payload_sink);
+
+  std::printf("packets observed:            %d\n", kPackets);
+  std::printf("true P2P packets:            %llu\n",
+              static_cast<unsigned long long>(tap.true_p2p_packets()));
+  std::printf("\nNetFlow (port) heuristic:    %lld packets, %lld bytes\n",
+              static_cast<long long>(port_pkts),
+              static_cast<long long>(port_bytes));
+  std::printf("Gigascope payload keywords:  %lld packets, %lld bytes\n",
+              static_cast<long long>(kw_pkts),
+              static_cast<long long>(kw_bytes));
+  std::printf("\npayload/port ratio:          %.2fx   (slide 10: ~3x)\n",
+              static_cast<double>(kw_pkts) / static_cast<double>(port_pkts));
+  std::printf("payload recall vs truth:     %.1f%%\n",
+              100.0 * static_cast<double>(kw_pkts) /
+                  static_cast<double>(tap.true_p2p_packets()));
+  return 0;
+}

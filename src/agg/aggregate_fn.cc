@@ -1,0 +1,436 @@
+#include "agg/aggregate_fn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+#include "synopsis/distinct.h"
+#include "synopsis/gk_quantile.h"
+
+namespace sqp {
+
+AggClass ClassOf(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+    case AggKind::kSum:
+    case AggKind::kMin:
+    case AggKind::kMax:
+    case AggKind::kFirst:
+    case AggKind::kLast:
+      return AggClass::kDistributive;
+    case AggKind::kAvg:
+    case AggKind::kStddev:
+    case AggKind::kBlend:
+      return AggClass::kAlgebraic;
+    case AggKind::kMedian:
+    case AggKind::kCountDistinct:
+      return AggClass::kHolistic;
+    case AggKind::kApproxMedian:
+    case AggKind::kApproxCountDistinct:
+      return AggClass::kSketched;
+  }
+  return AggClass::kHolistic;
+}
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kStddev:
+      return "stddev";
+    case AggKind::kMedian:
+      return "median";
+    case AggKind::kCountDistinct:
+      return "count_distinct";
+    case AggKind::kFirst:
+      return "first";
+    case AggKind::kLast:
+      return "last";
+    case AggKind::kBlend:
+      return "blend";
+    case AggKind::kApproxMedian:
+      return "approx_median";
+    case AggKind::kApproxCountDistinct:
+      return "approx_count_distinct";
+  }
+  return "?";
+}
+
+Result<AggKind> ParseAggKind(const std::string& name) {
+  static const std::map<std::string, AggKind> kNames = {
+      {"count", AggKind::kCount},
+      {"sum", AggKind::kSum},
+      {"min", AggKind::kMin},
+      {"max", AggKind::kMax},
+      {"avg", AggKind::kAvg},
+      {"stddev", AggKind::kStddev},
+      {"median", AggKind::kMedian},
+      {"count_distinct", AggKind::kCountDistinct},
+      {"first", AggKind::kFirst},
+      {"last", AggKind::kLast},
+      {"blend", AggKind::kBlend},
+      {"approx_median", AggKind::kApproxMedian},
+      {"approx_count_distinct", AggKind::kApproxCountDistinct},
+  };
+  auto it = kNames.find(name);
+  if (it == kNames.end()) {
+    return Status::ParseError("unknown aggregate function: " + name);
+  }
+  return it->second;
+}
+
+void Accumulator::Remove(const Value& /*v*/) {
+  assert(false && "Remove called on non-invertible accumulator");
+}
+
+namespace {
+
+class CountAcc : public Accumulator {
+ public:
+  AggKind kind() const override { return AggKind::kCount; }
+  void Add(const Value& /*v*/) override { ++n_; }
+  void Remove(const Value& /*v*/) override { --n_; }
+  bool invertible() const override { return true; }
+  Value Result() const override { return Value(static_cast<int64_t>(n_)); }
+  void Merge(const Accumulator& other) override { n_ += other.count(); }
+  size_t MemoryBytes() const override { return sizeof(*this); }
+};
+
+class SumAcc : public Accumulator {
+ public:
+  AggKind kind() const override { return AggKind::kSum; }
+  void Add(const Value& v) override {
+    ++n_;
+    if (v.type() == ValueType::kDouble) saw_double_ = true;
+    sum_ += v.ToDouble();
+    int_sum_ += v.ToInt();
+  }
+  void Remove(const Value& v) override {
+    --n_;
+    sum_ -= v.ToDouble();
+    int_sum_ -= v.ToInt();
+  }
+  bool invertible() const override { return true; }
+  Value Result() const override {
+    if (n_ == 0) return Value::Null();
+    return saw_double_ ? Value(sum_) : Value(int_sum_);
+  }
+  void Merge(const Accumulator& other) override {
+    const auto& o = static_cast<const SumAcc&>(other);
+    n_ += o.n_;
+    saw_double_ = saw_double_ || o.saw_double_;
+    sum_ += o.sum_;
+    int_sum_ += o.int_sum_;
+  }
+  size_t MemoryBytes() const override { return sizeof(*this); }
+
+ private:
+  bool saw_double_ = false;
+  double sum_ = 0.0;
+  int64_t int_sum_ = 0;
+};
+
+class MinMaxAcc : public Accumulator {
+ public:
+  explicit MinMaxAcc(bool is_min) : is_min_(is_min) {}
+  AggKind kind() const override {
+    return is_min_ ? AggKind::kMin : AggKind::kMax;
+  }
+  void Add(const Value& v) override {
+    ++n_;
+    if (best_.is_null() || (is_min_ ? v < best_ : v > best_)) best_ = v;
+  }
+  Value Result() const override { return best_; }
+  void Merge(const Accumulator& other) override {
+    const auto& o = static_cast<const MinMaxAcc&>(other);
+    n_ += o.n_;
+    if (!o.best_.is_null() &&
+        (best_.is_null() || (is_min_ ? o.best_ < best_ : o.best_ > best_))) {
+      best_ = o.best_;
+    }
+  }
+  size_t MemoryBytes() const override {
+    return sizeof(*this) + best_.MemoryBytes();
+  }
+
+ private:
+  bool is_min_;
+  Value best_;
+};
+
+class AvgAcc : public Accumulator {
+ public:
+  AggKind kind() const override { return AggKind::kAvg; }
+  void Add(const Value& v) override {
+    ++n_;
+    sum_ += v.ToDouble();
+  }
+  void Remove(const Value& v) override {
+    --n_;
+    sum_ -= v.ToDouble();
+  }
+  bool invertible() const override { return true; }
+  Value Result() const override {
+    if (n_ == 0) return Value::Null();
+    return Value(sum_ / static_cast<double>(n_));
+  }
+  void Merge(const Accumulator& other) override {
+    const auto& o = static_cast<const AvgAcc&>(other);
+    n_ += o.n_;
+    sum_ += o.sum_;
+  }
+  size_t MemoryBytes() const override { return sizeof(*this); }
+
+ private:
+  double sum_ = 0.0;
+};
+
+// Sum-of-squares form so Merge and Remove are exact.
+class StddevAcc : public Accumulator {
+ public:
+  AggKind kind() const override { return AggKind::kStddev; }
+  void Add(const Value& v) override {
+    ++n_;
+    double x = v.ToDouble();
+    sum_ += x;
+    sum_sq_ += x * x;
+  }
+  void Remove(const Value& v) override {
+    --n_;
+    double x = v.ToDouble();
+    sum_ -= x;
+    sum_sq_ -= x * x;
+  }
+  bool invertible() const override { return true; }
+  Value Result() const override {
+    if (n_ < 2) return Value(0.0);
+    double nd = static_cast<double>(n_);
+    double var = (sum_sq_ - sum_ * sum_ / nd) / (nd - 1.0);
+    return Value(std::sqrt(std::max(0.0, var)));
+  }
+  void Merge(const Accumulator& other) override {
+    const auto& o = static_cast<const StddevAcc&>(other);
+    n_ += o.n_;
+    sum_ += o.sum_;
+    sum_sq_ += o.sum_sq_;
+  }
+  size_t MemoryBytes() const override { return sizeof(*this); }
+
+ private:
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+// Holistic: buffers everything. This is exactly why [ABB+02] rules
+// holistic aggregates out of bounded-memory plans.
+class MedianAcc : public Accumulator {
+ public:
+  AggKind kind() const override { return AggKind::kMedian; }
+  void Add(const Value& v) override {
+    ++n_;
+    vals_.push_back(v.ToDouble());
+  }
+  Value Result() const override {
+    if (vals_.empty()) return Value::Null();
+    std::vector<double> sorted = vals_;
+    std::sort(sorted.begin(), sorted.end());
+    size_t m = sorted.size() / 2;
+    if (sorted.size() % 2 == 1) return Value(sorted[m]);
+    return Value((sorted[m - 1] + sorted[m]) / 2.0);
+  }
+  void Merge(const Accumulator& other) override {
+    const auto& o = static_cast<const MedianAcc&>(other);
+    n_ += o.n_;
+    vals_.insert(vals_.end(), o.vals_.begin(), o.vals_.end());
+  }
+  size_t MemoryBytes() const override {
+    return sizeof(*this) + vals_.capacity() * sizeof(double);
+  }
+
+ private:
+  std::vector<double> vals_;
+};
+
+class CountDistinctAcc : public Accumulator {
+ public:
+  AggKind kind() const override { return AggKind::kCountDistinct; }
+  void Add(const Value& v) override {
+    ++n_;
+    seen_.insert(v);
+  }
+  Value Result() const override {
+    return Value(static_cast<int64_t>(seen_.size()));
+  }
+  void Merge(const Accumulator& other) override {
+    const auto& o = static_cast<const CountDistinctAcc&>(other);
+    n_ += o.n_;
+    seen_.insert(o.seen_.begin(), o.seen_.end());
+  }
+  size_t MemoryBytes() const override {
+    size_t bytes = sizeof(*this);
+    for (const Value& v : seen_) bytes += v.MemoryBytes() + 16;
+    return bytes;
+  }
+
+ private:
+  std::unordered_set<Value, ValueHash> seen_;
+};
+
+class FirstLastAcc : public Accumulator {
+ public:
+  explicit FirstLastAcc(bool is_first) : is_first_(is_first) {}
+  AggKind kind() const override {
+    return is_first_ ? AggKind::kFirst : AggKind::kLast;
+  }
+  void Add(const Value& v) override {
+    ++n_;
+    if (!is_first_ || n_ == 1) val_ = v;
+  }
+  Value Result() const override { return val_; }
+  void Merge(const Accumulator& other) override {
+    const auto& o = static_cast<const FirstLastAcc&>(other);
+    if (o.n_ == 0) return;
+    if (!is_first_ || n_ == 0) val_ = o.val_;
+    n_ += o.n_;
+  }
+  size_t MemoryBytes() const override {
+    return sizeof(*this) + val_.MemoryBytes();
+  }
+
+ private:
+  bool is_first_;
+  Value val_;
+};
+
+// Hancock's signature update (slide 8): exponentially weighted blend of
+// the new observation into the running signature.
+class BlendAcc : public Accumulator {
+ public:
+  explicit BlendAcc(double alpha) : alpha_(alpha) {}
+  AggKind kind() const override { return AggKind::kBlend; }
+  void Add(const Value& v) override {
+    ++n_;
+    sig_ = (n_ == 1) ? v.ToDouble() : alpha_ * v.ToDouble() + (1 - alpha_) * sig_;
+  }
+  Value Result() const override {
+    return n_ == 0 ? Value::Null() : Value(sig_);
+  }
+  void Merge(const Accumulator& other) override {
+    const auto& o = static_cast<const BlendAcc&>(other);
+    if (o.n_ == 0) return;
+    sig_ = (n_ == 0) ? o.sig_ : alpha_ * o.sig_ + (1 - alpha_) * sig_;
+    n_ += o.n_;
+  }
+  size_t MemoryBytes() const override { return sizeof(*this); }
+
+ private:
+  double alpha_;
+  double sig_ = 0.0;
+};
+
+// Slide 38: when exact computation would need unbounded storage, use a
+// summary structure. GK quantile summary standing in for median.
+class ApproxMedianAcc : public Accumulator {
+ public:
+  explicit ApproxMedianAcc(double eps) : gk_(eps) {}
+  AggKind kind() const override { return AggKind::kApproxMedian; }
+  void Add(const Value& v) override {
+    ++n_;
+    gk_.Add(v.ToDouble());
+  }
+  Value Result() const override {
+    return n_ == 0 ? Value::Null() : Value(gk_.Query(0.5));
+  }
+  void Merge(const Accumulator& other) override {
+    const auto& o = static_cast<const ApproxMedianAcc&>(other);
+    n_ += o.n_;
+    gk_.Merge(o.gk_);
+  }
+  size_t MemoryBytes() const override {
+    return sizeof(*this) + gk_.MemoryBytes();
+  }
+
+ private:
+  GkQuantile gk_;
+};
+
+// HyperLogLog standing in for count(distinct). Mergeable, so it also
+// works under two-level decomposition (unlike the exact version).
+class ApproxCountDistinctAcc : public Accumulator {
+ public:
+  ApproxCountDistinctAcc() : hll_(10) {}
+  AggKind kind() const override { return AggKind::kApproxCountDistinct; }
+  void Add(const Value& v) override {
+    ++n_;
+    hll_.Add(v);
+  }
+  Value Result() const override {
+    return Value(static_cast<int64_t>(hll_.Estimate() + 0.5));
+  }
+  void Merge(const Accumulator& other) override {
+    const auto& o = static_cast<const ApproxCountDistinctAcc&>(other);
+    n_ += o.n_;
+    hll_.Merge(o.hll_);
+  }
+  size_t MemoryBytes() const override {
+    return sizeof(*this) + hll_.MemoryBytes();
+  }
+
+ private:
+  HyperLogLog hll_;
+};
+
+}  // namespace
+
+Result<AggregateFunction> AggregateFunction::Make(AggKind kind, double param) {
+  if (kind == AggKind::kBlend && (param <= 0.0 || param > 1.0)) {
+    return Status::InvalidArgument("blend factor must be in (0, 1]");
+  }
+  return AggregateFunction(kind, param);
+}
+
+std::unique_ptr<Accumulator> AggregateFunction::NewAccumulator() const {
+  switch (kind_) {
+    case AggKind::kCount:
+      return std::make_unique<CountAcc>();
+    case AggKind::kSum:
+      return std::make_unique<SumAcc>();
+    case AggKind::kMin:
+      return std::make_unique<MinMaxAcc>(true);
+    case AggKind::kMax:
+      return std::make_unique<MinMaxAcc>(false);
+    case AggKind::kAvg:
+      return std::make_unique<AvgAcc>();
+    case AggKind::kStddev:
+      return std::make_unique<StddevAcc>();
+    case AggKind::kMedian:
+      return std::make_unique<MedianAcc>();
+    case AggKind::kCountDistinct:
+      return std::make_unique<CountDistinctAcc>();
+    case AggKind::kFirst:
+      return std::make_unique<FirstLastAcc>(true);
+    case AggKind::kLast:
+      return std::make_unique<FirstLastAcc>(false);
+    case AggKind::kBlend:
+      return std::make_unique<BlendAcc>(param_);
+    case AggKind::kApproxMedian:
+      // `param` doubles as the GK epsilon; the 0.5 factory default maps
+      // to a sensible 0.01.
+      return std::make_unique<ApproxMedianAcc>(
+          param_ > 0.0 && param_ < 0.5 ? param_ : 0.01);
+    case AggKind::kApproxCountDistinct:
+      return std::make_unique<ApproxCountDistinctAcc>();
+  }
+  return nullptr;
+}
+
+}  // namespace sqp

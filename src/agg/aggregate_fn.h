@@ -1,0 +1,100 @@
+#ifndef SQP_AGG_AGGREGATE_FN_H_
+#define SQP_AGG_AGGREGATE_FN_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sqp {
+
+/// Aggregate expressions supported by the engine (slide 34).
+enum class AggKind {
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+  kStddev,
+  kMedian,         // holistic
+  kCountDistinct,  // holistic
+  kFirst,
+  kLast,
+  kBlend,  ///< Hancock's exponential blend: sig = a*x + (1-a)*sig (slide 8)
+  /// Sketch-backed approximations of the holistic aggregates (slide 38:
+  /// "use summary structures" when exact computation needs unbounded
+  /// storage). Bounded state, mergeable.
+  kApproxMedian,         ///< Greenwald-Khanna quantile summary.
+  kApproxCountDistinct,  ///< HyperLogLog.
+};
+
+/// The classification that drives bounded-memory analysis [ABB+02]:
+/// distributive and algebraic aggregates need O(1) state per group;
+/// holistic ones need state proportional to the data; sketched ones
+/// trade a bounded error for bounded state (slide 38).
+enum class AggClass { kDistributive, kAlgebraic, kHolistic, kSketched };
+
+AggClass ClassOf(AggKind kind);
+const char* AggKindName(AggKind kind);
+/// Parses "count", "sum", "count_distinct"/"count(distinct"... style names.
+Result<AggKind> ParseAggKind(const std::string& name);
+
+/// Incremental aggregate state for one group.
+///
+/// `Remove` supports sliding-window maintenance and is only available when
+/// `invertible()` (count/sum/avg/stddev); min/max/median require buffer
+/// replay, which WindowAggregateOp handles.
+class Accumulator {
+ public:
+  virtual ~Accumulator() = default;
+
+  virtual AggKind kind() const = 0;
+
+  virtual void Add(const Value& v) = 0;
+
+  /// Inverse of Add. Precondition: invertible() and v was previously added.
+  virtual void Remove(const Value& v);
+
+  virtual bool invertible() const { return false; }
+
+  /// Current aggregate value (Null when no input yet, except count = 0).
+  virtual Value Result() const = 0;
+
+  /// Merges another accumulator of the same kind into this one — the
+  /// high-level step of two-level partial aggregation (slide 37).
+  virtual void Merge(const Accumulator& other) = 0;
+
+  /// Approximate state footprint.
+  virtual size_t MemoryBytes() const = 0;
+
+  virtual uint64_t count() const { return n_; }
+
+ protected:
+  uint64_t n_ = 0;
+};
+
+/// Factory + metadata for one aggregate expression.
+class AggregateFunction {
+ public:
+  /// Creates the function; `param` is the blend factor for kBlend.
+  static Result<AggregateFunction> Make(AggKind kind, double param = 0.5);
+
+  AggKind kind() const { return kind_; }
+  AggClass agg_class() const { return ClassOf(kind_); }
+
+  std::unique_ptr<Accumulator> NewAccumulator() const;
+
+ private:
+  AggregateFunction(AggKind kind, double param)
+      : kind_(kind), param_(param) {}
+
+  AggKind kind_;
+  double param_;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_AGG_AGGREGATE_FN_H_

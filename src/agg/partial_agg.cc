@@ -1,0 +1,148 @@
+#include "agg/partial_agg.h"
+
+#include <cassert>
+
+namespace sqp {
+
+namespace {
+
+std::vector<AggregateFunction> MakeFns(const std::vector<AggSpec>& specs) {
+  std::vector<AggregateFunction> fns;
+  fns.reserve(specs.size());
+  for (const AggSpec& s : specs) {
+    auto fn = AggregateFunction::Make(s.kind, s.param);
+    assert(fn.ok());
+    fns.push_back(std::move(fn.value()));
+  }
+  return fns;
+}
+
+}  // namespace
+
+PartialAggregator::PartialAggregator(size_t slots, std::vector<int> key_cols,
+                                     std::vector<AggSpec> aggs)
+    : slots_(slots),
+      key_cols_(std::move(key_cols)),
+      agg_specs_(std::move(aggs)),
+      fns_(MakeFns(agg_specs_)) {
+  if (slots_ > 0) table_.resize(slots_);
+}
+
+PartialGroup PartialAggregator::NewGroup(Key key) const {
+  PartialGroup g;
+  g.key = std::move(key);
+  g.accs.reserve(fns_.size());
+  for (const AggregateFunction& fn : fns_) g.accs.push_back(fn.NewAccumulator());
+  return g;
+}
+
+void PartialAggregator::FoldInto(PartialGroup& g, const Tuple& t) const {
+  for (size_t i = 0; i < agg_specs_.size(); ++i) {
+    const AggSpec& s = agg_specs_[i];
+    // count(*) feeds a constant; others read their input column.
+    if (s.input_col < 0) {
+      g.accs[i]->Add(Value(int64_t{1}));
+    } else {
+      g.accs[i]->Add(t.at(static_cast<size_t>(s.input_col)));
+    }
+  }
+}
+
+void PartialAggregator::Add(const Tuple& t, std::vector<PartialGroup>* out) {
+  ++stats_.tuples_in;
+  Key key = ExtractKey(t, key_cols_);
+
+  if (slots_ == 0) {
+    auto it = unbounded_.find(key);
+    if (it == unbounded_.end()) {
+      it = unbounded_.emplace(key, NewGroup(key)).first;
+    }
+    FoldInto(it->second, t);
+    return;
+  }
+
+  size_t idx = KeyHash()(key) % slots_;
+  Slot& slot = table_[idx];
+  if (slot.occupied && !(slot.group.key == key)) {
+    // Collision: evict the resident group as a partial result.
+    ++stats_.evictions;
+    out->push_back(std::move(slot.group));
+    slot.occupied = false;
+  }
+  if (!slot.occupied) {
+    slot.group = NewGroup(std::move(key));
+    slot.occupied = true;
+  }
+  FoldInto(slot.group, t);
+}
+
+void PartialAggregator::Flush(std::vector<PartialGroup>* out) {
+  if (slots_ == 0) {
+    for (auto& [key, group] : unbounded_) {
+      ++stats_.flushed;
+      out->push_back(std::move(group));
+    }
+    unbounded_.clear();
+    return;
+  }
+  for (Slot& slot : table_) {
+    if (slot.occupied) {
+      ++stats_.flushed;
+      out->push_back(std::move(slot.group));
+      slot.occupied = false;
+    }
+  }
+}
+
+size_t PartialAggregator::resident_groups() const {
+  if (slots_ == 0) return unbounded_.size();
+  size_t n = 0;
+  for (const Slot& s : table_) n += s.occupied ? 1 : 0;
+  return n;
+}
+
+size_t PartialAggregator::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + table_.capacity() * sizeof(Slot);
+  auto group_bytes = [](const PartialGroup& g) {
+    size_t b = 0;
+    for (const Value& v : g.key.parts) b += v.MemoryBytes();
+    for (const auto& a : g.accs) b += a->MemoryBytes();
+    return b;
+  };
+  for (const Slot& s : table_) {
+    if (s.occupied) bytes += group_bytes(s.group);
+  }
+  for (const auto& [key, group] : unbounded_) {
+    bytes += group_bytes(group) + sizeof(Key);
+  }
+  return bytes;
+}
+
+FinalAggregator::FinalAggregator(std::vector<AggSpec> aggs)
+    : agg_specs_(std::move(aggs)) {}
+
+void FinalAggregator::Merge(PartialGroup group) {
+  auto it = groups_.find(group.key);
+  if (it == groups_.end()) {
+    groups_.emplace(std::move(group.key), std::move(group.accs));
+    return;
+  }
+  for (size_t i = 0; i < it->second.size(); ++i) {
+    it->second[i]->Merge(*group.accs[i]);
+  }
+}
+
+std::vector<std::pair<Key, std::vector<Value>>> FinalAggregator::Results()
+    const {
+  std::vector<std::pair<Key, std::vector<Value>>> out;
+  out.reserve(groups_.size());
+  for (const auto& [key, accs] : groups_) {
+    std::vector<Value> vals;
+    vals.reserve(accs.size());
+    for (const auto& a : accs) vals.push_back(a->Result());
+    out.emplace_back(key, std::move(vals));
+  }
+  return out;
+}
+
+}  // namespace sqp

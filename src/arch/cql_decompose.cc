@@ -1,0 +1,56 @@
+#include "arch/cql_decompose.h"
+
+#include "cql/parser.h"
+
+namespace sqp {
+
+Result<CqlDecomposition> DecomposeCqlAggregate(const std::string& text,
+                                               const cql::Catalog& catalog,
+                                               size_t low_slots) {
+  auto parsed = cql::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  auto analyzed = cql::Analyze(*parsed, catalog);
+  if (!analyzed.ok()) return analyzed.status();
+  const cql::AnalyzedQuery& aq = *analyzed;
+
+  if (aq.num_streams != 1) {
+    return Status::Unimplemented(
+        "decomposition supports single-stream aggregate queries");
+  }
+  if (!aq.has_aggregates || !aq.has_group_by) {
+    return Status::InvalidArgument(
+        "decomposition requires GROUP BY with aggregates");
+  }
+  if (aq.tumbling_size <= 0) {
+    return Status::InvalidArgument(
+        "decomposition requires a shifting window (group by ts/K)");
+  }
+  if (aq.ast.having != nullptr) {
+    return Status::Unimplemented(
+        "HAVING must be applied over final values; evaluate it above the "
+        "high level (e.g. on the DB sink)");
+  }
+
+  CqlDecomposition out;
+  out.query = text;
+  out.input_schema = aq.entries[0]->schema;
+  out.config.key_cols = aq.group_cols;
+  for (const cql::ResolvedAgg& a : aq.aggs) out.config.aggs.push_back(a.spec);
+  out.config.window_size = aq.tumbling_size;
+  out.config.low_slots = low_slots;
+
+  // Push the WHERE clause below the partial aggregation.
+  ExprRef filter;
+  for (const ExprRef& c : aq.left_only) {
+    filter = (filter == nullptr) ? c : And(filter, c);
+  }
+  out.config.prefilter = filter;
+
+  // Verify the aggregates decompose before handing the config out.
+  auto check = DecomposeAggregates(out.config.aggs,
+                                   static_cast<int>(out.config.key_cols.size()));
+  if (!check.ok()) return check.status();
+  return out;
+}
+
+}  // namespace sqp

@@ -1,0 +1,35 @@
+#ifndef SQP_ARCH_CQL_DECOMPOSE_H_
+#define SQP_ARCH_CQL_DECOMPOSE_H_
+
+#include <memory>
+#include <string>
+
+#include "arch/system.h"
+#include "cql/analyzer.h"
+
+namespace sqp {
+
+/// Automatic query decomposition across the 3-level architecture
+/// (slide 54: "how do we decompose a declarative SQL query?").
+///
+/// Takes a single-stream windowed aggregate query in CQL text and
+/// produces a ThreeLevelConfig: the WHERE clause is pushed down to the
+/// low level, the aggregates are split into partial (low) and merge
+/// (high) phases, and the shifting window drives per-bucket emission.
+/// Rejects queries the architecture cannot split exactly (joins,
+/// holistic aggregates, HAVING — the latter must run where final values
+/// exist, which the caller can do over the DB sink).
+struct CqlDecomposition {
+  ThreeLevelConfig config;
+  SchemaRef input_schema;
+  /// The original query text, for diagnostics.
+  std::string query;
+};
+
+Result<CqlDecomposition> DecomposeCqlAggregate(const std::string& text,
+                                               const cql::Catalog& catalog,
+                                               size_t low_slots = 64);
+
+}  // namespace sqp
+
+#endif  // SQP_ARCH_CQL_DECOMPOSE_H_

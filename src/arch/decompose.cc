@@ -1,0 +1,77 @@
+#include "arch/decompose.h"
+
+namespace sqp {
+
+Result<DecomposedAggregate> DecomposeAggregates(
+    const std::vector<AggSpec>& aggs, int num_keys) {
+  DecomposedAggregate out;
+  // Position bookkeeping: low-level output is [ts, keys..., low_aggs...];
+  // the high level groups on the same keys and aggregates each low agg
+  // column, producing [ts, keys..., high_aggs...].
+  auto low_agg_col = [&](size_t j) {
+    // Column of low agg j in the low-level *output* layout.
+    return 1 + num_keys + static_cast<int>(j);
+  };
+  auto high_out_col = [&](size_t j) {
+    // Column of high agg j in the high-level output layout.
+    return 1 + num_keys + static_cast<int>(j);
+  };
+
+  for (const AggSpec& a : aggs) {
+    switch (a.kind) {
+      case AggKind::kCount: {
+        size_t j = out.low_specs.size();
+        out.low_specs.push_back({AggKind::kCount, a.input_col, 0.5});
+        out.high_specs.push_back({AggKind::kSum, low_agg_col(j), 0.5});
+        out.finalizers.push_back(Col(high_out_col(j)));
+        break;
+      }
+      case AggKind::kSum:
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        size_t j = out.low_specs.size();
+        out.low_specs.push_back({a.kind, a.input_col, 0.5});
+        AggKind high = a.kind == AggKind::kSum ? AggKind::kSum : a.kind;
+        out.high_specs.push_back({high, low_agg_col(j), 0.5});
+        out.finalizers.push_back(Col(high_out_col(j)));
+        break;
+      }
+      case AggKind::kAvg: {
+        // avg decomposes into (sum, count) at the low level.
+        size_t js = out.low_specs.size();
+        out.low_specs.push_back({AggKind::kSum, a.input_col, 0.5});
+        out.low_specs.push_back({AggKind::kCount, -1, 0.5});
+        out.high_specs.push_back({AggKind::kSum, low_agg_col(js), 0.5});
+        out.high_specs.push_back({AggKind::kSum, low_agg_col(js + 1), 0.5});
+        // sum / count, forced to double arithmetic.
+        out.finalizers.push_back(
+            Div(Mul(Col(high_out_col(js)), Lit(1.0)), Col(high_out_col(js + 1))));
+        break;
+      }
+      case AggKind::kMedian:
+      case AggKind::kCountDistinct:
+        return Status::Unimplemented(
+            std::string("holistic aggregate ") + AggKindName(a.kind) +
+            " cannot be decomposed exactly; use a synopsis (slide 38)");
+      case AggKind::kStddev:
+      case AggKind::kFirst:
+      case AggKind::kLast:
+      case AggKind::kBlend:
+        return Status::Unimplemented(
+            std::string("aggregate ") + AggKindName(a.kind) +
+            " is not supported by two-level decomposition");
+      case AggKind::kApproxMedian:
+      case AggKind::kApproxCountDistinct:
+        // Sketch states merge object-to-object (PartialAggregator ->
+        // FinalAggregator) but do not serialize into the scalar partial
+        // tuples this decomposition emits between levels.
+        return Status::Unimplemented(
+            std::string("sketched aggregate ") + AggKindName(a.kind) +
+            " merges at the object level; use PartialAggregator/"
+            "FinalAggregator directly");
+    }
+  }
+  return out;
+}
+
+}  // namespace sqp

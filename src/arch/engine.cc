@@ -1,0 +1,140 @@
+#include "arch/engine.h"
+
+namespace sqp {
+
+namespace {
+
+/// Forwards every element to the collector and the optional callback.
+class TeeSink : public Operator {
+ public:
+  TeeSink(CollectorSink* collector,
+          const std::function<void(const TupleRef&)>* callback)
+      : Operator("tee"), collector_(collector), callback_(callback) {}
+
+  void Push(const Element& e, int port = 0) override {
+    CountIn(e);
+    collector_->Push(e, port);
+    if (*callback_ && e.is_tuple()) (*callback_)(e.tuple());
+  }
+
+ private:
+  CollectorSink* collector_;
+  const std::function<void(const TupleRef&)>* callback_;
+};
+
+}  // namespace
+
+Status StreamEngine::RegisterStream(const std::string& name, SchemaRef schema,
+                                    std::vector<FieldDomain> domains,
+                                    StreamOptions options) {
+  SQP_RETURN_NOT_OK(
+      catalog_.Register(name, std::move(schema), std::move(domains)));
+  stream_options_[name] = options;
+  return Status::OK();
+}
+
+Result<QueryHandle*> StreamEngine::Submit(const std::string& query_text) {
+  auto compiled = cql::Compile(query_text, catalog_);
+  if (!compiled.ok()) return compiled.status();
+
+  auto handle = std::make_unique<QueryHandle>();
+  handle->text_ = query_text;
+  handle->query_ = std::move(*compiled);
+  handle->sink_ = std::make_unique<CollectorSink>();
+  handle->tee_ =
+      std::make_unique<TeeSink>(handle->sink_.get(), &handle->callback_);
+  handle->query_->AttachSink(handle->tee_.get());
+
+  // Wire per-input front-ends: reorder and/or heartbeat per the owning
+  // stream's options.
+  const auto& from = handle->query_->analysis().ast.from;
+  for (int i = 0; i < handle->query_->num_inputs(); ++i) {
+    const std::string& stream = from[static_cast<size_t>(i)].name;
+    const StreamOptions& opt = stream_options_[stream];
+    Operator* entry = handle->query_->input(i);
+    // NOTE: CompiledQuery::Push handles ports internally; front-ends
+    // push into the query via a callback so port routing is preserved.
+    cql::CompiledQuery* q = handle->query_.get();
+    Operator* target = nullptr;
+    (void)entry;
+    if (opt.heartbeat_period > 0) {
+      auto hb = std::make_unique<HeartbeatOp>(opt.heartbeat_period,
+                                              opt.reorder_slack);
+      auto fwd = std::make_unique<CallbackSink>(
+          [q, i](const Element& e) { q->Push(e, i); });
+      hb->SetOutput(fwd.get());
+      target = hb.get();
+      handle->front_.push_back(std::move(fwd));
+      handle->front_.push_back(std::move(hb));
+    }
+    if (opt.reorder_slack > 0) {
+      auto ro = std::make_unique<SlackReorderOp>(opt.reorder_slack);
+      if (target != nullptr) {
+        ro->SetOutput(target);
+      } else {
+        auto fwd = std::make_unique<CallbackSink>(
+            [q, i](const Element& e) { q->Push(e, i); });
+        ro->SetOutput(fwd.get());
+        handle->front_.push_back(std::move(fwd));
+      }
+      target = ro.get();
+      handle->front_.push_back(std::move(ro));
+    }
+    QueryHandle::Tap tap;
+    tap.stream = stream;
+    tap.entry = target;  // nullptr = push straight into the query.
+    tap.port = i;
+    handle->taps_.push_back(tap);
+  }
+
+  queries_.push_back(std::move(handle));
+  return queries_.back().get();
+}
+
+Status StreamEngine::IngestElement(const std::string& stream,
+                                   const Element& e) {
+  if (catalog_.Lookup(stream) == nullptr) {
+    return Status::NotFound("unknown stream: " + stream);
+  }
+  if (finished_) {
+    return Status::InvalidArgument("engine already finished");
+  }
+  for (auto& q : queries_) {
+    for (const QueryHandle::Tap& tap : q->taps_) {
+      if (tap.stream != stream) continue;
+      if (tap.entry != nullptr) {
+        tap.entry->Push(e, 0);
+      } else {
+        q->query_->Push(e, tap.port);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status StreamEngine::Ingest(const std::string& stream, const TupleRef& tuple) {
+  return IngestElement(stream, Element(tuple));
+}
+
+void StreamEngine::FinishAll() {
+  if (finished_) return;
+  finished_ = true;
+  for (auto& q : queries_) {
+    // Flush front-ends first (drains reorder buffers into the query),
+    // then the query itself via its per-port flush protocol.
+    for (const QueryHandle::Tap& tap : q->taps_) {
+      if (tap.entry != nullptr) tap.entry->Flush();
+    }
+    q->query_->Finish();
+  }
+}
+
+size_t StreamEngine::TotalStateBytes() const {
+  size_t bytes = 0;
+  for (const auto& q : queries_) {
+    bytes += q->query_->plan().TotalStateBytes();
+  }
+  return bytes;
+}
+
+}  // namespace sqp

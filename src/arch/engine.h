@@ -1,0 +1,113 @@
+#ifndef SQP_ARCH_ENGINE_H_
+#define SQP_ARCH_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cql/planner.h"
+#include "exec/reorder.h"
+
+namespace sqp {
+
+/// Options governing how the engine treats one registered stream.
+struct StreamOptions {
+  /// Tolerated disorder (ordering units); > 0 interposes a SlackReorderOp
+  /// in front of every query reading the stream.
+  int64_t reorder_slack = 0;
+  /// Heartbeat period; > 0 injects watermarks every `period` units so
+  /// windowed queries make progress on quiet streams.
+  int64_t heartbeat_period = 0;
+};
+
+/// A handle to one standing (continuous, persistent) query.
+class QueryHandle {
+ public:
+  /// Rows produced so far (the engine collects by default).
+  const std::vector<TupleRef>& results() const { return sink_->tuples(); }
+  size_t result_count() const { return sink_->count(); }
+  void ClearResults() { sink_->Clear(); }
+
+  const Schema& output_schema() const { return query_->output_schema(); }
+  const MemoryAnalysis& memory() const { return query_->memory(); }
+  const std::string& text() const { return text_; }
+  const std::string& plan_desc() const { return query_->plan_desc(); }
+
+  /// Optional streaming callback, invoked per output element in addition
+  /// to collection.
+  void OnResult(std::function<void(const TupleRef&)> fn) {
+    callback_ = std::move(fn);
+  }
+
+ private:
+  friend class StreamEngine;
+
+  std::string text_;
+  std::unique_ptr<cql::CompiledQuery> query_;
+  std::unique_ptr<CollectorSink> sink_;
+  std::unique_ptr<Operator> tee_;  // Collector + callback fan-out.
+  std::function<void(const TupleRef&)> callback_;
+  // Per-input front-ends (reorder/heartbeat), parallel to query inputs.
+  std::vector<std::unique_ptr<Operator>> front_;
+  // The operator Ingest() pushes into, per (stream occurrence).
+  struct Tap {
+    std::string stream;
+    Operator* entry;
+    int port;
+  };
+  std::vector<Tap> taps_;
+};
+
+/// The engine: a registry of streams and standing queries with shared
+/// ingest — the "DSMS" box of slide 14 as a library object.
+///
+///   StreamEngine engine;
+///   engine.RegisterStream("packets", gen::PacketSchema());
+///   auto q = engine.Submit("select ... from packets ...");
+///   engine.Ingest("packets", tuple);   // Fans out to every reader.
+///   engine.FinishAll();
+///
+/// Single-threaded like the rest of the library; scheduling and shedding
+/// wrap around it (sqp/sched, sqp/shed) rather than inside it.
+class StreamEngine {
+ public:
+  StreamEngine() = default;
+
+  /// Registers a stream with optional domain metadata and per-stream
+  /// disorder/heartbeat handling.
+  Status RegisterStream(const std::string& name, SchemaRef schema,
+                        std::vector<FieldDomain> domains = {},
+                        StreamOptions options = {});
+
+  /// Compiles and installs a standing query. The handle stays valid for
+  /// the engine's lifetime.
+  Result<QueryHandle*> Submit(const std::string& query_text);
+
+  /// Pushes one tuple (or punctuation) into every query reading `stream`.
+  Status Ingest(const std::string& stream, const TupleRef& tuple);
+  Status IngestElement(const std::string& stream, const Element& e);
+
+  /// Ends every stream: flushes all queries (closing windows/groups).
+  void FinishAll();
+
+  const cql::Catalog& catalog() const { return catalog_; }
+  size_t num_queries() const { return queries_.size(); }
+  const std::vector<std::unique_ptr<QueryHandle>>& queries() const {
+    return queries_;
+  }
+
+  /// Aggregate state across all standing queries.
+  size_t TotalStateBytes() const;
+
+ private:
+  cql::Catalog catalog_;
+  std::map<std::string, StreamOptions> stream_options_;
+  std::vector<std::unique_ptr<QueryHandle>> queries_;
+  bool finished_ = false;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_ARCH_ENGINE_H_

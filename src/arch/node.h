@@ -1,0 +1,67 @@
+#ifndef SQP_ARCH_NODE_H_
+#define SQP_ARCH_NODE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "exec/operator.h"
+
+namespace sqp {
+
+/// Resource profile of a DSMS node (slide 15): the low level is memory-
+/// and CPU-limited; the high level is richer; the DBMS richest.
+struct NodeOptions {
+  std::string name = "node";
+  /// Input queue bound in elements (0 = unbounded). Overflow drops.
+  size_t queue_limit = 0;
+  /// Work units available per Tick().
+  double capacity_per_tick = 1.0;
+  /// Work units consumed per element processed.
+  double cost_per_element = 1.0;
+};
+
+/// One observation point in the 3-level architecture: a bounded input
+/// queue in front of an operator chain. Elements that arrive faster than
+/// `capacity_per_tick / cost_per_element` are dropped — the drops the
+/// tutorial's low-level engineering fights (slide 53).
+class DsmsNode {
+ public:
+  /// `entry` is the first operator of the node's chain; the chain's last
+  /// operator should be wired (by the caller) to the next level.
+  DsmsNode(Operator* entry, NodeOptions options);
+
+  /// Enqueues an arriving element; returns false if dropped.
+  bool Arrive(Element e);
+
+  /// Processes up to the node's capacity.
+  void Tick();
+
+  /// Processes everything left (end of experiment) and flushes the chain.
+  void Drain();
+
+  uint64_t dropped() const { return dropped_; }
+  uint64_t processed() const { return processed_; }
+  size_t queue_len() const { return queue_.size(); }
+  const NodeOptions& options() const { return options_; }
+  double DropRate() const {
+    uint64_t total = processed_ + dropped_ + queue_.size();
+    return total == 0 ? 0.0
+                      : static_cast<double>(dropped_) /
+                            static_cast<double>(total);
+  }
+
+ private:
+  Operator* entry_;
+  NodeOptions options_;
+  std::deque<Element> queue_;
+  double budget_carry_ = 0.0;
+  uint64_t dropped_ = 0;
+  uint64_t processed_ = 0;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_ARCH_NODE_H_

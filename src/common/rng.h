@@ -1,0 +1,66 @@
+#ifndef SQP_COMMON_RNG_H_
+#define SQP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sqp {
+
+/// Deterministic xoshiro256** PRNG. All stream generators and samplers in
+/// streamqp take explicit seeds so experiments replay exactly.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  /// Uniform 64-bit word.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Exponential variate with rate lambda (mean 1/lambda).
+  double Exponential(double lambda);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+
+  /// Geometric: number of failures before first success, probability p.
+  int64_t Geometric(double p);
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Zipf(n, s) sampler over {0, ..., n-1}: classic rejection-inversion.
+/// Skewed key popularity drives heavy-hitter, shedding, and partial-
+/// aggregation experiments.
+class ZipfGenerator {
+ public:
+  /// `n` items, exponent `s` >= 0 (s=0 is uniform). Precondition: n > 0.
+  ZipfGenerator(uint64_t n, double s);
+
+  /// Draws an item id in [0, n).
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  // Cumulative distribution for small n; sampled by binary search.
+  std::vector<double> cdf_;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_COMMON_RNG_H_

@@ -1,0 +1,61 @@
+#include "common/schema.h"
+
+namespace sqp {
+
+Result<Schema> Schema::WithOrdering(std::vector<Field> fields,
+                                    const std::string& ts_field) {
+  Schema schema(std::move(fields));
+  int idx = schema.FieldIndex(ts_field);
+  if (idx < 0) {
+    return Status::InvalidArgument("ordering field not in schema: " + ts_field);
+  }
+  if (schema.field(idx).type != ValueType::kInt) {
+    return Status::InvalidArgument("ordering field must be int: " + ts_field);
+  }
+  schema.ordering_index_ = idx;
+  return schema;
+}
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<int> Schema::RequireField(const std::string& name) const {
+  int idx = FieldIndex(name);
+  if (idx < 0) return Status::NotFound("no such field: " + name);
+  return idx;
+}
+
+int Schema::AddField(Field field) {
+  fields_.push_back(std::move(field));
+  return static_cast<int>(fields_.size()) - 1;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    if (static_cast<int>(i) == ordering_index_) out += "*";
+    out += ":";
+    out += ValueTypeName(fields_[i].type);
+  }
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  if (ordering_index_ != other.ordering_index_) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name != other.fields_[i].name ||
+        fields_[i].type != other.fields_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sqp

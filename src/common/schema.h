@@ -1,0 +1,69 @@
+#ifndef SQP_COMMON_SCHEMA_H_
+#define SQP_COMMON_SCHEMA_H_
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sqp {
+
+/// One attribute of a stream schema.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// Describes the attributes of a stream or relation.
+///
+/// Streams may designate an *ordering attribute* (GSQL-style): an int
+/// field whose values are nondecreasing across the stream (typically a
+/// timestamp). Operators that require order (merge join, streaming
+/// group-close) check `has_ordering()`.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<Field> fields)
+      : fields_(fields) {}
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  /// Builds a schema with the ordering attribute set to `ts_field`.
+  /// Returns InvalidArgument if the field is missing or not kInt.
+  static Result<Schema> WithOrdering(std::vector<Field> fields,
+                                     const std::string& ts_field);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the named field, or -1.
+  int FieldIndex(const std::string& name) const;
+  /// Index of the named field, or NotFound.
+  Result<int> RequireField(const std::string& name) const;
+
+  bool has_ordering() const { return ordering_index_ >= 0; }
+  /// Index of the ordering (timestamp) attribute; -1 if none.
+  int ordering_index() const { return ordering_index_; }
+
+  /// Appends a field; returns its index. Duplicate names are allowed only
+  /// if `allow_duplicates` (projection outputs may alias).
+  int AddField(Field field);
+
+  /// "name:type, name:type, ..." with '*' marking the ordering attribute.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Field> fields_;
+  int ordering_index_ = -1;
+};
+
+using SchemaRef = std::shared_ptr<const Schema>;
+
+}  // namespace sqp
+
+#endif  // SQP_COMMON_SCHEMA_H_

@@ -1,0 +1,39 @@
+#ifndef SQP_COMMON_STRINGS_H_
+#define SQP_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqp {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// True if `s` contains `needle` (byte-wise); the Gigascope P2P keyword
+/// match (slide 10) uses this on packet payloads.
+bool Contains(std::string_view s, std::string_view needle);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders an IPv4 address stored as int ("10.1.2.3").
+std::string FormatIpv4(int64_t addr);
+
+}  // namespace sqp
+
+#endif  // SQP_COMMON_STRINGS_H_

@@ -1,0 +1,55 @@
+#include "common/tuple.h"
+
+namespace sqp {
+
+size_t Tuple::MemoryBytes() const {
+  size_t bytes = sizeof(Tuple);
+  for (const Value& v : values_) bytes += v.MemoryBytes();
+  return bytes;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(ts=" + std::to_string(ts_) + ", [";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += "])";
+  return out;
+}
+
+TupleRef MakeTuple(int64_t ts, std::vector<Value> values) {
+  return std::make_shared<Tuple>(ts, std::move(values));
+}
+
+TupleRef MakeTuple(std::vector<Value> values) {
+  return std::make_shared<Tuple>(0, std::move(values));
+}
+
+std::string Key::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += parts[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+size_t KeyHash::operator()(const Key& k) const {
+  size_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Value& v : k.parts) {
+    // Boost-style hash combine.
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+Key ExtractKey(const Tuple& t, const std::vector<int>& cols) {
+  Key key;
+  key.parts.reserve(cols.size());
+  for (int c : cols) key.parts.push_back(t.at(static_cast<size_t>(c)));
+  return key;
+}
+
+}  // namespace sqp

@@ -1,0 +1,73 @@
+#ifndef SQP_COMMON_TUPLE_H_
+#define SQP_COMMON_TUPLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace sqp {
+
+/// One stream element's payload: a fixed-arity row of Values plus a
+/// timestamp in the stream's ordering domain.
+///
+/// The timestamp is carried out-of-band (`ts`) so that window managers and
+/// joins touch it without schema lookups; schemas whose ordering attribute
+/// is also a visible column simply mirror `ts` into that column.
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(int64_t ts, std::vector<Value> values)
+      : ts_(ts), values_(std::move(values)) {}
+
+  int64_t ts() const { return ts_; }
+  void set_ts(int64_t ts) { ts_ = ts; }
+
+  size_t arity() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Approximate in-memory footprint in bytes (window/queue accounting).
+  size_t MemoryBytes() const;
+
+  /// "(ts=5, [1, 2.5, abc])".
+  std::string ToString() const;
+
+  bool operator==(const Tuple& other) const {
+    return ts_ == other.ts_ && values_ == other.values_;
+  }
+
+ private:
+  int64_t ts_ = 0;
+  std::vector<Value> values_;
+};
+
+/// Tuples are shared (immutable after construction) so joins and windows
+/// can retain them without copying payloads.
+using TupleRef = std::shared_ptr<const Tuple>;
+
+/// Convenience constructors.
+TupleRef MakeTuple(int64_t ts, std::vector<Value> values);
+TupleRef MakeTuple(std::vector<Value> values);
+
+/// Hash of a subset of columns — the grouping/join key abstraction.
+struct Key {
+  std::vector<Value> parts;
+
+  bool operator==(const Key& other) const { return parts == other.parts; }
+  std::string ToString() const;
+};
+
+struct KeyHash {
+  size_t operator()(const Key& k) const;
+};
+
+/// Extracts `cols` of `t` as a Key.
+Key ExtractKey(const Tuple& t, const std::vector<int>& cols);
+
+}  // namespace sqp
+
+#endif  // SQP_COMMON_TUPLE_H_

@@ -1,0 +1,489 @@
+#include "cql/analyzer.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/strings.h"
+
+namespace sqp {
+namespace cql {
+
+namespace {
+
+/// Resolves [qualifier.]name to a combined-layout column index.
+Result<int> ResolveIdent(const std::string& qualifier, const std::string& name,
+                         const std::vector<std::string>& aliases,
+                         const std::vector<SchemaRef>& schemas,
+                         const std::vector<int>& offsets) {
+  int found = -1;
+  for (size_t s = 0; s < schemas.size(); ++s) {
+    if (!qualifier.empty() && qualifier != aliases[s]) continue;
+    int idx = schemas[s]->FieldIndex(name);
+    if (idx >= 0) {
+      if (found >= 0) {
+        return Status::InvalidArgument("ambiguous column: " + name);
+      }
+      found = offsets[s] + idx;
+    }
+  }
+  if (found < 0) {
+    std::string full = qualifier.empty() ? name : qualifier + "." + name;
+    return Status::NotFound("unknown column: " + full);
+  }
+  return found;
+}
+
+/// Streams referenced by an AST expression (bitmask: 1 = stream0, 2 = s1).
+Result<int> StreamsOf(const AstExprRef& e,
+                      const std::vector<std::string>& aliases,
+                      const std::vector<SchemaRef>& schemas,
+                      const std::vector<int>& offsets) {
+  switch (e->kind) {
+    case AstExpr::Kind::kConst:
+    case AstExpr::Kind::kStar:
+      return 0;
+    case AstExpr::Kind::kIdent: {
+      auto idx = ResolveIdent(e->qualifier, e->name, aliases, schemas, offsets);
+      if (!idx.ok()) return idx.status();
+      for (size_t s = schemas.size(); s-- > 0;) {
+        if (*idx >= offsets[s]) return 1 << s;
+      }
+      return 1;
+    }
+    case AstExpr::Kind::kBinary: {
+      auto l = StreamsOf(e->lhs, aliases, schemas, offsets);
+      if (!l.ok()) return l;
+      auto r = StreamsOf(e->rhs, aliases, schemas, offsets);
+      if (!r.ok()) return r;
+      return *l | *r;
+    }
+    case AstExpr::Kind::kNot:
+      return StreamsOf(e->child, aliases, schemas, offsets);
+    case AstExpr::Kind::kCall: {
+      int mask = 0;
+      for (const AstExprRef& a : e->args) {
+        auto m = StreamsOf(a, aliases, schemas, offsets);
+        if (!m.ok()) return m;
+        mask |= *m;
+      }
+      return mask;
+    }
+  }
+  return 0;
+}
+
+void FlattenConjuncts(const AstExprRef& e, std::vector<AstExprRef>* out) {
+  if (e == nullptr) return;
+  if (e->kind == AstExpr::Kind::kBinary && e->op == BinOp::kAnd) {
+    FlattenConjuncts(e->lhs, out);
+    FlattenConjuncts(e->rhs, out);
+    return;
+  }
+  out->push_back(e);
+}
+
+bool IsAggName(const std::string& fn) { return ParseAggKind(fn).ok(); }
+
+/// True when the expression contains an aggregate call anywhere.
+bool ContainsAggregate(const AstExprRef& e) {
+  if (e == nullptr) return false;
+  switch (e->kind) {
+    case AstExpr::Kind::kCall:
+      if (IsAggName(e->fn)) return true;
+      for (const AstExprRef& a : e->args) {
+        if (ContainsAggregate(a)) return true;
+      }
+      return false;
+    case AstExpr::Kind::kBinary:
+      return ContainsAggregate(e->lhs) || ContainsAggregate(e->rhs);
+    case AstExpr::Kind::kNot:
+      return ContainsAggregate(e->child);
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Status Catalog::Register(const std::string& name, SchemaRef schema,
+                         std::vector<FieldDomain> domains) {
+  if (entries_.count(name) > 0) {
+    return Status::AlreadyExists("stream already registered: " + name);
+  }
+  CatalogEntry entry;
+  if (domains.size() > schema->num_fields()) {
+    return Status::InvalidArgument("more domains than fields");
+  }
+  domains.resize(schema->num_fields());
+  for (size_t i = 0; i < domains.size(); ++i) {
+    if (domains[i].name.empty()) domains[i].name = schema->field(i).name;
+  }
+  entry.schema = std::move(schema);
+  entry.domains = std::move(domains);
+  entries_.emplace(name, std::move(entry));
+  return Status::OK();
+}
+
+const CatalogEntry* Catalog::Lookup(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Result<ExprRef> LowerExpr(const AstExprRef& ast,
+                          const std::vector<std::string>& aliases,
+                          const std::vector<SchemaRef>& schemas,
+                          const std::vector<int>& offsets) {
+  switch (ast->kind) {
+    case AstExpr::Kind::kConst:
+      return Lit(ast->value);
+    case AstExpr::Kind::kIdent: {
+      auto idx = ResolveIdent(ast->qualifier, ast->name, aliases, schemas,
+                              offsets);
+      if (!idx.ok()) return idx.status();
+      return Col(*idx);
+    }
+    case AstExpr::Kind::kBinary: {
+      auto l = LowerExpr(ast->lhs, aliases, schemas, offsets);
+      if (!l.ok()) return l;
+      auto r = LowerExpr(ast->rhs, aliases, schemas, offsets);
+      if (!r.ok()) return r;
+      return Bin(ast->op, std::move(*l), std::move(*r));
+    }
+    case AstExpr::Kind::kNot: {
+      auto c = LowerExpr(ast->child, aliases, schemas, offsets);
+      if (!c.ok()) return c;
+      return Not(std::move(*c));
+    }
+    case AstExpr::Kind::kCall: {
+      if (IsAggName(ast->fn)) {
+        return Status::InvalidArgument(
+            "aggregate " + ast->fn + " not allowed in this context");
+      }
+      if (ast->fn == "contains") {
+        if (ast->args.size() != 2) {
+          return Status::InvalidArgument("contains() takes two arguments");
+        }
+        auto h = LowerExpr(ast->args[0], aliases, schemas, offsets);
+        if (!h.ok()) return h;
+        auto nd = LowerExpr(ast->args[1], aliases, schemas, offsets);
+        if (!nd.ok()) return nd;
+        return ContainsFn(std::move(*h), std::move(*nd));
+      }
+      return Status::Unimplemented("unknown function: " + ast->fn);
+    }
+    case AstExpr::Kind::kStar:
+      return Status::InvalidArgument("'*' outside count(*)");
+  }
+  return Status::Internal("unhandled AST node");
+}
+
+Result<AnalyzedQuery> Analyze(const Query& query, const Catalog& catalog) {
+  AnalyzedQuery out;
+  out.ast = query;
+  out.num_streams = static_cast<int>(query.from.size());
+  if (query.from.empty()) {
+    return Status::InvalidArgument("query has no FROM clause");
+  }
+
+  // Resolve streams; build the combined layout.
+  std::vector<std::string> aliases;
+  std::vector<SchemaRef> schemas;
+  for (const StreamRef& ref : query.from) {
+    const CatalogEntry* entry = catalog.Lookup(ref.name);
+    if (entry == nullptr) {
+      return Status::NotFound("unknown stream: " + ref.name);
+    }
+    out.entries.push_back(entry);
+    aliases.push_back(ref.alias);
+    schemas.push_back(entry->schema);
+  }
+  // Detect cross-stream name clashes to prefix combined field names.
+  std::set<std::string> clash;
+  if (schemas.size() == 2) {
+    for (const Field& f : schemas[0]->fields()) {
+      if (schemas[1]->FieldIndex(f.name) >= 0) clash.insert(f.name);
+    }
+  }
+  for (size_t s = 0; s < schemas.size(); ++s) {
+    out.stream_offset.push_back(static_cast<int>(out.combined.num_fields()));
+    for (size_t i = 0; i < schemas[s]->num_fields(); ++i) {
+      Field f = schemas[s]->field(i);
+      if (clash.count(f.name) > 0) f.name = aliases[s] + "_" + f.name;
+      out.combined.AddField(f);
+      out.combined_domains.push_back(out.entries[s]->domains[i]);
+    }
+  }
+
+  // Split WHERE into per-stream filters, join conditions, and residual.
+  std::vector<AstExprRef> conjuncts;
+  FlattenConjuncts(query.where, &conjuncts);
+  for (const AstExprRef& c : conjuncts) {
+    auto mask = StreamsOf(c, aliases, schemas, out.stream_offset);
+    if (!mask.ok()) return mask.status();
+    // Cross-stream equality between two columns = join condition.
+    if (out.num_streams == 2 && *mask == 3 &&
+        c->kind == AstExpr::Kind::kBinary && c->op == BinOp::kEq &&
+        c->lhs->kind == AstExpr::Kind::kIdent &&
+        c->rhs->kind == AstExpr::Kind::kIdent) {
+      auto li = ResolveIdent(c->lhs->qualifier, c->lhs->name, aliases, schemas,
+                             out.stream_offset);
+      if (!li.ok()) return li.status();
+      auto ri = ResolveIdent(c->rhs->qualifier, c->rhs->name, aliases, schemas,
+                             out.stream_offset);
+      if (!ri.ok()) return ri.status();
+      int a = *li, b = *ri;
+      if (a > b) std::swap(a, b);
+      out.join_left_cols.push_back(a);
+      out.join_right_cols.push_back(b - out.stream_offset[1]);
+      continue;
+    }
+    if (out.num_streams == 2 && *mask == 2) {
+      // Right-only: lower against stream 1's own schema.
+      auto e = LowerExpr(c, {aliases[1]}, {schemas[1]}, {0});
+      if (!e.ok()) return e.status();
+      out.right_only.push_back(std::move(*e));
+    } else if (*mask <= 1) {
+      auto e = LowerExpr(c, {aliases[0]}, {schemas[0]}, {0});
+      if (!e.ok()) return e.status();
+      out.left_only.push_back(std::move(*e));
+    } else {
+      auto e = LowerExpr(c, aliases, schemas, out.stream_offset);
+      if (!e.ok()) return e.status();
+      out.residual.push_back(std::move(*e));
+    }
+  }
+  if (out.num_streams == 2 && out.join_left_cols.empty()) {
+    return Status::InvalidArgument(
+        "two-stream query requires an equality join condition");
+  }
+
+  // Grouping: plain columns, or one ordering/K window expression.
+  out.has_group_by = !query.group_by.empty();
+  for (const SelectItem& item : query.group_by) {
+    const AstExprRef& g = item.expr;
+    if (g->kind == AstExpr::Kind::kIdent) {
+      auto idx =
+          ResolveIdent(g->qualifier, g->name, aliases, schemas, out.stream_offset);
+      if (!idx.ok()) return idx.status();
+      out.group_cols.push_back(*idx);
+      continue;
+    }
+    // ordering / K (the `time/60 as tb` shifting window).
+    if (g->kind == AstExpr::Kind::kBinary && g->op == BinOp::kDiv &&
+        g->lhs->kind == AstExpr::Kind::kIdent &&
+        g->rhs->kind == AstExpr::Kind::kConst &&
+        g->rhs->value.type() == ValueType::kInt) {
+      auto idx = ResolveIdent(g->lhs->qualifier, g->lhs->name, aliases, schemas,
+                              out.stream_offset);
+      if (!idx.ok()) return idx.status();
+      // Must be an ordering attribute of its stream.
+      bool is_ordering = false;
+      for (size_t s = 0; s < schemas.size(); ++s) {
+        if (schemas[s]->has_ordering() &&
+            out.stream_offset[s] + schemas[s]->ordering_index() == *idx) {
+          is_ordering = true;
+        }
+      }
+      if (!is_ordering) {
+        return Status::Unimplemented(
+            "group-by division is only supported on the ordering attribute");
+      }
+      if (out.tumbling_size != 0) {
+        return Status::InvalidArgument("multiple window expressions in GROUP BY");
+      }
+      out.tumbling_size = g->rhs->value.AsInt();
+      if (out.tumbling_size <= 0) {
+        return Status::InvalidArgument("window width must be positive");
+      }
+      continue;
+    }
+    return Status::Unimplemented(
+        "GROUP BY supports plain columns and <ordering>/<const>: " +
+        g->ToString());
+  }
+
+  // Collect aggregates from SELECT and HAVING, canonical order, deduped.
+  auto add_agg = [&](const AstExprRef& call) -> Status {
+    std::string text = call->ToString();
+    for (const ResolvedAgg& a : out.aggs) {
+      if (a.text == text) return Status::OK();
+    }
+    ResolvedAgg ra;
+    ra.text = text;
+    auto kind = ParseAggKind(call->fn);
+    if (!kind.ok()) return kind.status();
+    ra.spec.kind = *kind;
+    if (call->args.size() == 1 && call->args[0]->kind == AstExpr::Kind::kStar) {
+      if (ra.spec.kind != AggKind::kCount) {
+        return Status::InvalidArgument("'*' argument only valid for count()");
+      }
+      ra.spec.input_col = -1;
+    } else if (call->args.size() == 1 &&
+               call->args[0]->kind == AstExpr::Kind::kIdent) {
+      auto idx = ResolveIdent(call->args[0]->qualifier, call->args[0]->name,
+                              aliases, schemas, out.stream_offset);
+      if (!idx.ok()) return idx.status();
+      ra.spec.input_col = *idx;
+    } else {
+      return Status::Unimplemented(
+          "aggregate arguments must be a column or '*': " + text);
+    }
+    out.aggs.push_back(std::move(ra));
+    return Status::OK();
+  };
+  std::function<Status(const AstExprRef&)> scan_aggs =
+      [&](const AstExprRef& e) -> Status {
+    if (e == nullptr) return Status::OK();
+    switch (e->kind) {
+      case AstExpr::Kind::kCall:
+        if (IsAggName(e->fn)) return add_agg(e);
+        for (const AstExprRef& a : e->args) SQP_RETURN_NOT_OK(scan_aggs(a));
+        return Status::OK();
+      case AstExpr::Kind::kBinary:
+        SQP_RETURN_NOT_OK(scan_aggs(e->lhs));
+        return scan_aggs(e->rhs);
+      case AstExpr::Kind::kNot:
+        return scan_aggs(e->child);
+      default:
+        return Status::OK();
+    }
+  };
+  for (const SelectItem& item : query.select) {
+    SQP_RETURN_NOT_OK(scan_aggs(item.expr));
+  }
+  SQP_RETURN_NOT_OK(scan_aggs(query.having));
+  out.has_aggregates = !out.aggs.empty();
+
+  if (query.having != nullptr && !out.has_aggregates && !out.has_group_by) {
+    return Status::InvalidArgument("HAVING requires GROUP BY or aggregates");
+  }
+  if (out.has_group_by && !out.has_aggregates) {
+    // GROUP BY without aggregates is DISTINCT over the group keys.
+    out.has_aggregates = false;
+  }
+
+  // [ABB+02] memory analysis.
+  // Tighten domains with constant range predicates from WHERE.
+  std::vector<FieldDomain> tight = out.combined_domains;
+  {
+    struct Range {
+      bool has_lo = false, has_hi = false;
+      int64_t lo = 0, hi = 0;
+    };
+    std::map<int, Range> ranges;
+    for (const AstExprRef& c : conjuncts) {
+      if (c->kind != AstExpr::Kind::kBinary) continue;
+      const AstExprRef *ident = nullptr, *cst = nullptr;
+      BinOp op = c->op;
+      if (c->lhs->kind == AstExpr::Kind::kIdent &&
+          c->rhs->kind == AstExpr::Kind::kConst) {
+        ident = &c->lhs;
+        cst = &c->rhs;
+      } else if (c->rhs->kind == AstExpr::Kind::kIdent &&
+                 c->lhs->kind == AstExpr::Kind::kConst) {
+        ident = &c->rhs;
+        cst = &c->lhs;
+        // Mirror the comparison.
+        switch (op) {
+          case BinOp::kLt: op = BinOp::kGt; break;
+          case BinOp::kLe: op = BinOp::kGe; break;
+          case BinOp::kGt: op = BinOp::kLt; break;
+          case BinOp::kGe: op = BinOp::kLe; break;
+          default: break;
+        }
+      } else {
+        continue;
+      }
+      if ((*cst)->value.type() != ValueType::kInt) continue;
+      auto idx = ResolveIdent((*ident)->qualifier, (*ident)->name, aliases,
+                              schemas, out.stream_offset);
+      if (!idx.ok()) continue;
+      int64_t v = (*cst)->value.AsInt();
+      Range& r = ranges[*idx];
+      switch (op) {
+        case BinOp::kEq:
+          r.has_lo = r.has_hi = true;
+          r.lo = r.hi = v;
+          break;
+        case BinOp::kLt:
+          r.has_hi = true;
+          r.hi = v - 1;
+          break;
+        case BinOp::kLe:
+          r.has_hi = true;
+          r.hi = v;
+          break;
+        case BinOp::kGt:
+          r.has_lo = true;
+          r.lo = v + 1;
+          break;
+        case BinOp::kGe:
+          r.has_lo = true;
+          r.lo = v;
+          break;
+        default:
+          break;
+      }
+    }
+    for (const auto& [idx, r] : ranges) {
+      if (r.has_lo && r.has_hi && r.hi >= r.lo) {
+        tight[static_cast<size_t>(idx)].bounded = true;
+        tight[static_cast<size_t>(idx)].size =
+            static_cast<uint64_t>(r.hi - r.lo + 1);
+      }
+    }
+  }
+
+  if (out.has_aggregates || out.has_group_by || query.distinct) {
+    AggQueryDesc desc;
+    desc.windowed_by_ordering = out.tumbling_size > 0;
+    std::vector<int> key_cols = out.group_cols;
+    // A partitioned window keeps independent state per key: the key's
+    // domain bounds live partitions exactly like a grouping attribute.
+    if (out.num_streams == 1 && !query.from[0].partition_by.empty()) {
+      auto idx = ResolveIdent("", query.from[0].partition_by, aliases,
+                              schemas, out.stream_offset);
+      if (!idx.ok()) return idx.status();
+      key_cols.push_back(*idx);
+    }
+    if (query.distinct && !out.has_group_by) {
+      // DISTINCT groups on the selected columns.
+      for (const SelectItem& item : query.select) {
+        if (item.expr->kind == AstExpr::Kind::kIdent) {
+          auto idx = ResolveIdent(item.expr->qualifier, item.expr->name,
+                                  aliases, schemas, out.stream_offset);
+          if (idx.ok()) key_cols.push_back(*idx);
+        }
+      }
+    }
+    for (int c : key_cols) {
+      desc.group_domains.push_back(tight[static_cast<size_t>(c)]);
+    }
+    for (const ResolvedAgg& a : out.aggs) {
+      AggQueryDesc::AggInput in;
+      in.kind = a.spec.kind;
+      in.input_bounded =
+          a.spec.input_col < 0 ||
+          tight[static_cast<size_t>(a.spec.input_col)].bounded;
+      desc.aggs.push_back(in);
+    }
+    out.memory = AnalyzeAggregateQuery(desc);
+  } else if (out.num_streams == 2) {
+    bool windowed = query.from[0].window.has_value() &&
+                    query.from[1].window.has_value();
+    out.memory.verdict =
+        windowed ? MemoryVerdict::kBounded : MemoryVerdict::kUnbounded;
+    out.memory.explanation =
+        windowed ? "join state bounded by the per-stream windows"
+                 : "unwindowed stream join may buffer both streams entirely";
+  } else {
+    out.memory.verdict = MemoryVerdict::kBounded;
+    out.memory.explanation = "per-element operators only (no state)";
+  }
+
+  return out;
+}
+
+}  // namespace cql
+}  // namespace sqp

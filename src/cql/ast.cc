@@ -1,0 +1,112 @@
+#include "cql/ast.h"
+
+namespace sqp {
+namespace cql {
+
+AstExprRef AstExpr::Ident(std::string qualifier, std::string name) {
+  auto e = std::make_shared<AstExpr>();
+  e->kind = Kind::kIdent;
+  e->qualifier = std::move(qualifier);
+  e->name = std::move(name);
+  return e;
+}
+
+AstExprRef AstExpr::Const(Value v) {
+  auto e = std::make_shared<AstExpr>();
+  e->kind = Kind::kConst;
+  e->value = std::move(v);
+  return e;
+}
+
+AstExprRef AstExpr::Binary(BinOp op, AstExprRef lhs, AstExprRef rhs) {
+  auto e = std::make_shared<AstExpr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+AstExprRef AstExpr::MakeNot(AstExprRef child) {
+  auto e = std::make_shared<AstExpr>();
+  e->kind = Kind::kNot;
+  e->child = std::move(child);
+  return e;
+}
+
+AstExprRef AstExpr::Call(std::string fn, std::vector<AstExprRef> args) {
+  auto e = std::make_shared<AstExpr>();
+  e->kind = Kind::kCall;
+  e->fn = std::move(fn);
+  e->args = std::move(args);
+  return e;
+}
+
+AstExprRef AstExpr::Star() {
+  auto e = std::make_shared<AstExpr>();
+  e->kind = Kind::kStar;
+  return e;
+}
+
+std::string AstExpr::ToString() const {
+  switch (kind) {
+    case Kind::kIdent:
+      return qualifier.empty() ? name : qualifier + "." + name;
+    case Kind::kConst:
+      return value.type() == ValueType::kString ? "'" + value.ToString() + "'"
+                                                : value.ToString();
+    case Kind::kBinary:
+      return "(" + lhs->ToString() + " " + BinOpName(op) + " " +
+             rhs->ToString() + ")";
+    case Kind::kNot:
+      return "not " + child->ToString();
+    case Kind::kCall: {
+      std::string s = fn + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += args[i]->ToString();
+      }
+      return s + ")";
+    }
+    case Kind::kStar:
+      return "*";
+  }
+  return "?";
+}
+
+std::string Query::ToString() const {
+  std::string s = "select ";
+  if (distinct) s += "distinct ";
+  for (size_t i = 0; i < select.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += select[i].expr->ToString();
+    if (!select[i].alias.empty()) s += " as " + select[i].alias;
+  }
+  s += " from ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += from[i].name;
+    if (from[i].alias != from[i].name) s += " " + from[i].alias;
+    if (from[i].window.has_value()) {
+      s += " [";
+      if (!from[i].partition_by.empty()) {
+        s += "partition by " + from[i].partition_by + " ";
+      }
+      s += from[i].window->ToString() + "]";
+    }
+  }
+  if (where != nullptr) s += " where " + where->ToString();
+  if (!group_by.empty()) {
+    s += " group by ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += group_by[i].expr->ToString();
+      if (!group_by[i].alias.empty()) s += " as " + group_by[i].alias;
+    }
+  }
+  if (having != nullptr) s += " having " + having->ToString();
+  return s;
+}
+
+}  // namespace cql
+}  // namespace sqp

@@ -1,0 +1,94 @@
+#ifndef SQP_CQL_AST_H_
+#define SQP_CQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "exec/expr.h"
+#include "window/window_spec.h"
+
+namespace sqp {
+namespace cql {
+
+/// Unresolved expression node produced by the parser. Resolution against
+/// a catalog happens in the analyzer, which lowers to sqp::Expr.
+struct AstExpr;
+using AstExprRef = std::shared_ptr<AstExpr>;
+
+struct AstExpr {
+  enum class Kind {
+    kIdent,   // [qualifier.]name
+    kConst,   // literal
+    kBinary,  // op lhs rhs
+    kNot,
+    kCall,   // fn(args) or fn(*) — aggregates and scalar functions
+    kStar,   // '*' inside count(*)
+  };
+
+  Kind kind = Kind::kConst;
+
+  // kIdent
+  std::string qualifier;  // Empty when unqualified.
+  std::string name;
+
+  // kConst
+  Value value;
+
+  // kBinary
+  BinOp op = BinOp::kEq;
+  AstExprRef lhs, rhs;
+
+  // kNot
+  AstExprRef child;
+
+  // kCall
+  std::string fn;
+  std::vector<AstExprRef> args;
+
+  std::string ToString() const;
+
+  static AstExprRef Ident(std::string qualifier, std::string name);
+  static AstExprRef Const(Value v);
+  static AstExprRef Binary(BinOp op, AstExprRef lhs, AstExprRef rhs);
+  static AstExprRef MakeNot(AstExprRef e);
+  static AstExprRef Call(std::string fn, std::vector<AstExprRef> args);
+  static AstExprRef Star();
+};
+
+/// One SELECT-list item.
+struct SelectItem {
+  AstExprRef expr;
+  std::string alias;  // Empty = derive from expression.
+};
+
+/// One FROM-clause stream reference with its optional window (slide 30:
+/// `Traffic1 A [window T1]`). RANGE = time units on the ordering
+/// attribute; ROWS = tuple count. `[partition by k rows n]` declares an
+/// independent per-key window (slide 26 "variants"); `partition_by`
+/// holds the key column name.
+struct StreamRef {
+  std::string name;
+  std::string alias;  // Defaults to name.
+  std::optional<WindowSpec> window;
+  std::string partition_by;  // Empty = unpartitioned.
+};
+
+/// A parsed continuous query.
+struct Query {
+  bool distinct = false;
+  std::vector<SelectItem> select;
+  std::vector<StreamRef> from;  // 1 or 2 streams.
+  AstExprRef where;             // May be null.
+  std::vector<SelectItem> group_by;
+  AstExprRef having;  // May be null.
+
+  std::string ToString() const;
+};
+
+}  // namespace cql
+}  // namespace sqp
+
+#endif  // SQP_CQL_AST_H_

@@ -1,0 +1,123 @@
+#include "cql/lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace sqp {
+namespace cql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  while (i < n) {
+    char c = input[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    // Line comments: -- to end of line.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+
+    Token tok;
+    tok.pos = i;
+
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(input[i])) ++i;
+      tok.kind = TokenKind::kIdent;
+      tok.text = ToLower(std::string_view(input).substr(start, i - start));
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      std::string text = input.substr(start, i - start);
+      if (is_double) {
+        tok.kind = TokenKind::kDouble;
+        tok.double_val = std::stod(text);
+      } else {
+        tok.kind = TokenKind::kInt;
+        tok.int_val = std::stoll(text);
+      }
+      tok.text = std::move(text);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    if (c == '\'') {
+      ++i;
+      std::string s;
+      while (i < n && input[i] != '\'') {
+        s += input[i++];
+      }
+      if (i >= n) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %zu", tok.pos));
+      }
+      ++i;  // Closing quote.
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(s);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    // Multi-char symbols first.
+    auto two = [&](const char* s) {
+      return i + 1 < n && input[i] == s[0] && input[i + 1] == s[1];
+    };
+    if (two("!=") || two("<=") || two(">=") || two("<>")) {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = input.substr(i, 2);
+      if (tok.text == "<>") tok.text = "!=";
+      i += 2;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    static const std::string kSingles = "()[],.*+-/%=<>";
+    if (kSingles.find(c) != std::string::npos) {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    return Status::ParseError(
+        StrFormat("unexpected character '%c' at offset %zu", c, i));
+  }
+
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.pos = n;
+  out.push_back(eof);
+  return out;
+}
+
+}  // namespace cql
+}  // namespace sqp

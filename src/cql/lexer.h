@@ -1,0 +1,44 @@
+#ifndef SQP_CQL_LEXER_H_
+#define SQP_CQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqp {
+namespace cql {
+
+enum class TokenKind {
+  kEof,
+  kIdent,    // unquoted identifier or keyword (case-insensitive)
+  kInt,      // integer literal
+  kDouble,   // floating literal
+  kString,   // 'quoted'
+  kSymbol,   // punctuation / operator, text holds the exact symbol
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;      // Normalized: identifiers lowercased.
+  int64_t int_val = 0;
+  double double_val = 0.0;
+  size_t pos = 0;        // Byte offset in the query (for diagnostics).
+
+  bool IsSymbol(const char* s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+  bool IsKeyword(const char* kw) const {
+    return kind == TokenKind::kIdent && text == kw;
+  }
+};
+
+/// Tokenizes a CQL/GSQL query. Symbols: ( ) [ ] , . * + - / % = != < <=
+/// > >= ; identifiers are lowercased (the language is case-insensitive).
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace cql
+}  // namespace sqp
+
+#endif  // SQP_CQL_LEXER_H_

@@ -1,0 +1,352 @@
+#include "cql/parser.h"
+
+#include "common/strings.h"
+#include "cql/lexer.h"
+
+namespace sqp {
+namespace cql {
+
+namespace {
+
+/// Recursive-descent parser over the token vector.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> ParseQuery() {
+    Query q;
+    SQP_RETURN_NOT_OK(ExpectKeyword("select"));
+    if (PeekKeyword("distinct")) {
+      Advance();
+      q.distinct = true;
+    }
+    auto items = ParseSelectItems();
+    if (!items.ok()) return items.status();
+    q.select = std::move(*items);
+
+    SQP_RETURN_NOT_OK(ExpectKeyword("from"));
+    while (true) {
+      auto stream = ParseStreamRef();
+      if (!stream.ok()) return stream.status();
+      q.from.push_back(std::move(*stream));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (q.from.size() > 2) {
+      return Status::Unimplemented(
+          "queries over more than two streams are not supported");
+    }
+
+    if (PeekKeyword("where")) {
+      Advance();
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      q.where = std::move(*e);
+    }
+    if (PeekKeyword("group")) {
+      Advance();
+      SQP_RETURN_NOT_OK(ExpectKeyword("by"));
+      auto items2 = ParseSelectItems();
+      if (!items2.ok()) return items2.status();
+      q.group_by = std::move(*items2);
+    }
+    if (PeekKeyword("having")) {
+      Advance();
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      q.having = std::move(*e);
+    }
+    if (Peek().kind != TokenKind::kEof) {
+      return Err("unexpected trailing input");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekKeyword(const char* kw) const { return Peek().IsKeyword(kw); }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) {
+      return Err(std::string("expected '") + kw + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const char* s) {
+    if (!Peek().IsSymbol(s)) {
+      return Err(std::string("expected '") + s + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(
+        StrFormat("%s at offset %zu (near '%s')", msg.c_str(), Peek().pos,
+                  Peek().text.c_str()));
+  }
+
+  static bool IsReserved(const std::string& ident) {
+    static const char* kReserved[] = {"select", "distinct", "from", "where",
+                                      "group",  "by",       "having", "as",
+                                      "and",    "or",       "not",  "range",
+                                      "rows"};
+    for (const char* r : kReserved) {
+      if (ident == r) return true;
+    }
+    return false;
+  }
+
+  Result<std::vector<SelectItem>> ParseSelectItems() {
+    std::vector<SelectItem> items;
+    while (true) {
+      SelectItem item;
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      item.expr = std::move(*e);
+      if (PeekKeyword("as")) {
+        Advance();
+        if (Peek().kind != TokenKind::kIdent) return Err("expected alias");
+        item.alias = Advance().text;
+      }
+      items.push_back(std::move(item));
+      if (Peek().IsSymbol(",")) {
+        // A comma inside SELECT/GROUP BY vs FROM-separator ambiguity does
+        // not arise: this helper is only used where items are expected.
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return items;
+  }
+
+  Result<StreamRef> ParseStreamRef() {
+    if (Peek().kind != TokenKind::kIdent || IsReserved(Peek().text)) {
+      return Err("expected stream name");
+    }
+    StreamRef ref;
+    ref.name = Advance().text;
+    ref.alias = ref.name;
+    if (Peek().kind == TokenKind::kIdent && !IsReserved(Peek().text)) {
+      ref.alias = Advance().text;
+    }
+    if (Peek().IsSymbol("[")) {
+      Advance();
+      WindowSpec spec;
+      if (PeekKeyword("partition")) {
+        Advance();
+        SQP_RETURN_NOT_OK(ExpectKeyword("by"));
+        if (Peek().kind != TokenKind::kIdent || IsReserved(Peek().text)) {
+          return Err("expected partition column");
+        }
+        ref.partition_by = Advance().text;
+        SQP_RETURN_NOT_OK(ExpectKeyword("rows"));
+        if (Peek().kind != TokenKind::kInt) return Err("expected row count");
+        spec = WindowSpec::CountSliding(Advance().int_val);
+        SQP_RETURN_NOT_OK(ExpectSymbol("]"));
+        SQP_RETURN_NOT_OK(spec.Validate());
+        ref.window = spec;
+        return ref;
+      }
+      if (PeekKeyword("range")) {
+        Advance();
+        if (Peek().kind != TokenKind::kInt) return Err("expected window size");
+        spec = WindowSpec::TimeSliding(Advance().int_val);
+      } else if (PeekKeyword("rows")) {
+        Advance();
+        if (Peek().kind != TokenKind::kInt) return Err("expected row count");
+        spec = WindowSpec::CountSliding(Advance().int_val);
+      } else {
+        return Err("expected RANGE or ROWS");
+      }
+      SQP_RETURN_NOT_OK(ExpectSymbol("]"));
+      SQP_RETURN_NOT_OK(spec.Validate());
+      ref.window = spec;
+    }
+    return ref;
+  }
+
+  // --- Expressions (precedence climbing) ---
+
+  Result<AstExprRef> ParseExpr() { return ParseOr(); }
+
+  Result<AstExprRef> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    while (PeekKeyword("or")) {
+      Advance();
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      lhs = AstExpr::Binary(BinOp::kOr, std::move(*lhs), std::move(*rhs));
+    }
+    return lhs;
+  }
+
+  Result<AstExprRef> ParseAnd() {
+    auto lhs = ParseNot();
+    if (!lhs.ok()) return lhs;
+    while (PeekKeyword("and")) {
+      Advance();
+      auto rhs = ParseNot();
+      if (!rhs.ok()) return rhs;
+      lhs = AstExpr::Binary(BinOp::kAnd, std::move(*lhs), std::move(*rhs));
+    }
+    return lhs;
+  }
+
+  Result<AstExprRef> ParseNot() {
+    if (PeekKeyword("not")) {
+      Advance();
+      auto e = ParseNot();
+      if (!e.ok()) return e;
+      return AstExpr::MakeNot(std::move(*e));
+    }
+    return ParseComparison();
+  }
+
+  Result<AstExprRef> ParseComparison() {
+    auto lhs = ParseAddSub();
+    if (!lhs.ok()) return lhs;
+    struct CmpMap {
+      const char* sym;
+      BinOp op;
+    };
+    static const CmpMap kCmps[] = {{"=", BinOp::kEq},  {"!=", BinOp::kNe},
+                                   {"<=", BinOp::kLe}, {">=", BinOp::kGe},
+                                   {"<", BinOp::kLt},  {">", BinOp::kGt}};
+    for (const CmpMap& c : kCmps) {
+      if (Peek().IsSymbol(c.sym)) {
+        Advance();
+        auto rhs = ParseAddSub();
+        if (!rhs.ok()) return rhs;
+        return AstExpr::Binary(c.op, std::move(*lhs), std::move(*rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<AstExprRef> ParseAddSub() {
+    auto lhs = ParseMulDiv();
+    if (!lhs.ok()) return lhs;
+    while (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
+      BinOp op = Advance().text == "+" ? BinOp::kAdd : BinOp::kSub;
+      auto rhs = ParseMulDiv();
+      if (!rhs.ok()) return rhs;
+      lhs = AstExpr::Binary(op, std::move(*lhs), std::move(*rhs));
+    }
+    return lhs;
+  }
+
+  Result<AstExprRef> ParseMulDiv() {
+    auto lhs = ParsePrimary();
+    if (!lhs.ok()) return lhs;
+    while (Peek().IsSymbol("*") || Peek().IsSymbol("/") ||
+           Peek().IsSymbol("%")) {
+      std::string sym = Advance().text;
+      BinOp op = sym == "*" ? BinOp::kMul
+                            : (sym == "/" ? BinOp::kDiv : BinOp::kMod);
+      auto rhs = ParsePrimary();
+      if (!rhs.ok()) return rhs;
+      lhs = AstExpr::Binary(op, std::move(*lhs), std::move(*rhs));
+    }
+    return lhs;
+  }
+
+  Result<AstExprRef> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kInt: {
+        Advance();
+        return AstExpr::Const(Value(tok.int_val));
+      }
+      case TokenKind::kDouble: {
+        Advance();
+        return AstExpr::Const(Value(tok.double_val));
+      }
+      case TokenKind::kString: {
+        Advance();
+        return AstExpr::Const(Value(tok.text));
+      }
+      case TokenKind::kSymbol: {
+        if (tok.IsSymbol("(")) {
+          Advance();
+          auto e = ParseExpr();
+          if (!e.ok()) return e;
+          SQP_RETURN_NOT_OK(ExpectSymbol(")"));
+          return e;
+        }
+        if (tok.IsSymbol("-")) {
+          Advance();
+          auto e = ParsePrimary();
+          if (!e.ok()) return e;
+          return AstExpr::Binary(BinOp::kSub, AstExpr::Const(Value(int64_t{0})),
+                                 std::move(*e));
+        }
+        return Err("unexpected symbol in expression");
+      }
+      case TokenKind::kIdent: {
+        if (IsReserved(tok.text)) return Err("unexpected keyword");
+        std::string first = Advance().text;
+        // Function call?
+        if (Peek().IsSymbol("(")) {
+          Advance();
+          std::vector<AstExprRef> args;
+          if (Peek().IsSymbol("*")) {
+            Advance();
+            args.push_back(AstExpr::Star());
+          } else if (!Peek().IsSymbol(")")) {
+            while (true) {
+              auto a = ParseExpr();
+              if (!a.ok()) return a;
+              args.push_back(std::move(*a));
+              if (Peek().IsSymbol(",")) {
+                Advance();
+                continue;
+              }
+              break;
+            }
+          }
+          SQP_RETURN_NOT_OK(ExpectSymbol(")"));
+          return AstExpr::Call(std::move(first), std::move(args));
+        }
+        // Qualified column?
+        if (Peek().IsSymbol(".")) {
+          Advance();
+          if (Peek().kind != TokenKind::kIdent) return Err("expected column");
+          std::string col = Advance().text;
+          return AstExpr::Ident(std::move(first), std::move(col));
+        }
+        return AstExpr::Ident("", std::move(first));
+      }
+      case TokenKind::kEof:
+        return Err("unexpected end of query");
+    }
+    return Err("unexpected token");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> Parse(const std::string& text) {
+  auto tokens = Lex(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens));
+  return parser.ParseQuery();
+}
+
+}  // namespace cql
+}  // namespace sqp

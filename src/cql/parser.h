@@ -1,0 +1,30 @@
+#ifndef SQP_CQL_PARSER_H_
+#define SQP_CQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "cql/ast.h"
+
+namespace sqp {
+namespace cql {
+
+/// Parses one continuous query. Grammar (case-insensitive):
+///
+///   query    := SELECT [DISTINCT] items FROM stream [, stream]
+///               [WHERE expr] [GROUP BY items] [HAVING expr]
+///   items    := expr [AS ident] {, expr [AS ident]}
+///   stream   := ident [ident] [ '[' (RANGE int | ROWS int) ']' ]
+///   expr     := or-expr with usual precedence:
+///               or < and < not < comparison < addsub < muldiv < unary
+///   primary  := ident[.ident] | ident '(' (expr {,expr} | '*') ')'
+///               | literal | '(' expr ')'
+///
+/// Window syntax follows slide 30: `Traffic1 A [range 30]`,
+/// `Traffic2 B [rows 1000]`.
+Result<Query> Parse(const std::string& text);
+
+}  // namespace cql
+}  // namespace sqp
+
+#endif  // SQP_CQL_PARSER_H_

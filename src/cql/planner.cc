@@ -1,0 +1,474 @@
+#include "cql/planner.h"
+
+#include <algorithm>
+
+#include "cql/parser.h"
+#include "exec/aggregate_op.h"
+#include "exec/partitioned_window_agg.h"
+#include "exec/project.h"
+#include "exec/select.h"
+#include "exec/sym_hash_join.h"
+#include "exec/window_agg.h"
+#include "exec/window_join.h"
+
+namespace sqp {
+namespace cql {
+
+namespace {
+
+ExprRef AndAll(const std::vector<ExprRef>& conjuncts) {
+  ExprRef e;
+  for (const ExprRef& c : conjuncts) {
+    e = (e == nullptr) ? c : And(e, c);
+  }
+  return e;
+}
+
+/// Lowers an AST expression over the *output layout* of a grouped
+/// aggregation [ts, keys..., aggs...]:
+///  - aggregate calls map to their agg column,
+///  - group-key identifiers map to their key column,
+///  - the `ordering/K` window expression maps to ts/K,
+///  - constants pass through.
+class GroupOutputLowering {
+ public:
+  GroupOutputLowering(const AnalyzedQuery& aq,
+                      const std::vector<std::string>& aliases,
+                      const std::vector<SchemaRef>& schemas)
+      : aq_(aq), aliases_(aliases), schemas_(schemas) {}
+
+  Result<ExprRef> Lower(const AstExprRef& e) {
+    // GROUP BY aliases (`group by ts/60 as tb` ... `select tb`) resolve
+    // to their defining expression.
+    if (e->kind == AstExpr::Kind::kIdent && e->qualifier.empty()) {
+      for (const SelectItem& g : aq_.ast.group_by) {
+        if (!g.alias.empty() && g.alias == e->name) {
+          return Lower(g.expr);
+        }
+      }
+    }
+    switch (e->kind) {
+      case AstExpr::Kind::kConst:
+        return Lit(e->value);
+      case AstExpr::Kind::kCall: {
+        if (!ParseAggKind(e->fn).ok()) {
+          return Status::Unimplemented(
+              "scalar function over aggregate output: " + e->fn);
+        }
+        std::string text = e->ToString();
+        for (size_t i = 0; i < aq_.aggs.size(); ++i) {
+          if (aq_.aggs[i].text == text) {
+            return Col(static_cast<int>(1 + aq_.group_cols.size() + i));
+          }
+        }
+        return Status::Internal("aggregate not collected: " + text);
+      }
+      case AstExpr::Kind::kIdent: {
+        auto idx = ResolveCombined(e);
+        if (!idx.ok()) return idx.status();
+        for (size_t k = 0; k < aq_.group_cols.size(); ++k) {
+          if (aq_.group_cols[k] == *idx) return Col(static_cast<int>(1 + k));
+        }
+        return Status::InvalidArgument(
+            "column not in GROUP BY: " + e->ToString());
+      }
+      case AstExpr::Kind::kBinary: {
+        // The window expression ordering/K -> ts/K over output ts.
+        if (IsTumblingExpr(e)) {
+          return Div(Col(0), Lit(aq_.tumbling_size));
+        }
+        auto l = Lower(e->lhs);
+        if (!l.ok()) return l;
+        auto r = Lower(e->rhs);
+        if (!r.ok()) return r;
+        return Bin(e->op, std::move(*l), std::move(*r));
+      }
+      case AstExpr::Kind::kNot: {
+        auto c = Lower(e->child);
+        if (!c.ok()) return c;
+        return Not(std::move(*c));
+      }
+      case AstExpr::Kind::kStar:
+        return Status::InvalidArgument("'*' outside count(*)");
+    }
+    return Status::Internal("unhandled AST node");
+  }
+
+  bool IsTumblingExpr(const AstExprRef& e) const {
+    if (aq_.tumbling_size <= 0) return false;
+    if (e->kind != AstExpr::Kind::kBinary || e->op != BinOp::kDiv) return false;
+    if (e->lhs->kind != AstExpr::Kind::kIdent ||
+        e->rhs->kind != AstExpr::Kind::kConst) {
+      return false;
+    }
+    return e->rhs->value.type() == ValueType::kInt &&
+           e->rhs->value.AsInt() == aq_.tumbling_size;
+  }
+
+ private:
+  Result<int> ResolveCombined(const AstExprRef& e) {
+    auto lowered = LowerExpr(e, aliases_, schemas_, aq_.stream_offset);
+    if (!lowered.ok()) return lowered.status();
+    // LowerExpr produced Col(idx); recover the index via ToString ("$i").
+    std::string s = (*lowered)->ToString();
+    if (s.size() < 2 || s[0] != '$') {
+      return Status::Internal("expected column expression");
+    }
+    return std::stoi(s.substr(1));
+  }
+
+  const AnalyzedQuery& aq_;
+  const std::vector<std::string>& aliases_;
+  const std::vector<SchemaRef>& schemas_;
+};
+
+std::string DeriveName(const SelectItem& item, size_t i) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind == AstExpr::Kind::kIdent) return item.expr->name;
+  if (item.expr->kind == AstExpr::Kind::kCall) return item.expr->fn;
+  return "f" + std::to_string(i);
+}
+
+}  // namespace
+
+void CompiledQuery::Finish() {
+  // One flush per input port: binary operators (joins) forward a single
+  // downstream flush only after hearing from both ports.
+  for (Operator* in : inputs_) in->Flush();
+}
+
+Result<std::unique_ptr<CompiledQuery>> Compile(const std::string& text,
+                                               const Catalog& catalog) {
+  auto parsed = Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  auto analyzed = Analyze(*parsed, catalog);
+  if (!analyzed.ok()) return analyzed.status();
+  AnalyzedQuery& aq = *analyzed;
+  const Query& q = aq.ast;
+
+  std::vector<std::string> aliases;
+  std::vector<SchemaRef> schemas;
+  for (size_t i = 0; i < q.from.size(); ++i) {
+    aliases.push_back(q.from[i].alias);
+    schemas.push_back(aq.entries[i]->schema);
+  }
+
+  auto cq = std::make_unique<CompiledQuery>();
+  cq->memory_ = aq.memory;
+  std::string desc;
+
+  // --- Input side: per-stream filters, then (maybe) the join. ---
+  Operator* combined_head = nullptr;  // First op seeing the combined layout.
+
+  if (aq.num_streams == 1) {
+    ExprRef filter = AndAll(aq.left_only);
+    if (filter != nullptr) {
+      SelectOp* sel = cq->plan_.Make<SelectOp>(filter);
+      cq->inputs_.push_back(sel);
+      cq->ports_.push_back(0);
+      combined_head = sel;
+      desc += "select -> ";
+    }
+  } else {
+    // Pre-filters push selection below the join (classic pushdown).
+    Operator* pre[2] = {nullptr, nullptr};
+    ExprRef lf = AndAll(aq.left_only);
+    ExprRef rf = AndAll(aq.right_only);
+    if (lf != nullptr) pre[0] = cq->plan_.Make<SelectOp>(lf, "select-left");
+    if (rf != nullptr) pre[1] = cq->plan_.Make<SelectOp>(rf, "select-right");
+
+    Operator* join = nullptr;
+    bool w0 = q.from[0].window.has_value();
+    bool w1 = q.from[1].window.has_value();
+    if (w0 != w1) {
+      return Status::InvalidArgument(
+          "either both join inputs must be windowed or neither");
+    }
+    // Join columns: left side indexes are combined (= stream-0 local).
+    std::vector<int> lcols = aq.join_left_cols;
+    std::vector<int> rcols = aq.join_right_cols;
+    if (w0) {
+      BinaryWindowJoinOp::Options opt;
+      opt.left_cols = lcols;
+      opt.right_cols = rcols;
+      opt.left_window = *q.from[0].window;
+      opt.right_window = *q.from[1].window;
+      join = cq->plan_.Make<BinaryWindowJoinOp>(opt);
+      desc += "window-join -> ";
+    } else {
+      join = cq->plan_.Make<SymmetricHashJoinOp>(lcols, rcols);
+      desc += "sym-hash-join -> ";
+    }
+    for (int s = 0; s < 2; ++s) {
+      if (pre[s] != nullptr) {
+        pre[s]->SetOutput(join, s);
+        cq->inputs_.push_back(pre[s]);
+        cq->ports_.push_back(0);
+      } else {
+        cq->inputs_.push_back(join);
+        cq->ports_.push_back(s);
+      }
+    }
+    combined_head = join;
+    ExprRef residual = AndAll(aq.residual);
+    if (residual != nullptr) {
+      SelectOp* post = cq->plan_.Make<SelectOp>(residual, "select-residual");
+      join->SetOutput(post);
+      combined_head = post;
+      desc += "select -> ";
+    }
+  }
+
+  // Helper to append an operator to the current chain tail.
+  Operator* tail = combined_head;
+  auto append = [&](Operator* op) {
+    if (tail != nullptr) {
+      tail->SetOutput(op);
+    } else {
+      cq->inputs_.push_back(op);
+      cq->ports_.push_back(0);
+    }
+    tail = op;
+  };
+
+  // --- Aggregation / projection tail. ---
+  if (aq.has_aggregates || aq.has_group_by) {
+    if (aq.num_streams == 1 && aq.has_group_by &&
+        !q.from[0].partition_by.empty()) {
+      return Status::Unimplemented(
+          "combining GROUP BY with a [partition by ...] window is not "
+          "supported; partitioned windows already group per key");
+    }
+    bool partitioned = aq.num_streams == 1 && !aq.has_group_by &&
+                       q.from[0].window.has_value() &&
+                       !q.from[0].partition_by.empty();
+    bool sliding = aq.num_streams == 1 && !aq.has_group_by &&
+                   q.from[0].window.has_value() && !partitioned;
+    Schema mid_schema;
+    GroupOutputLowering lower(aq, aliases, schemas);
+
+    // Result type of an aggregate over the input schema.
+    auto agg_type = [&](const AggSpec& s) {
+      switch (s.kind) {
+        case AggKind::kCount:
+        case AggKind::kCountDistinct:
+        case AggKind::kApproxCountDistinct:
+          return ValueType::kInt;
+        case AggKind::kAvg:
+        case AggKind::kStddev:
+        case AggKind::kMedian:
+        case AggKind::kApproxMedian:
+        case AggKind::kBlend:
+          return ValueType::kDouble;
+        default:
+          return s.input_col >= 0
+                     ? aq.combined.field(static_cast<size_t>(s.input_col)).type
+                     : ValueType::kInt;
+      }
+    };
+
+    if (partitioned) {
+      // `[partition by K rows N]`: per-key sliding aggregate.
+      int key_col = schemas[0]->FieldIndex(q.from[0].partition_by);
+      if (key_col < 0) {
+        return Status::NotFound("unknown partition column: " +
+                                q.from[0].partition_by);
+      }
+      std::vector<AggSpec> specs;
+      for (const ResolvedAgg& a : aq.aggs) specs.push_back(a.spec);
+      auto* pwa = cq->plan_.Make<PartitionedWindowAggregateOp>(
+          key_col, static_cast<size_t>(q.from[0].window->size), specs);
+      append(pwa);
+      desc += "partitioned-window-agg -> ";
+
+      // Output layout: [ts, key, aggs...].
+      std::vector<Field> mid_fields = {
+          {"ts", ValueType::kInt},
+          schemas[0]->field(static_cast<size_t>(key_col))};
+      for (size_t a = 0; a < aq.aggs.size(); ++a) {
+        mid_fields.push_back({aq.aggs[a].text, agg_type(aq.aggs[a].spec)});
+      }
+      mid_schema = Schema(std::move(mid_fields));
+
+      std::vector<ExprRef> post;
+      std::vector<std::string> names;
+      for (size_t i = 0; i < q.select.size(); ++i) {
+        const SelectItem& item = q.select[i];
+        names.push_back(DeriveName(item, i));
+        if (item.expr->kind == AstExpr::Kind::kIdent &&
+            item.expr->name == q.from[0].partition_by) {
+          post.push_back(Col(1));
+        } else if (item.expr->kind == AstExpr::Kind::kIdent &&
+                   schemas[0]->has_ordering() &&
+                   schemas[0]->FieldIndex(item.expr->name) ==
+                       schemas[0]->ordering_index()) {
+          post.push_back(Col(0));
+        } else if (item.expr->kind == AstExpr::Kind::kCall) {
+          std::string text = item.expr->ToString();
+          bool found = false;
+          for (size_t a = 0; a < aq.aggs.size(); ++a) {
+            if (aq.aggs[a].text == text) {
+              post.push_back(Col(static_cast<int>(2 + a)));
+              found = true;
+              break;
+            }
+          }
+          if (!found) return Status::Internal("aggregate not found: " + text);
+        } else {
+          return Status::Unimplemented(
+              "partitioned-window SELECT items must be the partition "
+              "column, the ordering attribute, or aggregates");
+        }
+      }
+      auto* proj = cq->plan_.Make<ProjectOp>(post, "project-out");
+      append(proj);
+      desc += "project";
+      std::vector<Field> out_fields;
+      for (size_t i = 0; i < post.size(); ++i) {
+        auto type = post[i]->Check(mid_schema);
+        if (!type.ok()) return type.status();
+        out_fields.push_back({names[i], *type});
+      }
+      cq->output_schema_ = Schema(std::move(out_fields));
+    } else if (sliding) {
+      // Sliding-window aggregate over the stream's [RANGE/ROWS] window.
+      std::vector<AggSpec> specs;
+      for (const ResolvedAgg& a : aq.aggs) specs.push_back(a.spec);
+      auto* wagg =
+          cq->plan_.Make<WindowAggregateOp>(*q.from[0].window, specs);
+      append(wagg);
+      desc += "window-agg -> ";
+      // Output layout: [ts, aggs...]. Lower select items against it.
+      std::vector<Field> mid_fields = {{"ts", ValueType::kInt}};
+      for (const ResolvedAgg& a : aq.aggs) {
+        mid_fields.push_back({a.text, ValueType::kDouble});
+      }
+      mid_schema = Schema(std::move(mid_fields));
+      std::vector<ExprRef> post;
+      std::vector<std::string> names;
+      for (size_t i = 0; i < q.select.size(); ++i) {
+        const SelectItem& item = q.select[i];
+        names.push_back(DeriveName(item, i));
+        if (item.expr->kind == AstExpr::Kind::kCall) {
+          std::string t = item.expr->ToString();
+          bool found = false;
+          for (size_t a = 0; a < aq.aggs.size(); ++a) {
+            if (aq.aggs[a].text == t) {
+              post.push_back(Col(static_cast<int>(1 + a)));
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            return Status::Internal("aggregate not found: " + t);
+          }
+        } else if (item.expr->kind == AstExpr::Kind::kIdent &&
+                   schemas[0]->has_ordering() &&
+                   schemas[0]->FieldIndex(item.expr->name) ==
+                       schemas[0]->ordering_index()) {
+          post.push_back(Col(0));
+        } else {
+          return Status::Unimplemented(
+              "windowed aggregate SELECT items must be aggregates or the "
+              "ordering attribute");
+        }
+      }
+      auto* proj = cq->plan_.Make<ProjectOp>(post, "project-out");
+      append(proj);
+      desc += "project";
+      // Output schema: compute types by checking against the mid layout.
+      std::vector<Field> out_fields;
+      for (size_t i = 0; i < post.size(); ++i) {
+        auto t = post[i]->Check(mid_schema);
+        if (!t.ok()) return t.status();
+        out_fields.push_back({names[i], *t});
+      }
+      cq->output_schema_ = Schema(std::move(out_fields));
+    } else {
+      GroupByOptions opt;
+      opt.key_cols = aq.group_cols;
+      for (const ResolvedAgg& a : aq.aggs) opt.aggs.push_back(a.spec);
+      opt.window_size = aq.tumbling_size;
+      if (q.having != nullptr) {
+        auto h = lower.Lower(q.having);
+        if (!h.ok()) return h.status();
+        opt.having = std::move(*h);
+      }
+      auto mid = GroupByAggregateOp::OutputSchema(aq.combined, opt);
+      if (!mid.ok()) return mid.status();
+      mid_schema = *mid;
+      auto* gb = cq->plan_.Make<GroupByAggregateOp>(opt);
+      append(gb);
+      desc += "group-by -> ";
+
+      std::vector<ExprRef> post;
+      std::vector<std::string> names;
+      for (size_t i = 0; i < q.select.size(); ++i) {
+        const SelectItem& item = q.select[i];
+        names.push_back(DeriveName(item, i));
+        auto e = lower.Lower(item.expr);
+        if (!e.ok()) return e.status();
+        post.push_back(std::move(*e));
+      }
+      auto* proj = cq->plan_.Make<ProjectOp>(post, "project-out");
+      append(proj);
+      desc += "project";
+      std::vector<Field> out_fields;
+      for (size_t i = 0; i < post.size(); ++i) {
+        auto t = post[i]->Check(mid_schema);
+        if (!t.ok()) return t.status();
+        out_fields.push_back({names[i], *t});
+      }
+      cq->output_schema_ = Schema(std::move(out_fields));
+    }
+  } else if (q.distinct) {
+    std::vector<int> cols;
+    std::vector<Field> out_fields;
+    for (const SelectItem& item : q.select) {
+      if (item.expr->kind != AstExpr::Kind::kIdent) {
+        return Status::Unimplemented(
+            "SELECT DISTINCT supports plain columns only");
+      }
+      auto e = LowerExpr(item.expr, aliases, schemas, aq.stream_offset);
+      if (!e.ok()) return e.status();
+      int idx = std::stoi((*e)->ToString().substr(1));
+      cols.push_back(idx);
+      Field f = aq.combined.field(static_cast<size_t>(idx));
+      if (!item.alias.empty()) f.name = item.alias;
+      out_fields.push_back(f);
+    }
+    // Reset the seen-set per stream window when one is declared.
+    int64_t window = 0;
+    if (aq.num_streams == 1 && q.from[0].window.has_value() &&
+        q.from[0].window->kind == WindowKind::kTimeSliding) {
+      window = q.from[0].window->size;
+    }
+    auto* distinct = cq->plan_.Make<DistinctOp>(cols, window);
+    append(distinct);
+    desc += "distinct";
+    cq->output_schema_ = Schema(std::move(out_fields));
+  } else {
+    std::vector<ExprRef> exprs;
+    std::vector<std::string> names;
+    for (size_t i = 0; i < q.select.size(); ++i) {
+      auto e = LowerExpr(q.select[i].expr, aliases, schemas, aq.stream_offset);
+      if (!e.ok()) return e.status();
+      exprs.push_back(std::move(*e));
+      names.push_back(DeriveName(q.select[i], i));
+    }
+    auto out_schema = ProjectOp::OutputSchema(aq.combined, exprs, names);
+    if (!out_schema.ok()) return out_schema.status();
+    auto* proj = cq->plan_.Make<ProjectOp>(exprs, "project-out");
+    append(proj);
+    desc += "project";
+    cq->output_schema_ = *out_schema;
+  }
+
+  cq->root_ = tail;
+  cq->analysis_ = std::move(aq);
+  cq->plan_desc_ = desc;
+  return cq;
+}
+
+}  // namespace cql
+}  // namespace sqp

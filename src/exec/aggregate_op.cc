@@ -1,0 +1,167 @@
+#include "exec/aggregate_op.h"
+
+#include <cassert>
+
+namespace sqp {
+
+namespace {
+
+std::vector<AggregateFunction> MakeFns(const std::vector<AggSpec>& specs) {
+  std::vector<AggregateFunction> fns;
+  fns.reserve(specs.size());
+  for (const AggSpec& s : specs) {
+    auto fn = AggregateFunction::Make(s.kind, s.param);
+    assert(fn.ok());
+    fns.push_back(std::move(fn.value()));
+  }
+  return fns;
+}
+
+}  // namespace
+
+GroupByAggregateOp::GroupByAggregateOp(GroupByOptions options,
+                                       std::string name)
+    : Operator(std::move(name)),
+      options_(std::move(options)),
+      fns_(MakeFns(options_.aggs)) {}
+
+void GroupByAggregateOp::Push(const Element& e, int /*port*/) {
+  CountIn(e);
+  if (e.is_punctuation()) {
+    const Punctuation& p = e.punctuation();
+    if (!p.has_key && options_.window_size > 0) {
+      CloseBucketsThrough(p.ts);
+    }
+    Emit(e);
+    return;
+  }
+  FoldTuple(*e.tuple());
+  // A tuple in a newer bucket proves older buckets are complete (the
+  // stream's ordering attribute is nondecreasing).
+  if (options_.window_size > 0) {
+    CloseBucketsThrough(max_ts_ - (max_ts_ % options_.window_size) - 1);
+  }
+}
+
+void GroupByAggregateOp::FoldTuple(const Tuple& t) {
+  max_ts_ = std::max(max_ts_, t.ts());
+  int64_t bucket =
+      options_.window_size > 0 ? t.ts() / options_.window_size : 0;
+  GroupMap& groups = buckets_[bucket];
+  Key key = ExtractKey(t, options_.key_cols);
+  auto it = groups.find(key);
+  if (it == groups.end()) {
+    GroupState state;
+    state.accs.reserve(fns_.size());
+    for (const AggregateFunction& fn : fns_) {
+      state.accs.push_back(fn.NewAccumulator());
+    }
+    it = groups.emplace(std::move(key), std::move(state)).first;
+  }
+  for (size_t i = 0; i < options_.aggs.size(); ++i) {
+    const AggSpec& s = options_.aggs[i];
+    if (s.input_col < 0) {
+      it->second.accs[i]->Add(Value(int64_t{1}));
+    } else {
+      it->second.accs[i]->Add(t.at(static_cast<size_t>(s.input_col)));
+    }
+  }
+}
+
+void GroupByAggregateOp::CloseBucketsThrough(int64_t watermark) {
+  if (options_.window_size <= 0) return;
+  // Close every bucket that ends at or before the watermark.
+  while (!buckets_.empty()) {
+    auto it = buckets_.begin();
+    int64_t bucket_end = (it->first + 1) * options_.window_size - 1;
+    if (bucket_end > watermark) break;
+    EmitBucket(it->first, it->second);
+    buckets_.erase(it);
+  }
+}
+
+void GroupByAggregateOp::EmitBucket(int64_t bucket, GroupMap& groups) {
+  int64_t out_ts = options_.window_size > 0
+                       ? bucket * options_.window_size
+                       : (max_ts_ == INT64_MIN ? 0 : max_ts_);
+  for (auto& [key, state] : groups) {
+    std::vector<Value> row;
+    row.reserve(1 + key.parts.size() + state.accs.size());
+    row.push_back(Value(out_ts));
+    for (const Value& v : key.parts) row.push_back(v);
+    for (const auto& acc : state.accs) row.push_back(acc->Result());
+    TupleRef out = MakeTuple(out_ts, std::move(row));
+    if (options_.having != nullptr && !Truthy(options_.having->Eval(*out))) {
+      continue;
+    }
+    Emit(Element(std::move(out)));
+  }
+}
+
+void GroupByAggregateOp::Flush() {
+  for (auto& [bucket, groups] : buckets_) EmitBucket(bucket, groups);
+  buckets_.clear();
+  Operator::Flush();
+}
+
+size_t GroupByAggregateOp::StateBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [bucket, groups] : buckets_) {
+    for (const auto& [key, state] : groups) {
+      for (const Value& v : key.parts) bytes += v.MemoryBytes();
+      for (const auto& acc : state.accs) bytes += acc->MemoryBytes();
+      bytes += 32;  // Hash-table node overhead.
+    }
+  }
+  return bytes;
+}
+
+size_t GroupByAggregateOp::open_groups() const {
+  size_t n = 0;
+  for (const auto& [bucket, groups] : buckets_) n += groups.size();
+  return n;
+}
+
+Result<Schema> GroupByAggregateOp::OutputSchema(const Schema& input,
+                                                const GroupByOptions& options) {
+  std::vector<Field> fields;
+  fields.push_back(Field{"ts", ValueType::kInt});
+  for (int c : options.key_cols) {
+    if (c < 0 || static_cast<size_t>(c) >= input.num_fields()) {
+      return Status::InvalidArgument("group-by column out of range");
+    }
+    fields.push_back(input.field(static_cast<size_t>(c)));
+  }
+  for (const AggSpec& s : options.aggs) {
+    ValueType type;
+    switch (s.kind) {
+      case AggKind::kCount:
+      case AggKind::kCountDistinct:
+      case AggKind::kApproxCountDistinct:
+        type = ValueType::kInt;
+        break;
+      case AggKind::kAvg:
+      case AggKind::kStddev:
+      case AggKind::kMedian:
+      case AggKind::kApproxMedian:
+      case AggKind::kBlend:
+        type = ValueType::kDouble;
+        break;
+      default: {
+        if (s.input_col < 0 ||
+            static_cast<size_t>(s.input_col) >= input.num_fields()) {
+          return Status::InvalidArgument("aggregate input column out of range");
+        }
+        type = input.field(static_cast<size_t>(s.input_col)).type;
+      }
+    }
+    std::string name = std::string(AggKindName(s.kind));
+    if (s.input_col >= 0) {
+      name += "_" + input.field(static_cast<size_t>(s.input_col)).name;
+    }
+    fields.push_back(Field{std::move(name), type});
+  }
+  return Schema::WithOrdering(std::move(fields), "ts");
+}
+
+}  // namespace sqp

@@ -1,0 +1,77 @@
+#ifndef SQP_EXEC_AGGREGATE_OP_H_
+#define SQP_EXEC_AGGREGATE_OP_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "agg/partial_agg.h"
+#include "exec/expr.h"
+#include "exec/operator.h"
+
+namespace sqp {
+
+/// Configuration of a grouped aggregation (slide 34's general form:
+/// select G, F1 from S where P group by G having F2 op theta).
+struct GroupByOptions {
+  /// Grouping columns of the input.
+  std::vector<int> key_cols;
+  /// Aggregate expressions.
+  std::vector<AggSpec> aggs;
+  /// Tumbling window width in ordering units; 0 = single group-by over the
+  /// whole (finite) stream, emitted at Flush. With a window, each bucket's
+  /// groups are emitted when the stream moves past the bucket (the
+  /// `group by time/60 as tb` pattern of slides 13/37).
+  int64_t window_size = 0;
+  /// Optional HAVING predicate over the *output* row layout
+  /// (see OutputSchema); null = keep all.
+  ExprRef having;
+};
+
+/// Grouped aggregation operator.
+///
+/// Output row layout: [ts, key..., agg...] where ts is the window-bucket
+/// start (or the max input ts when unwindowed). Watermark punctuations
+/// close buckets at or below the watermark; Flush closes everything.
+///
+/// Memory behaviour mirrors [ABB+02]: bounded iff the grouping columns
+/// have bounded domains within a window and no aggregate is holistic —
+/// measured, not assumed, via StateBytes() (experiment E4).
+class GroupByAggregateOp : public Operator {
+ public:
+  GroupByAggregateOp(GroupByOptions options, std::string name = "group-by");
+
+  void Push(const Element& e, int port = 0) override;
+  void Flush() override;
+  size_t StateBytes() const override;
+
+  /// Output schema for the given input schema.
+  static Result<Schema> OutputSchema(const Schema& input,
+                                     const GroupByOptions& options);
+
+  /// Number of currently open (bucket, group) pairs.
+  size_t open_groups() const;
+
+ private:
+  struct GroupState {
+    std::vector<std::unique_ptr<Accumulator>> accs;
+  };
+  using GroupMap = std::unordered_map<Key, GroupState, KeyHash>;
+
+  void FoldTuple(const Tuple& t);
+  void EmitBucket(int64_t bucket, GroupMap& groups);
+  void CloseBucketsThrough(int64_t watermark);
+
+  GroupByOptions options_;
+  std::vector<AggregateFunction> fns_;
+  // Buckets in timestamp order so close-out is oldest-first.
+  std::map<int64_t, GroupMap> buckets_;  // bucket id -> groups
+  int64_t max_ts_ = INT64_MIN;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_EXEC_AGGREGATE_OP_H_

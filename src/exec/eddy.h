@@ -1,0 +1,69 @@
+#ifndef SQP_EXEC_EDDY_H_
+#define SQP_EXEC_EDDY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/operator.h"
+
+namespace sqp {
+
+/// Eddy-style adaptive filter routing [AH00] (slide 22: "adaptive query
+/// operators ... volatile, unpredictable environments").
+///
+/// Holds a set of commutable predicates with (possibly different,
+/// possibly *drifting*) selectivities and evaluation costs. Tuples pass
+/// through the predicates in the operator's current order; per-predicate
+/// selectivity and cost are tracked with exponentially weighted moving
+/// averages, and every `reorder_interval` tuples the order re-sorts by
+/// the classic rank metric (1 - selectivity) / cost. When the data
+/// distribution shifts mid-stream, the order follows it — the adaptivity
+/// a fixed plan lacks.
+class EddyOp : public Operator {
+ public:
+  struct Filter {
+    ExprRef predicate;
+    /// Relative evaluation cost (work units per evaluation); measured
+    /// systems estimate this, here it is declared.
+    double cost = 1.0;
+  };
+
+  struct Options {
+    std::vector<Filter> filters;
+    /// Tuples between re-ranking decisions.
+    uint64_t reorder_interval = 128;
+    /// EWMA factor for selectivity estimates.
+    double ewma_alpha = 0.05;
+    /// false = keep the initial order forever (the static baseline).
+    bool adaptive = true;
+  };
+
+  explicit EddyOp(Options options, std::string name = "eddy");
+
+  void Push(const Element& e, int port = 0) override;
+
+  /// Total predicate-evaluation work (sum of costs of evaluations) —
+  /// the objective adaptivity minimizes.
+  double work() const { return work_; }
+  uint64_t evaluations() const { return evaluations_; }
+  /// Current routing order (filter indexes).
+  const std::vector<size_t>& order() const { return order_; }
+  /// Current selectivity estimate of filter i.
+  double selectivity_estimate(size_t i) const { return sel_[i]; }
+
+ private:
+  void MaybeReorder();
+
+  Options options_;
+  std::vector<size_t> order_;
+  std::vector<double> sel_;  // EWMA pass rate per filter.
+  double work_ = 0.0;
+  uint64_t evaluations_ = 0;
+  uint64_t since_reorder_ = 0;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_EXEC_EDDY_H_

@@ -1,0 +1,275 @@
+#include "exec/expr.h"
+
+#include "common/strings.h"
+
+namespace sqp {
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kMod:
+      return "%";
+    case BinOp::kEq:
+      return "=";
+    case BinOp::kNe:
+      return "!=";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kAnd:
+      return "and";
+    case BinOp::kOr:
+      return "or";
+  }
+  return "?";
+}
+
+bool Truthy(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kInt:
+      return v.AsInt() != 0;
+    case ValueType::kDouble:
+      return v.AsDouble() != 0.0;
+    case ValueType::kString:
+      return !v.AsString().empty();
+  }
+  return false;
+}
+
+namespace {
+
+class ColumnExpr : public Expr {
+ public:
+  explicit ColumnExpr(int index) : index_(index) {}
+
+  Value Eval(const Tuple& t) const override {
+    return t.at(static_cast<size_t>(index_));
+  }
+
+  Result<ValueType> Check(const Schema& schema) const override {
+    if (index_ < 0 || static_cast<size_t>(index_) >= schema.num_fields()) {
+      return Status::InvalidArgument(
+          StrFormat("column index %d out of range (schema has %zu fields)",
+                    index_, schema.num_fields()));
+    }
+    return schema.field(static_cast<size_t>(index_)).type;
+  }
+
+  std::string ToString() const override {
+    return "$" + std::to_string(index_);
+  }
+
+ private:
+  int index_;
+};
+
+class ConstExpr : public Expr {
+ public:
+  explicit ConstExpr(Value v) : v_(std::move(v)) {}
+
+  Value Eval(const Tuple& /*t*/) const override { return v_; }
+
+  Result<ValueType> Check(const Schema& /*schema*/) const override {
+    return v_.type();
+  }
+
+  std::string ToString() const override { return v_.ToString(); }
+
+ private:
+  Value v_;
+};
+
+bool IsNumericType(ValueType t) {
+  return t == ValueType::kInt || t == ValueType::kDouble;
+}
+
+class BinaryExpr : public Expr {
+ public:
+  BinaryExpr(BinOp op, ExprRef lhs, ExprRef rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Value Eval(const Tuple& t) const override {
+    switch (op_) {
+      case BinOp::kAnd: {
+        // Short-circuit.
+        if (!Truthy(lhs_->Eval(t))) return Value(int64_t{0});
+        return Value(int64_t{Truthy(rhs_->Eval(t)) ? 1 : 0});
+      }
+      case BinOp::kOr: {
+        if (Truthy(lhs_->Eval(t))) return Value(int64_t{1});
+        return Value(int64_t{Truthy(rhs_->Eval(t)) ? 1 : 0});
+      }
+      default:
+        break;
+    }
+    Value a = lhs_->Eval(t);
+    Value b = rhs_->Eval(t);
+    switch (op_) {
+      case BinOp::kAdd:
+        return Value::Add(a, b).value_or(Value::Null());
+      case BinOp::kSub:
+        return Value::Sub(a, b).value_or(Value::Null());
+      case BinOp::kMul:
+        return Value::Mul(a, b).value_or(Value::Null());
+      case BinOp::kDiv:
+        return Value::Div(a, b).value_or(Value::Null());
+      case BinOp::kMod:
+        return Value::Mod(a, b).value_or(Value::Null());
+      case BinOp::kEq:
+        return Value(int64_t{a == b});
+      case BinOp::kNe:
+        return Value(int64_t{a != b});
+      case BinOp::kLt:
+        return Value(int64_t{a < b});
+      case BinOp::kLe:
+        return Value(int64_t{a <= b});
+      case BinOp::kGt:
+        return Value(int64_t{a > b});
+      case BinOp::kGe:
+        return Value(int64_t{a >= b});
+      case BinOp::kAnd:
+      case BinOp::kOr:
+        break;  // Handled above.
+    }
+    return Value::Null();
+  }
+
+  Result<ValueType> Check(const Schema& schema) const override {
+    auto lt = lhs_->Check(schema);
+    if (!lt.ok()) return lt;
+    auto rt = rhs_->Check(schema);
+    if (!rt.ok()) return rt;
+    switch (op_) {
+      case BinOp::kAdd:
+      case BinOp::kSub:
+      case BinOp::kMul:
+      case BinOp::kDiv:
+        if (!IsNumericType(*lt) || !IsNumericType(*rt)) {
+          return Status::TypeError(std::string("operator ") + BinOpName(op_) +
+                                   " requires numeric operands in " +
+                                   ToString());
+        }
+        return (*lt == ValueType::kDouble || *rt == ValueType::kDouble)
+                   ? ValueType::kDouble
+                   : ValueType::kInt;
+      case BinOp::kMod:
+        if (*lt != ValueType::kInt || *rt != ValueType::kInt) {
+          return Status::TypeError("% requires integer operands in " +
+                                   ToString());
+        }
+        return ValueType::kInt;
+      case BinOp::kEq:
+      case BinOp::kNe:
+      case BinOp::kLt:
+      case BinOp::kLe:
+      case BinOp::kGt:
+      case BinOp::kGe:
+        if (IsNumericType(*lt) != IsNumericType(*rt)) {
+          return Status::TypeError("cannot compare " +
+                                   std::string(ValueTypeName(*lt)) + " with " +
+                                   ValueTypeName(*rt) + " in " + ToString());
+        }
+        return ValueType::kInt;
+      case BinOp::kAnd:
+      case BinOp::kOr:
+        return ValueType::kInt;
+    }
+    return Status::Internal("unhandled binary operator");
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " " + BinOpName(op_) + " " +
+           rhs_->ToString() + ")";
+  }
+
+ private:
+  BinOp op_;
+  ExprRef lhs_, rhs_;
+};
+
+class NotExpr : public Expr {
+ public:
+  explicit NotExpr(ExprRef e) : e_(std::move(e)) {}
+
+  Value Eval(const Tuple& t) const override {
+    return Value(int64_t{Truthy(e_->Eval(t)) ? 0 : 1});
+  }
+
+  Result<ValueType> Check(const Schema& schema) const override {
+    auto et = e_->Check(schema);
+    if (!et.ok()) return et;
+    return ValueType::kInt;
+  }
+
+  std::string ToString() const override { return "not " + e_->ToString(); }
+
+ private:
+  ExprRef e_;
+};
+
+class ContainsExpr : public Expr {
+ public:
+  ContainsExpr(ExprRef haystack, ExprRef needle)
+      : haystack_(std::move(haystack)), needle_(std::move(needle)) {}
+
+  Value Eval(const Tuple& t) const override {
+    Value h = haystack_->Eval(t);
+    Value n = needle_->Eval(t);
+    if (h.type() != ValueType::kString || n.type() != ValueType::kString) {
+      return Value(int64_t{0});
+    }
+    return Value(int64_t{Contains(h.AsString(), n.AsString()) ? 1 : 0});
+  }
+
+  Result<ValueType> Check(const Schema& schema) const override {
+    auto ht = haystack_->Check(schema);
+    if (!ht.ok()) return ht;
+    auto nt = needle_->Check(schema);
+    if (!nt.ok()) return nt;
+    if (*ht != ValueType::kString || *nt != ValueType::kString) {
+      return Status::TypeError("contains() requires string arguments");
+    }
+    return ValueType::kInt;
+  }
+
+  std::string ToString() const override {
+    return "contains(" + haystack_->ToString() + ", " + needle_->ToString() +
+           ")";
+  }
+
+ private:
+  ExprRef haystack_, needle_;
+};
+
+}  // namespace
+
+ExprRef Col(int index) { return std::make_shared<ColumnExpr>(index); }
+
+ExprRef Lit(Value v) { return std::make_shared<ConstExpr>(std::move(v)); }
+
+ExprRef Bin(BinOp op, ExprRef lhs, ExprRef rhs) {
+  return std::make_shared<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprRef Not(ExprRef e) { return std::make_shared<NotExpr>(std::move(e)); }
+
+ExprRef ContainsFn(ExprRef haystack, ExprRef needle) {
+  return std::make_shared<ContainsExpr>(std::move(haystack),
+                                        std::move(needle));
+}
+
+}  // namespace sqp

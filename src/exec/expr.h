@@ -1,0 +1,90 @@
+#ifndef SQP_EXEC_EXPR_H_
+#define SQP_EXEC_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/tuple.h"
+
+namespace sqp {
+
+class Expr;
+using ExprRef = std::shared_ptr<const Expr>;
+
+/// Binary operators in predicate / projection expressions.
+enum class BinOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+const char* BinOpName(BinOp op);
+
+/// Scalar expression tree evaluated against one tuple.
+///
+/// Contract: `Check` validates the expression against a schema at plan
+/// time and reports the output type; after a successful Check, `Eval`
+/// cannot fail for tuples of that schema (runtime anomalies such as
+/// division by zero yield Null). This keeps the per-tuple hot path free
+/// of Status plumbing, per the usual engine layering.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Evaluates against `t`. See class contract.
+  virtual Value Eval(const Tuple& t) const = 0;
+
+  /// Plan-time type check; returns the expression's output type.
+  virtual Result<ValueType> Check(const Schema& schema) const = 0;
+
+  virtual std::string ToString() const = 0;
+};
+
+/// Column reference by position.
+ExprRef Col(int index);
+/// Constant.
+ExprRef Lit(Value v);
+inline ExprRef Lit(int64_t v) { return Lit(Value(v)); }
+inline ExprRef Lit(double v) { return Lit(Value(v)); }
+inline ExprRef Lit(const char* v) { return Lit(Value(v)); }
+/// Binary expression.
+ExprRef Bin(BinOp op, ExprRef lhs, ExprRef rhs);
+/// NOT.
+ExprRef Not(ExprRef e);
+/// contains(haystack, needle): byte-substring match (payload keywords).
+ExprRef ContainsFn(ExprRef haystack, ExprRef needle);
+
+// Shorthand combinators.
+inline ExprRef Eq(ExprRef a, ExprRef b) { return Bin(BinOp::kEq, a, b); }
+inline ExprRef Ne(ExprRef a, ExprRef b) { return Bin(BinOp::kNe, a, b); }
+inline ExprRef Lt(ExprRef a, ExprRef b) { return Bin(BinOp::kLt, a, b); }
+inline ExprRef Le(ExprRef a, ExprRef b) { return Bin(BinOp::kLe, a, b); }
+inline ExprRef Gt(ExprRef a, ExprRef b) { return Bin(BinOp::kGt, a, b); }
+inline ExprRef Ge(ExprRef a, ExprRef b) { return Bin(BinOp::kGe, a, b); }
+inline ExprRef And(ExprRef a, ExprRef b) { return Bin(BinOp::kAnd, a, b); }
+inline ExprRef Or(ExprRef a, ExprRef b) { return Bin(BinOp::kOr, a, b); }
+inline ExprRef Add(ExprRef a, ExprRef b) { return Bin(BinOp::kAdd, a, b); }
+inline ExprRef Sub(ExprRef a, ExprRef b) { return Bin(BinOp::kSub, a, b); }
+inline ExprRef Mul(ExprRef a, ExprRef b) { return Bin(BinOp::kMul, a, b); }
+inline ExprRef Div(ExprRef a, ExprRef b) { return Bin(BinOp::kDiv, a, b); }
+inline ExprRef Mod(ExprRef a, ExprRef b) { return Bin(BinOp::kMod, a, b); }
+
+/// True when `v` is a truthy boolean (non-zero int / non-null).
+bool Truthy(const Value& v);
+
+}  // namespace sqp
+
+#endif  // SQP_EXEC_EXPR_H_

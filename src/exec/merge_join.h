@@ -1,0 +1,49 @@
+#ifndef SQP_EXEC_MERGE_JOIN_H_
+#define SQP_EXEC_MERGE_JOIN_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace sqp {
+
+/// Ordered band equijoin on the streams' ordering attributes [JMS95]
+/// (slide 30: "equijoin on stream ordering attributes is tractable").
+///
+/// Joins left/right tuples whose timestamps differ by at most `band`
+/// (band = 0 is a pure ts-equijoin) and that agree on the optional extra
+/// equi-columns. Because both inputs are ordered, state is bounded by the
+/// band: each side buffers only tuples within `band` of the other side's
+/// frontier.
+class OrderedMergeJoinOp : public Operator {
+ public:
+  struct Options {
+    int64_t band = 0;
+    /// Optional additional equijoin columns (beyond the time band).
+    std::vector<int> left_cols;
+    std::vector<int> right_cols;
+  };
+
+  explicit OrderedMergeJoinOp(Options options,
+                              std::string name = "merge-join");
+
+  void Push(const Element& e, int port = 0) override;
+  void Flush() override;
+  size_t StateBytes() const override;
+
+ private:
+  void Advance();
+  bool KeysMatch(const Tuple& l, const Tuple& r) const;
+  void EmitJoined(const Tuple& l, const Tuple& r);
+
+  Options options_;
+  std::deque<TupleRef> buf_[2];
+  int64_t frontier_[2] = {INT64_MIN, INT64_MIN};
+  int flushes_ = 0;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_EXEC_MERGE_JOIN_H_

@@ -1,0 +1,27 @@
+#include "exec/operator.h"
+
+namespace sqp {
+
+void Operator::Flush() {
+  if (out_ != nullptr) out_->Flush();
+}
+
+void Operator::Emit(const Element& e) {
+  if (e.is_punctuation()) {
+    ++stats_.puncts_out;
+  } else {
+    ++stats_.tuples_out;
+  }
+  if (out_ != nullptr) out_->Push(e, out_port_);
+}
+
+void CollectorSink::Push(const Element& e, int /*port*/) {
+  CountIn(e);
+  if (e.is_punctuation()) {
+    puncts_.push_back(e.punctuation());
+  } else {
+    tuples_.push_back(e.tuple());
+  }
+}
+
+}  // namespace sqp

@@ -1,0 +1,138 @@
+#ifndef SQP_EXEC_OPERATOR_H_
+#define SQP_EXEC_OPERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/element.h"
+
+namespace sqp {
+
+/// Per-operator throughput counters.
+struct OperatorStats {
+  uint64_t tuples_in = 0;
+  uint64_t tuples_out = 0;
+  uint64_t puncts_in = 0;
+  uint64_t puncts_out = 0;
+
+  /// Observed selectivity (tuples out per tuple in).
+  double Selectivity() const {
+    return tuples_in == 0
+               ? 0.0
+               : static_cast<double>(tuples_out) /
+                     static_cast<double>(tuples_in);
+  }
+};
+
+/// Push-based physical operator (streams-in, stream-out; slide 13).
+///
+/// Operators form a DAG. An upstream operator calls `Push(e, port)` on its
+/// downstream; binary operators (joins, union) distinguish inputs by
+/// `port` (0 = left, 1 = right). `Flush` signals end-of-stream and must be
+/// forwarded after emitting any buffered state.
+///
+/// Single-threaded by design: the scheduling layer (sqp/sched) decides
+/// when each operator runs and interposes queues; operator code itself
+/// stays oblivious, matching the tutorial's separation of operator
+/// semantics from scheduling policy (slides 42-43).
+class Operator {
+ public:
+  explicit Operator(std::string name) : name_(std::move(name)) {}
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  /// Processes one element arriving on `port`.
+  virtual void Push(const Element& e, int port = 0) = 0;
+
+  /// End-of-stream: emit buffered results, then forward downstream.
+  virtual void Flush();
+
+  /// Bytes of operator-held state (windows, hash tables) — drives the
+  /// memory-limited experiments.
+  virtual size_t StateBytes() const { return 0; }
+
+  /// Connects this operator's output to `out`'s input `port`.
+  void SetOutput(Operator* out, int port = 0) {
+    out_ = out;
+    out_port_ = port;
+  }
+
+  const std::string& name() const { return name_; }
+  const OperatorStats& stats() const { return stats_; }
+  Operator* output() const { return out_; }
+
+ protected:
+  /// Forwards an element downstream, maintaining counters.
+  void Emit(const Element& e);
+
+  /// Counts an arriving element. Subclasses call this first in Push.
+  void CountIn(const Element& e) {
+    if (e.is_punctuation()) {
+      ++stats_.puncts_in;
+    } else {
+      ++stats_.tuples_in;
+    }
+  }
+
+  Operator* out_ = nullptr;
+  int out_port_ = 0;
+  OperatorStats stats_;
+
+ private:
+  std::string name_;
+};
+
+/// Terminal operator that retains results for inspection (tests, examples).
+class CollectorSink : public Operator {
+ public:
+  CollectorSink() : Operator("collect") {}
+
+  void Push(const Element& e, int port = 0) override;
+
+  const std::vector<TupleRef>& tuples() const { return tuples_; }
+  const std::vector<Punctuation>& punctuations() const { return puncts_; }
+  size_t count() const { return tuples_.size(); }
+
+  void Clear() {
+    tuples_.clear();
+    puncts_.clear();
+  }
+
+ private:
+  std::vector<TupleRef> tuples_;
+  std::vector<Punctuation> puncts_;
+};
+
+/// Terminal operator that only counts (benchmarks; no retention cost).
+class CountingSink : public Operator {
+ public:
+  CountingSink() : Operator("count-sink") {}
+
+  void Push(const Element& e, int /*port*/ = 0) override { CountIn(e); }
+
+  uint64_t tuples() const { return stats().tuples_in; }
+};
+
+/// Terminal operator invoking a callback per element.
+class CallbackSink : public Operator {
+ public:
+  explicit CallbackSink(std::function<void(const Element&)> fn)
+      : Operator("callback-sink"), fn_(std::move(fn)) {}
+
+  void Push(const Element& e, int /*port*/ = 0) override {
+    CountIn(e);
+    fn_(e);
+  }
+
+ private:
+  std::function<void(const Element&)> fn_;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_EXEC_OPERATOR_H_

@@ -1,0 +1,75 @@
+#include "exec/project.h"
+
+namespace sqp {
+
+ProjectOp::ProjectOp(std::vector<ExprRef> exprs, std::string name)
+    : Operator(std::move(name)), exprs_(std::move(exprs)) {}
+
+void ProjectOp::Push(const Element& e, int /*port*/) {
+  CountIn(e);
+  if (e.is_punctuation()) {
+    Emit(e);
+    return;
+  }
+  const Tuple& in = *e.tuple();
+  std::vector<Value> out;
+  out.reserve(exprs_.size());
+  for (const ExprRef& ex : exprs_) out.push_back(ex->Eval(in));
+  Emit(Element(MakeTuple(in.ts(), std::move(out))));
+}
+
+Result<Schema> ProjectOp::OutputSchema(const Schema& input,
+                                       const std::vector<ExprRef>& exprs,
+                                       const std::vector<std::string>& names) {
+  std::vector<Field> fields;
+  fields.reserve(exprs.size());
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    auto type = exprs[i]->Check(input);
+    if (!type.ok()) return type.status();
+    std::string name =
+        i < names.size() ? names[i] : ("f" + std::to_string(i));
+    fields.push_back(Field{std::move(name), *type});
+  }
+  return Schema(std::move(fields));
+}
+
+DistinctOp::DistinctOp(std::vector<int> cols, int64_t window_size,
+                       std::string name)
+    : Operator(std::move(name)),
+      cols_(std::move(cols)),
+      window_size_(window_size) {}
+
+void DistinctOp::Push(const Element& e, int /*port*/) {
+  CountIn(e);
+  if (e.is_punctuation()) {
+    Emit(e);
+    return;
+  }
+  const Tuple& t = *e.tuple();
+  if (window_size_ > 0) {
+    int64_t bucket = t.ts() / window_size_;
+    if (bucket != current_bucket_) {
+      current_bucket_ = bucket;
+      seen_.clear();
+    }
+  }
+  Key key = ExtractKey(t, cols_);
+  if (seen_.insert(std::move(key)).second) {
+    // First occurrence (in this window): project to the distinct columns.
+    std::vector<Value> out;
+    out.reserve(cols_.size());
+    for (int c : cols_) out.push_back(t.at(static_cast<size_t>(c)));
+    Emit(Element(MakeTuple(t.ts(), std::move(out))));
+  }
+}
+
+size_t DistinctOp::StateBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const Key& k : seen_) {
+    for (const Value& v : k.parts) bytes += v.MemoryBytes();
+    bytes += 16;
+  }
+  return bytes;
+}
+
+}  // namespace sqp

@@ -1,0 +1,54 @@
+#ifndef SQP_EXEC_PROJECT_H_
+#define SQP_EXEC_PROJECT_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/schema.h"
+#include "exec/expr.h"
+#include "exec/operator.h"
+
+namespace sqp {
+
+/// Duplicate-preserving projection (generalized: any scalar expressions).
+/// Output tuples keep the input timestamp — projections on streams must
+/// preserve the ordering attribute (slide 29, [JMS95]).
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(std::vector<ExprRef> exprs, std::string name = "project");
+
+  void Push(const Element& e, int port = 0) override;
+
+  /// Computes the output schema given the input schema; names fields
+  /// f0..fn unless `names` provided.
+  static Result<Schema> OutputSchema(const Schema& input,
+                                     const std::vector<ExprRef>& exprs,
+                                     const std::vector<std::string>& names = {});
+
+ private:
+  std::vector<ExprRef> exprs_;
+};
+
+/// Duplicate-eliminating projection: "like grouping" (slide 29). Keeps a
+/// seen-set per tumbling window when `window_size > 0` (reset at bucket
+/// boundaries, keeping memory bounded); unbounded otherwise — the
+/// distinction slide 36 draws for `select distinct`.
+class DistinctOp : public Operator {
+ public:
+  explicit DistinctOp(std::vector<int> cols, int64_t window_size = 0,
+                      std::string name = "distinct");
+
+  void Push(const Element& e, int port = 0) override;
+  size_t StateBytes() const override;
+
+ private:
+  std::vector<int> cols_;
+  int64_t window_size_;
+  int64_t current_bucket_ = INT64_MIN;
+  std::unordered_set<Key, KeyHash> seen_;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_EXEC_PROJECT_H_

@@ -1,0 +1,95 @@
+#include "exec/punct_groupby.h"
+
+#include <cassert>
+
+namespace sqp {
+
+PunctuationGroupByOp::PunctuationGroupByOp(int key_col,
+                                           std::vector<AggSpec> aggs,
+                                           std::string name)
+    : Operator(std::move(name)),
+      key_col_(key_col),
+      agg_specs_(std::move(aggs)) {
+  fns_.reserve(agg_specs_.size());
+  for (const AggSpec& s : agg_specs_) {
+    auto fn = AggregateFunction::Make(s.kind, s.param);
+    assert(fn.ok());
+    fns_.push_back(std::move(fn.value()));
+  }
+}
+
+void PunctuationGroupByOp::EmitGroup(int64_t close_ts, const Value& key,
+                                     GroupState& state) {
+  std::vector<Value> row;
+  row.reserve(2 + state.accs.size());
+  row.push_back(Value(close_ts));
+  row.push_back(key);
+  for (const auto& acc : state.accs) row.push_back(acc->Result());
+  Emit(Element(MakeTuple(close_ts, std::move(row))));
+}
+
+void PunctuationGroupByOp::Push(const Element& e, int /*port*/) {
+  CountIn(e);
+  if (e.is_punctuation()) {
+    const Punctuation& p = e.punctuation();
+    if (p.has_key) {
+      auto it = groups_.find(p.key);
+      if (it != groups_.end()) {
+        EmitGroup(p.ts, it->first, it->second);
+        groups_.erase(it);
+      }
+    } else {
+      // Watermark: any group silent since before it is complete.
+      for (auto it = groups_.begin(); it != groups_.end();) {
+        if (it->second.last_ts <= p.ts) {
+          EmitGroup(p.ts, it->first, it->second);
+          it = groups_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    Emit(e);
+    return;
+  }
+
+  const Tuple& t = *e.tuple();
+  const Value& key = t.at(static_cast<size_t>(key_col_));
+  auto it = groups_.find(key);
+  if (it == groups_.end()) {
+    GroupState state;
+    state.accs.reserve(fns_.size());
+    for (const AggregateFunction& fn : fns_) {
+      state.accs.push_back(fn.NewAccumulator());
+    }
+    it = groups_.emplace(key, std::move(state)).first;
+  }
+  it->second.last_ts = std::max(it->second.last_ts, t.ts());
+  for (size_t i = 0; i < agg_specs_.size(); ++i) {
+    const AggSpec& s = agg_specs_[i];
+    if (s.input_col < 0) {
+      it->second.accs[i]->Add(Value(int64_t{1}));
+    } else {
+      it->second.accs[i]->Add(t.at(static_cast<size_t>(s.input_col)));
+    }
+  }
+}
+
+void PunctuationGroupByOp::Flush() {
+  for (auto& [key, state] : groups_) {
+    EmitGroup(state.last_ts, key, state);
+  }
+  groups_.clear();
+  Operator::Flush();
+}
+
+size_t PunctuationGroupByOp::StateBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [key, state] : groups_) {
+    bytes += key.MemoryBytes() + 32;
+    for (const auto& acc : state.accs) bytes += acc->MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace sqp

@@ -1,0 +1,51 @@
+#ifndef SQP_EXEC_PUNCT_GROUPBY_H_
+#define SQP_EXEC_PUNCT_GROUPBY_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "agg/partial_agg.h"
+#include "exec/operator.h"
+
+namespace sqp {
+
+/// Grouped aggregation whose groups close on punctuations [TMSF03]
+/// (slide 28): the auction pattern. Tuples fold into per-key
+/// accumulators; a CloseKey punctuation emits and retires that key's
+/// row; a watermark closes every group whose last activity is at or
+/// below it; Flush closes the rest.
+///
+/// Output row: [ts = close time, key, agg...]. Unlike the tumbling
+/// GroupByAggregateOp, window extent here is *data-dependent*: the
+/// application, not the clock, decides when a group is complete.
+class PunctuationGroupByOp : public Operator {
+ public:
+  /// `key_col` both partitions tuples and matches CloseKey punctuations.
+  PunctuationGroupByOp(int key_col, std::vector<AggSpec> aggs,
+                       std::string name = "punct-group-by");
+
+  void Push(const Element& e, int port = 0) override;
+  void Flush() override;
+  size_t StateBytes() const override;
+
+  size_t open_groups() const { return groups_.size(); }
+
+ private:
+  struct GroupState {
+    std::vector<std::unique_ptr<Accumulator>> accs;
+    int64_t last_ts = INT64_MIN;
+  };
+
+  void EmitGroup(int64_t close_ts, const Value& key, GroupState& state);
+
+  int key_col_;
+  std::vector<AggSpec> agg_specs_;
+  std::vector<AggregateFunction> fns_;
+  std::unordered_map<Value, GroupState, ValueHash> groups_;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_EXEC_PUNCT_GROUPBY_H_

@@ -1,0 +1,67 @@
+#include "exec/reorder.h"
+
+#include <algorithm>
+
+namespace sqp {
+
+HeartbeatOp::HeartbeatOp(int64_t period, int64_t slack, std::string name)
+    : Operator(std::move(name)), period_(period), slack_(slack) {}
+
+void HeartbeatOp::Push(const Element& e, int /*port*/) {
+  CountIn(e);
+  Emit(e);
+  if (e.is_punctuation()) return;
+  max_ts_ = std::max(max_ts_, e.ts());
+  if (last_beat_ == INT64_MIN) last_beat_ = max_ts_;
+  while (max_ts_ - last_beat_ >= period_) {
+    last_beat_ += period_;
+    Emit(Element(Punctuation::Watermark(last_beat_ - slack_)));
+  }
+}
+
+SlackReorderOp::SlackReorderOp(int64_t slack, bool drop_late,
+                               std::string name)
+    : Operator(std::move(name)), slack_(slack), drop_late_(drop_late) {}
+
+void SlackReorderOp::Release(int64_t up_to) {
+  while (!heap_.empty() && heap_.top()->ts() <= up_to) {
+    emitted_ts_ = std::max(emitted_ts_, heap_.top()->ts());
+    Emit(Element(heap_.top()));
+    heap_.pop();
+  }
+}
+
+void SlackReorderOp::Push(const Element& e, int /*port*/) {
+  CountIn(e);
+  if (e.is_punctuation()) {
+    // A watermark asserts completeness: release everything at or below.
+    Release(e.punctuation().ts);
+    Emit(e);
+    return;
+  }
+  const TupleRef& t = e.tuple();
+  if (t->ts() < emitted_ts_) {
+    // Beyond the promised disorder bound: a larger timestamp was already
+    // emitted, so in-order delivery is impossible for this tuple.
+    if (drop_late_) {
+      ++late_dropped_;
+      return;
+    }
+    Emit(e);  // Caller accepts out-of-order delivery for stragglers.
+    return;
+  }
+  heap_.push(t);
+  max_ts_ = std::max(max_ts_, t->ts());
+  Release(max_ts_ - slack_);
+}
+
+void SlackReorderOp::Flush() {
+  Release(INT64_MAX);
+  Operator::Flush();
+}
+
+size_t SlackReorderOp::StateBytes() const {
+  return sizeof(*this) + heap_.size() * 64;
+}
+
+}  // namespace sqp

@@ -1,0 +1,17 @@
+#include "exec/select.h"
+
+namespace sqp {
+
+SelectOp::SelectOp(ExprRef predicate, std::string name)
+    : Operator(std::move(name)), pred_(std::move(predicate)) {}
+
+void SelectOp::Push(const Element& e, int /*port*/) {
+  CountIn(e);
+  if (e.is_punctuation()) {
+    Emit(e);
+    return;
+  }
+  if (Truthy(pred_->Eval(*e.tuple()))) Emit(e);
+}
+
+}  // namespace sqp

@@ -1,0 +1,28 @@
+#ifndef SQP_EXEC_SELECT_H_
+#define SQP_EXEC_SELECT_H_
+
+#include <memory>
+#include <string>
+
+#include "exec/expr.h"
+#include "exec/operator.h"
+
+namespace sqp {
+
+/// Selection (filter): a local, per-element operator (slide 29).
+/// Punctuations pass through unchanged.
+class SelectOp : public Operator {
+ public:
+  explicit SelectOp(ExprRef predicate, std::string name = "select");
+
+  void Push(const Element& e, int port = 0) override;
+
+  const ExprRef& predicate() const { return pred_; }
+
+ private:
+  ExprRef pred_;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_EXEC_SELECT_H_

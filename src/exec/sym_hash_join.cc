@@ -1,0 +1,58 @@
+#include "exec/sym_hash_join.h"
+
+#include <algorithm>
+
+namespace sqp {
+
+SymmetricHashJoinOp::SymmetricHashJoinOp(std::vector<int> left_cols,
+                                         std::vector<int> right_cols,
+                                         std::string name)
+    : Operator(std::move(name)) {
+  key_cols_[0] = std::move(left_cols);
+  key_cols_[1] = std::move(right_cols);
+}
+
+void SymmetricHashJoinOp::EmitJoined(const Tuple& left, const Tuple& right) {
+  std::vector<Value> row;
+  row.reserve(left.arity() + right.arity());
+  row.insert(row.end(), left.values().begin(), left.values().end());
+  row.insert(row.end(), right.values().begin(), right.values().end());
+  Emit(Element(MakeTuple(std::max(left.ts(), right.ts()), std::move(row))));
+}
+
+void SymmetricHashJoinOp::Push(const Element& e, int port) {
+  CountIn(e);
+  if (e.is_punctuation()) {
+    Emit(e);
+    return;
+  }
+  int side = port == 0 ? 0 : 1;
+  int other = 1 - side;
+  const TupleRef& t = e.tuple();
+  Key key = ExtractKey(*t, key_cols_[side]);
+
+  // Probe the other side's table first, then insert (no self-pairing).
+  auto it = table_[other].find(key);
+  if (it != table_[other].end()) {
+    for (const TupleRef& match : it->second) {
+      if (side == 0) {
+        EmitJoined(*t, *match);
+      } else {
+        EmitJoined(*match, *t);
+      }
+    }
+  }
+  table_bytes_[side] += t->MemoryBytes();
+  table_[side][std::move(key)].push_back(t);
+}
+
+void SymmetricHashJoinOp::Flush() {
+  if (++flushes_ < 2) return;
+  Operator::Flush();
+}
+
+size_t SymmetricHashJoinOp::StateBytes() const {
+  return sizeof(*this) + table_bytes_[0] + table_bytes_[1];
+}
+
+}  // namespace sqp

@@ -1,0 +1,39 @@
+#ifndef SQP_EXEC_SYM_HASH_JOIN_H_
+#define SQP_EXEC_SYM_HASH_JOIN_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace sqp {
+
+/// Symmetric hash join [WA91] (slide 31): both inputs build and probe,
+/// so results stream out as tuples arrive instead of blocking on one
+/// side. Unwindowed — state grows with both inputs, which is exactly why
+/// stream systems bound it with windows (see BinaryWindowJoinOp).
+///
+/// Output row: left tuple's values ++ right tuple's values; output ts is
+/// the later of the two.
+class SymmetricHashJoinOp : public Operator {
+ public:
+  SymmetricHashJoinOp(std::vector<int> left_cols, std::vector<int> right_cols,
+                      std::string name = "sym-hash-join");
+
+  void Push(const Element& e, int port = 0) override;
+  void Flush() override;
+  size_t StateBytes() const override;
+
+ private:
+  void EmitJoined(const Tuple& left, const Tuple& right);
+
+  std::vector<int> key_cols_[2];
+  std::unordered_map<Key, std::vector<TupleRef>, KeyHash> table_[2];
+  size_t table_bytes_[2] = {0, 0};
+  int flushes_ = 0;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_EXEC_SYM_HASH_JOIN_H_

@@ -1,0 +1,95 @@
+#include "exec/union.h"
+
+#include <algorithm>
+
+namespace sqp {
+
+UnionOp::UnionOp(std::string name) : Operator(std::move(name)) {}
+
+void UnionOp::Push(const Element& e, int port) {
+  CountIn(e);
+  int side = port == 0 ? 0 : 1;
+  if (e.is_punctuation()) {
+    const Punctuation& p = e.punctuation();
+    if (p.has_key) {
+      Emit(e);  // Key punctuations are stream-specific; forward as-is.
+      return;
+    }
+    watermark_[side] = std::max(watermark_[side], p.ts);
+    int64_t min_wm = std::min(watermark_[0], watermark_[1]);
+    if (min_wm > emitted_watermark_) {
+      emitted_watermark_ = min_wm;
+      Emit(Element(Punctuation::Watermark(min_wm)));
+    }
+    return;
+  }
+  Emit(e);
+}
+
+void UnionOp::Flush() {
+  if (++flushes_ < 2) return;
+  Operator::Flush();
+}
+
+OrderedMergeOp::OrderedMergeOp(std::string name) : Operator(std::move(name)) {}
+
+void OrderedMergeOp::Push(const Element& e, int port) {
+  CountIn(e);
+  int side = port == 0 ? 0 : 1;
+  if (e.is_punctuation()) {
+    // A watermark asserts no earlier tuples on that side.
+    seen_ts_[side] = std::max(seen_ts_[side], e.punctuation().ts);
+    Release();
+    return;
+  }
+  seen_ts_[side] = std::max(seen_ts_[side], e.ts());
+  buf_[side].push_back(e.tuple());
+  Release();
+}
+
+void OrderedMergeOp::Release() {
+  // Safe to release anything <= the slower side's frontier.
+  int64_t frontier = std::min(seen_ts_[0], seen_ts_[1]);
+  while (true) {
+    int pick = -1;
+    int64_t best = INT64_MAX;
+    for (int s = 0; s < 2; ++s) {
+      if (!buf_[s].empty() && buf_[s].front()->ts() <= frontier &&
+          buf_[s].front()->ts() < best) {
+        best = buf_[s].front()->ts();
+        pick = s;
+      }
+    }
+    if (pick < 0) break;
+    Emit(Element(buf_[pick].front()));
+    buf_[pick].pop_front();
+  }
+}
+
+void OrderedMergeOp::Flush() {
+  if (++flushes_ < 2) return;
+  // Drain remaining buffers in timestamp order.
+  while (!buf_[0].empty() || !buf_[1].empty()) {
+    int pick;
+    if (buf_[0].empty()) {
+      pick = 1;
+    } else if (buf_[1].empty()) {
+      pick = 0;
+    } else {
+      pick = buf_[0].front()->ts() <= buf_[1].front()->ts() ? 0 : 1;
+    }
+    Emit(Element(buf_[pick].front()));
+    buf_[pick].pop_front();
+  }
+  Operator::Flush();
+}
+
+size_t OrderedMergeOp::StateBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& side : buf_) {
+    for (const TupleRef& t : side) bytes += t->MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace sqp

@@ -1,0 +1,49 @@
+#ifndef SQP_EXEC_UNION_H_
+#define SQP_EXEC_UNION_H_
+
+#include <deque>
+#include <string>
+
+#include "exec/operator.h"
+
+namespace sqp {
+
+/// Merges two streams in arrival order (no ordering guarantee on output).
+/// Watermark punctuations are forwarded only at the minimum of the two
+/// inputs' watermarks, so downstream windows stay correct.
+class UnionOp : public Operator {
+ public:
+  explicit UnionOp(std::string name = "union");
+
+  void Push(const Element& e, int port = 0) override;
+  void Flush() override;
+
+ private:
+  int64_t watermark_[2] = {INT64_MIN, INT64_MIN};
+  int64_t emitted_watermark_ = INT64_MIN;
+  int flushes_ = 0;
+};
+
+/// Merges two *ordered* streams into one ordered stream by buffering each
+/// side and releasing elements up to min(latest ts seen per side) — the
+/// standard order-preserving merge that exploits ordering attributes to
+/// stay non-blocking (slide 48).
+class OrderedMergeOp : public Operator {
+ public:
+  explicit OrderedMergeOp(std::string name = "merge");
+
+  void Push(const Element& e, int port = 0) override;
+  void Flush() override;
+  size_t StateBytes() const override;
+
+ private:
+  void Release();
+
+  std::deque<TupleRef> buf_[2];
+  int64_t seen_ts_[2] = {INT64_MIN, INT64_MIN};
+  int flushes_ = 0;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_EXEC_UNION_H_

@@ -1,0 +1,137 @@
+#include "exec/window_agg.h"
+
+#include <cassert>
+
+namespace sqp {
+
+WindowAggregateOp::WindowAggregateOp(WindowSpec window,
+                                     std::vector<AggSpec> aggs,
+                                     std::string name)
+    : Operator(std::move(name)),
+      window_(window),
+      agg_specs_(std::move(aggs)) {
+  assert(window_.Validate().ok());
+  fns_.reserve(agg_specs_.size());
+  all_invertible_ = true;
+  for (const AggSpec& s : agg_specs_) {
+    auto fn = AggregateFunction::Make(s.kind, s.param);
+    assert(fn.ok());
+    fns_.push_back(std::move(fn.value()));
+    accs_.push_back(fns_.back().NewAccumulator());
+    if (!accs_.back()->invertible()) all_invertible_ = false;
+  }
+  switch (window_.kind) {
+    case WindowKind::kTimeSliding:
+      time_buf_ = std::make_unique<TimeWindowBuffer>(window_.size);
+      break;
+    case WindowKind::kCountSliding:
+      count_buf_ =
+          std::make_unique<CountWindowBuffer>(static_cast<size_t>(window_.size));
+      break;
+    case WindowKind::kTimeLandmark:
+      // Landmark windows never expire: accumulators only.
+      break;
+    default:
+      assert(false && "WindowAggregateOp supports sliding/landmark windows");
+  }
+}
+
+Value WindowAggregateOp::InputOf(const AggSpec& s, const Tuple& t) const {
+  return s.input_col < 0 ? Value(int64_t{1})
+                         : t.at(static_cast<size_t>(s.input_col));
+}
+
+void WindowAggregateOp::AddToAccs(const Tuple& t) {
+  for (size_t i = 0; i < agg_specs_.size(); ++i) {
+    accs_[i]->Add(InputOf(agg_specs_[i], t));
+  }
+}
+
+void WindowAggregateOp::RemoveFromAccs(const Tuple& t) {
+  for (size_t i = 0; i < agg_specs_.size(); ++i) {
+    accs_[i]->Remove(InputOf(agg_specs_[i], t));
+  }
+}
+
+void WindowAggregateOp::RecomputeFromBuffer() {
+  ++recomputes_;
+  for (size_t i = 0; i < accs_.size(); ++i) {
+    accs_[i] = fns_[i].NewAccumulator();
+  }
+  if (time_buf_ != nullptr) {
+    for (const TupleRef& t : time_buf_->contents()) AddToAccs(*t);
+  } else if (count_buf_ != nullptr) {
+    for (const TupleRef& t : count_buf_->contents()) AddToAccs(*t);
+  }
+}
+
+void WindowAggregateOp::EmitCurrent(int64_t ts) {
+  std::vector<Value> row;
+  row.reserve(1 + accs_.size());
+  row.push_back(Value(ts));
+  for (const auto& acc : accs_) row.push_back(acc->Result());
+  Emit(Element(MakeTuple(ts, std::move(row))));
+}
+
+void WindowAggregateOp::Push(const Element& e, int /*port*/) {
+  CountIn(e);
+  if (e.is_punctuation()) {
+    // Advance time so expiry happens even without new tuples.
+    if (time_buf_ != nullptr && !e.punctuation().has_key) {
+      std::vector<TupleRef> expired;
+      time_buf_->AdvanceTo(e.punctuation().ts, &expired);
+      if (!expired.empty()) {
+        if (all_invertible_) {
+          for (const TupleRef& t : expired) RemoveFromAccs(*t);
+        } else {
+          RecomputeFromBuffer();
+        }
+        EmitCurrent(e.punctuation().ts);
+      }
+    }
+    Emit(e);
+    return;
+  }
+
+  const TupleRef& t = e.tuple();
+  switch (window_.kind) {
+    case WindowKind::kTimeSliding: {
+      std::vector<TupleRef> expired;
+      time_buf_->Insert(t, &expired);
+      if (!expired.empty() && !all_invertible_) {
+        // Buffer already holds the new tuple; replay it wholesale.
+        RecomputeFromBuffer();
+      } else {
+        for (const TupleRef& x : expired) RemoveFromAccs(*x);
+        AddToAccs(*t);
+      }
+      break;
+    }
+    case WindowKind::kCountSliding: {
+      std::optional<TupleRef> evicted = count_buf_->Insert(t);
+      if (evicted.has_value() && !all_invertible_) {
+        RecomputeFromBuffer();
+      } else {
+        if (evicted.has_value()) RemoveFromAccs(**evicted);
+        AddToAccs(*t);
+      }
+      break;
+    }
+    case WindowKind::kTimeLandmark:
+      if (t->ts() >= window_.start) AddToAccs(*t);
+      break;
+    default:
+      break;
+  }
+  EmitCurrent(t->ts());
+}
+
+size_t WindowAggregateOp::StateBytes() const {
+  size_t bytes = sizeof(*this);
+  if (time_buf_ != nullptr) bytes += time_buf_->MemoryBytes();
+  if (count_buf_ != nullptr) bytes += count_buf_->MemoryBytes();
+  for (const auto& acc : accs_) bytes += acc->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace sqp

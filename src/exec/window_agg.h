@@ -1,0 +1,57 @@
+#ifndef SQP_EXEC_WINDOW_AGG_H_
+#define SQP_EXEC_WINDOW_AGG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agg/partial_agg.h"
+#include "exec/operator.h"
+#include "window/count_window.h"
+#include "window/time_window.h"
+#include "window/window_spec.h"
+
+namespace sqp {
+
+/// Sliding-window aggregation: for each arriving tuple, emits the current
+/// aggregate over the window (IStream semantics of a windowed aggregate).
+///
+/// Invertible aggregates (count/sum/avg/stddev) are maintained
+/// incrementally in O(1) per tuple; non-invertible ones (min/max/median/
+/// count-distinct) are recomputed from the window buffer on expiry, the
+/// textbook cost asymmetry between the two classes.
+///
+/// Output row: [ts, agg...]. Supports time-sliding, count-sliding and
+/// landmark (agglomerative) windows (slide 27).
+class WindowAggregateOp : public Operator {
+ public:
+  WindowAggregateOp(WindowSpec window, std::vector<AggSpec> aggs,
+                    std::string name = "window-agg");
+
+  void Push(const Element& e, int port = 0) override;
+  size_t StateBytes() const override;
+
+  /// Number of full recomputations triggered by non-invertible aggregates.
+  uint64_t recompute_count() const { return recomputes_; }
+
+ private:
+  void AddToAccs(const Tuple& t);
+  void RemoveFromAccs(const Tuple& t);
+  void RecomputeFromBuffer();
+  void EmitCurrent(int64_t ts);
+  Value InputOf(const AggSpec& s, const Tuple& t) const;
+
+  WindowSpec window_;
+  std::vector<AggSpec> agg_specs_;
+  std::vector<AggregateFunction> fns_;
+  std::vector<std::unique_ptr<Accumulator>> accs_;
+  bool all_invertible_;
+
+  std::unique_ptr<TimeWindowBuffer> time_buf_;
+  std::unique_ptr<CountWindowBuffer> count_buf_;
+  uint64_t recomputes_ = 0;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_EXEC_WINDOW_AGG_H_

@@ -1,0 +1,106 @@
+#ifndef SQP_EXEC_WINDOW_JOIN_H_
+#define SQP_EXEC_WINDOW_JOIN_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/operator.h"
+#include "window/count_window.h"
+#include "window/time_window.h"
+#include "window/window_spec.h"
+
+namespace sqp {
+
+/// Per-side evaluation strategy for the KNV03 window join (slide 33):
+/// nested-loop scans the opposite window; hash keeps an index on it.
+/// Hash spends memory to save CPU; nested-loop the reverse — choosing
+/// per side ("asymmetric join processing") wins when rates differ.
+enum class JoinStrategy { kNestedLoop, kHash };
+
+const char* JoinStrategyName(JoinStrategy s);
+
+/// Cost counters used by the E3 experiments.
+struct WindowJoinStats {
+  /// Tuple comparisons performed by nested-loop probes.
+  uint64_t nl_comparisons = 0;
+  /// Hash probes performed.
+  uint64_t hash_probes = 0;
+  /// Join output tuples.
+  uint64_t results = 0;
+  /// Padded rows emitted for unmatched left tuples (left_outer only).
+  uint64_t unmatched_left = 0;
+};
+
+/// Binary sliding-window equijoin [KNV03] (slide 32).
+///
+/// On a new tuple from stream A:
+///   1. scan/probe B's window for matches and emit results,
+///   2. insert the tuple into A's window,
+///   3. invalidate expired tuples in A's window.
+///
+/// Windows are per-side (time- or count-based); probe strategy is
+/// per-side too: `left_strategy` is the strategy used to probe the
+/// *left* window (i.e. applied when a right tuple arrives).
+class BinaryWindowJoinOp : public Operator {
+ public:
+  struct Options {
+    std::vector<int> left_cols;
+    std::vector<int> right_cols;
+    WindowSpec left_window = WindowSpec::TimeSliding(100);
+    WindowSpec right_window = WindowSpec::TimeSliding(100);
+    JoinStrategy left_strategy = JoinStrategy::kHash;
+    JoinStrategy right_strategy = JoinStrategy::kHash;
+    /// LEFT OUTER semantics: a left tuple that leaves its window without
+    /// ever matching is emitted padded with `right_arity` nulls. The
+    /// natural stream form of an outer join — the "no reply" case of
+    /// the SYN/SYN-ACK monitor (connection attempts that never complete).
+    bool left_outer = false;
+    size_t right_arity = 0;
+  };
+
+  explicit BinaryWindowJoinOp(Options options,
+                              std::string name = "window-join");
+
+  void Push(const Element& e, int port = 0) override;
+  void Flush() override;
+  size_t StateBytes() const override;
+
+  const WindowJoinStats& join_stats() const { return jstats_; }
+
+ private:
+  struct Side {
+    std::vector<int> key_cols;
+    WindowSpec window;
+    JoinStrategy strategy = JoinStrategy::kHash;
+    std::unique_ptr<TimeWindowBuffer> time_buf;
+    std::unique_ptr<CountWindowBuffer> count_buf;
+    /// Hash index over the window (kHash only); lazily purged.
+    std::unordered_map<Key, std::vector<TupleRef>, KeyHash> index;
+    size_t index_bytes = 0;
+  };
+
+  void Insert(Side& side, const TupleRef& t);
+  /// Returns the number of matches produced.
+  uint64_t Probe(const Side& probe_side, const Key& key, const Tuple& t,
+                 bool t_is_left);
+  void RemoveFromIndex(Side& side, const std::vector<TupleRef>& expired);
+  /// Expiry hook: index cleanup plus outer-join emission for side 0.
+  void HandleExpired(int side, const std::vector<TupleRef>& expired);
+  void EmitJoined(const Tuple& left, const Tuple& right);
+  void EmitUnmatchedLeft(const Tuple& left, int64_t ts);
+
+  bool left_outer_ = false;
+  size_t right_arity_ = 0;
+  Side sides_[2];
+  /// Left tuples that have participated in at least one result
+  /// (left_outer only; entries are purged on expiry).
+  std::unordered_set<const Tuple*> left_matched_;
+  WindowJoinStats jstats_;
+  int flushes_ = 0;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_EXEC_WINDOW_JOIN_H_

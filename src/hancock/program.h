@@ -1,0 +1,56 @@
+#ifndef SQP_HANCOCK_PROGRAM_H_
+#define SQP_HANCOCK_PROGRAM_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/tuple.h"
+#include "exec/expr.h"
+
+namespace sqp {
+namespace hancock {
+
+/// The Hancock iterate-clause event hierarchy (slide 8):
+///
+///   iterate (over calls sortedby origin filteredby pred
+///            withevents originDetect) {
+///     event line_begin(pn) {...}
+///     event call(c)        {...}
+///     event line_end(pn)   {...}
+///   }
+///
+/// `SignatureProgram` replays that paradigm over in-memory blocks:
+/// stream-in, relation-out, block processing with multiple passes
+/// (slides 18, 21): `RunBlock` sorts a block by the key column, applies
+/// the filter, and fires line_begin / call / line_end around each run of
+/// equal keys.
+class SignatureProgram {
+ public:
+  struct Events {
+    std::function<void(int64_t key)> line_begin;
+    std::function<void(const Tuple& t)> call;
+    std::function<void(int64_t key)> line_end;
+  };
+
+  /// `key_col`: the sortedby column (must hold ints). `filter`: the
+  /// filteredby predicate (nullptr = keep all).
+  SignatureProgram(int key_col, ExprRef filter);
+
+  /// Processes one block: sort, filter, fire events.
+  void RunBlock(std::vector<TupleRef> block, const Events& events) const;
+
+  /// Number of key runs (lines) seen across all blocks so far.
+  uint64_t lines_processed() const { return lines_; }
+  uint64_t calls_processed() const { return calls_; }
+
+ private:
+  int key_col_;
+  ExprRef filter_;
+  mutable uint64_t lines_ = 0;
+  mutable uint64_t calls_ = 0;
+};
+
+}  // namespace hancock
+}  // namespace sqp
+
+#endif  // SQP_HANCOCK_PROGRAM_H_

@@ -1,0 +1,57 @@
+#include "hancock/signature.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sqp {
+namespace hancock {
+
+SignatureStore::SignatureStore(size_t arity, double alpha)
+    : arity_(arity), alpha_(alpha) {
+  assert(arity > 0);
+  assert(alpha > 0.0 && alpha <= 1.0);
+}
+
+std::vector<double> SignatureStore::Get(int64_t entity) {
+  ++reads_;
+  auto it = sigs_.find(entity);
+  if (it == sigs_.end()) return std::vector<double>(arity_, 0.0);
+  return it->second;
+}
+
+void SignatureStore::Blend(int64_t entity, const std::vector<double>& obs) {
+  assert(obs.size() == arity_);
+  ++reads_;
+  ++writes_;
+  auto it = sigs_.find(entity);
+  if (it == sigs_.end()) {
+    sigs_.emplace(entity, obs);
+    return;
+  }
+  for (size_t i = 0; i < arity_; ++i) {
+    it->second[i] = alpha_ * obs[i] + (1.0 - alpha_) * it->second[i];
+  }
+}
+
+void SignatureStore::Put(int64_t entity, std::vector<double> sig) {
+  assert(sig.size() == arity_);
+  ++writes_;
+  sigs_[entity] = std::move(sig);
+}
+
+double SignatureStore::Deviation(int64_t entity,
+                                 const std::vector<double>& obs) {
+  assert(obs.size() == arity_);
+  ++reads_;
+  auto it = sigs_.find(entity);
+  if (it == sigs_.end()) return 0.0;  // No history: nothing to deviate from.
+  double dev = 0.0;
+  for (size_t i = 0; i < arity_; ++i) {
+    double base = std::fabs(it->second[i]) + 1.0;  // Normalize, avoid /0.
+    dev += std::fabs(obs[i] - it->second[i]) / base;
+  }
+  return dev / static_cast<double>(arity_);
+}
+
+}  // namespace hancock
+}  // namespace sqp

@@ -1,0 +1,63 @@
+#ifndef SQP_HANCOCK_SIGNATURE_H_
+#define SQP_HANCOCK_SIGNATURE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqp {
+namespace hancock {
+
+/// A persistent per-entity signature collection — Hancock's `data<:pn:>`
+/// map (slide 8). Signatures are fixed-arity vectors of doubles (e.g.
+/// cumulative toll-free seconds, intl call rate), updated per block by
+/// exponential blending:
+///     sig' = alpha * observation + (1 - alpha) * sig.
+///
+/// The store stands in for Hancock's disk-resident signature files; it
+/// tracks an I/O model (reads/writes of signature records) so the
+/// tutorial's "I/O-efficient block processing" lesson (slides 6, 56) is
+/// measurable: sorted block processing touches each signature once per
+/// block, unsorted per-call processing touches it per call.
+class SignatureStore {
+ public:
+  /// `arity`: doubles per signature; `alpha`: blend factor in (0, 1].
+  SignatureStore(size_t arity, double alpha);
+
+  /// Reads an entity's signature (zeros if absent). Counts one read.
+  std::vector<double> Get(int64_t entity);
+
+  /// Blends `observation` into the entity's signature. Counts one read
+  /// and one write.
+  void Blend(int64_t entity, const std::vector<double>& observation);
+
+  /// Overwrites without blending (initial load). Counts one write.
+  void Put(int64_t entity, std::vector<double> sig);
+
+  bool Contains(int64_t entity) const { return sigs_.count(entity) > 0; }
+  size_t size() const { return sigs_.size(); }
+  size_t arity() const { return arity_; }
+  double alpha() const { return alpha_; }
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+  /// Deviation of an observation from the stored signature: normalized
+  /// L1 distance, the fraud-alert score of the AT&T application.
+  double Deviation(int64_t entity, const std::vector<double>& observation);
+
+ private:
+  size_t arity_;
+  double alpha_;
+  std::unordered_map<int64_t, std::vector<double>> sigs_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace hancock
+}  // namespace sqp
+
+#endif  // SQP_HANCOCK_SIGNATURE_H_

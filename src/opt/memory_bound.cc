@@ -1,0 +1,48 @@
+#include "opt/memory_bound.h"
+
+namespace sqp {
+
+MemoryAnalysis AnalyzeAggregateQuery(const AggQueryDesc& desc) {
+  MemoryAnalysis out;
+  out.max_groups = 1;
+
+  for (const FieldDomain& d : desc.group_domains) {
+    if (!d.bounded) {
+      out.verdict = MemoryVerdict::kUnbounded;
+      out.explanation =
+          "grouping attribute '" + d.name + "' has an unbounded domain";
+      return out;
+    }
+    // Saturating multiply.
+    if (d.size != 0 && out.max_groups > UINT64_MAX / d.size) {
+      out.max_groups = UINT64_MAX;
+    } else {
+      out.max_groups *= d.size == 0 ? 1 : d.size;
+    }
+  }
+
+  for (const AggQueryDesc::AggInput& a : desc.aggs) {
+    if (ClassOf(a.kind) == AggClass::kHolistic && !a.input_bounded) {
+      out.verdict = MemoryVerdict::kUnbounded;
+      out.explanation = std::string("holistic aggregate ") +
+                        AggKindName(a.kind) +
+                        " over an unbounded attribute requires state "
+                        "proportional to the stream";
+      return out;
+    }
+  }
+
+  // With a window over the ordering attribute, at most O(1) buckets are
+  // simultaneously open; without one, the bound still holds because all
+  // grouping domains are finite.
+  out.verdict = MemoryVerdict::kBounded;
+  out.explanation =
+      desc.windowed_by_ordering
+          ? "all grouping attributes bounded within the ordering window; "
+            "no holistic aggregate on an unbounded attribute"
+          : "all grouping attributes bounded; no holistic aggregate on an "
+            "unbounded attribute";
+  return out;
+}
+
+}  // namespace sqp

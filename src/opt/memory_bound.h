@@ -1,0 +1,58 @@
+#ifndef SQP_OPT_MEMORY_BOUND_H_
+#define SQP_OPT_MEMORY_BOUND_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "agg/aggregate_fn.h"
+
+namespace sqp {
+
+/// Domain metadata for one attribute, as known to the analyzer. A field
+/// is *bounded* when its value domain is finite and small enough to
+/// enumerate (protocol numbers, ports, flag bits); timestamps and free
+/// strings are unbounded.
+struct FieldDomain {
+  std::string name;
+  bool bounded = false;
+  /// Domain cardinality when bounded (upper bound on groups).
+  uint64_t size = 0;
+};
+
+/// Description of a single-stream aggregate query for the [ABB+02]
+/// bounded-memory test (slide 35).
+struct AggQueryDesc {
+  /// Domains of the grouping attributes (after applying WHERE-clause
+  /// range restrictions, which can bound an otherwise unbounded field —
+  /// slide 36's `length > 512 and length < 1024` example).
+  std::vector<FieldDomain> group_domains;
+  /// Aggregate kinds and whether each runs over an unbounded attribute.
+  struct AggInput {
+    AggKind kind = AggKind::kCount;
+    bool input_bounded = false;
+  };
+  std::vector<AggInput> aggs;
+  /// True when grouping includes a window expression on the ordering
+  /// attribute (e.g. time/60): only O(1) buckets are ever open at once.
+  bool windowed_by_ordering = false;
+};
+
+enum class MemoryVerdict { kBounded, kUnbounded };
+
+struct MemoryAnalysis {
+  MemoryVerdict verdict = MemoryVerdict::kUnbounded;
+  /// Upper bound on simultaneously live groups (when bounded).
+  uint64_t max_groups = 0;
+  std::string explanation;
+};
+
+/// Applies the [ABB+02] criteria: the query runs in bounded memory iff
+/// every grouping attribute is bounded (within a window, the ordering-
+/// attribute bucket counts as bounded) and no holistic aggregate runs
+/// over an unbounded attribute.
+MemoryAnalysis AnalyzeAggregateQuery(const AggQueryDesc& desc);
+
+}  // namespace sqp
+
+#endif  // SQP_OPT_MEMORY_BOUND_H_

@@ -1,0 +1,31 @@
+#include "opt/rate_model.h"
+
+#include <algorithm>
+
+namespace sqp {
+
+double PipelineOutputRate(double input_rate,
+                          const std::vector<RatedStage>& stages) {
+  double rate = input_rate;
+  for (const RatedStage& s : stages) {
+    rate = std::min(rate, s.service_rate) * s.selectivity;
+  }
+  return rate;
+}
+
+double PipelineWork(double input_rate, const std::vector<RatedStage>& stages) {
+  double rate = input_rate;
+  double work = 0.0;
+  for (const RatedStage& s : stages) {
+    double processed = std::min(rate, s.service_rate);
+    work += processed * s.CostPerTuple();
+    rate = processed * s.selectivity;
+  }
+  return work;
+}
+
+double JoinOutputRate(double r1, double r2, const RatedJoin& join) {
+  return join.selectivity * r1 * r2 * (join.window1 + join.window2);
+}
+
+}  // namespace sqp

@@ -1,0 +1,47 @@
+#ifndef SQP_OPT_RATE_MODEL_H_
+#define SQP_OPT_RATE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sqp {
+
+/// Rate model of one pipeline stage (filter/map) for rate-based
+/// optimization [VN02] (slides 40-41): the stage forwards
+/// min(input_rate, service_rate) * selectivity tuples per second.
+/// A "very fast op" has service_rate = +infinity.
+struct RatedStage {
+  std::string name;
+  double selectivity = 1.0;
+  /// Max tuples/sec the stage can process.
+  double service_rate = 1e18;
+  /// Per-tuple cost in seconds (= 1/service_rate); kept separately so
+  /// classic cost-based ranking is expressible.
+  double CostPerTuple() const {
+    return service_rate <= 0 ? 1e18 : 1.0 / service_rate;
+  }
+};
+
+/// Output rate of `input_rate` pushed through the stages in order.
+double PipelineOutputRate(double input_rate,
+                          const std::vector<RatedStage>& stages);
+
+/// Total work (seconds of processing per second of stream) the pipeline
+/// performs — the classic cost objective, for contrast with rate.
+double PipelineWork(double input_rate, const std::vector<RatedStage>& stages);
+
+/// Rate model of a sliding-window equijoin [KNV03/VN02]: with input
+/// rates r1, r2, windows w1, w2 (time units) and match selectivity f,
+/// output rate = f * (r1 * r2 * w2 + r2 * r1 * w1) = f * r1 * r2 * (w1+w2).
+struct RatedJoin {
+  double selectivity = 0.01;
+  double window1 = 1.0;
+  double window2 = 1.0;
+};
+
+double JoinOutputRate(double r1, double r2, const RatedJoin& join);
+
+}  // namespace sqp
+
+#endif  // SQP_OPT_RATE_MODEL_H_

@@ -1,0 +1,104 @@
+#include "opt/rate_optimizer.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sqp {
+
+namespace {
+
+std::vector<RatedStage> Reorder(const std::vector<RatedStage>& stages,
+                                const std::vector<size_t>& order) {
+  std::vector<RatedStage> out;
+  out.reserve(order.size());
+  for (size_t i : order) out.push_back(stages[i]);
+  return out;
+}
+
+}  // namespace
+
+OrderingPlan MaximizeOutputRate(double input_rate,
+                                const std::vector<RatedStage>& stages) {
+  OrderingPlan best;
+  std::vector<size_t> order(stages.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  if (stages.size() <= 8) {
+    std::vector<size_t> perm = order;
+    std::sort(perm.begin(), perm.end());
+    do {
+      double rate = PipelineOutputRate(input_rate, Reorder(stages, perm));
+      if (rate > best.output_rate) {
+        best.output_rate = rate;
+        best.order = perm;
+      }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  } else {
+    // Heuristic: fast, selective stages first (high service rate breaks
+    // ties toward not throttling the stream early).
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      double ka = stages[a].selectivity / std::min(stages[a].service_rate, 1e18);
+      double kb = stages[b].selectivity / std::min(stages[b].service_rate, 1e18);
+      if (ka != kb) return ka < kb;
+      return stages[a].service_rate > stages[b].service_rate;
+    });
+    best.order = order;
+    best.output_rate = PipelineOutputRate(input_rate, Reorder(stages, order));
+  }
+  best.work = PipelineWork(input_rate, Reorder(stages, best.order));
+  return best;
+}
+
+OrderingPlan MinimizeWork(double input_rate,
+                          const std::vector<RatedStage>& stages) {
+  OrderingPlan plan;
+  plan.order.resize(stages.size());
+  std::iota(plan.order.begin(), plan.order.end(), 0);
+  // Rank ordering: (1 - sel) / cost descending (most filtering per unit
+  // cost first) — the textbook least-work order for commuting filters.
+  std::sort(plan.order.begin(), plan.order.end(), [&](size_t a, size_t b) {
+    double ra = (1.0 - stages[a].selectivity) / stages[a].CostPerTuple();
+    double rb = (1.0 - stages[b].selectivity) / stages[b].CostPerTuple();
+    return ra > rb;
+  });
+  plan.output_rate = PipelineOutputRate(input_rate, Reorder(stages, plan.order));
+  plan.work = PipelineWork(input_rate, Reorder(stages, plan.order));
+  return plan;
+}
+
+JoinTreePlan BestJoinOrder(const std::vector<double>& rates,
+                           const std::vector<std::vector<double>>& sel,
+                           double window) {
+  JoinTreePlan best;
+  size_t n = rates.size();
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+
+  auto evaluate = [&](const std::vector<size_t>& order) {
+    // Left-deep: result rate of the running join, joined with the next
+    // stream. Selectivity between a partial result and stream j is the
+    // product of sel[i][j] over i already joined (independence).
+    double rate = rates[order[0]];
+    std::vector<size_t> joined = {order[0]};
+    for (size_t k = 1; k < n; ++k) {
+      size_t j = order[k];
+      double s = 1.0;
+      for (size_t i : joined) s *= sel[i][j];
+      RatedJoin join{s, window, window};
+      rate = JoinOutputRate(rate, rates[j], join);
+      joined.push_back(j);
+    }
+    return rate;
+  };
+
+  do {
+    double rate = evaluate(perm);
+    if (rate > best.output_rate) {
+      best.output_rate = rate;
+      best.order = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+}  // namespace sqp

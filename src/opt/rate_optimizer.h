@@ -1,0 +1,45 @@
+#ifndef SQP_OPT_RATE_OPTIMIZER_H_
+#define SQP_OPT_RATE_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "opt/rate_model.h"
+
+namespace sqp {
+
+/// Result of an ordering search.
+struct OrderingPlan {
+  std::vector<size_t> order;  // Stage indexes, execution order.
+  double output_rate = 0.0;
+  double work = 0.0;
+};
+
+/// Rate-based ordering of commutable filters [VN02]: returns the stage
+/// order maximizing output rate (exhaustive for <= 8 stages, otherwise a
+/// rank heuristic). The tutorial's point (slide 41): this can differ from
+/// the least-work order when a slow operator throttles the stream.
+OrderingPlan MaximizeOutputRate(double input_rate,
+                                const std::vector<RatedStage>& stages);
+
+/// Classic cost-based ordering: minimizes total work (rank ordering by
+/// (1 - selectivity)/cost, which is optimal for unthrottled pipelines).
+OrderingPlan MinimizeWork(double input_rate,
+                          const std::vector<RatedStage>& stages);
+
+/// A left-deep join-tree search over N streams maximizing output rate.
+struct JoinTreePlan {
+  std::vector<size_t> order;  // Stream join order (first two join first).
+  double output_rate = 0.0;
+};
+
+/// `rates[i]`: stream i's rate. `sel[i][j]`: pairwise join selectivity.
+/// `window`: common window length used for every join. Exhaustive for
+/// N <= 7.
+JoinTreePlan BestJoinOrder(const std::vector<double>& rates,
+                           const std::vector<std::vector<double>>& sel,
+                           double window);
+
+}  // namespace sqp
+
+#endif  // SQP_OPT_RATE_OPTIMIZER_H_

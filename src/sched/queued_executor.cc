@@ -1,0 +1,118 @@
+#include "sched/queued_executor.h"
+
+namespace sqp {
+
+QueuedExecutor::QueuedExecutor(std::vector<Stage> stages, Operator* sink,
+                               std::unique_ptr<SchedulingPolicy> policy)
+    : stages_(std::move(stages)),
+      queues_(stages_.size()),
+      sink_(sink),
+      policy_(std::move(policy)),
+      progress_(stages_.size(), 0.0) {
+  // Wire each operator's output: stage i -> queue i+1 via a callback
+  // sink; the last stage goes straight to the user sink.
+  relays_.reserve(stages_.size());
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (i + 1 < stages_.size()) {
+      size_t next = i + 1;
+      relays_.push_back(std::make_unique<CallbackSink>(
+          [this, next](const Element& e) {
+            queues_[next].push_back(Entry{e, seq_++});
+          }));
+      stages_[i].op->SetOutput(relays_.back().get());
+    } else {
+      stages_[i].op->SetOutput(sink_);
+    }
+  }
+}
+
+QueuedExecutor::~QueuedExecutor() = default;
+
+bool QueuedExecutor::Arrive(Element e) {
+  const Stage& s = stages_.front();
+  if (s.queue_limit != 0 && queues_[0].size() >= s.queue_limit &&
+      !e.is_punctuation()) {
+    ++dropped_;
+    return false;
+  }
+  queues_[0].push_back(Entry{std::move(e), seq_++});
+  return true;
+}
+
+std::vector<OpView> QueuedExecutor::MakeViews() const {
+  std::vector<OpView> views(stages_.size());
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    views[i].queue_len = queues_[i].size();
+    views[i].selectivity = stages_[i].selectivity_hint;
+    views[i].cost = stages_[i].cost;
+    if (!queues_[i].empty()) {
+      views[i].head_seq = queues_[i].front().seq;
+      // Real size of the waiting element, so size-aware policies
+      // (Greedy) see shrinking tuples the way the [BBDM03] model does.
+      views[i].head_size =
+          static_cast<double>(queues_[i].front().e.MemoryBytes());
+    }
+  }
+  return views;
+}
+
+void QueuedExecutor::Deliver(size_t stage) {
+  Entry entry = std::move(queues_[stage].front());
+  queues_[stage].pop_front();
+  stages_[stage].op->Push(entry.e, 0);
+}
+
+void QueuedExecutor::Tick(double capacity) {
+  double budget = capacity;
+  while (budget > 1e-12) {
+    int pick = policy_->Pick(MakeViews());
+    if (pick < 0) break;
+    size_t i = static_cast<size_t>(pick);
+    double needed = stages_[i].cost - progress_[i];
+    if (needed > budget) {
+      progress_[i] += budget;
+      break;
+    }
+    budget -= needed;
+    progress_[i] = 0.0;
+    Deliver(i);
+  }
+}
+
+void QueuedExecutor::Drain() {
+  auto drain_queues = [&] {
+    bool any = true;
+    while (any) {
+      any = false;
+      for (size_t i = 0; i < stages_.size(); ++i) {
+        while (!queues_[i].empty()) {
+          Deliver(i);
+          any = true;
+        }
+      }
+    }
+  };
+  drain_queues();
+  // Flush stage by stage; a flush may emit buffered results into the
+  // next queue (e.g. group-by close-out), so re-drain after each.
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    stages_[i].op->Flush();
+    drain_queues();
+  }
+}
+
+size_t QueuedExecutor::QueuedElements() const {
+  size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+size_t QueuedExecutor::QueuedBytes() const {
+  size_t bytes = 0;
+  for (const auto& q : queues_) {
+    for (const Entry& e : q) bytes += e.e.MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace sqp

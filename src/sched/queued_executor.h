@@ -1,0 +1,74 @@
+#ifndef SQP_SCHED_QUEUED_EXECUTOR_H_
+#define SQP_SCHED_QUEUED_EXECUTOR_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "exec/operator.h"
+#include "sched/policies.h"
+
+namespace sqp {
+
+/// Executes a linear chain of real operators with an explicit queue in
+/// front of each, under a pluggable scheduling policy — the bridge
+/// between the analytic simulator and the physical operators: same
+/// policies, real tuples.
+///
+/// Each operator is charged `cost` work units per consumed element; one
+/// `Tick()` grants `capacity` units. Operator outputs are routed into the
+/// next stage's queue (the last stage feeds the sink directly).
+class QueuedExecutor {
+ public:
+  struct Stage {
+    Operator* op = nullptr;
+    double cost = 1.0;
+    /// A-priori selectivity estimate handed to the policy (the policy
+    /// never sees real output counts mid-run, mirroring [BBDM03]).
+    double selectivity_hint = 1.0;
+    /// Bound on the stage's input queue in elements (0 = unbounded).
+    size_t queue_limit = 0;
+  };
+
+  QueuedExecutor(std::vector<Stage> stages, Operator* sink,
+                 std::unique_ptr<SchedulingPolicy> policy);
+  ~QueuedExecutor();
+
+  /// Enqueues an arriving element into the first stage's queue. Returns
+  /// false if the element was dropped (queue full).
+  bool Arrive(Element e);
+
+  /// Runs one time unit of processing.
+  void Tick(double capacity = 1.0);
+
+  /// Drains every queue (ignoring costs) and flushes the chain.
+  void Drain();
+
+  size_t QueuedElements() const;
+  size_t QueuedBytes() const;
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  struct Entry {
+    Element e;
+    uint64_t seq;
+  };
+
+  std::vector<OpView> MakeViews() const;
+  /// Pops the head of `stage`'s queue into its operator.
+  void Deliver(size_t stage);
+
+  std::vector<Stage> stages_;
+  std::vector<std::deque<Entry>> queues_;
+  // Relay sinks routing each stage's output into the next queue.
+  std::vector<std::unique_ptr<Operator>> relays_;
+  Operator* sink_;
+  std::unique_ptr<SchedulingPolicy> policy_;
+  std::vector<double> progress_;
+  uint64_t seq_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_SCHED_QUEUED_EXECUTOR_H_

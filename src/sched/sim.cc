@@ -1,0 +1,97 @@
+#include "sched/sim.h"
+
+#include <algorithm>
+
+namespace sqp {
+
+namespace {
+
+struct SimTuple {
+  double size;
+  uint64_t seq;
+};
+
+}  // namespace
+
+ChainSimResult RunChainSim(const ChainSimConfig& config,
+                           ArrivalProcess& arrivals,
+                           SchedulingPolicy& policy) {
+  size_t n = config.ops.size();
+  std::vector<std::deque<SimTuple>> queues(n);
+  // Partial progress (work units already spent) on each queue's head.
+  std::vector<double> progress(n, 0.0);
+  uint64_t seq = 0;
+
+  ChainSimResult result;
+  result.memory_at_tick.reserve(static_cast<size_t>(config.ticks));
+
+  auto total_memory = [&]() {
+    double m = 0.0;
+    for (const auto& q : queues) {
+      for (const SimTuple& t : q) m += t.size;
+    }
+    return m;
+  };
+
+  auto make_views = [&]() {
+    std::vector<OpView> views(n);
+    for (size_t i = 0; i < n; ++i) {
+      views[i].queue_len = queues[i].size();
+      views[i].selectivity = config.ops[i].selectivity;
+      views[i].cost = config.ops[i].cost;
+      if (!queues[i].empty()) {
+        views[i].head_seq = queues[i].front().seq;
+        views[i].head_size = queues[i].front().size;
+      }
+    }
+    return views;
+  };
+
+  for (int64_t t = 0; t < config.ticks; ++t) {
+    // Arrivals enter the head queue.
+    uint64_t arriving = arrivals.ArrivalsAt(t);
+    for (uint64_t a = 0; a < arriving; ++a) {
+      queues[0].push_back(SimTuple{1.0, seq++});
+    }
+
+    // Sample memory after arrivals, before this tick's processing —
+    // the convention of the slide-43 table.
+    double mem = total_memory();
+    result.memory_at_tick.push_back(mem);
+    result.peak_memory = std::max(result.peak_memory, mem);
+    result.avg_memory += mem;
+
+    // Spend this tick's capacity.
+    double budget = config.capacity;
+    while (budget > 1e-12) {
+      int pick = policy.Pick(make_views());
+      if (pick < 0) break;
+      size_t i = static_cast<size_t>(pick);
+      SimTuple& head = queues[i].front();
+      double needed = config.ops[i].cost - progress[i];
+      if (needed > budget) {
+        progress[i] += budget;
+        budget = 0.0;
+        break;
+      }
+      budget -= needed;
+      progress[i] = 0.0;
+      // Tuple completes operator i.
+      SimTuple done = head;
+      queues[i].pop_front();
+      done.size *= config.ops[i].selectivity;
+      if (i + 1 < n && done.size > 0.0) {
+        queues[i + 1].push_back(done);
+      } else {
+        ++result.completed;
+      }
+    }
+  }
+
+  if (!result.memory_at_tick.empty()) {
+    result.avg_memory /= static_cast<double>(result.memory_at_tick.size());
+  }
+  return result;
+}
+
+}  // namespace sqp

@@ -1,0 +1,48 @@
+#ifndef SQP_SCHED_SIM_H_
+#define SQP_SCHED_SIM_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sched/policies.h"
+#include "stream/arrival.h"
+
+namespace sqp {
+
+/// Analytic model of one operator in a chain (the [BBDM03] setting):
+/// processing one tuple takes `cost` time units and scales the tuple's
+/// memory footprint by `selectivity` (0 = the tuple is consumed).
+struct SimOperator {
+  double cost = 1.0;
+  double selectivity = 1.0;
+};
+
+struct ChainSimConfig {
+  std::vector<SimOperator> ops;
+  /// Simulation horizon in time units.
+  int64_t ticks = 100;
+  /// Processing capacity per tick (1.0 = one unit of work).
+  double capacity = 1.0;
+};
+
+struct ChainSimResult {
+  /// Total queued memory measured at each integer time (after arrivals,
+  /// before that tick's processing) — the slide-43 table rows.
+  std::vector<double> memory_at_tick;
+  double peak_memory = 0.0;
+  double avg_memory = 0.0;
+  /// Tuples fully processed through the chain.
+  uint64_t completed = 0;
+};
+
+/// Runs the discrete-time chain simulation: at each tick, arrivals enter
+/// queue 0, then the policy repeatedly picks an operator until the tick's
+/// capacity is exhausted. Deterministic given the arrival process.
+ChainSimResult RunChainSim(const ChainSimConfig& config,
+                           ArrivalProcess& arrivals,
+                           SchedulingPolicy& policy);
+
+}  // namespace sqp
+
+#endif  // SQP_SCHED_SIM_H_

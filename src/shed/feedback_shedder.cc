@@ -1,0 +1,18 @@
+#include "shed/feedback_shedder.h"
+
+#include <algorithm>
+
+namespace sqp {
+
+double FeedbackShedder::Observe(size_t queue_len) {
+  double error =
+      (static_cast<double>(queue_len) - options_.target_queue) /
+      options_.target_queue;
+  integral_ += options_.ki * error;
+  // Anti-windup: the integral term alone must stay a valid probability.
+  integral_ = std::clamp(integral_, 0.0, 1.0);
+  drop_rate_ = std::clamp(integral_ + options_.kp * error, 0.0, 1.0);
+  return drop_rate_;
+}
+
+}  // namespace sqp

@@ -1,0 +1,45 @@
+#ifndef SQP_SHED_FEEDBACK_SHEDDER_H_
+#define SQP_SHED_FEEDBACK_SHEDDER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sqp {
+
+/// Aurora-style introspective load shedding (slides 44/47): a feedback
+/// controller that watches queue occupancy and adjusts a drop
+/// probability so the queue settles near a target instead of growing
+/// until the bounded queue drops indiscriminately.
+///
+/// The controller is proportional-integral on the normalized occupancy
+/// error; the integral term finds the steady-state drop rate
+/// (1 - capacity/rate) without knowing either rate, and the proportional
+/// term reacts to bursts.
+class FeedbackShedder {
+ public:
+  struct Options {
+    /// Queue occupancy to hold (elements).
+    double target_queue = 100.0;
+    /// Proportional gain on normalized error (error / target).
+    double kp = 0.2;
+    /// Integral gain per Observe() call.
+    double ki = 0.02;
+  };
+
+  explicit FeedbackShedder(Options options) : options_(options) {}
+
+  /// Feeds one queue-length observation (call once per tick); returns
+  /// the updated drop probability in [0, 1].
+  double Observe(size_t queue_len);
+
+  double drop_rate() const { return drop_rate_; }
+
+ private:
+  Options options_;
+  double integral_ = 0.0;
+  double drop_rate_ = 0.0;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_SHED_FEEDBACK_SHEDDER_H_

@@ -1,0 +1,90 @@
+#include "shed/qos.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sqp {
+
+Result<QosCurve> QosCurve::Make(
+    std::vector<std::pair<double, double>> points) {
+  if (points.size() < 2) {
+    return Status::InvalidArgument("QoS curve needs at least two points");
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (points[i].first < 0.0 || points[i].first > 1.0 ||
+        points[i].second < 0.0 || points[i].second > 1.0) {
+      return Status::InvalidArgument("QoS points must lie in [0,1]x[0,1]");
+    }
+    if (i > 0 && points[i].first <= points[i - 1].first) {
+      return Status::InvalidArgument("QoS x-coordinates must be increasing");
+    }
+  }
+  QosCurve c;
+  c.pts_ = std::move(points);
+  return c;
+}
+
+double QosCurve::Utility(double x) const {
+  x = std::clamp(x, 0.0, 1.0);
+  if (x <= pts_.front().first) return pts_.front().second;
+  for (size_t i = 1; i < pts_.size(); ++i) {
+    if (x <= pts_[i].first) {
+      double x0 = pts_[i - 1].first, y0 = pts_[i - 1].second;
+      double x1 = pts_[i].first, y1 = pts_[i].second;
+      return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+    }
+  }
+  return pts_.back().second;
+}
+
+QosCurve QosCurve::Linear() {
+  return *Make({{0.0, 0.0}, {1.0, 1.0}});
+}
+
+QosCurve QosCurve::Knee(double knee) {
+  knee = std::clamp(knee, 0.01, 0.99);
+  return *Make({{0.0, 0.0}, {knee, 0.1}, {1.0, 1.0}});
+}
+
+QosAllocation AllocateCapacity(const std::vector<double>& rates,
+                               const std::vector<QosCurve>& curves,
+                               double capacity, int steps) {
+  QosAllocation alloc;
+  size_t n = rates.size();
+  alloc.delivered_fraction.assign(n, 0.0);
+  if (n == 0) return alloc;
+
+  // Greedy water-filling: repeatedly grant a capacity quantum to the
+  // query with the best marginal utility per unit capacity.
+  double total_rate = 0.0;
+  for (double r : rates) total_rate += r;
+  double quantum = total_rate / static_cast<double>(steps * n);
+  double remaining = capacity;
+  while (remaining > quantum * 0.5) {
+    int best = -1;
+    double best_marginal = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (alloc.delivered_fraction[i] >= 1.0 || rates[i] <= 0.0) continue;
+      double df = quantum / rates[i];
+      double next = std::min(1.0, alloc.delivered_fraction[i] + df);
+      double marginal = curves[i].Utility(next) -
+                        curves[i].Utility(alloc.delivered_fraction[i]);
+      if (marginal > best_marginal) {
+        best_marginal = marginal;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    alloc.delivered_fraction[static_cast<size_t>(best)] = std::min(
+        1.0, alloc.delivered_fraction[static_cast<size_t>(best)] +
+                 quantum / rates[static_cast<size_t>(best)]);
+    remaining -= quantum;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    alloc.total_utility += curves[i].Utility(alloc.delivered_fraction[i]);
+  }
+  return alloc;
+}
+
+}  // namespace sqp

@@ -1,0 +1,51 @@
+#ifndef SQP_SHED_QOS_H_
+#define SQP_SHED_QOS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqp {
+
+/// An Aurora-style piecewise-linear QoS (utility) curve (slide 47):
+/// maps a delivered fraction (or latency, or value coverage) in [0, 1]
+/// to a utility in [0, 1]. Load shedding picks drop rates maximizing
+/// total utility across queries.
+class QosCurve {
+ public:
+  /// Control points (x ascending in [0,1], y in [0,1]); linear between.
+  static Result<QosCurve> Make(std::vector<std::pair<double, double>> points);
+
+  /// Utility at delivered fraction x (clamped to [0,1]).
+  double Utility(double x) const;
+
+  /// A linear curve: utility == delivered fraction.
+  static QosCurve Linear();
+  /// A step-ish curve: near-full utility until `knee`, then steep drop —
+  /// models hard real-time consumers.
+  static QosCurve Knee(double knee);
+
+ private:
+  QosCurve() = default;
+  std::vector<std::pair<double, double>> pts_;
+};
+
+/// Allocates a per-query delivery fraction under a total capacity budget
+/// so that the sum of utilities is maximized (greedy marginal-utility
+/// water-filling over the piecewise-linear curves — optimal for concave
+/// curves, heuristic otherwise).
+struct QosAllocation {
+  std::vector<double> delivered_fraction;
+  double total_utility = 0.0;
+};
+
+/// `rates[i]`: query i's input rate (tuples/tick). `capacity`: total
+/// processable rate. Returns per-query delivery fractions in [0,1].
+QosAllocation AllocateCapacity(const std::vector<double>& rates,
+                               const std::vector<QosCurve>& curves,
+                               double capacity, int steps = 100);
+
+}  // namespace sqp
+
+#endif  // SQP_SHED_QOS_H_

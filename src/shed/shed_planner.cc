@@ -1,0 +1,45 @@
+#include "shed/shed_planner.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sqp {
+
+ShedPlan PlanShedding(const std::vector<ShedPoint>& points,
+                      double current_load, double capacity) {
+  ShedPlan plan;
+  plan.drop_rate.assign(points.size(), 0.0);
+  double excess = current_load - capacity;
+  if (excess <= 0.0) return plan;
+
+  // Order points by work saved per unit of answer loss, best first.
+  std::vector<size_t> order(points.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    double ra = points[a].answer_loss_weight <= 0.0
+                    ? 1e18
+                    : points[a].downstream_cost / points[a].answer_loss_weight;
+    double rb = points[b].answer_loss_weight <= 0.0
+                    ? 1e18
+                    : points[b].downstream_cost / points[b].answer_loss_weight;
+    return ra > rb;
+  });
+
+  for (size_t idx : order) {
+    if (excess <= 0.0) break;
+    const ShedPoint& p = points[idx];
+    double max_save = p.rate * p.downstream_cost;  // Dropping everything.
+    if (max_save <= 0.0) continue;
+    double frac = std::min(1.0, excess / max_save);
+    plan.drop_rate[idx] = frac;
+    double saved = frac * max_save;
+    plan.saved_work += saved;
+    plan.expected_answer_loss += frac * p.answer_loss_weight;
+    excess -= saved;
+  }
+  plan.feasible = excess <= 1e-9;
+  plan.expected_answer_loss = std::min(1.0, plan.expected_answer_loss);
+  return plan;
+}
+
+}  // namespace sqp

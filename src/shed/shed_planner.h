@@ -1,0 +1,42 @@
+#ifndef SQP_SHED_SHED_PLANNER_H_
+#define SQP_SHED_SHED_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqp {
+
+/// One candidate shedding location in a plan: dropping here costs
+/// nothing upstream of the point and saves `downstream_cost` work units
+/// per dropped tuple; `rate` tuples/tick flow through it.
+struct ShedPoint {
+  double rate = 0.0;
+  double downstream_cost = 1.0;
+  /// Fraction of final answers lost per unit of drop rate here (1.0 for a
+  /// drop at the source of a single-query plan; < 1 when placed after a
+  /// filter that would have discarded some tuples anyway).
+  double answer_loss_weight = 1.0;
+};
+
+/// Result: per-point drop rates in [0,1].
+struct ShedPlan {
+  std::vector<double> drop_rate;
+  double saved_work = 0.0;
+  double expected_answer_loss = 0.0;
+  bool feasible = true;
+};
+
+/// Chooses drop rates so total work fits `capacity`, losing as little of
+/// the answer as possible: sheds first at points with the highest
+/// work-saved-per-answer-lost ratio ([BDM03]-style greedy placement).
+///
+/// `current_load` is the plan's work demand per tick; if it already fits,
+/// all drop rates are zero.
+ShedPlan PlanShedding(const std::vector<ShedPoint>& points,
+                      double current_load, double capacity);
+
+}  // namespace sqp
+
+#endif  // SQP_SHED_SHED_PLANNER_H_

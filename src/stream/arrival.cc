@@ -1,0 +1,62 @@
+#include "stream/arrival.h"
+
+#include <cmath>
+
+namespace sqp {
+
+uint64_t UniformArrival::ArrivalsAt(int64_t /*t*/) {
+  carry_ += rate_;
+  uint64_t n = static_cast<uint64_t>(carry_);
+  carry_ -= static_cast<double>(n);
+  return n;
+}
+
+uint64_t PoissonArrival::ArrivalsAt(int64_t /*t*/) {
+  // Knuth's method; rate per tick is small in our experiments.
+  double limit = std::exp(-rate_);
+  uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng_.NextDouble();
+  } while (p > limit);
+  return k - 1;
+}
+
+BurstyArrival::BurstyArrival(double on_rate, double mean_on_len,
+                             double mean_off_len, uint64_t seed)
+    : on_rate_(on_rate),
+      p_leave_on_(mean_on_len <= 0 ? 1.0 : 1.0 / mean_on_len),
+      p_leave_off_(mean_off_len <= 0 ? 1.0 : 1.0 / mean_off_len),
+      rng_(seed),
+      on_gen_(on_rate) {}
+
+uint64_t BurstyArrival::ArrivalsAt(int64_t t) {
+  uint64_t n = on_ ? on_gen_.ArrivalsAt(t) : 0;
+  if (on_) {
+    if (rng_.Bernoulli(p_leave_on_)) on_ = false;
+  } else {
+    if (rng_.Bernoulli(p_leave_off_)) on_ = true;
+  }
+  return n;
+}
+
+double BurstyArrival::MeanRate() const {
+  double mean_on = 1.0 / p_leave_on_;
+  double mean_off = 1.0 / p_leave_off_;
+  return on_rate_ * mean_on / (mean_on + mean_off);
+}
+
+uint64_t ScheduledArrival::ArrivalsAt(int64_t t) {
+  if (t < 0 || static_cast<size_t>(t) >= schedule_.size()) return 0;
+  return schedule_[static_cast<size_t>(t)];
+}
+
+double ScheduledArrival::MeanRate() const {
+  if (schedule_.empty()) return 0.0;
+  uint64_t total = 0;
+  for (uint64_t a : schedule_) total += a;
+  return static_cast<double>(total) / static_cast<double>(schedule_.size());
+}
+
+}  // namespace sqp

@@ -1,0 +1,89 @@
+#ifndef SQP_STREAM_ARRIVAL_H_
+#define SQP_STREAM_ARRIVAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sqp {
+
+/// Generates inter-arrival gaps (in ticks of the logical clock). The
+/// scheduling and shedding experiments (slides 42-44) hinge on arrival
+/// burstiness, so the process is pluggable.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Number of tuples arriving during tick `t`.
+  virtual uint64_t ArrivalsAt(int64_t t) = 0;
+
+  /// Long-run mean arrivals per tick.
+  virtual double MeanRate() const = 0;
+};
+
+/// Constant rate: `rate` arrivals every tick (fractional rates accumulate).
+class UniformArrival : public ArrivalProcess {
+ public:
+  explicit UniformArrival(double rate) : rate_(rate) {}
+
+  uint64_t ArrivalsAt(int64_t t) override;
+  double MeanRate() const override { return rate_; }
+
+ private:
+  double rate_;
+  double carry_ = 0.0;
+};
+
+/// Poisson arrivals with mean `rate` per tick.
+class PoissonArrival : public ArrivalProcess {
+ public:
+  PoissonArrival(double rate, uint64_t seed) : rate_(rate), rng_(seed) {}
+
+  uint64_t ArrivalsAt(int64_t t) override;
+  double MeanRate() const override { return rate_; }
+
+ private:
+  double rate_;
+  Rng rng_;
+};
+
+/// Markov-modulated on/off ("bursty") arrivals: in the ON state tuples
+/// arrive at `on_rate`; in OFF, none. State dwell times are geometric
+/// with the given mean lengths. This is the canonical model behind the
+/// Chain scheduling analysis [BBDM03].
+class BurstyArrival : public ArrivalProcess {
+ public:
+  BurstyArrival(double on_rate, double mean_on_len, double mean_off_len,
+                uint64_t seed);
+
+  uint64_t ArrivalsAt(int64_t t) override;
+  double MeanRate() const override;
+
+ private:
+  double on_rate_;
+  double p_leave_on_;
+  double p_leave_off_;
+  bool on_ = true;
+  Rng rng_;
+  UniformArrival on_gen_;
+};
+
+/// Replays an explicit per-tick schedule; used to reproduce the slide-43
+/// table exactly. Ticks beyond the schedule produce zero arrivals.
+class ScheduledArrival : public ArrivalProcess {
+ public:
+  explicit ScheduledArrival(std::vector<uint64_t> arrivals_per_tick)
+      : schedule_(std::move(arrivals_per_tick)) {}
+
+  uint64_t ArrivalsAt(int64_t t) override;
+  double MeanRate() const override;
+
+ private:
+  std::vector<uint64_t> schedule_;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_STREAM_ARRIVAL_H_

@@ -1,0 +1,18 @@
+#include "stream/element.h"
+
+namespace sqp {
+
+std::string Punctuation::ToString() const {
+  std::string out = "punct(ts<=" + std::to_string(ts);
+  if (has_key) out += ", key=" + key.ToString();
+  out += ")";
+  return out;
+}
+
+std::string Element::ToString() const {
+  if (is_punctuation()) return punctuation().ToString();
+  if (is_tuple()) return tuple()->ToString();
+  return "(empty)";
+}
+
+}  // namespace sqp

@@ -1,0 +1,66 @@
+#ifndef SQP_STREAM_ELEMENT_H_
+#define SQP_STREAM_ELEMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/tuple.h"
+
+namespace sqp {
+
+/// A punctuation [TMSF03]: an application-inserted marker asserting that no
+/// future tuple will match its pattern. streamqp uses the two patterns that
+/// cover the tutorial's use cases:
+///  - a timestamp watermark ("no tuple with ts <= `ts` will arrive"), which
+///    unblocks time windows and ordered aggregation;
+///  - an optional key ("item `key` is closed"), enabling variable-length,
+///    data-dependent windows such as the auction example on slide 28.
+struct Punctuation {
+  int64_t ts = 0;
+  /// When set, closes only the partition/group identified by this key.
+  bool has_key = false;
+  Value key;
+
+  static Punctuation Watermark(int64_t ts) { return Punctuation{ts, false, Value()}; }
+  static Punctuation CloseKey(int64_t ts, Value key) {
+    return Punctuation{ts, true, std::move(key)};
+  }
+
+  std::string ToString() const;
+};
+
+/// A stream element: either a data tuple or a punctuation. Operators
+/// receive Elements; most forward punctuations downstream after exploiting
+/// them (state purge, group close-out).
+class Element {
+ public:
+  Element() : data_(TupleRef()) {}
+  explicit Element(TupleRef tuple) : data_(std::move(tuple)) {}
+  explicit Element(Punctuation punct) : data_(std::move(punct)) {}
+
+  bool is_tuple() const { return data_.index() == 0 && std::get<0>(data_) != nullptr; }
+  bool is_punctuation() const { return data_.index() == 1; }
+
+  const TupleRef& tuple() const { return std::get<0>(data_); }
+  const Punctuation& punctuation() const { return std::get<1>(data_); }
+
+  /// Timestamp of the tuple or punctuation.
+  int64_t ts() const {
+    return is_punctuation() ? punctuation().ts : tuple()->ts();
+  }
+
+  /// Approximate footprint (queue accounting).
+  size_t MemoryBytes() const {
+    return is_tuple() ? tuple()->MemoryBytes() : sizeof(Punctuation);
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::variant<TupleRef, Punctuation> data_;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_STREAM_ELEMENT_H_

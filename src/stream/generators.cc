@@ -1,0 +1,255 @@
+#include "stream/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sqp {
+namespace gen {
+
+namespace {
+
+SchemaRef MakeSchemaWithTs(std::vector<Field> fields) {
+  auto result = Schema::WithOrdering(std::move(fields), "ts");
+  // Generators own their schemas; the field lists are static and valid.
+  return std::make_shared<const Schema>(std::move(result.value()));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CDR
+// ---------------------------------------------------------------------------
+
+SchemaRef CdrSchema() {
+  static const SchemaRef kSchema = MakeSchemaWithTs({
+      {"ts", ValueType::kInt},
+      {"origin", ValueType::kInt},
+      {"dialed", ValueType::kInt},
+      {"duration", ValueType::kInt},
+      {"is_intl", ValueType::kInt},
+      {"is_tollfree", ValueType::kInt},
+      {"is_incomplete", ValueType::kInt},
+  });
+  return kSchema;
+}
+
+CdrGenerator::CdrGenerator(CdrOptions options)
+    : options_(options),
+      rng_(options.seed),
+      caller_dist_(options.num_callers, options.zipf_s) {
+  // Pick the fraud cohort up front so ground truth is stable.
+  uint64_t num_fraud = static_cast<uint64_t>(
+      options_.fraud_fraction * static_cast<double>(options_.num_callers));
+  while (fraud_callers_.size() < num_fraud) {
+    fraud_callers_.insert(
+        static_cast<int64_t>(rng_.Uniform(options_.num_callers)));
+  }
+}
+
+bool CdrGenerator::IsFraudCaller(int64_t caller) const {
+  return fraud_callers_.count(caller) > 0;
+}
+
+TupleRef CdrGenerator::Next() {
+  carry_ += options_.mean_interarrival;
+  int64_t advance = static_cast<int64_t>(carry_);
+  carry_ -= static_cast<double>(advance);
+  now_ += advance;
+
+  int64_t origin = static_cast<int64_t>(caller_dist_.Next(rng_));
+  int64_t dialed = static_cast<int64_t>(rng_.Uniform(options_.num_callers));
+  bool fraud = IsFraudCaller(origin) && calls_generated_ >= options_.fraud_onset_call;
+  ++calls_generated_;
+
+  // Fraudulent callers: 5x duration, 10x international rate.
+  double mean_dur =
+      fraud ? options_.mean_duration_sec * 5.0 : options_.mean_duration_sec;
+  int64_t duration =
+      std::max<int64_t>(1, static_cast<int64_t>(rng_.Exponential(1.0 / mean_dur)));
+  bool intl = rng_.Bernoulli(fraud ? std::min(1.0, options_.intl_prob * 10.0)
+                                   : options_.intl_prob);
+  bool tollfree = rng_.Bernoulli(options_.tollfree_prob);
+  bool incomplete = rng_.Bernoulli(options_.incomplete_prob);
+
+  return MakeTuple(now_, {Value(now_), Value(origin), Value(dialed),
+                          Value(duration), Value(int64_t{intl}),
+                          Value(int64_t{tollfree}), Value(int64_t{incomplete})});
+}
+
+// ---------------------------------------------------------------------------
+// Packets
+// ---------------------------------------------------------------------------
+
+SchemaRef PacketSchema() {
+  static const SchemaRef kSchema = MakeSchemaWithTs({
+      {"ts", ValueType::kInt},
+      {"src_ip", ValueType::kInt},
+      {"dst_ip", ValueType::kInt},
+      {"src_port", ValueType::kInt},
+      {"dst_port", ValueType::kInt},
+      {"protocol", ValueType::kInt},
+      {"len", ValueType::kInt},
+      {"is_syn", ValueType::kInt},
+      {"is_ack", ValueType::kInt},
+      {"payload", ValueType::kString},
+  });
+  return kSchema;
+}
+
+PacketGenerator::PacketGenerator(PacketOptions options)
+    : options_(options),
+      rng_(options.seed),
+      host_dist_(options.num_hosts, options.zipf_s) {}
+
+TupleRef PacketGenerator::MakePacket(int64_t src, int64_t dst, int64_t sport,
+                                     int64_t dport, int64_t proto, int64_t len,
+                                     bool syn, bool ack, std::string payload) {
+  return MakeTuple(now_, {Value(now_), Value(src), Value(dst), Value(sport),
+                          Value(dport), Value(proto), Value(len),
+                          Value(int64_t{syn}), Value(int64_t{ack}),
+                          Value(std::move(payload))});
+}
+
+TupleRef PacketGenerator::Next() {
+  ++now_;
+
+  // Due SYN-ACK replies take priority so RTTs are exact.
+  if (!pending_acks_.empty() && pending_acks_.front().due <= now_) {
+    PendingAck a = pending_acks_.front();
+    pending_acks_.pop_front();
+    return MakePacket(a.src, a.dst, a.sport, a.dport, kProtoTcp, 60,
+                      /*syn=*/true, /*ack=*/true, "");
+  }
+
+  // Host addresses live in 10.0.0.0/8 to look like real taps.
+  int64_t src = 0x0A000000 + static_cast<int64_t>(host_dist_.Next(rng_));
+  int64_t dst = 0x0A000000 + static_cast<int64_t>(host_dist_.Next(rng_));
+  bool tcp = rng_.Bernoulli(options_.tcp_fraction);
+  int64_t proto = tcp ? kProtoTcp : kProtoUdp;
+  bool p2p = rng_.Bernoulli(options_.p2p_fraction);
+  bool known_port = p2p && rng_.Bernoulli(options_.p2p_on_known_port);
+
+  int64_t sport = static_cast<int64_t>(1024 + rng_.Uniform(64000));
+  int64_t dport = known_port
+                      ? (rng_.Bernoulli(0.5) ? kKazaaPort : kGnutellaPort)
+                      : static_cast<int64_t>(1024 + rng_.Uniform(64000));
+
+  int64_t len = std::max<int64_t>(
+      40, static_cast<int64_t>(rng_.Exponential(1.0 / options_.mean_payload_len)));
+
+  std::string payload;
+  if (p2p && !options_.p2p_keywords.empty()) {
+    // Embed a protocol keyword mid-payload, as on the wire.
+    const std::string& kw = options_.p2p_keywords[rng_.Uniform(
+        options_.p2p_keywords.size())];
+    payload = "....." + kw + "/1.0.....";
+    ++true_p2p_packets_;
+    true_p2p_bytes_ += static_cast<uint64_t>(len);
+  }
+
+  bool syn = tcp && !p2p && rng_.Bernoulli(options_.syn_prob);
+  if (syn) {
+    // Schedule the reply (endpoints reversed) after a random RTT.
+    int64_t rtt = rng_.UniformRange(options_.min_rtt, options_.max_rtt);
+    pending_acks_.push_back({now_ + rtt, dst, src, dport, sport});
+    std::sort(pending_acks_.begin(), pending_acks_.end(),
+              [](const PendingAck& a, const PendingAck& b) {
+                return a.due < b.due;
+              });
+    return MakePacket(src, dst, sport, dport, kProtoTcp, 60, true, false, "");
+  }
+
+  return MakePacket(src, dst, sport, dport, proto, len, false, false,
+                    std::move(payload));
+}
+
+// ---------------------------------------------------------------------------
+// Sensors
+// ---------------------------------------------------------------------------
+
+SchemaRef SensorSchema() {
+  static const SchemaRef kSchema = MakeSchemaWithTs({
+      {"ts", ValueType::kInt},
+      {"sensor_id", ValueType::kInt},
+      {"temperature", ValueType::kDouble},
+      {"humidity", ValueType::kDouble},
+  });
+  return kSchema;
+}
+
+SensorGenerator::SensorGenerator(SensorOptions options)
+    : options_(options),
+      rng_(options.seed),
+      temperature_(options.num_sensors, options.base_temperature) {}
+
+TupleRef SensorGenerator::Next() {
+  uint64_t id = next_sensor_;
+  next_sensor_ = (next_sensor_ + 1) % options_.num_sensors;
+  if (id == 0) ++now_;
+
+  double& temp = temperature_[id];
+  temp += options_.walk_step * rng_.Gaussian();
+  // Clamp to a plausible band so long runs stay realistic.
+  temp = std::clamp(temp, options_.base_temperature - 30.0,
+                    options_.base_temperature + 30.0);
+  double humidity =
+      std::clamp(50.0 - (temp - options_.base_temperature) * 1.5 +
+                     rng_.Gaussian() * 2.0,
+                 0.0, 100.0);
+
+  return MakeTuple(now_, {Value(now_), Value(static_cast<int64_t>(id)),
+                          Value(temp), Value(humidity)});
+}
+
+// ---------------------------------------------------------------------------
+// Auctions
+// ---------------------------------------------------------------------------
+
+SchemaRef AuctionSchema() {
+  static const SchemaRef kSchema = MakeSchemaWithTs({
+      {"ts", ValueType::kInt},
+      {"auction_id", ValueType::kInt},
+      {"bidder", ValueType::kInt},
+      {"amount", ValueType::kDouble},
+  });
+  return kSchema;
+}
+
+AuctionGenerator::AuctionGenerator(AuctionOptions options)
+    : options_(options), rng_(options.seed) {
+  for (uint64_t i = 0; i < options_.concurrent_auctions; ++i) OpenNewAuction();
+}
+
+void AuctionGenerator::OpenNewAuction() {
+  OpenAuction a;
+  a.id = next_auction_id_++;
+  a.bids_left = options_.min_bids +
+                rng_.Uniform(options_.max_bids - options_.min_bids + 1);
+  a.current_price = 10.0 + rng_.NextDouble() * 90.0;
+  open_.push_back(a);
+}
+
+Element AuctionGenerator::Next() {
+  if (!ready_.empty()) {
+    Element e = std::move(ready_.front());
+    ready_.pop_front();
+    return e;
+  }
+  ++now_;
+  size_t idx = rng_.Uniform(open_.size());
+  OpenAuction& a = open_[idx];
+  a.current_price *= 1.0 + 0.02 * rng_.NextDouble();
+  int64_t bidder = static_cast<int64_t>(rng_.Uniform(options_.num_bidders));
+  Element bid(MakeTuple(
+      now_, {Value(now_), Value(a.id), Value(bidder), Value(a.current_price)}));
+  if (--a.bids_left == 0) {
+    // Close the auction: punctuate, then replace it with a fresh one.
+    ready_.push_back(Element(Punctuation::CloseKey(now_, Value(a.id))));
+    open_.erase(open_.begin() + static_cast<ptrdiff_t>(idx));
+    OpenNewAuction();
+  }
+  return bid;
+}
+
+}  // namespace gen
+}  // namespace sqp

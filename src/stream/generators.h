@@ -1,0 +1,260 @@
+#ifndef SQP_STREAM_GENERATORS_H_
+#define SQP_STREAM_GENERATORS_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/schema.h"
+#include "common/tuple.h"
+#include "stream/element.h"
+
+namespace sqp {
+namespace gen {
+
+// ---------------------------------------------------------------------------
+// Call detail records (slides 6-8, Hancock / fraud detection).
+// ---------------------------------------------------------------------------
+
+/// CDR schema: ts*, origin, dialed, duration, is_intl, is_tollfree,
+/// is_incomplete. `origin`/`dialed` are caller ids; durations in seconds.
+SchemaRef CdrSchema();
+
+/// Column indexes in CdrSchema(), kept in one place so examples/tests
+/// don't scatter magic numbers.
+struct CdrCols {
+  static constexpr int kTs = 0;
+  static constexpr int kOrigin = 1;
+  static constexpr int kDialed = 2;
+  static constexpr int kDuration = 3;
+  static constexpr int kIsIntl = 4;
+  static constexpr int kIsTollFree = 5;
+  static constexpr int kIsIncomplete = 6;
+};
+
+struct CdrOptions {
+  uint64_t num_callers = 10000;
+  /// Zipf exponent of caller activity (0 = uniform).
+  double zipf_s = 1.0;
+  /// Fraction of callers exhibiting "fraud" behaviour: call durations and
+  /// international rates far above their historical baseline.
+  double fraud_fraction = 0.01;
+  /// Call count after which the fraud cohort's behaviour switches on
+  /// (0 = fraudulent from the first call). A nonzero onset gives
+  /// signature-based detectors a clean history to learn from.
+  uint64_t fraud_onset_call = 0;
+  double mean_duration_sec = 180.0;
+  double intl_prob = 0.03;
+  double tollfree_prob = 0.10;
+  double incomplete_prob = 0.02;
+  /// Mean gap between consecutive calls, in ticks.
+  double mean_interarrival = 1.0;
+  uint64_t seed = 42;
+};
+
+/// Synthetic CDR stream. Substitutes for the AT&T long-distance feed
+/// (~300M calls/day): same schema, Zipf caller skew, and an injected
+/// fraud cohort so signature-based detection has ground truth.
+class CdrGenerator {
+ public:
+  explicit CdrGenerator(CdrOptions options);
+
+  /// Produces the next call record; timestamps are nondecreasing.
+  TupleRef Next();
+
+  /// Ground truth: whether `caller` is in the injected fraud cohort.
+  bool IsFraudCaller(int64_t caller) const;
+
+  const CdrOptions& options() const { return options_; }
+
+ private:
+  CdrOptions options_;
+  Rng rng_;
+  ZipfGenerator caller_dist_;
+  std::unordered_set<int64_t> fraud_callers_;
+  int64_t now_ = 0;
+  double carry_ = 0.0;
+  uint64_t calls_generated_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// IP packets (slides 10-13, Gigascope workloads).
+// ---------------------------------------------------------------------------
+
+/// Packet schema: ts*, src_ip, dst_ip, src_port, dst_port, protocol, len,
+/// is_syn, is_ack, payload.
+SchemaRef PacketSchema();
+
+struct PacketCols {
+  static constexpr int kTs = 0;
+  static constexpr int kSrcIp = 1;
+  static constexpr int kDstIp = 2;
+  static constexpr int kSrcPort = 3;
+  static constexpr int kDstPort = 4;
+  static constexpr int kProtocol = 5;
+  static constexpr int kLen = 6;
+  static constexpr int kIsSyn = 7;
+  static constexpr int kIsAck = 8;
+  static constexpr int kPayload = 9;
+};
+
+/// IANA-ish constants used by the example queries.
+inline constexpr int64_t kProtoTcp = 6;
+inline constexpr int64_t kProtoUdp = 17;
+/// "Well-known" P2P ports (the NetFlow heuristic of slide 10).
+inline constexpr int64_t kKazaaPort = 1214;
+inline constexpr int64_t kGnutellaPort = 6346;
+
+struct PacketOptions {
+  uint64_t num_hosts = 1000;
+  double zipf_s = 0.8;
+  /// Fraction of generated packets that belong to P2P transfers.
+  double p2p_fraction = 0.30;
+  /// Of the P2P packets, the fraction still using a well-known P2P port.
+  /// Slide 10's lesson: most P2P hides on other ports, so payload
+  /// inspection finds ~3x what the port heuristic finds (1/3 here).
+  double p2p_on_known_port = 1.0 / 3.0;
+  /// Keywords embedded in P2P payloads (Gigascope matched on these).
+  std::vector<std::string> p2p_keywords = {"X-Kazaa-", "GNUTELLA", "BitTorrent"};
+  double tcp_fraction = 0.9;
+  /// Probability a TCP packet opens a connection (SYN). Each SYN is
+  /// answered by a SYN-ACK after a per-connection RTT.
+  double syn_prob = 0.05;
+  /// SYN-ACK delay (RTT) range in ticks.
+  int64_t min_rtt = 2;
+  int64_t max_rtt = 120;
+  double mean_payload_len = 256.0;
+  uint64_t seed = 7;
+};
+
+/// Synthetic packet stream standing in for a Gigascope tap on the AT&T IP
+/// backbone: emits data packets, SYN packets and matching delayed SYN-ACKs
+/// (reversed endpoints) so the slide-13 RTT join has real matches.
+class PacketGenerator {
+ public:
+  explicit PacketGenerator(PacketOptions options);
+
+  /// Produces the next packet; timestamps are nondecreasing.
+  TupleRef Next();
+
+  /// Ground truth counters for validating classifier experiments.
+  uint64_t true_p2p_packets() const { return true_p2p_packets_; }
+  uint64_t true_p2p_bytes() const { return true_p2p_bytes_; }
+
+  const PacketOptions& options() const { return options_; }
+
+ private:
+  TupleRef MakePacket(int64_t src, int64_t dst, int64_t sport, int64_t dport,
+                      int64_t proto, int64_t len, bool syn, bool ack,
+                      std::string payload);
+
+  PacketOptions options_;
+  Rng rng_;
+  ZipfGenerator host_dist_;
+  int64_t now_ = 0;
+  // Pending SYN-ACKs ordered by due time.
+  struct PendingAck {
+    int64_t due;
+    int64_t src, dst, sport, dport;
+  };
+  std::deque<PendingAck> pending_acks_;
+  uint64_t true_p2p_packets_ = 0;
+  uint64_t true_p2p_bytes_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Sensor measurements (slide 3, measurement streams).
+// ---------------------------------------------------------------------------
+
+/// Sensor schema: ts*, sensor_id, temperature, humidity.
+SchemaRef SensorSchema();
+
+struct SensorCols {
+  static constexpr int kTs = 0;
+  static constexpr int kSensorId = 1;
+  static constexpr int kTemperature = 2;
+  static constexpr int kHumidity = 3;
+};
+
+struct SensorOptions {
+  uint64_t num_sensors = 100;
+  double base_temperature = 20.0;
+  double walk_step = 0.1;
+  uint64_t seed = 13;
+};
+
+/// Round-robin sensor readings; per-sensor temperature is a bounded
+/// random walk, humidity is noisy-correlated with temperature.
+class SensorGenerator {
+ public:
+  explicit SensorGenerator(SensorOptions options);
+
+  TupleRef Next();
+
+ private:
+  SensorOptions options_;
+  Rng rng_;
+  std::vector<double> temperature_;
+  uint64_t next_sensor_ = 0;
+  int64_t now_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Auction bids with punctuations (slide 28).
+// ---------------------------------------------------------------------------
+
+/// Bid schema: ts*, auction_id, bidder, amount.
+SchemaRef AuctionSchema();
+
+struct AuctionCols {
+  static constexpr int kTs = 0;
+  static constexpr int kAuctionId = 1;
+  static constexpr int kBidder = 2;
+  static constexpr int kAmount = 3;
+};
+
+struct AuctionOptions {
+  uint64_t concurrent_auctions = 8;
+  /// Bids per auction before it closes (uniform in [min,max]).
+  uint64_t min_bids = 3;
+  uint64_t max_bids = 12;
+  uint64_t num_bidders = 500;
+  uint64_t seed = 99;
+};
+
+/// Emits bid tuples interleaved across open auctions; when an auction
+/// receives its last bid the generator emits a CloseKey punctuation for
+/// that auction id — the data-dependent variable-length window of
+/// slide 28.
+class AuctionGenerator {
+ public:
+  explicit AuctionGenerator(AuctionOptions options);
+
+  /// Next element: a bid tuple or an auction-close punctuation.
+  Element Next();
+
+ private:
+  struct OpenAuction {
+    int64_t id;
+    uint64_t bids_left;
+    double current_price;
+  };
+
+  void OpenNewAuction();
+
+  AuctionOptions options_;
+  Rng rng_;
+  std::vector<OpenAuction> open_;
+  int64_t next_auction_id_ = 1;
+  int64_t now_ = 0;
+  std::deque<Element> ready_;
+};
+
+}  // namespace gen
+}  // namespace sqp
+
+#endif  // SQP_STREAM_GENERATORS_H_

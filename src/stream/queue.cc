@@ -1,0 +1,39 @@
+#include "stream/queue.h"
+
+namespace sqp {
+
+bool StreamQueue::Push(Element e) {
+  if (max_len_ != 0 && q_.size() >= max_len_) {
+    if (!e.is_punctuation()) {
+      ++stats_.dropped;
+      return false;
+    }
+    // Punctuations must get through: make room by evicting the newest
+    // data tuple (if any); otherwise just exceed the bound by one.
+    for (auto it = q_.rbegin(); it != q_.rend(); ++it) {
+      if (it->is_tuple()) {
+        bytes_ -= it->MemoryBytes();
+        q_.erase(std::next(it).base());
+        ++stats_.dropped;
+        break;
+      }
+    }
+  }
+  bytes_ += e.MemoryBytes();
+  q_.push_back(std::move(e));
+  ++stats_.pushed;
+  stats_.peak_len = std::max<uint64_t>(stats_.peak_len, q_.size());
+  stats_.peak_bytes = std::max<uint64_t>(stats_.peak_bytes, bytes_);
+  return true;
+}
+
+std::optional<Element> StreamQueue::Pop() {
+  if (q_.empty()) return std::nullopt;
+  Element e = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= e.MemoryBytes();
+  ++stats_.popped;
+  return e;
+}
+
+}  // namespace sqp

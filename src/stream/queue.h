@@ -1,0 +1,61 @@
+#ifndef SQP_STREAM_QUEUE_H_
+#define SQP_STREAM_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "stream/element.h"
+
+namespace sqp {
+
+/// Per-queue counters. Drops happen when a bounded queue overflows —
+/// the low-level DSMS failure mode the tutorial repeatedly warns about
+/// ("engineered to reduce drops", slide 53).
+struct QueueStats {
+  uint64_t pushed = 0;
+  uint64_t popped = 0;
+  uint64_t dropped = 0;
+  uint64_t peak_len = 0;
+  uint64_t peak_bytes = 0;
+};
+
+/// A bounded FIFO of stream elements with drop accounting.
+///
+/// `max_len == 0` means unbounded. Punctuations are never dropped: losing
+/// a watermark would deadlock downstream windows, so an overflowing push
+/// of a punctuation evicts the newest data tuple instead.
+class StreamQueue {
+ public:
+  explicit StreamQueue(size_t max_len = 0) : max_len_(max_len) {}
+
+  /// Enqueues; returns false (and counts a drop) if the element was lost.
+  bool Push(Element e);
+
+  /// Dequeues the oldest element, or nullopt when empty.
+  std::optional<Element> Pop();
+
+  bool empty() const { return q_.empty(); }
+  size_t size() const { return q_.size(); }
+  size_t bytes() const { return bytes_; }
+  size_t max_len() const { return max_len_; }
+  const QueueStats& stats() const { return stats_; }
+
+  /// Fraction of pushed data elements that were dropped.
+  double DropRate() const {
+    return stats_.pushed == 0
+               ? 0.0
+               : static_cast<double>(stats_.dropped) /
+                     static_cast<double>(stats_.pushed + stats_.dropped);
+  }
+
+ private:
+  size_t max_len_;
+  std::deque<Element> q_;
+  size_t bytes_ = 0;
+  QueueStats stats_;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_STREAM_QUEUE_H_

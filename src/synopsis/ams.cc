@@ -1,0 +1,68 @@
+#include "synopsis/ams.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace sqp {
+
+AmsSketch::AmsSketch(size_t groups, size_t copies, uint64_t seed)
+    : groups_(groups), copies_(copies) {
+  counters_.resize(groups * copies, 0);
+  Rng rng(seed);
+  seeds_.reserve(groups * copies);
+  for (size_t i = 0; i < groups * copies; ++i) seeds_.push_back(rng.Next() | 1);
+}
+
+int64_t AmsSketch::Sign(size_t i, const Value& v) const {
+  uint64_t h = v.Hash() * seeds_[i];
+  h ^= h >> 29;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 32;
+  return (h & 1) ? 1 : -1;
+}
+
+void AmsSketch::Add(const Value& v, int64_t count) {
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += Sign(i, v) * count;
+  }
+}
+
+double AmsSketch::EstimateF2() const {
+  std::vector<double> group_means;
+  group_means.reserve(groups_);
+  for (size_t g = 0; g < groups_; ++g) {
+    double mean = 0.0;
+    for (size_t c = 0; c < copies_; ++c) {
+      double x = static_cast<double>(counters_[g * copies_ + c]);
+      mean += x * x;
+    }
+    group_means.push_back(mean / static_cast<double>(copies_));
+  }
+  std::sort(group_means.begin(), group_means.end());
+  size_t m = group_means.size() / 2;
+  if (group_means.size() % 2 == 1) return group_means[m];
+  return (group_means[m - 1] + group_means[m]) / 2.0;
+}
+
+double AmsSketch::EstimateJoinSize(const AmsSketch& a, const AmsSketch& b) {
+  assert(a.groups_ == b.groups_ && a.copies_ == b.copies_);
+  std::vector<double> group_means;
+  group_means.reserve(a.groups_);
+  for (size_t g = 0; g < a.groups_; ++g) {
+    double mean = 0.0;
+    for (size_t c = 0; c < a.copies_; ++c) {
+      size_t i = g * a.copies_ + c;
+      mean += static_cast<double>(a.counters_[i]) *
+              static_cast<double>(b.counters_[i]);
+    }
+    group_means.push_back(mean / static_cast<double>(a.copies_));
+  }
+  std::sort(group_means.begin(), group_means.end());
+  size_t m = group_means.size() / 2;
+  if (group_means.size() % 2 == 1) return group_means[m];
+  return (group_means[m - 1] + group_means[m]) / 2.0;
+}
+
+}  // namespace sqp

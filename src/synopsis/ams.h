@@ -1,0 +1,46 @@
+#ifndef SQP_SYNOPSIS_AMS_H_
+#define SQP_SYNOPSIS_AMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/value.h"
+
+namespace sqp {
+
+/// AMS "tug-of-war" sketch (Alon-Matias-Szegedy) estimating the second
+/// frequency moment F2 = sum of squared item frequencies — the synopsis
+/// behind sketch-based join-size estimation. Uses medians of means:
+/// `copies` independent +/-1 counters per group, `groups` groups.
+class AmsSketch {
+ public:
+  AmsSketch(size_t groups, size_t copies, uint64_t seed);
+
+  void Add(const Value& v, int64_t count = 1);
+
+  /// F2 estimate: median over groups of the mean of squared counters.
+  double EstimateF2() const;
+
+  /// Estimated join (inner-product) size between two streams, each
+  /// summarized by a sketch built with the same seed/dimensions.
+  static double EstimateJoinSize(const AmsSketch& a, const AmsSketch& b);
+
+  size_t groups() const { return groups_; }
+  size_t copies() const { return copies_; }
+
+  size_t MemoryBytes() const {
+    return sizeof(*this) + counters_.capacity() * sizeof(int64_t);
+  }
+
+ private:
+  /// +1 or -1 for counter index `i` and value `v` (4-wise independent-ish).
+  int64_t Sign(size_t i, const Value& v) const;
+
+  size_t groups_, copies_;
+  std::vector<int64_t> counters_;  // groups*copies counters.
+  std::vector<uint64_t> seeds_;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_SYNOPSIS_AMS_H_

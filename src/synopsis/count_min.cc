@@ -1,0 +1,51 @@
+#include "synopsis/count_min.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sqp {
+
+CountMinSketch::CountMinSketch(size_t width, size_t depth, uint64_t seed)
+    : width_(width), depth_(depth) {
+  table_.resize(width * depth, 0);
+  Rng rng(seed);
+  row_seeds_.reserve(depth);
+  for (size_t i = 0; i < depth; ++i) row_seeds_.push_back(rng.Next() | 1);
+}
+
+CountMinSketch CountMinSketch::FromError(double eps, double delta,
+                                         uint64_t seed) {
+  size_t width = static_cast<size_t>(std::ceil(M_E / eps));
+  size_t depth = static_cast<size_t>(std::ceil(std::log(1.0 / delta)));
+  return CountMinSketch(std::max<size_t>(1, width), std::max<size_t>(1, depth),
+                        seed);
+}
+
+size_t CountMinSketch::Index(size_t row, const Value& v) const {
+  // Row-salted multiply-shift over the value's base hash.
+  uint64_t h = v.Hash();
+  h *= row_seeds_[row];
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<size_t>(h % width_);
+}
+
+void CountMinSketch::Add(const Value& v, uint64_t count) {
+  total_ += count;
+  for (size_t r = 0; r < depth_; ++r) {
+    table_[r * width_ + Index(r, v)] += count;
+  }
+}
+
+uint64_t CountMinSketch::Estimate(const Value& v) const {
+  uint64_t best = UINT64_MAX;
+  for (size_t r = 0; r < depth_; ++r) {
+    best = std::min(best, table_[r * width_ + Index(r, v)]);
+  }
+  return best == UINT64_MAX ? 0 : best;
+}
+
+}  // namespace sqp

@@ -1,0 +1,47 @@
+#ifndef SQP_SYNOPSIS_COUNT_MIN_H_
+#define SQP_SYNOPSIS_COUNT_MIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/value.h"
+
+namespace sqp {
+
+/// Count-Min sketch (Cormode & Muthukrishnan): approximate frequency
+/// counts in sublinear space. Estimates overcount by at most
+/// eps * total with probability 1 - delta when sized with
+/// width = ceil(e/eps), depth = ceil(ln(1/delta)).
+class CountMinSketch {
+ public:
+  /// Direct dimensions.
+  CountMinSketch(size_t width, size_t depth, uint64_t seed);
+
+  /// Sizes the sketch from accuracy targets.
+  static CountMinSketch FromError(double eps, double delta, uint64_t seed);
+
+  void Add(const Value& v, uint64_t count = 1);
+
+  /// Point frequency estimate (never underestimates).
+  uint64_t Estimate(const Value& v) const;
+
+  uint64_t total() const { return total_; }
+  size_t width() const { return width_; }
+  size_t depth() const { return depth_; }
+
+  size_t MemoryBytes() const {
+    return sizeof(*this) + table_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  size_t Index(size_t row, const Value& v) const;
+
+  size_t width_, depth_;
+  std::vector<uint64_t> table_;  // depth x width, row-major.
+  std::vector<uint64_t> row_seeds_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_SYNOPSIS_COUNT_MIN_H_

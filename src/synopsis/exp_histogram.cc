@@ -1,0 +1,72 @@
+#include "synopsis/exp_histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sqp {
+
+ExpHistogram::ExpHistogram(int64_t window, double eps) : window_(window) {
+  assert(window > 0 && eps > 0.0);
+  k_ = static_cast<size_t>(std::ceil(1.0 / eps)) / 2 + 1;
+}
+
+void ExpHistogram::Add(int64_t ts, uint64_t count) {
+  assert(ts >= last_ts_);
+  last_ts_ = ts;
+  for (uint64_t i = 0; i < count; ++i) {
+    buckets_.push_back(Bucket{ts, 1});
+  }
+  Canonicalize();
+  Expire(ts);
+}
+
+void ExpHistogram::Canonicalize() {
+  // Merge oldest pairs whenever more than k buckets share a size.
+  // Scan from the newest end; sizes are nondecreasing toward the front.
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    size_t run = 0;
+    uint64_t run_size = 0;
+    // Find the newest run exceeding k_ + 1 buckets of equal size.
+    for (size_t i = buckets_.size(); i-- > 0;) {
+      if (buckets_[i].size != run_size) {
+        run_size = buckets_[i].size;
+        run = 1;
+      } else {
+        ++run;
+      }
+      if (run > k_ + 1) {
+        // The run covers [i, i + run - 1]; merge its two oldest buckets
+        // (i and i+1) into one of double size, keeping the newer
+        // bucket's last_ts.
+        assert(i + 1 < buckets_.size() && buckets_[i + 1].size == run_size);
+        buckets_[i].size *= 2;
+        buckets_[i].last_ts = buckets_[i + 1].last_ts;
+        buckets_.erase(buckets_.begin() + static_cast<ptrdiff_t>(i) + 1);
+        merged = true;
+        break;
+      }
+    }
+  }
+}
+
+void ExpHistogram::Expire(int64_t now) {
+  int64_t bound = now - window_;
+  while (!buckets_.empty() && buckets_.front().last_ts <= bound) {
+    buckets_.pop_front();
+  }
+}
+
+uint64_t ExpHistogram::Estimate(int64_t now) {
+  last_ts_ = std::max(last_ts_, now);
+  Expire(now);
+  if (buckets_.empty()) return 0;
+  uint64_t total = 0;
+  for (const Bucket& b : buckets_) total += b.size;
+  // The oldest bucket straddles the window boundary: count half of it.
+  return total - buckets_.front().size / 2;
+}
+
+}  // namespace sqp

@@ -1,0 +1,48 @@
+#ifndef SQP_SYNOPSIS_EXP_HISTOGRAM_H_
+#define SQP_SYNOPSIS_EXP_HISTOGRAM_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <deque>
+
+namespace sqp {
+
+/// Exponential histogram (Datar-Gionis-Indyk-Motwani): counts events in a
+/// sliding time window of length W with (1+eps) relative error, in
+/// O((1/eps) log^2 W) space. The canonical sliding-window synopsis —
+/// exact sliding-window counts would need the whole window.
+class ExpHistogram {
+ public:
+  /// `window` in timestamp units, `eps` relative error target.
+  ExpHistogram(int64_t window, double eps);
+
+  /// Records `count` events at time `ts` (nondecreasing).
+  void Add(int64_t ts, uint64_t count = 1);
+
+  /// Estimated number of events in (now - window, now].
+  uint64_t Estimate(int64_t now);
+
+  size_t num_buckets() const { return buckets_.size(); }
+
+  size_t MemoryBytes() const {
+    return sizeof(*this) + buckets_.size() * sizeof(Bucket);
+  }
+
+ private:
+  struct Bucket {
+    int64_t last_ts;  // Timestamp of most recent event in the bucket.
+    uint64_t size;    // Number of events (power of two).
+  };
+
+  void Expire(int64_t now);
+  void Canonicalize();
+
+  int64_t window_;
+  size_t k_;  // Max buckets of each size: ceil(1/eps)/2 + 1.
+  std::deque<Bucket> buckets_;  // Oldest first.
+  int64_t last_ts_ = INT64_MIN;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_SYNOPSIS_EXP_HISTOGRAM_H_

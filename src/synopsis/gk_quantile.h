@@ -1,0 +1,52 @@
+#ifndef SQP_SYNOPSIS_GK_QUANTILE_H_
+#define SQP_SYNOPSIS_GK_QUANTILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sqp {
+
+/// Greenwald-Khanna epsilon-approximate quantile summary. Answers any
+/// quantile query within eps*n rank error using O((1/eps) log(eps n))
+/// space — the quantile computation "part of Gigascope, engineered to
+/// reduce drops" (slide 53).
+class GkQuantile {
+ public:
+  explicit GkQuantile(double eps);
+
+  void Add(double x);
+
+  /// Merges another summary built with the same eps. The merged summary
+  /// answers queries within ~2*eps rank error (the standard additive
+  /// degradation of GK merges); Compress() keeps the size bounded.
+  void Merge(const GkQuantile& other);
+
+  /// Value whose rank is within eps*n of q*n. Precondition: n() > 0.
+  double Query(double q) const;
+
+  uint64_t n() const { return n_; }
+  size_t summary_size() const { return summary_.size(); }
+  double eps() const { return eps_; }
+
+  size_t MemoryBytes() const {
+    return sizeof(*this) + summary_.capacity() * sizeof(Entry);
+  }
+
+ private:
+  struct Entry {
+    double v;
+    uint64_t g;      // Rank gap to the previous entry.
+    uint64_t delta;  // Rank uncertainty.
+  };
+
+  void Compress();
+
+  double eps_;
+  uint64_t n_ = 0;
+  std::vector<Entry> summary_;  // Sorted by v.
+};
+
+}  // namespace sqp
+
+#endif  // SQP_SYNOPSIS_GK_QUANTILE_H_

@@ -1,0 +1,88 @@
+#include "synopsis/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sqp {
+
+EquiWidthHistogram::EquiWidthHistogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)) {
+  assert(lo < hi && buckets > 0);
+  counts_.resize(buckets, 0);
+}
+
+void EquiWidthHistogram::Add(double x) {
+  ++total_;
+  if (x < lo_) x = lo_;
+  if (x >= hi_) x = std::nextafter(hi_, lo_);
+  size_t b = static_cast<size_t>((x - lo_) / width_);
+  if (b >= counts_.size()) b = counts_.size() - 1;
+  ++counts_[b];
+}
+
+double EquiWidthHistogram::EstimateRangeCount(double a, double b) const {
+  if (b <= a) return 0.0;
+  a = std::max(a, lo_);
+  b = std::min(b, hi_);
+  if (b <= a) return 0.0;
+  double est = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double blo = lo_ + width_ * static_cast<double>(i);
+    double bhi = blo + width_;
+    double olo = std::max(a, blo);
+    double ohi = std::min(b, bhi);
+    if (ohi > olo) {
+      est += static_cast<double>(counts_[i]) * (ohi - olo) / width_;
+    }
+  }
+  return est;
+}
+
+double EquiWidthHistogram::EstimateSelectivity(double a, double b) const {
+  if (total_ == 0) return 0.0;
+  return EstimateRangeCount(a, b) / static_cast<double>(total_);
+}
+
+Result<EquiDepthHistogram> EquiDepthHistogram::Build(
+    std::vector<double> values, size_t buckets, uint64_t stream_total) {
+  if (values.empty()) return Status::InvalidArgument("empty sample");
+  if (buckets == 0) return Status::InvalidArgument("buckets must be > 0");
+  std::sort(values.begin(), values.end());
+  EquiDepthHistogram h;
+  h.stream_total_ = stream_total;
+  h.per_bucket_ =
+      static_cast<double>(stream_total) / static_cast<double>(buckets);
+  h.bounds_.reserve(buckets + 1);
+  for (size_t i = 0; i <= buckets; ++i) {
+    size_t idx = std::min(values.size() - 1,
+                          i * values.size() / buckets);
+    if (i == buckets) idx = values.size() - 1;
+    h.bounds_.push_back(values[idx]);
+  }
+  // Widen the last boundary slightly so max values fall inside.
+  h.bounds_.back() = std::nextafter(h.bounds_.back(),
+                                    h.bounds_.back() + 1.0);
+  return h;
+}
+
+double EquiDepthHistogram::EstimateRangeCount(double a, double b) const {
+  if (b <= a || bounds_.size() < 2) return 0.0;
+  double est = 0.0;
+  for (size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    double blo = bounds_[i];
+    double bhi = bounds_[i + 1];
+    if (bhi <= blo) continue;  // Degenerate bucket (duplicate boundary).
+    double olo = std::max(a, blo);
+    double ohi = std::min(b, bhi);
+    if (ohi > olo) est += per_bucket_ * (ohi - olo) / (bhi - blo);
+  }
+  return est;
+}
+
+double EquiDepthHistogram::EstimateSelectivity(double a, double b) const {
+  if (stream_total_ == 0) return 0.0;
+  return EstimateRangeCount(a, b) / static_cast<double>(stream_total_);
+}
+
+}  // namespace sqp

@@ -1,0 +1,70 @@
+#ifndef SQP_SYNOPSIS_HISTOGRAM_H_
+#define SQP_SYNOPSIS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqp {
+
+/// Equi-width histogram over a known value domain [lo, hi). Supports
+/// streaming insertion and range-count / selectivity estimation — the
+/// classic synopsis of the New Jersey Data Reduction Report [BDF+97].
+class EquiWidthHistogram {
+ public:
+  /// Precondition: lo < hi, buckets > 0.
+  EquiWidthHistogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+
+  /// Estimated number of stream values in [a, b) under the uniform-
+  /// within-bucket assumption.
+  double EstimateRangeCount(double a, double b) const;
+
+  /// EstimateRangeCount / total.
+  double EstimateSelectivity(double a, double b) const;
+
+  uint64_t total() const { return total_; }
+  size_t num_buckets() const { return counts_.size(); }
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+  size_t MemoryBytes() const {
+    return sizeof(*this) + counts_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// Equi-depth (equi-height) histogram: bucket boundaries chosen so each
+/// bucket holds ~the same count. Built from a materialized sample (the
+/// standard construction for streams: sample first, then build).
+class EquiDepthHistogram {
+ public:
+  /// Builds from `values` (copied and sorted). `buckets` > 0.
+  static Result<EquiDepthHistogram> Build(std::vector<double> values,
+                                          size_t buckets,
+                                          uint64_t stream_total);
+
+  /// Estimated count of stream values in [a, b).
+  double EstimateRangeCount(double a, double b) const;
+
+  double EstimateSelectivity(double a, double b) const;
+
+  /// Bucket boundaries (size = buckets + 1).
+  const std::vector<double>& boundaries() const { return bounds_; }
+
+ private:
+  EquiDepthHistogram() = default;
+
+  std::vector<double> bounds_;
+  double per_bucket_ = 0.0;  // Estimated stream count per bucket.
+  uint64_t stream_total_ = 0;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_SYNOPSIS_HISTOGRAM_H_

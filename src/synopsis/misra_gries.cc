@@ -1,0 +1,75 @@
+#include "synopsis/misra_gries.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace sqp {
+
+MisraGries::MisraGries(size_t k) : k_(k) {}
+
+void MisraGries::Add(const Value& v) {
+  ++n_;
+  auto it = counters_.find(v);
+  if (it != counters_.end()) {
+    ++it->second;
+    return;
+  }
+  if (counters_.size() < k_) {
+    counters_.emplace(v, 1);
+    return;
+  }
+  // Decrement-all step; erase counters that hit zero.
+  for (auto cit = counters_.begin(); cit != counters_.end();) {
+    if (--cit->second == 0) {
+      cit = counters_.erase(cit);
+    } else {
+      ++cit;
+    }
+  }
+}
+
+uint64_t MisraGries::Estimate(const Value& v) const {
+  auto it = counters_.find(v);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<Value, uint64_t>> MisraGries::HeavyHitters(
+    uint64_t threshold) const {
+  std::vector<std::pair<Value, uint64_t>> out;
+  for (const auto& [v, c] : counters_) {
+    if (c > threshold) out.emplace_back(v, c);
+  }
+  return out;
+}
+
+void MisraGries::Merge(const MisraGries& other) {
+  n_ += other.n_;
+  for (const auto& [v, c] : other.counters_) {
+    counters_[v] += c;
+  }
+  if (counters_.size() <= k_) return;
+  // Prune: subtract the (k+1)-th largest count from everyone, drop
+  // non-positive counters — the standard mergeable-summary reduction.
+  std::vector<uint64_t> counts;
+  counts.reserve(counters_.size());
+  for (const auto& [v, c] : counters_) counts.push_back(c);
+  std::nth_element(counts.begin(), counts.begin() + static_cast<ptrdiff_t>(k_),
+                   counts.end(), std::greater<uint64_t>());
+  uint64_t cut = counts[k_];
+  for (auto it = counters_.begin(); it != counters_.end();) {
+    if (it->second <= cut) {
+      it = counters_.erase(it);
+    } else {
+      it->second -= cut;
+      ++it;
+    }
+  }
+}
+
+size_t MisraGries::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [v, c] : counters_) bytes += v.MemoryBytes() + sizeof(c) + 16;
+  return bytes;
+}
+
+}  // namespace sqp

@@ -1,0 +1,48 @@
+#ifndef SQP_SYNOPSIS_MISRA_GRIES_H_
+#define SQP_SYNOPSIS_MISRA_GRIES_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+
+namespace sqp {
+
+/// Misra-Gries heavy hitters: with k counters, every item with true
+/// frequency > n/k survives; reported counts undercount by at most n/k.
+/// Powers `having count(*) > phi*|S|` queries (slide 38) in tiny space.
+class MisraGries {
+ public:
+  explicit MisraGries(size_t k);
+
+  void Add(const Value& v);
+
+  /// Lower-bound frequency estimate (0 if not tracked).
+  uint64_t Estimate(const Value& v) const;
+
+  /// Candidates whose estimated frequency exceeds `threshold`.
+  std::vector<std::pair<Value, uint64_t>> HeavyHitters(
+      uint64_t threshold) const;
+
+  /// Merges another summary (distributed heavy hitters, slide 55 /
+  /// [BO03]-style monitoring): counters add, then the summary is pruned
+  /// back to k counters by subtracting the (k+1)-largest count. The
+  /// merged undercount stays bounded by (n1 + n2) / k.
+  void Merge(const MisraGries& other);
+
+  uint64_t n() const { return n_; }
+  size_t num_counters() const { return counters_.size(); }
+  size_t k() const { return k_; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  size_t k_;
+  uint64_t n_ = 0;
+  std::unordered_map<Value, uint64_t, ValueHash> counters_;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_SYNOPSIS_MISRA_GRIES_H_

@@ -1,0 +1,55 @@
+#include "synopsis/reservoir.h"
+
+#include <algorithm>
+
+namespace sqp {
+
+ReservoirSample::ReservoirSample(size_t capacity, uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  sample_.reserve(capacity);
+}
+
+void ReservoirSample::Add(const Value& v) {
+  ++seen_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(v);
+    return;
+  }
+  // Replace a random resident with probability capacity/seen.
+  uint64_t j = rng_.Uniform(seen_);
+  if (j < capacity_) sample_[static_cast<size_t>(j)] = v;
+}
+
+double ReservoirSample::EstimateMean() const {
+  if (sample_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Value& v : sample_) sum += v.ToDouble();
+  return sum / static_cast<double>(sample_.size());
+}
+
+double ReservoirSample::EstimateQuantile(double q) const {
+  if (sample_.empty()) return 0.0;
+  std::vector<double> vals;
+  vals.reserve(sample_.size());
+  for (const Value& v : sample_) vals.push_back(v.ToDouble());
+  std::sort(vals.begin(), vals.end());
+  double pos = q * static_cast<double>(vals.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, vals.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return vals[lo] * (1.0 - frac) + vals[hi] * frac;
+}
+
+double ReservoirSample::ScaleUp(uint64_t sample_matches) const {
+  if (sample_.empty()) return 0.0;
+  return static_cast<double>(sample_matches) /
+         static_cast<double>(sample_.size()) * static_cast<double>(seen_);
+}
+
+size_t ReservoirSample::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const Value& v : sample_) bytes += v.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace sqp

@@ -1,0 +1,46 @@
+#ifndef SQP_SYNOPSIS_RESERVOIR_H_
+#define SQP_SYNOPSIS_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/value.h"
+
+namespace sqp {
+
+/// Vitter's Algorithm R: a uniform sample of `capacity` elements from an
+/// unbounded stream in O(capacity) memory. The baseline synopsis for
+/// approximate aggregates (slide 38).
+class ReservoirSample {
+ public:
+  ReservoirSample(size_t capacity, uint64_t seed);
+
+  void Add(const Value& v);
+
+  const std::vector<Value>& sample() const { return sample_; }
+  uint64_t seen() const { return seen_; }
+  size_t capacity() const { return capacity_; }
+
+  /// Estimates the mean of the stream from the sample (numeric streams).
+  double EstimateMean() const;
+
+  /// Estimates the q-quantile (0 <= q <= 1) from the sample.
+  double EstimateQuantile(double q) const;
+
+  /// Scales a sample predicate count up to a stream-level estimate.
+  /// `sample_matches` is how many sampled values satisfy the predicate.
+  double ScaleUp(uint64_t sample_matches) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  std::vector<Value> sample_;
+  uint64_t seen_ = 0;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_SYNOPSIS_RESERVOIR_H_

@@ -1,0 +1,34 @@
+#include "window/partitioned_window.h"
+
+namespace sqp {
+
+std::optional<TupleRef> PartitionedCountWindow::Insert(TupleRef t) {
+  Key key = ExtractKey(*t, key_cols_);
+  auto it = parts_.find(key);
+  if (it == parts_.end()) {
+    it = parts_.emplace(std::move(key), CountWindowBuffer(rows_)).first;
+  }
+  return it->second.Insert(std::move(t));
+}
+
+std::vector<TupleRef> PartitionedCountWindow::Partition(const Key& key) const {
+  auto it = parts_.find(key);
+  if (it == parts_.end()) return {};
+  return {it->second.contents().begin(), it->second.contents().end()};
+}
+
+std::vector<TupleRef> PartitionedCountWindow::Contents() const {
+  std::vector<TupleRef> out;
+  for (const auto& [key, buf] : parts_) {
+    out.insert(out.end(), buf.contents().begin(), buf.contents().end());
+  }
+  return out;
+}
+
+size_t PartitionedCountWindow::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, buf] : parts_) bytes += buf.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace sqp

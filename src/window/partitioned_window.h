@@ -1,0 +1,41 @@
+#ifndef SQP_WINDOW_PARTITIONED_WINDOW_H_
+#define SQP_WINDOW_PARTITIONED_WINDOW_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/tuple.h"
+#include "window/count_window.h"
+
+namespace sqp {
+
+/// CQL-style `[PARTITION BY k ROWS N]` (slide 26 "variants"): an
+/// independent count window of the last N rows per partition key.
+class PartitionedCountWindow {
+ public:
+  PartitionedCountWindow(std::vector<int> key_cols, size_t rows_per_partition)
+      : key_cols_(std::move(key_cols)), rows_(rows_per_partition) {}
+
+  /// Inserts a tuple into its partition; returns the tuple evicted from
+  /// that partition, if any.
+  std::optional<TupleRef> Insert(TupleRef t);
+
+  /// The current window of the given key (empty if unseen).
+  std::vector<TupleRef> Partition(const Key& key) const;
+
+  /// All retained tuples across partitions.
+  std::vector<TupleRef> Contents() const;
+
+  size_t num_partitions() const { return parts_.size(); }
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<int> key_cols_;
+  size_t rows_;
+  std::unordered_map<Key, CountWindowBuffer, KeyHash> parts_;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_WINDOW_PARTITIONED_WINDOW_H_

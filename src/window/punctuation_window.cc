@@ -1,0 +1,50 @@
+#include "window/punctuation_window.h"
+
+namespace sqp {
+
+void PunctuationWindowBuffer::Insert(TupleRef t) {
+  const Value& key = t->at(static_cast<size_t>(key_col_));
+  bytes_ += t->MemoryBytes();
+  ++buffered_;
+  groups_[key].push_back(std::move(t));
+}
+
+std::vector<std::pair<Value, std::vector<TupleRef>>>
+PunctuationWindowBuffer::OnPunctuation(const Punctuation& p) {
+  std::vector<std::pair<Value, std::vector<TupleRef>>> closed;
+  if (p.has_key) {
+    auto it = groups_.find(p.key);
+    if (it != groups_.end()) {
+      for (const TupleRef& t : it->second) {
+        bytes_ -= t->MemoryBytes();
+        --buffered_;
+      }
+      closed.emplace_back(it->first, std::move(it->second));
+      groups_.erase(it);
+    }
+    return closed;
+  }
+  // Watermark: close every group whose newest tuple is <= p.ts.
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    bool all_old = true;
+    for (const TupleRef& t : it->second) {
+      if (t->ts() > p.ts) {
+        all_old = false;
+        break;
+      }
+    }
+    if (all_old) {
+      for (const TupleRef& t : it->second) {
+        bytes_ -= t->MemoryBytes();
+        --buffered_;
+      }
+      closed.emplace_back(it->first, std::move(it->second));
+      it = groups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return closed;
+}
+
+}  // namespace sqp

@@ -1,0 +1,42 @@
+#ifndef SQP_WINDOW_PUNCTUATION_WINDOW_H_
+#define SQP_WINDOW_PUNCTUATION_WINDOW_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/tuple.h"
+#include "stream/element.h"
+
+namespace sqp {
+
+/// Punctuation-delimited, data-dependent windows [TMSF03] (slide 28).
+///
+/// Tuples are buffered per key (e.g. auction id). A CloseKey punctuation
+/// releases and removes that key's buffer; a plain watermark releases all
+/// keys whose buffered tuples are entirely at or below the watermark.
+class PunctuationWindowBuffer {
+ public:
+  /// `key_col` selects the partitioning attribute of inserted tuples.
+  explicit PunctuationWindowBuffer(int key_col) : key_col_(key_col) {}
+
+  /// Buffers a tuple under its key.
+  void Insert(TupleRef t);
+
+  /// Applies a punctuation. Returns the closed groups (key, tuples).
+  std::vector<std::pair<Value, std::vector<TupleRef>>> OnPunctuation(
+      const Punctuation& p);
+
+  size_t num_open_keys() const { return groups_.size(); }
+  size_t buffered_tuples() const { return buffered_; }
+  size_t MemoryBytes() const { return bytes_; }
+
+ private:
+  int key_col_;
+  std::unordered_map<Value, std::vector<TupleRef>, ValueHash> groups_;
+  size_t buffered_ = 0;
+  size_t bytes_ = 0;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_WINDOW_PUNCTUATION_WINDOW_H_

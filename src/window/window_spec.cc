@@ -1,0 +1,50 @@
+#include "window/window_spec.h"
+
+namespace sqp {
+
+const char* WindowKindName(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kTimeSliding:
+      return "time-sliding";
+    case WindowKind::kTimeTumbling:
+      return "time-tumbling";
+    case WindowKind::kTimeLandmark:
+      return "landmark";
+    case WindowKind::kCountSliding:
+      return "count-sliding";
+    case WindowKind::kCountTumbling:
+      return "count-tumbling";
+    case WindowKind::kPunctuation:
+      return "punctuation";
+  }
+  return "unknown";
+}
+
+Status WindowSpec::Validate() const {
+  switch (kind) {
+    case WindowKind::kTimeSliding:
+    case WindowKind::kTimeTumbling:
+    case WindowKind::kCountSliding:
+    case WindowKind::kCountTumbling:
+      if (size <= 0) {
+        return Status::InvalidArgument(std::string(WindowKindName(kind)) +
+                                       " window requires positive size");
+      }
+      return Status::OK();
+    case WindowKind::kTimeLandmark:
+    case WindowKind::kPunctuation:
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown window kind");
+}
+
+std::string WindowSpec::ToString() const {
+  std::string out = WindowKindName(kind);
+  if (size > 0) out += " size=" + std::to_string(size);
+  if (kind == WindowKind::kTimeLandmark) {
+    out += " start=" + std::to_string(start);
+  }
+  return out;
+}
+
+}  // namespace sqp

@@ -1,0 +1,79 @@
+#include "xml/doc_gen.h"
+
+#include "common/strings.h"
+
+namespace sqp {
+namespace xml {
+
+std::vector<XmlEvent> GenerateAuctionDoc(const XmlDocOptions& options) {
+  Rng rng(options.seed);
+  std::vector<XmlEvent> ev;
+  ev.push_back(XmlEvent::Start("site"));
+
+  ev.push_back(XmlEvent::Start("people"));
+  for (int p = 0; p < options.num_people; ++p) {
+    ev.push_back(XmlEvent::Start(
+        "person", {{"id", "p" + std::to_string(p)}}));
+    ev.push_back(XmlEvent::Start("name"));
+    ev.push_back(XmlEvent::Text("person" + std::to_string(p)));
+    ev.push_back(XmlEvent::End("name"));
+    if (rng.Bernoulli(0.7)) {
+      ev.push_back(XmlEvent::Start("city"));
+      ev.push_back(XmlEvent::Text("city" + std::to_string(rng.Uniform(10))));
+      ev.push_back(XmlEvent::End("city"));
+    }
+    ev.push_back(XmlEvent::End("person"));
+  }
+  ev.push_back(XmlEvent::End("people"));
+
+  ev.push_back(XmlEvent::Start("auctions"));
+  for (int a = 0; a < options.num_auctions; ++a) {
+    ev.push_back(XmlEvent::Start(
+        "auction",
+        {{"id", "a" + std::to_string(a)},
+         {"category",
+          "c" + std::to_string(rng.Uniform(
+                    static_cast<uint64_t>(options.num_categories)))}}));
+    ev.push_back(XmlEvent::Start(
+        "seller",
+        {{"ref", "p" + std::to_string(rng.Uniform(
+                           static_cast<uint64_t>(options.num_people)))}}));
+    ev.push_back(XmlEvent::End("seller"));
+    uint64_t bids = 1 + rng.Uniform(static_cast<uint64_t>(options.max_bids));
+    for (uint64_t b = 0; b < bids; ++b) {
+      ev.push_back(XmlEvent::Start(
+          "bid", {{"amount", std::to_string(10 + rng.Uniform(990))}}));
+      ev.push_back(XmlEvent::End("bid"));
+    }
+    ev.push_back(XmlEvent::End("auction"));
+  }
+  ev.push_back(XmlEvent::End("auctions"));
+
+  ev.push_back(XmlEvent::End("site"));
+  return ev;
+}
+
+std::string ToXmlText(const std::vector<XmlEvent>& events) {
+  std::string out;
+  for (const XmlEvent& e : events) {
+    switch (e.kind) {
+      case XmlEvent::Kind::kStart:
+        out += "<" + e.name;
+        for (const auto& [k, v] : e.attrs) {
+          out += " " + k + "='" + v + "'";
+        }
+        out += ">";
+        break;
+      case XmlEvent::Kind::kEnd:
+        out += "</" + e.name + ">";
+        break;
+      case XmlEvent::Kind::kText:
+        out += e.text;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace xml
+}  // namespace sqp

@@ -1,0 +1,40 @@
+#ifndef SQP_XML_DOC_GEN_H_
+#define SQP_XML_DOC_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "xml/xml_event.h"
+
+namespace sqp {
+namespace xml {
+
+/// Synthetic auction-site documents (an XMark-flavoured miniature):
+///
+///   <site>
+///     <people> <person id='pN'> <name>..</name> <city>..</city> ... </people>
+///     <auctions> <auction id='aN' category='cK'> <seller ref='pN'/>
+///                <bid amount='..'/> ... </auction> ... </auctions>
+///   </site>
+///
+/// Used by the XML filtering tests/benchmarks as the document workload
+/// (message-brokering streams of the tutorial's XML references).
+struct XmlDocOptions {
+  int num_people = 20;
+  int num_auctions = 30;
+  int max_bids = 5;
+  int num_categories = 8;
+  uint64_t seed = 7;
+};
+
+/// Generates one document's event stream directly (no string round-trip).
+std::vector<XmlEvent> GenerateAuctionDoc(const XmlDocOptions& options);
+
+/// Serializes events back to XML text (for tokenizer round-trip tests).
+std::string ToXmlText(const std::vector<XmlEvent>& events);
+
+}  // namespace xml
+}  // namespace sqp
+
+#endif  // SQP_XML_DOC_GEN_H_

@@ -1,0 +1,141 @@
+#include "xml/filter.h"
+
+#include <algorithm>
+
+namespace sqp {
+namespace xml {
+
+namespace {
+
+bool NameMatches(const std::string& pattern, const std::string& name) {
+  return pattern == "*" || pattern == name;
+}
+
+bool PredMatches(const std::optional<XPathStep::AttrPred>& pred,
+                 const XmlEvent& e) {
+  if (!pred.has_value()) return true;
+  for (const auto& [attr, value] : e.attrs) {
+    if (attr == pred->attr) return value == pred->value;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<int> XPathFilterSet::Add(const std::string& xpath_text) {
+  auto path = ParseXPath(xpath_text);
+  if (!path.ok()) return path.status();
+  return Add(*path);
+}
+
+Result<int> XPathFilterSet::Add(const XPath& path) {
+  if (path.steps.empty()) return Status::InvalidArgument("empty path");
+  int id = AddPathToTrie(path);
+  paths_.push_back(path);
+  return id;
+}
+
+int XPathFilterSet::AddPathToTrie(const XPath& path) {
+  int state = 0;
+  for (const XPathStep& step : path.steps) {
+    // Share an existing identical edge (prefix sharing — the YFilter
+    // mechanism that makes thousands of filters cheap).
+    int next = -1;
+    for (const Edge& e : states_[static_cast<size_t>(state)].edges) {
+      if (e.step == step) {
+        next = e.target;
+        break;
+      }
+    }
+    if (next < 0) {
+      next = static_cast<int>(states_.size());
+      states_.push_back(State{});
+      states_[static_cast<size_t>(state)].edges.push_back(Edge{step, next});
+    }
+    if (step.axis == XPathStep::Axis::kDescendant) {
+      states_[static_cast<size_t>(state)].has_descendant_out = true;
+    }
+    state = next;
+  }
+  int id = static_cast<int>(num_queries_++);
+  states_[static_cast<size_t>(state)].accepts.push_back(id);
+  return id;
+}
+
+XPathFilterSet::Matcher::Matcher(const XPathFilterSet* set) : set_(set) {
+  // Root state active (full) for top-level elements: id*2 + 1.
+  stack_.push_back({0 * 2 + 1});
+  counts_.assign(set_->num_queries_, 0);
+}
+
+std::vector<int> XPathFilterSet::Matcher::OnEvent(const XmlEvent& e) {
+  switch (e.kind) {
+    case XmlEvent::Kind::kText:
+      return {};
+    case XmlEvent::Kind::kEnd:
+      if (stack_.size() > 1) stack_.pop_back();
+      return {};
+    case XmlEvent::Kind::kStart:
+      break;
+  }
+
+  std::vector<int> next;
+  std::vector<int> matched;
+  for (int entry : stack_.back()) {
+    int s = entry >> 1;
+    bool full = (entry & 1) != 0;
+    const State& state = set_->states_[static_cast<size_t>(s)];
+    for (const Edge& edge : state.edges) {
+      // Persisted (non-full) activations only retry descendant edges.
+      if (!full && edge.step.axis == XPathStep::Axis::kChild) continue;
+      if (NameMatches(edge.step.name, e.name) && PredMatches(edge.step.pred, e)) {
+        next.push_back(edge.target * 2 + 1);
+        for (int q : set_->states_[static_cast<size_t>(edge.target)].accepts) {
+          matched.push_back(q);
+        }
+      }
+    }
+    // A state with outgoing descendant edges keeps trying at every
+    // deeper level (persisted copy).
+    if (state.has_descendant_out) next.push_back(s * 2 + 0);
+  }
+  // Dedupe; a full activation subsumes a persisted one of the same state.
+  std::sort(next.begin(), next.end());
+  next.erase(std::unique(next.begin(), next.end()), next.end());
+  for (size_t i = 0; i + 1 < next.size();) {
+    if ((next[i] >> 1) == (next[i + 1] >> 1)) {
+      // next[i] is the persisted (even) copy; drop it.
+      next.erase(next.begin() + static_cast<ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  std::sort(matched.begin(), matched.end());
+  matched.erase(std::unique(matched.begin(), matched.end()), matched.end());
+  for (int q : matched) ++counts_[static_cast<size_t>(q)];
+  stack_.push_back(std::move(next));
+  return matched;
+}
+
+std::vector<uint64_t> XPathFilterSet::MatchDocument(
+    const std::vector<XmlEvent>& events) const {
+  Matcher m = NewMatcher();
+  for (const XmlEvent& e : events) m.OnEvent(e);
+  return m.match_counts();
+}
+
+std::vector<uint64_t> XPathFilterSet::MatchDocumentNaive(
+    const std::vector<XmlEvent>& events) const {
+  std::vector<uint64_t> counts(num_queries_, 0);
+  for (size_t q = 0; q < paths_.size(); ++q) {
+    XPathFilterSet single;
+    (void)single.Add(paths_[q]);
+    Matcher m = single.NewMatcher();
+    for (const XmlEvent& e : events) m.OnEvent(e);
+    counts[q] = m.match_counts()[0];
+  }
+  return counts;
+}
+
+}  // namespace xml
+}  // namespace sqp

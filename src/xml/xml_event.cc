@@ -1,0 +1,96 @@
+#include "xml/xml_event.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace sqp {
+namespace xml {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+
+}  // namespace
+
+Result<std::vector<XmlEvent>> Tokenize(const std::string& doc) {
+  std::vector<XmlEvent> out;
+  std::vector<std::string> open;  // Tag stack for balance checking.
+  size_t i = 0;
+  const size_t n = doc.size();
+
+  while (i < n) {
+    if (doc[i] != '<') {
+      size_t start = i;
+      while (i < n && doc[i] != '<') ++i;
+      std::string text(StripWhitespace(doc.substr(start, i - start)));
+      if (!text.empty()) out.push_back(XmlEvent::Text(std::move(text)));
+      continue;
+    }
+    ++i;  // Consume '<'.
+    if (i < n && doc[i] == '/') {
+      ++i;
+      size_t start = i;
+      while (i < n && IsNameChar(doc[i])) ++i;
+      std::string name = doc.substr(start, i - start);
+      while (i < n && doc[i] != '>') ++i;
+      if (i >= n) return Status::ParseError("unterminated close tag");
+      ++i;
+      if (open.empty() || open.back() != name) {
+        return Status::ParseError("mismatched close tag: " + name);
+      }
+      open.pop_back();
+      out.push_back(XmlEvent::End(std::move(name)));
+      continue;
+    }
+    size_t start = i;
+    while (i < n && IsNameChar(doc[i])) ++i;
+    if (i == start) return Status::ParseError("empty tag name");
+    std::string name = doc.substr(start, i - start);
+
+    std::vector<std::pair<std::string, std::string>> attrs;
+    while (i < n && doc[i] != '>' && doc[i] != '/') {
+      while (i < n && std::isspace(static_cast<unsigned char>(doc[i]))) ++i;
+      if (i < n && (doc[i] == '>' || doc[i] == '/')) break;
+      size_t astart = i;
+      while (i < n && IsNameChar(doc[i])) ++i;
+      if (i == astart) return Status::ParseError("bad attribute in " + name);
+      std::string aname = doc.substr(astart, i - astart);
+      if (i >= n || doc[i] != '=') {
+        return Status::ParseError("attribute without value: " + aname);
+      }
+      ++i;
+      if (i >= n || (doc[i] != '\'' && doc[i] != '"')) {
+        return Status::ParseError("unquoted attribute value: " + aname);
+      }
+      char quote = doc[i++];
+      size_t vstart = i;
+      while (i < n && doc[i] != quote) ++i;
+      if (i >= n) return Status::ParseError("unterminated attribute value");
+      attrs.emplace_back(std::move(aname), doc.substr(vstart, i - vstart));
+      ++i;
+    }
+    bool self_close = i < n && doc[i] == '/';
+    if (self_close) ++i;
+    if (i >= n || doc[i] != '>') {
+      return Status::ParseError("unterminated tag: " + name);
+    }
+    ++i;
+    out.push_back(XmlEvent::Start(name, std::move(attrs)));
+    if (self_close) {
+      out.push_back(XmlEvent::End(name));
+    } else {
+      open.push_back(name);
+    }
+  }
+  if (!open.empty()) {
+    return Status::ParseError("unclosed element: " + open.back());
+  }
+  return out;
+}
+
+}  // namespace xml
+}  // namespace sqp

@@ -1,0 +1,57 @@
+#ifndef SQP_XML_XML_EVENT_H_
+#define SQP_XML_XML_EVENT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqp {
+namespace xml {
+
+/// SAX-style parse event. XML documents stream through filters as event
+/// sequences, never materialized as trees — the setting of the XML
+/// stream-filtering work the tutorial cites ([AF00] XFilter, [DF03]
+/// YFilter, [GMOS03], [CFGR02]).
+struct XmlEvent {
+  enum class Kind { kStart, kEnd, kText };
+
+  Kind kind = Kind::kStart;
+  std::string name;                                       // kStart/kEnd.
+  std::vector<std::pair<std::string, std::string>> attrs;  // kStart.
+  std::string text;                                       // kText.
+
+  static XmlEvent Start(std::string name,
+                        std::vector<std::pair<std::string, std::string>>
+                            attrs = {}) {
+    XmlEvent e;
+    e.kind = Kind::kStart;
+    e.name = std::move(name);
+    e.attrs = std::move(attrs);
+    return e;
+  }
+  static XmlEvent End(std::string name) {
+    XmlEvent e;
+    e.kind = Kind::kEnd;
+    e.name = std::move(name);
+    return e;
+  }
+  static XmlEvent Text(std::string text) {
+    XmlEvent e;
+    e.kind = Kind::kText;
+    e.text = std::move(text);
+    return e;
+  }
+};
+
+/// Tokenizes a small XML subset into events: elements, attributes with
+/// single- or double-quoted values, self-closing tags, and text. No
+/// namespaces, comments, CDATA, or entities — enough for filter
+/// workloads, not a general parser.
+Result<std::vector<XmlEvent>> Tokenize(const std::string& doc);
+
+}  // namespace xml
+}  // namespace sqp
+
+#endif  // SQP_XML_XML_EVENT_H_

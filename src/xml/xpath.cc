@@ -1,0 +1,87 @@
+#include "xml/xpath.h"
+
+#include <cctype>
+
+namespace sqp {
+namespace xml {
+
+std::string XPath::ToString() const {
+  std::string out;
+  for (const XPathStep& s : steps) {
+    out += s.axis == XPathStep::Axis::kChild ? "/" : "//";
+    out += s.name;
+    if (s.pred.has_value()) {
+      out += "[@" + s.pred->attr + "='" + s.pred->value + "']";
+    }
+  }
+  return out;
+}
+
+Result<XPath> ParseXPath(const std::string& text) {
+  XPath path;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto is_name_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.';
+  };
+
+  if (n == 0 || text[0] != '/') {
+    return Status::ParseError("XPath must start with '/' or '//'");
+  }
+  while (i < n) {
+    XPathStep step;
+    if (text[i] != '/') {
+      return Status::ParseError("expected '/' at offset " + std::to_string(i));
+    }
+    ++i;
+    if (i < n && text[i] == '/') {
+      step.axis = XPathStep::Axis::kDescendant;
+      ++i;
+    }
+    if (i < n && text[i] == '*') {
+      step.name = "*";
+      ++i;
+    } else {
+      size_t start = i;
+      while (i < n && is_name_char(text[i])) ++i;
+      if (i == start) {
+        return Status::ParseError("expected element name at offset " +
+                                  std::to_string(i));
+      }
+      step.name = text.substr(start, i - start);
+    }
+    if (i < n && text[i] == '[') {
+      // [@attr='value']
+      if (i + 1 >= n || text[i + 1] != '@') {
+        return Status::ParseError("only [@attr='value'] predicates supported");
+      }
+      i += 2;
+      size_t start = i;
+      while (i < n && is_name_char(text[i])) ++i;
+      if (i == start) return Status::ParseError("empty attribute name");
+      XPathStep::AttrPred pred;
+      pred.attr = text.substr(start, i - start);
+      if (i + 1 >= n || text[i] != '=' || text[i + 1] != '\'') {
+        return Status::ParseError("expected ='...' in predicate");
+      }
+      i += 2;
+      start = i;
+      while (i < n && text[i] != '\'') ++i;
+      if (i >= n) return Status::ParseError("unterminated predicate value");
+      pred.value = text.substr(start, i - start);
+      ++i;
+      if (i >= n || text[i] != ']') {
+        return Status::ParseError("expected ']' closing predicate");
+      }
+      ++i;
+      step.pred = pred;
+    }
+    path.steps.push_back(std::move(step));
+  }
+  if (path.steps.empty()) return Status::ParseError("empty XPath");
+  return path;
+}
+
+}  // namespace xml
+}  // namespace sqp

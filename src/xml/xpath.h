@@ -1,0 +1,51 @@
+#ifndef SQP_XML_XPATH_H_
+#define SQP_XML_XPATH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqp {
+namespace xml {
+
+/// One location step of a filter path.
+struct XPathStep {
+  enum class Axis { kChild, kDescendant };
+
+  Axis axis = Axis::kChild;
+  /// Element name; "*" matches any element.
+  std::string name;
+  /// Optional attribute equality predicate [@attr='value'].
+  struct AttrPred {
+    std::string attr;
+    std::string value;
+  };
+  std::optional<AttrPred> pred;
+
+  bool operator==(const XPathStep& other) const {
+    bool p_eq = pred.has_value() == other.pred.has_value() &&
+                (!pred.has_value() || (pred->attr == other.pred->attr &&
+                                       pred->value == other.pred->value));
+    return axis == other.axis && name == other.name && p_eq;
+  }
+};
+
+/// A parsed filter path, e.g. `/site/people//person[@id='p1']/name`.
+struct XPath {
+  std::vector<XPathStep> steps;
+
+  std::string ToString() const;
+};
+
+/// Parses the XPath subset used by streaming filters:
+///   path   := step+
+///   step   := ("/" | "//") name [ "[@" attr "='" value "']" ]
+///   name   := element-name | "*"
+Result<XPath> ParseXPath(const std::string& text);
+
+}  // namespace xml
+}  // namespace sqp
+
+#endif  // SQP_XML_XPATH_H_

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agg/aggregate_fn.h"
+#include "common/rng.h"
+
+namespace sqp {
+namespace {
+
+std::unique_ptr<Accumulator> Acc(AggKind kind, double param = 0.5) {
+  auto fn = AggregateFunction::Make(kind, param);
+  EXPECT_TRUE(fn.ok());
+  return fn->NewAccumulator();
+}
+
+TEST(AggClassTest, Classification) {
+  EXPECT_EQ(ClassOf(AggKind::kSum), AggClass::kDistributive);
+  EXPECT_EQ(ClassOf(AggKind::kCount), AggClass::kDistributive);
+  EXPECT_EQ(ClassOf(AggKind::kAvg), AggClass::kAlgebraic);
+  EXPECT_EQ(ClassOf(AggKind::kMedian), AggClass::kHolistic);
+  EXPECT_EQ(ClassOf(AggKind::kCountDistinct), AggClass::kHolistic);
+}
+
+TEST(AggParseTest, Names) {
+  EXPECT_EQ(*ParseAggKind("sum"), AggKind::kSum);
+  EXPECT_EQ(*ParseAggKind("count_distinct"), AggKind::kCountDistinct);
+  EXPECT_FALSE(ParseAggKind("bogus").ok());
+  EXPECT_STREQ(AggKindName(AggKind::kBlend), "blend");
+}
+
+TEST(AccumulatorTest, Count) {
+  auto a = Acc(AggKind::kCount);
+  EXPECT_EQ(a->Result().AsInt(), 0);
+  a->Add(Value(int64_t{5}));
+  a->Add(Value("x"));
+  EXPECT_EQ(a->Result().AsInt(), 2);
+  a->Remove(Value(int64_t{5}));
+  EXPECT_EQ(a->Result().AsInt(), 1);
+  EXPECT_TRUE(a->invertible());
+}
+
+TEST(AccumulatorTest, SumPreservesIntType) {
+  auto a = Acc(AggKind::kSum);
+  EXPECT_TRUE(a->Result().is_null());
+  a->Add(Value(int64_t{2}));
+  a->Add(Value(int64_t{3}));
+  EXPECT_EQ(a->Result().type(), ValueType::kInt);
+  EXPECT_EQ(a->Result().AsInt(), 5);
+}
+
+TEST(AccumulatorTest, SumWidensToDouble) {
+  auto a = Acc(AggKind::kSum);
+  a->Add(Value(int64_t{2}));
+  a->Add(Value(0.5));
+  EXPECT_EQ(a->Result().type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(a->Result().AsDouble(), 2.5);
+}
+
+TEST(AccumulatorTest, MinMax) {
+  auto mn = Acc(AggKind::kMin);
+  auto mx = Acc(AggKind::kMax);
+  for (int64_t v : {5, 2, 9, 3}) {
+    mn->Add(Value(v));
+    mx->Add(Value(v));
+  }
+  EXPECT_EQ(mn->Result().AsInt(), 2);
+  EXPECT_EQ(mx->Result().AsInt(), 9);
+  EXPECT_FALSE(mn->invertible());
+}
+
+TEST(AccumulatorTest, AvgAndRemove) {
+  auto a = Acc(AggKind::kAvg);
+  a->Add(Value(int64_t{2}));
+  a->Add(Value(int64_t{4}));
+  a->Add(Value(int64_t{9}));
+  EXPECT_DOUBLE_EQ(a->Result().AsDouble(), 5.0);
+  a->Remove(Value(int64_t{9}));
+  EXPECT_DOUBLE_EQ(a->Result().AsDouble(), 3.0);
+}
+
+TEST(AccumulatorTest, StddevMatchesFormula) {
+  auto a = Acc(AggKind::kStddev);
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a->Add(Value(v));
+  // Sample stddev of this classic set is ~2.138.
+  EXPECT_NEAR(a->Result().AsDouble(), 2.1381, 1e-3);
+}
+
+TEST(AccumulatorTest, MedianOddAndEven) {
+  auto a = Acc(AggKind::kMedian);
+  for (int64_t v : {5, 1, 3}) a->Add(Value(v));
+  EXPECT_DOUBLE_EQ(a->Result().AsDouble(), 3.0);
+  a->Add(Value(int64_t{7}));
+  EXPECT_DOUBLE_EQ(a->Result().AsDouble(), 4.0);
+}
+
+TEST(AccumulatorTest, CountDistinct) {
+  auto a = Acc(AggKind::kCountDistinct);
+  for (int64_t v : {1, 2, 2, 3, 3, 3}) a->Add(Value(v));
+  EXPECT_EQ(a->Result().AsInt(), 3);
+}
+
+TEST(AccumulatorTest, FirstLast) {
+  auto f = Acc(AggKind::kFirst);
+  auto l = Acc(AggKind::kLast);
+  for (int64_t v : {10, 20, 30}) {
+    f->Add(Value(v));
+    l->Add(Value(v));
+  }
+  EXPECT_EQ(f->Result().AsInt(), 10);
+  EXPECT_EQ(l->Result().AsInt(), 30);
+}
+
+TEST(AccumulatorTest, BlendExponentialSmoothing) {
+  auto a = Acc(AggKind::kBlend, 0.5);
+  a->Add(Value(10.0));
+  EXPECT_DOUBLE_EQ(a->Result().AsDouble(), 10.0);  // First obs initializes.
+  a->Add(Value(20.0));
+  EXPECT_DOUBLE_EQ(a->Result().AsDouble(), 15.0);
+  a->Add(Value(15.0));
+  EXPECT_DOUBLE_EQ(a->Result().AsDouble(), 15.0);
+}
+
+TEST(AccumulatorTest, BlendRejectsBadFactor) {
+  EXPECT_FALSE(AggregateFunction::Make(AggKind::kBlend, 0.0).ok());
+  EXPECT_FALSE(AggregateFunction::Make(AggKind::kBlend, 1.5).ok());
+}
+
+TEST(AccumulatorTest, HolisticMemoryGrows) {
+  auto med = Acc(AggKind::kMedian);
+  auto sum = Acc(AggKind::kSum);
+  size_t med0 = med->MemoryBytes();
+  size_t sum0 = sum->MemoryBytes();
+  for (int i = 0; i < 10000; ++i) {
+    med->Add(Value(static_cast<double>(i)));
+    sum->Add(Value(static_cast<double>(i)));
+  }
+  EXPECT_GT(med->MemoryBytes(), med0 + 10000 * sizeof(double) / 2);
+  EXPECT_EQ(sum->MemoryBytes(), sum0);  // Distributive: O(1) state.
+}
+
+// --- Merge property: merging partials equals aggregating everything ---
+// (the correctness condition for two-level partial aggregation.)
+
+class MergePropertyTest : public ::testing::TestWithParam<AggKind> {};
+
+TEST_P(MergePropertyTest, SplitMergeEqualsWhole) {
+  AggKind kind = GetParam();
+  Rng rng(11);
+  std::vector<double> data;
+  for (int i = 0; i < 500; ++i) data.push_back(rng.NextDouble() * 100.0);
+
+  auto whole = Acc(kind);
+  for (double v : data) whole->Add(Value(v));
+
+  // Split into 7 chunks, aggregate each, merge.
+  auto merged = Acc(kind);
+  size_t chunk = data.size() / 7 + 1;
+  for (size_t start = 0; start < data.size(); start += chunk) {
+    auto part = Acc(kind);
+    for (size_t i = start; i < std::min(start + chunk, data.size()); ++i) {
+      part->Add(Value(data[i]));
+    }
+    merged->Merge(*part);
+  }
+
+  Value a = whole->Result();
+  Value b = merged->Result();
+  ASSERT_EQ(a.type(), b.type());
+  if (a.type() == ValueType::kDouble) {
+    EXPECT_NEAR(a.AsDouble(), b.AsDouble(), 1e-6);
+  } else {
+    EXPECT_EQ(a, b);
+  }
+  EXPECT_EQ(whole->count(), merged->count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMergeableKinds, MergePropertyTest,
+    ::testing::Values(AggKind::kCount, AggKind::kSum, AggKind::kMin,
+                      AggKind::kMax, AggKind::kAvg, AggKind::kStddev,
+                      AggKind::kMedian, AggKind::kCountDistinct),
+    [](const ::testing::TestParamInfo<AggKind>& info) {
+      return AggKindName(info.param);
+    });
+
+// --- Remove property: add k, remove j first == aggregate of suffix ---
+
+class RemovePropertyTest : public ::testing::TestWithParam<AggKind> {};
+
+TEST_P(RemovePropertyTest, RemovePrefixEqualsSuffixAggregate) {
+  AggKind kind = GetParam();
+  Rng rng(13);
+  std::vector<double> data;
+  for (int i = 0; i < 200; ++i) data.push_back(rng.NextDouble() * 10.0);
+
+  auto acc = Acc(kind);
+  for (double v : data) acc->Add(Value(v));
+  for (size_t i = 0; i < 50; ++i) acc->Remove(Value(data[i]));
+
+  auto suffix = Acc(kind);
+  for (size_t i = 50; i < data.size(); ++i) suffix->Add(Value(data[i]));
+
+  EXPECT_NEAR(acc->Result().ToDouble(), suffix->Result().ToDouble(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    InvertibleKinds, RemovePropertyTest,
+    ::testing::Values(AggKind::kCount, AggKind::kSum, AggKind::kAvg,
+                      AggKind::kStddev),
+    [](const ::testing::TestParamInfo<AggKind>& info) {
+      return AggKindName(info.param);
+    });
+
+}  // namespace
+}  // namespace sqp

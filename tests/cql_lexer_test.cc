@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "cql/lexer.h"
+
+namespace sqp {
+namespace cql {
+namespace {
+
+TEST(LexerTest, KeywordsAndIdentifiersLowercased) {
+  auto toks = Lex("SELECT srcIP FROM Traffic");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 5u);  // 4 tokens + EOF.
+  EXPECT_TRUE((*toks)[0].IsKeyword("select"));
+  EXPECT_EQ((*toks)[1].text, "srcip");
+  EXPECT_TRUE((*toks)[2].IsKeyword("from"));
+  EXPECT_EQ((*toks)[3].text, "traffic");
+  EXPECT_EQ((*toks)[4].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, NumericLiterals) {
+  auto toks = Lex("42 3.5");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kInt);
+  EXPECT_EQ((*toks)[0].int_val, 42);
+  EXPECT_EQ((*toks)[1].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ((*toks)[1].double_val, 3.5);
+}
+
+TEST(LexerTest, StringLiteralsPreserveCase) {
+  auto toks = Lex("'X-Kazaa-'");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*toks)[0].text, "X-Kazaa-");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto toks = Lex("select 'oops");
+  EXPECT_FALSE(toks.ok());
+  EXPECT_EQ(toks.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, MultiCharSymbols) {
+  auto toks = Lex("a != b <= c >= d <> e");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_TRUE((*toks)[1].IsSymbol("!="));
+  EXPECT_TRUE((*toks)[3].IsSymbol("<="));
+  EXPECT_TRUE((*toks)[5].IsSymbol(">="));
+  EXPECT_TRUE((*toks)[7].IsSymbol("!="));  // <> normalizes to !=.
+}
+
+TEST(LexerTest, WindowBrackets) {
+  auto toks = Lex("Traffic [range 60]");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_TRUE((*toks)[1].IsSymbol("["));
+  EXPECT_TRUE((*toks)[2].IsKeyword("range"));
+  EXPECT_EQ((*toks)[3].int_val, 60);
+  EXPECT_TRUE((*toks)[4].IsSymbol("]"));
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto toks = Lex("select -- the traffic\n x");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 3u);
+  EXPECT_EQ((*toks)[1].text, "x");
+}
+
+TEST(LexerTest, QualifiedNamesSplitOnDot) {
+  auto toks = Lex("S.srcIP");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 4u);
+  EXPECT_EQ((*toks)[0].text, "s");
+  EXPECT_TRUE((*toks)[1].IsSymbol("."));
+  EXPECT_EQ((*toks)[2].text, "srcip");
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Lex("select @x").ok());
+}
+
+TEST(LexerTest, OffsetsRecorded) {
+  auto toks = Lex("ab cd");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].pos, 0u);
+  EXPECT_EQ((*toks)[1].pos, 3u);
+}
+
+}  // namespace
+}  // namespace cql
+}  // namespace sqp

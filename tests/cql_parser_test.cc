@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "cql/parser.h"
+
+namespace sqp {
+namespace cql {
+namespace {
+
+TEST(ParserTest, SimpleSelectWhere) {
+  auto q = Parse("select src_ip, ts from packets where len > 512");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->select.size(), 2u);
+  EXPECT_EQ(q->from.size(), 1u);
+  EXPECT_EQ(q->from[0].name, "packets");
+  ASSERT_NE(q->where, nullptr);
+  EXPECT_EQ(q->where->ToString(), "(len > 512)");
+}
+
+TEST(ParserTest, SelectDistinct) {
+  auto q = Parse("select distinct len from packets");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->distinct);
+}
+
+TEST(ParserTest, Slide13TrafficQuery) {
+  // The first GSQL query of slide 13, adapted to our window syntax.
+  auto q = Parse(
+      "select tb, src_ip, sum(len) from packets "
+      "where protocol = 6 "
+      "group by ts/60 as tb, src_ip having count(*) > 5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->group_by.size(), 2u);
+  EXPECT_EQ(q->group_by[0].alias, "tb");
+  EXPECT_EQ(q->group_by[0].expr->ToString(), "(ts / 60)");
+  ASSERT_NE(q->having, nullptr);
+  EXPECT_EQ(q->having->ToString(), "(count(*) > 5)");
+}
+
+TEST(ParserTest, Slide13RttJoinQuery) {
+  auto q = Parse(
+      "select s.ts, a.ts - s.ts as rtt "
+      "from tcp_syn s [range 100], tcp_syn_ack a [range 100] "
+      "where s.src_ip = a.dst_ip and s.dst_ip = a.src_ip "
+      "and s.src_port = a.dst_port and s.dst_port = a.src_port");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->from.size(), 2u);
+  EXPECT_EQ(q->from[0].alias, "s");
+  ASSERT_TRUE(q->from[0].window.has_value());
+  EXPECT_EQ(q->from[0].window->kind, WindowKind::kTimeSliding);
+  EXPECT_EQ(q->from[0].window->size, 100);
+  EXPECT_EQ(q->select[1].alias, "rtt");
+  EXPECT_EQ(q->select[1].expr->ToString(), "(a.ts - s.ts)");
+}
+
+TEST(ParserTest, RowsWindow) {
+  auto q = Parse("select ts from s [rows 1000]");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->from[0].window.has_value());
+  EXPECT_EQ(q->from[0].window->kind, WindowKind::kCountSliding);
+  EXPECT_EQ(q->from[0].window->size, 1000);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto q = Parse("select a from s where a + 2 * 3 = 7 and b < 1 or c > 2");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where->ToString(),
+            "((((a + (2 * 3)) = 7) and (b < 1)) or (c > 2))");
+}
+
+TEST(ParserTest, NotAndParens) {
+  auto q = Parse("select a from s where not (a = 1 or b = 2)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where->ToString(), "not ((a = 1) or (b = 2))");
+}
+
+TEST(ParserTest, FunctionCalls) {
+  auto q = Parse("select count(*), sum(len), contains(payload, 'GNUTELLA') "
+                 "from packets");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->select[0].expr->ToString(), "count(*)");
+  EXPECT_EQ(q->select[1].expr->ToString(), "sum(len)");
+  EXPECT_EQ(q->select[2].expr->ToString(), "contains(payload, 'GNUTELLA')");
+}
+
+TEST(ParserTest, UnaryMinus) {
+  auto q = Parse("select a from s where a > -5");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where->ToString(), "(a > (0 - 5))");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("selec a from s").ok());
+  EXPECT_FALSE(Parse("select from s").ok());
+  EXPECT_FALSE(Parse("select a").ok());               // Missing FROM.
+  EXPECT_FALSE(Parse("select a from s where").ok());  // Dangling WHERE.
+  EXPECT_FALSE(Parse("select a from s [range]").ok());
+  EXPECT_FALSE(Parse("select a from s [range 0]").ok());  // Invalid size.
+  EXPECT_FALSE(Parse("select a from s x y").ok());        // Trailing junk.
+  EXPECT_FALSE(Parse("select a from s, t, u").ok());      // 3 streams.
+}
+
+TEST(ParserTest, ErrorsCarryOffsets) {
+  auto q = Parse("select a frm s");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("expected 'from'"), std::string::npos);
+}
+
+TEST(ParserTest, QueryToStringRoundtrips) {
+  const char* text =
+      "select tb, src_ip from packets where protocol = 6 "
+      "group by ts/60 as tb, src_ip";
+  auto q1 = Parse(text);
+  ASSERT_TRUE(q1.ok());
+  auto q2 = Parse(q1->ToString());
+  ASSERT_TRUE(q2.ok()) << q1->ToString();
+  EXPECT_EQ(q1->ToString(), q2->ToString());
+}
+
+}  // namespace
+}  // namespace cql
+}  // namespace sqp

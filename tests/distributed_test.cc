@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "arch/cql_decompose.h"
+#include "common/rng.h"
+#include "cql/planner.h"
+#include "exec/plan.h"
+#include "stream/generators.h"
+#include "synopsis/misra_gries.h"
+
+namespace sqp {
+namespace {
+
+// --- Distributed partial aggregation (slide 55): K observation points,
+// each aggregating its own partition, merged at one high level. ---
+
+class DistributedAggTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedAggTest, PartitionedNodesMergeExactly) {
+  int num_nodes = GetParam();
+  std::vector<AggSpec> aggs = {{AggKind::kCount, -1, 0.5},
+                               {AggKind::kSum, 2, 0.5},
+                               {AggKind::kMax, 2, 0.5}};
+  std::vector<std::unique_ptr<PartialAggregator>> nodes;
+  for (int k = 0; k < num_nodes; ++k) {
+    nodes.push_back(std::make_unique<PartialAggregator>(
+        32, std::vector<int>{1}, aggs));
+  }
+  FinalAggregator high(aggs);
+  PartialAggregator reference(0, {1}, aggs);
+  FinalAggregator ref_high(aggs);
+
+  Rng rng(101);
+  std::vector<PartialGroup> partials;
+  for (int64_t i = 0; i < 20000; ++i) {
+    TupleRef t = MakeTuple(
+        i, {Value(i), Value(static_cast<int64_t>(rng.Uniform(200))),
+            Value(static_cast<int64_t>(rng.Uniform(1000)))});
+    // Route by arrival (e.g. per-interface taps see disjoint packets).
+    size_t node = static_cast<size_t>(i) % static_cast<size_t>(num_nodes);
+    nodes[node]->Add(*t, &partials);
+    for (auto& g : partials) high.Merge(std::move(g));
+    partials.clear();
+    reference.Add(*t, &partials);
+  }
+  for (auto& node : nodes) {
+    node->Flush(&partials);
+    for (auto& g : partials) high.Merge(std::move(g));
+    partials.clear();
+  }
+  reference.Flush(&partials);
+  for (auto& g : partials) ref_high.Merge(std::move(g));
+
+  auto collect = [](const FinalAggregator& f) {
+    std::map<int64_t, std::vector<double>> out;
+    for (const auto& [key, vals] : f.Results()) {
+      std::vector<double> row;
+      for (const Value& v : vals) row.push_back(v.ToDouble());
+      out[key.parts[0].AsInt()] = row;
+    }
+    return out;
+  };
+  EXPECT_EQ(collect(high), collect(ref_high));
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, DistributedAggTest,
+                         ::testing::Values(2, 4, 16));
+
+// --- Distributed heavy hitters via Misra-Gries merge ([BO03]-flavour) ---
+
+TEST(DistributedTopKTest, MergedSummaryFindsGlobalHeavyHitter) {
+  // Item 42 is heavy overall but only moderately heavy at each site.
+  MisraGries sites[4] = {MisraGries(50), MisraGries(50), MisraGries(50),
+                         MisraGries(50)};
+  Rng rng(102);
+  uint64_t truth42 = 0;
+  for (int i = 0; i < 40000; ++i) {
+    int site = i % 4;
+    if (i % 5 == 0) {
+      sites[site].Add(Value(int64_t{42}));
+      ++truth42;
+    } else {
+      sites[site].Add(Value(static_cast<int64_t>(100 + rng.Uniform(5000))));
+    }
+  }
+  MisraGries merged(50);
+  for (auto& s : sites) merged.Merge(s);
+  EXPECT_EQ(merged.n(), 40000u);
+  // Undercount bounded by n/k.
+  uint64_t est = merged.Estimate(Value(int64_t{42}));
+  EXPECT_GT(est, 0u);
+  EXPECT_LE(est, truth42);
+  EXPECT_GE(est + merged.n() / merged.k(), truth42);
+  // 42 dominates the merged heavy-hitter list.
+  auto hh = merged.HeavyHitters(merged.n() / 10);
+  ASSERT_EQ(hh.size(), 1u);
+  EXPECT_EQ(hh[0].first.AsInt(), 42);
+}
+
+TEST(DistributedTopKTest, MergeRespectsCapacity) {
+  MisraGries a(10), b(10);
+  Rng rng(103);
+  for (int i = 0; i < 5000; ++i) {
+    a.Add(Value(static_cast<int64_t>(rng.Uniform(100))));
+    b.Add(Value(static_cast<int64_t>(rng.Uniform(100))));
+  }
+  a.Merge(b);
+  EXPECT_LE(a.num_counters(), 10u);
+}
+
+// --- CQL-level query decomposition (slide 54) ---
+
+cql::Catalog PacketCatalog() {
+  cql::Catalog cat;
+  std::vector<FieldDomain> domains(gen::PacketSchema()->num_fields());
+  domains[gen::PacketCols::kProtocol] = {"protocol", true, 256};
+  EXPECT_TRUE(cat.Register("packets", gen::PacketSchema(), domains).ok());
+  return cat;
+}
+
+TEST(CqlDecomposeTest, MatchesDirectExecution) {
+  cql::Catalog cat = PacketCatalog();
+  const char* kQuery =
+      "select tb, src_ip, count(*), sum(len), avg(len) from packets "
+      "where protocol = 6 group by ts/100 as tb, src_ip";
+
+  // Direct single-level execution through the CQL planner.
+  auto direct = cql::Compile(kQuery, cat);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  CollectorSink direct_sink;
+  (*direct)->AttachSink(&direct_sink);
+
+  // Decomposed 3-level execution.
+  auto decomposed = DecomposeCqlAggregate(kQuery, cat, /*low_slots=*/8);
+  ASSERT_TRUE(decomposed.ok()) << decomposed.status().ToString();
+  EXPECT_NE(decomposed->config.prefilter, nullptr);  // WHERE pushed down.
+  decomposed->config.low_node.capacity_per_tick = 1e9;
+  decomposed->config.high_node.capacity_per_tick = 1e9;
+  auto sys = ThreeLevelSystem::Make(decomposed->input_schema,
+                                    decomposed->config);
+  ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+
+  gen::PacketGenerator tap(gen::PacketOptions{});
+  for (int i = 0; i < 30000; ++i) {
+    TupleRef p = tap.Next();
+    (*direct)->Push(Element(p));
+    (*sys)->Arrive(p);
+    (*sys)->Tick();
+  }
+  (*direct)->Finish();
+  (*sys)->Drain();
+
+  // Compare (bucket, src) -> (count, sum, avg).
+  std::map<std::pair<int64_t, int64_t>, std::vector<double>> d_rows, s_rows;
+  for (const TupleRef& r : direct_sink.tuples()) {
+    d_rows[{r->at(0).AsInt(), r->at(1).AsInt()}] = {
+        r->at(2).ToDouble(), r->at(3).ToDouble(), r->at(4).ToDouble()};
+  }
+  for (const TupleRef& r : (*sys)->db().table()) {
+    // DB layout: [ts, src, count, sum, avg]; ts = bucket start.
+    s_rows[{r->at(0).AsInt() / 100, r->at(1).AsInt()}] = {
+        r->at(2).ToDouble(), r->at(3).ToDouble(), r->at(4).ToDouble()};
+  }
+  ASSERT_EQ(d_rows.size(), s_rows.size());
+  for (const auto& [key, vals] : d_rows) {
+    auto it = s_rows.find(key);
+    ASSERT_NE(it, s_rows.end());
+    for (size_t i = 0; i < vals.size(); ++i) {
+      EXPECT_NEAR(it->second[i], vals[i], 1e-9);
+    }
+  }
+  // The low level genuinely ran bounded: evictions occurred.
+  EXPECT_GT((*sys)->partial_agg().agg_stats().evictions, 0u);
+}
+
+TEST(CqlDecomposeTest, Rejections) {
+  cql::Catalog cat = PacketCatalog();
+  // No window.
+  EXPECT_FALSE(DecomposeCqlAggregate(
+                   "select src_ip, count(*) from packets group by src_ip", cat)
+                   .ok());
+  // Holistic aggregate.
+  EXPECT_FALSE(
+      DecomposeCqlAggregate("select tb, median(len) from packets "
+                            "group by ts/60 as tb",
+                            cat)
+          .ok());
+  // HAVING (must run over final values).
+  EXPECT_FALSE(DecomposeCqlAggregate(
+                   "select tb, count(*) from packets group by ts/60 as tb "
+                   "having count(*) > 5",
+                   cat)
+                   .ok());
+  // Unparseable.
+  EXPECT_FALSE(DecomposeCqlAggregate("selec x", cat).ok());
+}
+
+TEST(CqlDecomposeTest, HavingOverDbSink) {
+  // The documented pattern: decompose without HAVING, apply it as a
+  // one-time query over the stored relation.
+  cql::Catalog cat = PacketCatalog();
+  auto decomposed = DecomposeCqlAggregate(
+      "select tb, src_ip, count(*) from packets group by ts/100 as tb, src_ip",
+      cat, 16);
+  ASSERT_TRUE(decomposed.ok());
+  decomposed->config.low_node.capacity_per_tick = 1e9;
+  decomposed->config.high_node.capacity_per_tick = 1e9;
+  auto sys = ThreeLevelSystem::Make(decomposed->input_schema,
+                                    decomposed->config);
+  ASSERT_TRUE(sys.ok());
+  gen::PacketGenerator tap(gen::PacketOptions{});
+  for (int i = 0; i < 20000; ++i) {
+    (*sys)->Arrive(tap.Next());
+    (*sys)->Tick();
+  }
+  (*sys)->Drain();
+  // HAVING count(*) > 5 over the DB: col 2 is the count.
+  auto heavy = (*sys)->db().Scan(Gt(Col(2), Lit(5.0)));
+  for (const TupleRef& r : heavy) {
+    EXPECT_GT(r->at(2).ToDouble(), 5.0);
+  }
+  EXPECT_LT(heavy.size(), (*sys)->db().size());
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "exec/expr.h"
+
+namespace sqp {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"a", ValueType::kInt},
+                 {"b", ValueType::kDouble},
+                 {"s", ValueType::kString}});
+}
+
+TupleRef T(int64_t a, double b, const char* s) {
+  return MakeTuple(0, {Value(a), Value(b), Value(s)});
+}
+
+TEST(ExprTest, ColumnAndConst) {
+  TupleRef t = T(7, 2.5, "xy");
+  EXPECT_EQ(Col(0)->Eval(*t).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Col(1)->Eval(*t).AsDouble(), 2.5);
+  EXPECT_EQ(Lit(int64_t{9})->Eval(*t).AsInt(), 9);
+}
+
+TEST(ExprTest, Arithmetic) {
+  TupleRef t = T(10, 0.5, "");
+  EXPECT_EQ(Add(Col(0), Lit(int64_t{5}))->Eval(*t).AsInt(), 15);
+  EXPECT_DOUBLE_EQ(Mul(Col(1), Lit(4.0))->Eval(*t).AsDouble(), 2.0);
+  EXPECT_EQ(Mod(Col(0), Lit(int64_t{3}))->Eval(*t).AsInt(), 1);
+  EXPECT_EQ(Div(Col(0), Lit(int64_t{4}))->Eval(*t).AsInt(), 2);
+}
+
+TEST(ExprTest, DivisionByZeroYieldsNull) {
+  TupleRef t = T(1, 0.0, "");
+  EXPECT_TRUE(Div(Col(0), Lit(int64_t{0}))->Eval(*t).is_null());
+}
+
+TEST(ExprTest, Comparisons) {
+  TupleRef t = T(5, 5.0, "abc");
+  EXPECT_TRUE(Truthy(Eq(Col(0), Col(1))->Eval(*t)));  // 5 == 5.0.
+  EXPECT_TRUE(Truthy(Gt(Col(0), Lit(int64_t{4}))->Eval(*t)));
+  EXPECT_FALSE(Truthy(Lt(Col(0), Lit(int64_t{4}))->Eval(*t)));
+  EXPECT_TRUE(Truthy(Eq(Col(2), Lit("abc"))->Eval(*t)));
+}
+
+TEST(ExprTest, LogicalShortCircuit) {
+  TupleRef t = T(1, 0.0, "");
+  // RHS would divide by zero; AND must not evaluate it into a crash (it
+  // yields null -> falsy anyway, but short-circuit means it's skipped).
+  ExprRef e = And(Lit(int64_t{0}), Div(Col(0), Lit(int64_t{0})));
+  EXPECT_FALSE(Truthy(e->Eval(*t)));
+  EXPECT_TRUE(Truthy(Or(Lit(int64_t{1}), Lit(int64_t{0}))->Eval(*t)));
+  EXPECT_TRUE(Truthy(Not(Lit(int64_t{0}))->Eval(*t)));
+}
+
+TEST(ExprTest, ContainsFn) {
+  TupleRef t = T(0, 0.0, "..X-Kazaa-IP..");
+  EXPECT_TRUE(Truthy(ContainsFn(Col(2), Lit("X-Kazaa-"))->Eval(*t)));
+  EXPECT_FALSE(Truthy(ContainsFn(Col(2), Lit("BitTorrent"))->Eval(*t)));
+  // Non-string operands are simply false, not errors.
+  EXPECT_FALSE(Truthy(ContainsFn(Col(0), Lit("x"))->Eval(*t)));
+}
+
+TEST(ExprTest, CheckTypesArithmetic) {
+  Schema s = TestSchema();
+  EXPECT_EQ(*Add(Col(0), Lit(int64_t{1}))->Check(s), ValueType::kInt);
+  EXPECT_EQ(*Add(Col(0), Col(1))->Check(s), ValueType::kDouble);
+  EXPECT_FALSE(Add(Col(2), Lit(int64_t{1}))->Check(s).ok());
+  EXPECT_FALSE(Mod(Col(1), Lit(int64_t{2}))->Check(s).ok());
+}
+
+TEST(ExprTest, CheckComparisonsMixedTypesRejected) {
+  Schema s = TestSchema();
+  EXPECT_TRUE(Eq(Col(0), Col(1))->Check(s).ok());
+  EXPECT_FALSE(Eq(Col(0), Col(2))->Check(s).ok());
+  EXPECT_EQ(Eq(Col(0), Col(2))->Check(s).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(ExprTest, CheckColumnBounds) {
+  Schema s = TestSchema();
+  EXPECT_TRUE(Col(2)->Check(s).ok());
+  EXPECT_FALSE(Col(3)->Check(s).ok());
+  EXPECT_FALSE(Col(-1)->Check(s).ok());
+}
+
+TEST(ExprTest, ToStringRoundtrip) {
+  ExprRef e = And(Gt(Col(0), Lit(int64_t{5})), ContainsFn(Col(2), Lit("x")));
+  EXPECT_EQ(e->ToString(), "(($0 > 5) and contains($2, x))");
+}
+
+TEST(ExprTest, TruthyRules) {
+  EXPECT_FALSE(Truthy(Value::Null()));
+  EXPECT_FALSE(Truthy(Value(int64_t{0})));
+  EXPECT_TRUE(Truthy(Value(int64_t{-1})));
+  EXPECT_FALSE(Truthy(Value(0.0)));
+  EXPECT_TRUE(Truthy(Value(0.1)));
+  EXPECT_FALSE(Truthy(Value("")));
+  EXPECT_TRUE(Truthy(Value("x")));
+}
+
+}  // namespace
+}  // namespace sqp

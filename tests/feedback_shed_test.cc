@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/rng.h"
+#include "shed/feedback_shedder.h"
+#include "stream/arrival.h"
+
+namespace sqp {
+namespace {
+
+/// Simulates a queue fed at `arrival` and drained at `capacity` per
+/// tick, with the feedback shedder dropping at the queue's mouth.
+struct SimResult {
+  double final_drop_rate;
+  double mean_queue_tail;  // Mean occupancy over the last quarter.
+  size_t peak_queue;
+};
+
+SimResult RunQueueSim(double arrival_rate, double capacity, int ticks,
+                      FeedbackShedder& shedder, uint64_t seed) {
+  Rng rng(seed);
+  PoissonArrival arrivals(arrival_rate, seed + 1);
+  double queue = 0;
+  SimResult r{0, 0, 0};
+  int tail_start = ticks * 3 / 4;
+  int tail_n = 0;
+  for (int t = 0; t < ticks; ++t) {
+    uint64_t n = arrivals.ArrivalsAt(t);
+    double p = shedder.Observe(static_cast<size_t>(queue));
+    for (uint64_t i = 0; i < n; ++i) {
+      if (!rng.Bernoulli(p)) queue += 1;
+    }
+    queue = std::max(0.0, queue - capacity);
+    r.peak_queue = std::max(r.peak_queue, static_cast<size_t>(queue));
+    if (t >= tail_start) {
+      r.mean_queue_tail += queue;
+      ++tail_n;
+    }
+  }
+  r.mean_queue_tail /= tail_n;
+  r.final_drop_rate = shedder.drop_rate();
+  return r;
+}
+
+TEST(FeedbackShedderTest, NoDropsWhenUnderloaded) {
+  FeedbackShedder shed(FeedbackShedder::Options{});
+  auto r = RunQueueSim(/*arrival=*/0.5, /*capacity=*/1.0, 5000, shed, 1);
+  EXPECT_LT(r.final_drop_rate, 0.02);
+  EXPECT_LT(r.mean_queue_tail, 10.0);
+}
+
+TEST(FeedbackShedderTest, ConvergesToExcessFraction) {
+  // Arrival 4/tick, capacity 1/tick: steady state must shed ~75%.
+  FeedbackShedder shed(FeedbackShedder::Options{});
+  auto r = RunQueueSim(4.0, 1.0, 20000, shed, 2);
+  EXPECT_NEAR(r.final_drop_rate, 0.75, 0.08);
+  // Queue holds near the target instead of exploding.
+  EXPECT_LT(r.mean_queue_tail, 400.0);
+}
+
+TEST(FeedbackShedderTest, QueueStabilizesNearTarget) {
+  FeedbackShedder::Options opt;
+  opt.target_queue = 50.0;
+  FeedbackShedder shed(opt);
+  auto r = RunQueueSim(2.0, 1.0, 20000, shed, 3);
+  EXPECT_NEAR(r.mean_queue_tail, 50.0, 40.0);
+}
+
+TEST(FeedbackShedderTest, RecoversWhenOverloadEnds) {
+  FeedbackShedder shed(FeedbackShedder::Options{});
+  // Overload phase.
+  (void)RunQueueSim(3.0, 1.0, 10000, shed, 4);
+  EXPECT_GT(shed.drop_rate(), 0.5);
+  // Load drops; the integral unwinds and shedding stops.
+  auto r = RunQueueSim(0.3, 1.0, 10000, shed, 5);
+  EXPECT_LT(r.final_drop_rate, 0.05);
+}
+
+TEST(FeedbackShedderTest, DropRateAlwaysValidProbability) {
+  FeedbackShedder shed(FeedbackShedder::Options{});
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    double p = shed.Observe(static_cast<size_t>(rng.Uniform(100000)));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(FeedbackShedderTest, BurstyArrivalsBoundedQueue) {
+  FeedbackShedder::Options opt;
+  opt.target_queue = 100.0;
+  FeedbackShedder shed(opt);
+  Rng rng(7);
+  BurstyArrival arrivals(6.0, 50.0, 100.0, 8);  // Mean 2/tick, bursts of 6.
+  double queue = 0;
+  size_t peak = 0;
+  for (int t = 0; t < 30000; ++t) {
+    uint64_t n = arrivals.ArrivalsAt(t);
+    double p = shed.Observe(static_cast<size_t>(queue));
+    for (uint64_t i = 0; i < n; ++i) {
+      if (!rng.Bernoulli(p)) queue += 1;
+    }
+    queue = std::max(0.0, queue - 1.0);
+    peak = std::max(peak, static_cast<size_t>(queue));
+  }
+  // Without shedding the queue would grow ~ (2-1)*30000 = 30000.
+  EXPECT_LT(peak, 3000u);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "stream/generators.h"
+
+namespace sqp {
+namespace gen {
+namespace {
+
+TEST(CdrGeneratorTest, SchemaAndOrdering) {
+  SchemaRef s = CdrSchema();
+  EXPECT_TRUE(s->has_ordering());
+  EXPECT_EQ(s->ordering_index(), CdrCols::kTs);
+  EXPECT_EQ(s->FieldIndex("origin"), CdrCols::kOrigin);
+  EXPECT_EQ(s->FieldIndex("duration"), CdrCols::kDuration);
+}
+
+TEST(CdrGeneratorTest, TimestampsNondecreasing) {
+  CdrGenerator g(CdrOptions{});
+  int64_t last = -1;
+  for (int i = 0; i < 1000; ++i) {
+    TupleRef t = g.Next();
+    EXPECT_GE(t->ts(), last);
+    last = t->ts();
+    EXPECT_EQ(t->at(CdrCols::kTs).AsInt(), t->ts());
+  }
+}
+
+TEST(CdrGeneratorTest, DeterministicForSeed) {
+  CdrOptions opt;
+  opt.seed = 99;
+  CdrGenerator a(opt), b(opt);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(*a.Next(), *b.Next());
+  }
+}
+
+TEST(CdrGeneratorTest, FraudCallersHaveLongerCalls) {
+  CdrOptions opt;
+  opt.num_callers = 200;
+  opt.fraud_fraction = 0.1;
+  CdrGenerator g(opt);
+  double fraud_dur = 0, normal_dur = 0;
+  int fraud_n = 0, normal_n = 0;
+  for (int i = 0; i < 20000; ++i) {
+    TupleRef t = g.Next();
+    int64_t origin = t->at(CdrCols::kOrigin).AsInt();
+    if (g.IsFraudCaller(origin)) {
+      fraud_dur += static_cast<double>(t->at(CdrCols::kDuration).AsInt());
+      ++fraud_n;
+    } else {
+      normal_dur += static_cast<double>(t->at(CdrCols::kDuration).AsInt());
+      ++normal_n;
+    }
+  }
+  ASSERT_GT(fraud_n, 100);
+  ASSERT_GT(normal_n, 100);
+  EXPECT_GT(fraud_dur / fraud_n, 2.5 * (normal_dur / normal_n));
+}
+
+TEST(PacketGeneratorTest, SchemaFields) {
+  SchemaRef s = PacketSchema();
+  EXPECT_EQ(s->FieldIndex("src_ip"), PacketCols::kSrcIp);
+  EXPECT_EQ(s->FieldIndex("payload"), PacketCols::kPayload);
+  EXPECT_EQ(s->field(PacketCols::kPayload).type, ValueType::kString);
+}
+
+TEST(PacketGeneratorTest, P2pPayloadVsPortGroundTruth) {
+  PacketOptions opt;
+  opt.p2p_fraction = 0.3;
+  opt.p2p_on_known_port = 1.0 / 3.0;
+  PacketGenerator g(opt);
+  uint64_t keyword_pkts = 0, port_pkts = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    TupleRef t = g.Next();
+    const std::string& payload = t->at(PacketCols::kPayload).AsString();
+    bool kw = payload.find("Kazaa") != std::string::npos ||
+              payload.find("GNUTELLA") != std::string::npos ||
+              payload.find("BitTorrent") != std::string::npos;
+    int64_t dport = t->at(PacketCols::kDstPort).AsInt();
+    keyword_pkts += kw ? 1 : 0;
+    port_pkts += (dport == kKazaaPort || dport == kGnutellaPort) ? 1 : 0;
+  }
+  // Slide 10's lesson: payload inspection finds ~3x the port heuristic.
+  EXPECT_EQ(keyword_pkts, g.true_p2p_packets());
+  double ratio = static_cast<double>(keyword_pkts) /
+                 static_cast<double>(port_pkts);
+  EXPECT_NEAR(ratio, 3.0, 0.6);
+}
+
+TEST(PacketGeneratorTest, SynAckMatchesReversedEndpoints) {
+  PacketOptions opt;
+  opt.syn_prob = 0.2;
+  opt.p2p_fraction = 0.0;
+  PacketGenerator g(opt);
+  struct ConnKey {
+    int64_t src, dst, sport, dport;
+    bool operator<(const ConnKey& o) const {
+      return std::tie(src, dst, sport, dport) <
+             std::tie(o.src, o.dst, o.sport, o.dport);
+    }
+  };
+  std::map<ConnKey, int64_t> syns;
+  int matched = 0;
+  for (int i = 0; i < 20000; ++i) {
+    TupleRef t = g.Next();
+    bool syn = t->at(PacketCols::kIsSyn).AsInt() == 1;
+    bool ack = t->at(PacketCols::kIsAck).AsInt() == 1;
+    ConnKey k{t->at(PacketCols::kSrcIp).AsInt(),
+              t->at(PacketCols::kDstIp).AsInt(),
+              t->at(PacketCols::kSrcPort).AsInt(),
+              t->at(PacketCols::kDstPort).AsInt()};
+    if (syn && !ack) {
+      syns[k] = t->ts();
+    } else if (syn && ack) {
+      ConnKey rev{k.dst, k.src, k.dport, k.sport};
+      auto it = syns.find(rev);
+      if (it != syns.end()) {
+        int64_t rtt = t->ts() - it->second;
+        EXPECT_GE(rtt, opt.min_rtt);
+        // Replies due on the same tick queue behind each other, so a
+        // reply can slip a few ticks past the nominal maximum.
+        EXPECT_LE(rtt, opt.max_rtt + 10);
+        ++matched;
+      }
+    }
+  }
+  EXPECT_GT(matched, 100);
+}
+
+TEST(SensorGeneratorTest, ValuesStayInBand) {
+  SensorOptions opt;
+  opt.num_sensors = 5;
+  SensorGenerator g(opt);
+  for (int i = 0; i < 5000; ++i) {
+    TupleRef t = g.Next();
+    double temp = t->at(SensorCols::kTemperature).AsDouble();
+    double hum = t->at(SensorCols::kHumidity).AsDouble();
+    EXPECT_GE(temp, opt.base_temperature - 30.0);
+    EXPECT_LE(temp, opt.base_temperature + 30.0);
+    EXPECT_GE(hum, 0.0);
+    EXPECT_LE(hum, 100.0);
+  }
+}
+
+TEST(SensorGeneratorTest, RoundRobinSensorIds) {
+  SensorOptions opt;
+  opt.num_sensors = 3;
+  SensorGenerator g(opt);
+  EXPECT_EQ(g.Next()->at(SensorCols::kSensorId).AsInt(), 0);
+  EXPECT_EQ(g.Next()->at(SensorCols::kSensorId).AsInt(), 1);
+  EXPECT_EQ(g.Next()->at(SensorCols::kSensorId).AsInt(), 2);
+  EXPECT_EQ(g.Next()->at(SensorCols::kSensorId).AsInt(), 0);
+}
+
+TEST(AuctionGeneratorTest, EveryAuctionEventuallyCloses) {
+  AuctionOptions opt;
+  opt.concurrent_auctions = 4;
+  opt.min_bids = 2;
+  opt.max_bids = 5;
+  AuctionGenerator g(opt);
+  std::map<int64_t, int> bids;
+  std::set<int64_t> closed;
+  for (int i = 0; i < 3000; ++i) {
+    Element e = g.Next();
+    if (e.is_punctuation()) {
+      ASSERT_TRUE(e.punctuation().has_key);
+      int64_t id = e.punctuation().key.AsInt();
+      EXPECT_TRUE(closed.insert(id).second) << "auction closed twice";
+      // Closed auctions got between min and max bids.
+      EXPECT_GE(bids[id], 2);
+      EXPECT_LE(bids[id], 5);
+    } else {
+      bids[e.tuple()->at(AuctionCols::kAuctionId).AsInt()]++;
+    }
+  }
+  EXPECT_GT(closed.size(), 100u);
+}
+
+TEST(AuctionGeneratorTest, NoBidsAfterClose) {
+  AuctionGenerator g(AuctionOptions{});
+  std::set<int64_t> closed;
+  for (int i = 0; i < 5000; ++i) {
+    Element e = g.Next();
+    if (e.is_punctuation()) {
+      closed.insert(e.punctuation().key.AsInt());
+    } else {
+      EXPECT_EQ(closed.count(e.tuple()->at(AuctionCols::kAuctionId).AsInt()),
+                0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace sqp

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hancock/program.h"
+#include "hancock/signature.h"
+#include "stream/generators.h"
+
+namespace sqp {
+namespace hancock {
+namespace {
+
+TEST(SignatureStoreTest, GetMissingReturnsZeros) {
+  SignatureStore store(3, 0.5);
+  auto sig = store.Get(42);
+  ASSERT_EQ(sig.size(), 3u);
+  EXPECT_DOUBLE_EQ(sig[0], 0.0);
+  EXPECT_FALSE(store.Contains(42));
+}
+
+TEST(SignatureStoreTest, BlendConvergesToSteadyState) {
+  SignatureStore store(1, 0.5);
+  // Repeated observation of 100 converges to 100.
+  for (int i = 0; i < 20; ++i) store.Blend(1, {100.0});
+  EXPECT_NEAR(store.Get(1)[0], 100.0, 0.01);
+}
+
+TEST(SignatureStoreTest, BlendFormula) {
+  SignatureStore store(1, 0.25);
+  store.Put(1, {40.0});
+  store.Blend(1, {80.0});
+  // 0.25*80 + 0.75*40 = 50.
+  EXPECT_DOUBLE_EQ(store.Get(1)[0], 50.0);
+}
+
+TEST(SignatureStoreTest, FirstBlendInitializes) {
+  SignatureStore store(2, 0.1);
+  store.Blend(7, {10.0, 20.0});
+  EXPECT_DOUBLE_EQ(store.Get(7)[0], 10.0);
+  EXPECT_DOUBLE_EQ(store.Get(7)[1], 20.0);
+}
+
+TEST(SignatureStoreTest, IoCountersTrack) {
+  SignatureStore store(1, 0.5);
+  store.Blend(1, {1.0});  // 1 read + 1 write.
+  store.Get(1);           // 1 read.
+  EXPECT_EQ(store.reads(), 2u);
+  EXPECT_EQ(store.writes(), 1u);
+}
+
+TEST(SignatureStoreTest, DeviationDetectsChange) {
+  SignatureStore store(2, 0.5);
+  store.Put(1, {10.0, 0.1});
+  double small = store.Deviation(1, {11.0, 0.1});
+  double large = store.Deviation(1, {100.0, 0.9});
+  EXPECT_LT(small, 0.1);
+  EXPECT_GT(large, 1.0);
+  // Unknown entity: no baseline, no alert.
+  EXPECT_DOUBLE_EQ(store.Deviation(99, {100.0, 1.0}), 0.0);
+}
+
+TEST(SignatureProgramTest, EventOrderOnSortedRuns) {
+  // Tuples: [ts, key, dur]. Keys arrive unsorted within the block.
+  std::vector<TupleRef> block = {
+      MakeTuple(1, {Value(int64_t{1}), Value(int64_t{2}), Value(int64_t{10})}),
+      MakeTuple(2, {Value(int64_t{2}), Value(int64_t{1}), Value(int64_t{20})}),
+      MakeTuple(3, {Value(int64_t{3}), Value(int64_t{2}), Value(int64_t{30})}),
+  };
+  SignatureProgram prog(1, nullptr);
+  std::vector<std::string> log;
+  SignatureProgram::Events ev;
+  ev.line_begin = [&](int64_t k) { log.push_back("begin" + std::to_string(k)); };
+  ev.call = [&](const Tuple& t) {
+    log.push_back("call" + t.at(2).ToString());
+  };
+  ev.line_end = [&](int64_t k) { log.push_back("end" + std::to_string(k)); };
+  prog.RunBlock(block, ev);
+
+  std::vector<std::string> expect = {"begin1", "call20", "end1",
+                                     "begin2", "call10", "call30", "end2"};
+  EXPECT_EQ(log, expect);
+  EXPECT_EQ(prog.lines_processed(), 2u);
+  EXPECT_EQ(prog.calls_processed(), 3u);
+}
+
+TEST(SignatureProgramTest, FilteredByDropsTuples) {
+  // filteredby noIncomplete: keep dur > 15 here.
+  std::vector<TupleRef> block = {
+      MakeTuple(1, {Value(int64_t{1}), Value(int64_t{1}), Value(int64_t{10})}),
+      MakeTuple(2, {Value(int64_t{2}), Value(int64_t{1}), Value(int64_t{20})}),
+  };
+  SignatureProgram prog(1, Gt(Col(2), Lit(int64_t{15})));
+  int calls = 0;
+  SignatureProgram::Events ev;
+  ev.call = [&](const Tuple&) { ++calls; };
+  prog.RunBlock(block, ev);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(SignatureProgramTest, EmptyBlockNoEvents) {
+  SignatureProgram prog(0, nullptr);
+  bool fired = false;
+  SignatureProgram::Events ev;
+  ev.line_begin = [&](int64_t) { fired = true; };
+  ev.line_end = [&](int64_t) { fired = true; };
+  prog.RunBlock({}, ev);
+  EXPECT_FALSE(fired);
+}
+
+// End-to-end fraud detection: signatures built over clean history flag
+// injected fraud callers by deviation (slides 6-8 workload).
+TEST(FraudDetectionTest, SignaturesSeparateFraudCallers) {
+  gen::CdrOptions opt;
+  opt.num_callers = 300;
+  opt.fraud_fraction = 0.05;
+  opt.seed = 123;
+  gen::CdrGenerator cdrs(opt);
+
+  SignatureStore store(1, 0.3);  // Signature: blended mean duration.
+  SignatureProgram prog(gen::CdrCols::kOrigin, nullptr);
+
+  // Process 40 blocks of 1000 calls: per caller per block, blend the
+  // block's mean duration into the signature.
+  std::map<int64_t, double> block_sum;
+  std::map<int64_t, int> block_n;
+  for (int b = 0; b < 40; ++b) {
+    std::vector<TupleRef> block;
+    for (int i = 0; i < 1000; ++i) block.push_back(cdrs.Next());
+    block_sum.clear();
+    block_n.clear();
+    SignatureProgram::Events ev;
+    ev.call = [&](const Tuple& t) {
+      block_sum[t.at(gen::CdrCols::kOrigin).AsInt()] +=
+          static_cast<double>(t.at(gen::CdrCols::kDuration).AsInt());
+      block_n[t.at(gen::CdrCols::kOrigin).AsInt()]++;
+    };
+    ev.line_end = [&](int64_t caller) {
+      store.Blend(caller, {block_sum[caller] / block_n[caller]});
+    };
+    prog.RunBlock(std::move(block), ev);
+  }
+
+  // Signatures of fraud callers should sit far above normal callers.
+  double fraud_mean = 0, normal_mean = 0;
+  int fraud_n = 0, normal_n = 0;
+  for (int64_t c = 0; c < 300; ++c) {
+    if (!store.Contains(c)) continue;
+    double sig = store.Get(c)[0];
+    if (cdrs.IsFraudCaller(c)) {
+      fraud_mean += sig;
+      ++fraud_n;
+    } else {
+      normal_mean += sig;
+      ++normal_n;
+    }
+  }
+  ASSERT_GT(fraud_n, 3);
+  ASSERT_GT(normal_n, 100);
+  EXPECT_GT(fraud_mean / fraud_n, 2.0 * (normal_mean / normal_n));
+}
+
+TEST(IoModelTest, SortedBlocksTouchEachSignatureOnce) {
+  // The Hancock lesson (slide 6): sorted block processing does one
+  // read+write per (caller, block); per-call processing does one per call.
+  gen::CdrOptions opt;
+  opt.num_callers = 50;
+  gen::CdrGenerator cdrs(opt);
+  std::vector<TupleRef> block;
+  for (int i = 0; i < 2000; ++i) block.push_back(cdrs.Next());
+
+  // Per-call updates.
+  SignatureStore per_call(1, 0.5);
+  for (const TupleRef& t : block) {
+    per_call.Blend(t->at(gen::CdrCols::kOrigin).AsInt(),
+                   {t->at(gen::CdrCols::kDuration).ToDouble()});
+  }
+
+  // Sorted block updates (one blend per line).
+  SignatureStore per_line(1, 0.5);
+  SignatureProgram prog(gen::CdrCols::kOrigin, nullptr);
+  double sum = 0;
+  int n = 0;
+  SignatureProgram::Events ev;
+  ev.line_begin = [&](int64_t) {
+    sum = 0;
+    n = 0;
+  };
+  ev.call = [&](const Tuple& t) {
+    sum += t.at(gen::CdrCols::kDuration).ToDouble();
+    ++n;
+  };
+  ev.line_end = [&](int64_t caller) { per_line.Blend(caller, {sum / n}); };
+  prog.RunBlock(block, ev);
+
+  EXPECT_EQ(per_call.writes(), 2000u);
+  EXPECT_LE(per_line.writes(), 50u);
+}
+
+}  // namespace
+}  // namespace hancock
+}  // namespace sqp

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "exec/merge_join.h"
+#include "exec/plan.h"
+#include "exec/sym_hash_join.h"
+#include "exec/window_join.h"
+#include "exec/xjoin.h"
+
+namespace sqp {
+namespace {
+
+TupleRef T(int64_t ts, int64_t key, int64_t payload = 0) {
+  return MakeTuple(ts, {Value(ts), Value(key), Value(payload)});
+}
+
+// --- Symmetric hash join ---
+
+TEST(SymHashJoinTest, JoinsAcrossArrivalOrders) {
+  Plan plan;
+  auto* j = plan.Make<SymmetricHashJoinOp>(std::vector<int>{1},
+                                           std::vector<int>{1});
+  auto* sink = plan.Make<CollectorSink>();
+  j->SetOutput(sink);
+
+  j->Push(Element(T(1, 7)), 0);
+  EXPECT_EQ(sink->count(), 0u);
+  j->Push(Element(T(2, 7)), 1);  // Matches the earlier left tuple.
+  ASSERT_EQ(sink->count(), 1u);
+  EXPECT_EQ(sink->tuples()[0]->arity(), 6u);
+  EXPECT_EQ(sink->tuples()[0]->ts(), 2);  // max of the two.
+  j->Push(Element(T(3, 7)), 0);  // Matches the right tuple too.
+  EXPECT_EQ(sink->count(), 2u);
+}
+
+TEST(SymHashJoinTest, NoSelfJoinWithinOneSide) {
+  Plan plan;
+  auto* j = plan.Make<SymmetricHashJoinOp>(std::vector<int>{1},
+                                           std::vector<int>{1});
+  auto* sink = plan.Make<CollectorSink>();
+  j->SetOutput(sink);
+  j->Push(Element(T(1, 7)), 0);
+  j->Push(Element(T(2, 7)), 0);
+  EXPECT_EQ(sink->count(), 0u);
+}
+
+TEST(SymHashJoinTest, CrossProductOfEqualKeys) {
+  Plan plan;
+  auto* j = plan.Make<SymmetricHashJoinOp>(std::vector<int>{1},
+                                           std::vector<int>{1});
+  auto* sink = plan.Make<CountingSink>();
+  j->SetOutput(sink);
+  for (int i = 0; i < 3; ++i) j->Push(Element(T(i, 1)), 0);
+  for (int i = 0; i < 4; ++i) j->Push(Element(T(10 + i, 1)), 1);
+  EXPECT_EQ(sink->tuples(), 12u);
+}
+
+TEST(SymHashJoinTest, StateGrowsUnbounded) {
+  Plan plan;
+  auto* j = plan.Make<SymmetricHashJoinOp>(std::vector<int>{1},
+                                           std::vector<int>{1});
+  auto* sink = plan.Make<CountingSink>();
+  j->SetOutput(sink);
+  size_t s0 = j->StateBytes();
+  for (int64_t i = 0; i < 1000; ++i) j->Push(Element(T(i, i)), 0);
+  EXPECT_GT(j->StateBytes(), s0 + 1000 * 32);
+}
+
+// --- Binary window join [KNV03] ---
+
+BinaryWindowJoinOp::Options JoinOpts(JoinStrategy ls, JoinStrategy rs,
+                                     int64_t w1 = 100, int64_t w2 = 100) {
+  BinaryWindowJoinOp::Options o;
+  o.left_cols = {1};
+  o.right_cols = {1};
+  o.left_window = WindowSpec::TimeSliding(w1);
+  o.right_window = WindowSpec::TimeSliding(w2);
+  o.left_strategy = ls;
+  o.right_strategy = rs;
+  return o;
+}
+
+TEST(WindowJoinTest, MatchesWithinWindowOnly) {
+  Plan plan;
+  auto* j = plan.Make<BinaryWindowJoinOp>(
+      JoinOpts(JoinStrategy::kHash, JoinStrategy::kHash, 10, 10));
+  auto* sink = plan.Make<CollectorSink>();
+  j->SetOutput(sink);
+
+  j->Push(Element(T(1, 5)), 0);
+  j->Push(Element(T(5, 5)), 1);  // In window: match.
+  EXPECT_EQ(sink->count(), 1u);
+  j->Push(Element(T(50, 5)), 1);  // Left tuple long expired: no match.
+  EXPECT_EQ(sink->count(), 1u);
+}
+
+TEST(WindowJoinTest, CountWindows) {
+  BinaryWindowJoinOp::Options o;
+  o.left_cols = {1};
+  o.right_cols = {1};
+  o.left_window = WindowSpec::CountSliding(2);
+  o.right_window = WindowSpec::CountSliding(2);
+  o.left_strategy = o.right_strategy = JoinStrategy::kNestedLoop;
+  Plan plan;
+  auto* j = plan.Make<BinaryWindowJoinOp>(o);
+  auto* sink = plan.Make<CountingSink>();
+  j->SetOutput(sink);
+  // Three left tuples with key 1; window keeps last 2.
+  for (int64_t i = 0; i < 3; ++i) j->Push(Element(T(i, 1)), 0);
+  j->Push(Element(T(10, 1)), 1);
+  EXPECT_EQ(sink->tuples(), 2u);
+}
+
+TEST(WindowJoinTest, PunctuationPurgesState) {
+  Plan plan;
+  auto* j = plan.Make<BinaryWindowJoinOp>(
+      JoinOpts(JoinStrategy::kHash, JoinStrategy::kHash, 10, 10));
+  auto* sink = plan.Make<CollectorSink>();
+  j->SetOutput(sink);
+  j->Push(Element(T(1, 5)), 0);
+  size_t before = j->StateBytes();
+  j->Push(Element(Punctuation::Watermark(100)), 0);
+  EXPECT_LT(j->StateBytes(), before);
+}
+
+// All four strategy combinations must produce identical results — the
+// strategies trade CPU vs memory, never correctness (slide 33).
+struct StrategyCombo {
+  JoinStrategy left, right;
+};
+
+class StrategyEquivalenceTest : public ::testing::TestWithParam<StrategyCombo> {
+};
+
+TEST_P(StrategyEquivalenceTest, SameResultsAsReference) {
+  auto combo = GetParam();
+  Rng rng(31);
+  std::vector<std::pair<int, TupleRef>> inputs;  // (side, tuple)
+  int64_t ts = 0;
+  for (int i = 0; i < 800; ++i) {
+    ts += static_cast<int64_t>(rng.Uniform(3));
+    inputs.emplace_back(rng.Bernoulli(0.5) ? 0 : 1,
+                        T(ts, static_cast<int64_t>(rng.Uniform(20)), i));
+  }
+
+  auto run = [&](JoinStrategy ls, JoinStrategy rs) {
+    Plan plan;
+    auto* j = plan.Make<BinaryWindowJoinOp>(JoinOpts(ls, rs, 25, 40));
+    auto* sink = plan.Make<CollectorSink>();
+    j->SetOutput(sink);
+    for (auto& [side, t] : inputs) j->Push(Element(t), side);
+    std::multiset<std::string> results;
+    for (const TupleRef& t : sink->tuples()) results.insert(t->ToString());
+    return results;
+  };
+
+  auto reference = run(JoinStrategy::kHash, JoinStrategy::kHash);
+  auto got = run(combo.left, combo.right);
+  EXPECT_EQ(reference, got);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, StrategyEquivalenceTest,
+    ::testing::Values(StrategyCombo{JoinStrategy::kNestedLoop,
+                                    JoinStrategy::kNestedLoop},
+                      StrategyCombo{JoinStrategy::kHash,
+                                    JoinStrategy::kNestedLoop},
+                      StrategyCombo{JoinStrategy::kNestedLoop,
+                                    JoinStrategy::kHash}),
+    [](const auto& info) {
+      auto clean = [](std::string s) {
+        for (char& c : s) {
+          if (c == '-') c = '_';
+        }
+        return s;
+      };
+      return clean(JoinStrategyName(info.param.left)) + "_" +
+             clean(JoinStrategyName(info.param.right));
+    });
+
+TEST(WindowJoinTest, HashUsesMoreMemoryLessCpu) {
+  Rng rng(32);
+  std::vector<std::pair<int, TupleRef>> inputs;
+  int64_t ts = 0;
+  for (int i = 0; i < 2000; ++i) {
+    ts += 1;
+    inputs.emplace_back(i % 2, T(ts, static_cast<int64_t>(rng.Uniform(50))));
+  }
+  auto run = [&](JoinStrategy s) {
+    Plan plan;
+    auto* j = plan.Make<BinaryWindowJoinOp>(JoinOpts(s, s, 200, 200));
+    auto* sink = plan.Make<CountingSink>();
+    j->SetOutput(sink);
+    size_t peak_mem = 0;
+    for (auto& [side, t] : inputs) {
+      j->Push(Element(t), side);
+      peak_mem = std::max(peak_mem, j->StateBytes());
+    }
+    return std::make_pair(peak_mem, j->join_stats());
+  };
+  auto [hash_mem, hash_stats] = run(JoinStrategy::kHash);
+  auto [nl_mem, nl_stats] = run(JoinStrategy::kNestedLoop);
+  EXPECT_GT(hash_mem, nl_mem);                       // Index costs memory.
+  EXPECT_EQ(nl_stats.hash_probes, 0u);
+  EXPECT_GT(nl_stats.nl_comparisons, hash_stats.hash_probes * 10);
+  EXPECT_EQ(hash_stats.results, nl_stats.results);   // Same output.
+}
+
+// --- Ordered merge (band) join ---
+
+TEST(MergeJoinTest, BandZeroIsTsEquijoin) {
+  OrderedMergeJoinOp::Options o;
+  o.band = 0;
+  Plan plan;
+  auto* j = plan.Make<OrderedMergeJoinOp>(o);
+  auto* sink = plan.Make<CollectorSink>();
+  j->SetOutput(sink);
+  j->Push(Element(T(1, 0)), 0);
+  j->Push(Element(T(1, 1)), 1);
+  j->Push(Element(T(2, 2)), 1);
+  EXPECT_EQ(sink->count(), 1u);
+}
+
+TEST(MergeJoinTest, BandAdmitsNearbyTimestamps) {
+  OrderedMergeJoinOp::Options o;
+  o.band = 5;
+  Plan plan;
+  auto* j = plan.Make<OrderedMergeJoinOp>(o);
+  auto* sink = plan.Make<CollectorSink>();
+  j->SetOutput(sink);
+  j->Push(Element(T(10, 0)), 0);
+  j->Push(Element(T(13, 1)), 1);  // |13-10| <= 5: match.
+  j->Push(Element(T(20, 2)), 1);  // Too far.
+  EXPECT_EQ(sink->count(), 1u);
+}
+
+TEST(MergeJoinTest, ExtraEquiColumns) {
+  OrderedMergeJoinOp::Options o;
+  o.band = 100;
+  o.left_cols = {1};
+  o.right_cols = {1};
+  Plan plan;
+  auto* j = plan.Make<OrderedMergeJoinOp>(o);
+  auto* sink = plan.Make<CollectorSink>();
+  j->SetOutput(sink);
+  j->Push(Element(T(1, 7)), 0);
+  j->Push(Element(T(2, 7)), 1);
+  j->Push(Element(T(3, 8)), 1);  // Key mismatch.
+  EXPECT_EQ(sink->count(), 1u);
+}
+
+TEST(MergeJoinTest, StateBoundedByBand) {
+  OrderedMergeJoinOp::Options o;
+  o.band = 10;
+  Plan plan;
+  auto* j = plan.Make<OrderedMergeJoinOp>(o);
+  auto* sink = plan.Make<CountingSink>();
+  j->SetOutput(sink);
+  // Advance both sides in lockstep; buffers must stay small.
+  for (int64_t t = 0; t < 5000; ++t) {
+    j->Push(Element(T(t, 0)), 0);
+    j->Push(Element(T(t, 1)), 1);
+    EXPECT_LT(j->StateBytes(), 50000u);
+  }
+}
+
+// --- XJoin ---
+
+TEST(XJoinTest, UnboundedBudgetEqualsSymHash) {
+  XJoinOp::Options o;
+  o.left_cols = {1};
+  o.right_cols = {1};
+  o.memory_budget_bytes = 0;
+  Plan plan;
+  auto* j = plan.Make<XJoinOp>(o);
+  auto* sink = plan.Make<CountingSink>();
+  j->SetOutput(sink);
+  Rng rng(33);
+  for (int i = 0; i < 500; ++i) {
+    j->Push(Element(T(i, static_cast<int64_t>(rng.Uniform(10)))), i % 2);
+  }
+  j->Flush();
+  j->Flush();
+  EXPECT_EQ(j->spilled_tuples(), 0u);
+  EXPECT_EQ(j->disk_stage_results(), 0u);
+  EXPECT_GT(j->memory_stage_results(), 0u);
+}
+
+TEST(XJoinTest, SpillPreservesExactResults) {
+  Rng rng(34);
+  std::vector<std::pair<int, TupleRef>> inputs;
+  for (int i = 0; i < 1000; ++i) {
+    inputs.emplace_back(i % 2, T(i, static_cast<int64_t>(rng.Uniform(30)), i));
+  }
+  auto run = [&](size_t budget) {
+    XJoinOp::Options o;
+    o.left_cols = {1};
+    o.right_cols = {1};
+    o.memory_budget_bytes = budget;
+    Plan plan;
+    auto* j = plan.Make<XJoinOp>(o);
+    auto* sink = plan.Make<CollectorSink>();
+    j->SetOutput(sink);
+    for (auto& [side, t] : inputs) j->Push(Element(t), side);
+    j->Flush();
+    j->Flush();
+    std::multiset<std::string> results;
+    for (const TupleRef& t : sink->tuples()) results.insert(t->ToString());
+    return std::make_pair(results, j->spilled_tuples());
+  };
+  auto [unbounded_results, no_spills] = run(0);
+  auto [bounded_results, spills] = run(20000);
+  EXPECT_EQ(no_spills, 0u);
+  EXPECT_GT(spills, 0u);
+  EXPECT_EQ(unbounded_results, bounded_results);  // No dupes, no losses.
+}
+
+TEST(XJoinTest, TighterBudgetMoreDiskIo) {
+  Rng rng(35);
+  std::vector<std::pair<int, TupleRef>> inputs;
+  for (int i = 0; i < 1000; ++i) {
+    inputs.emplace_back(i % 2, T(i, static_cast<int64_t>(rng.Uniform(30))));
+  }
+  auto disk_io = [&](size_t budget) {
+    XJoinOp::Options o;
+    o.left_cols = {1};
+    o.right_cols = {1};
+    o.memory_budget_bytes = budget;
+    Plan plan;
+    auto* j = plan.Make<XJoinOp>(o);
+    auto* sink = plan.Make<CountingSink>();
+    j->SetOutput(sink);
+    for (auto& [side, t] : inputs) j->Push(Element(t), side);
+    j->Flush();
+    j->Flush();
+    return j->disk_write_bytes() + j->disk_read_bytes();
+  };
+  EXPECT_GT(disk_io(10000), disk_io(50000));
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "opt/memory_bound.h"
+#include "opt/rate_model.h"
+#include "opt/rate_optimizer.h"
+#include "opt/sharing.h"
+
+namespace sqp {
+namespace {
+
+// --- Rate model: the slide-41 example, exactly ---
+
+TEST(RateModelTest, Slide41PlanRates) {
+  // Stream at 500 tuples/sec. Slow op: service 50 t/s, sel 0.1.
+  // Very fast op: sel 0.1, unbounded service rate.
+  RatedStage slow{"slow", 0.1, 50.0};
+  RatedStage fast{"fast", 0.1, 1e18};
+
+  // Plan A (slow first): min(500, 50)*0.1 = 5 -> *0.1 = 0.5 t/s.
+  EXPECT_NEAR(PipelineOutputRate(500.0, {slow, fast}), 0.5, 1e-9);
+  // Plan B (fast first): 500*0.1 = 50 -> min(50,50)*0.1 = 5 t/s.
+  EXPECT_NEAR(PipelineOutputRate(500.0, {fast, slow}), 5.0, 1e-9);
+}
+
+TEST(RateOptimizerTest, PicksTheSlide41Winner) {
+  RatedStage slow{"slow", 0.1, 50.0};
+  RatedStage fast{"fast", 0.1, 1e18};
+  auto plan = MaximizeOutputRate(500.0, {slow, fast});
+  ASSERT_EQ(plan.order.size(), 2u);
+  EXPECT_EQ(plan.order[0], 1u);  // Fast op first.
+  EXPECT_NEAR(plan.output_rate, 5.0, 1e-9);
+}
+
+TEST(RateOptimizerTest, WorkObjectiveCannotDistinguishSlide41Plans) {
+  // The tutorial's point (slides 40-41): a cost/work objective sees the
+  // two orderings as equal — the slow operator does ~1 second of work
+  // per second either way — while their output rates differ 10x. Only a
+  // rate-based objective separates them.
+  RatedStage slow{"slow", 0.1, 50.0};
+  RatedStage fast{"fast", 0.1, 1e18};
+  double work_slow_first = PipelineWork(500.0, {slow, fast});
+  double work_fast_first = PipelineWork(500.0, {fast, slow});
+  EXPECT_NEAR(work_slow_first, work_fast_first, 1e-6);
+  double rate_slow_first = PipelineOutputRate(500.0, {slow, fast});
+  double rate_fast_first = PipelineOutputRate(500.0, {fast, slow});
+  EXPECT_NEAR(rate_fast_first / rate_slow_first, 10.0, 1e-6);
+}
+
+TEST(RateOptimizerTest, ExhaustiveBeatsOrEqualsAnyFixedOrder) {
+  Rng rng(3);
+  std::vector<RatedStage> stages;
+  for (int i = 0; i < 5; ++i) {
+    stages.push_back({"s" + std::to_string(i), 0.1 + rng.NextDouble() * 0.8,
+                      10.0 + rng.NextDouble() * 1000.0});
+  }
+  auto best = MaximizeOutputRate(500.0, stages);
+  EXPECT_GE(best.output_rate, PipelineOutputRate(500.0, stages) - 1e-9);
+  std::reverse(stages.begin(), stages.end());
+  EXPECT_GE(best.output_rate, PipelineOutputRate(500.0, stages) - 1e-9);
+}
+
+TEST(RateModelTest, JoinOutputRate) {
+  RatedJoin join{0.01, 10.0, 20.0};
+  // f * r1 * r2 * (w1 + w2) = 0.01 * 5 * 4 * 30 = 6.
+  EXPECT_NEAR(JoinOutputRate(5.0, 4.0, join), 6.0, 1e-9);
+}
+
+TEST(RateOptimizerTest, JoinOrderPrefersSelectiveFirst) {
+  // Three streams; stream pair (0,1) has tiny selectivity — joining them
+  // first minimizes intermediate rate but output rate of the full tree is
+  // fixed? No: left-deep trees differ because intermediate rates feed
+  // subsequent join terms. Verify the search returns the max.
+  std::vector<double> rates = {10.0, 10.0, 10.0};
+  std::vector<std::vector<double>> sel = {
+      {1, 0.001, 0.5}, {0.001, 1, 0.5}, {0.5, 0.5, 1}};
+  auto best = BestJoinOrder(rates, sel, 1.0);
+  ASSERT_EQ(best.order.size(), 3u);
+  // Exhaustive check.
+  std::vector<size_t> perm = {0, 1, 2};
+  double max_rate = 0;
+  std::sort(perm.begin(), perm.end());
+  do {
+    double rate = rates[perm[0]];
+    std::vector<size_t> joined = {perm[0]};
+    for (size_t k = 1; k < 3; ++k) {
+      double s = 1.0;
+      for (size_t i : joined) s *= sel[i][perm[k]];
+      rate = JoinOutputRate(rate, rates[perm[k]], RatedJoin{s, 1.0, 1.0});
+      joined.push_back(perm[k]);
+    }
+    max_rate = std::max(max_rate, rate);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_NEAR(best.output_rate, max_rate, 1e-9);
+}
+
+// --- Bounded-memory analysis [ABB+02], slide 36's two queries ---
+
+TEST(MemoryBoundTest, UnboundedGroupingAttribute) {
+  // select length ... group by length, with length unbounded.
+  AggQueryDesc desc;
+  desc.group_domains = {{"length", false, 0}};
+  auto a = AnalyzeAggregateQuery(desc);
+  EXPECT_EQ(a.verdict, MemoryVerdict::kUnbounded);
+  EXPECT_NE(a.explanation.find("length"), std::string::npos);
+}
+
+TEST(MemoryBoundTest, RangeRestrictedGroupingIsBounded) {
+  // Slide 36's bounded version: length > 512 and length < 1024.
+  AggQueryDesc desc;
+  desc.group_domains = {{"length", true, 511}};
+  desc.aggs = {{AggKind::kCount, true}};
+  auto a = AnalyzeAggregateQuery(desc);
+  EXPECT_EQ(a.verdict, MemoryVerdict::kBounded);
+  EXPECT_EQ(a.max_groups, 511u);
+}
+
+TEST(MemoryBoundTest, HolisticOnUnboundedAttrIsUnbounded) {
+  AggQueryDesc desc;
+  desc.group_domains = {{"proto", true, 256}};
+  desc.aggs = {{AggKind::kMedian, false}};
+  auto a = AnalyzeAggregateQuery(desc);
+  EXPECT_EQ(a.verdict, MemoryVerdict::kUnbounded);
+  EXPECT_NE(a.explanation.find("median"), std::string::npos);
+}
+
+TEST(MemoryBoundTest, HolisticOnBoundedAttrIsFine) {
+  AggQueryDesc desc;
+  desc.group_domains = {{"proto", true, 256}};
+  desc.aggs = {{AggKind::kCountDistinct, true}};
+  EXPECT_EQ(AnalyzeAggregateQuery(desc).verdict, MemoryVerdict::kBounded);
+}
+
+TEST(MemoryBoundTest, GroupCountMultiplies) {
+  AggQueryDesc desc;
+  desc.group_domains = {{"a", true, 10}, {"b", true, 20}};
+  auto a = AnalyzeAggregateQuery(desc);
+  EXPECT_EQ(a.verdict, MemoryVerdict::kBounded);
+  EXPECT_EQ(a.max_groups, 200u);
+}
+
+// --- Shared predicate evaluation ---
+
+TEST(SharedRangeFilterTest, MatchesSameAsNaive) {
+  SharedRangeFilter f;
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    double lo = rng.NextDouble() * 100.0;
+    f.AddRange(lo, lo + rng.NextDouble() * 20.0);
+  }
+  f.Build();
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.NextDouble() * 120.0 - 10.0;
+    auto a = f.Match(x);
+    auto b = f.MatchNaive(x);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "x=" << x;
+  }
+}
+
+TEST(SharedRangeFilterTest, PointQueries) {
+  SharedRangeFilter f;
+  int q0 = f.AddRange(0.0, 10.0);
+  int q1 = f.AddRange(5.0, 15.0);
+  int q2 = f.AddRange(20.0, 30.0);
+  f.Build();
+  auto m = f.Match(7.0);
+  std::sort(m.begin(), m.end());
+  EXPECT_EQ(m, (std::vector<int>{q0, q1}));
+  EXPECT_TRUE(f.Match(16.0).empty());
+  EXPECT_EQ(f.Match(25.0), std::vector<int>{q2});
+}
+
+TEST(SharedRangeFilterTest, BoundaryInclusive) {
+  SharedRangeFilter f;
+  int q = f.AddRange(1.0, 2.0);
+  f.Build();
+  EXPECT_EQ(f.Match(1.0), std::vector<int>{q});
+  EXPECT_EQ(f.Match(2.0), std::vector<int>{q});
+  EXPECT_TRUE(f.Match(2.0001).empty());
+}
+
+// --- Shared window join ---
+
+TEST(SharedWindowJoinTest, PerQueryWindowAttribution) {
+  // Three queries with windows 5, 20, 100 over the same join.
+  SharedWindowJoin j({5, 20, 100}, {1}, {1});
+  auto push = [&](int side, int64_t ts, int64_t key) {
+    j.Push(side, MakeTuple(ts, {Value(ts), Value(key)}));
+  };
+  push(0, 0, 1);
+  push(1, 3, 1);    // Gap 3: all three queries match.
+  push(1, 15, 1);   // Gap 15: queries with windows 20 and 100.
+  push(1, 60, 1);   // Gap 60: only window 100.
+  EXPECT_EQ(j.results()[0], 1u);
+  EXPECT_EQ(j.results()[1], 2u);
+  EXPECT_EQ(j.results()[2], 3u);
+}
+
+TEST(SharedWindowJoinTest, MatchesPerQueryDedicatedJoins) {
+  std::vector<int64_t> windows = {10, 50};
+  Rng rng(6);
+  std::vector<std::pair<int, TupleRef>> inputs;
+  int64_t ts = 0;
+  for (int i = 0; i < 2000; ++i) {
+    ts += static_cast<int64_t>(rng.Uniform(3));
+    inputs.emplace_back(rng.Bernoulli(0.5) ? 0 : 1,
+                        MakeTuple(ts, {Value(ts), Value(static_cast<int64_t>(
+                                                      rng.Uniform(10)))}));
+  }
+  SharedWindowJoin shared(windows, {1}, {1});
+  for (auto& [side, t] : inputs) shared.Push(side, t);
+
+  for (size_t q = 0; q < windows.size(); ++q) {
+    SharedWindowJoin dedicated({windows[q]}, {1}, {1});
+    for (auto& [side, t] : inputs) dedicated.Push(side, t);
+    EXPECT_EQ(shared.results()[q], dedicated.results()[0]) << "q=" << q;
+  }
+}
+
+}  // namespace
+}  // namespace sqp

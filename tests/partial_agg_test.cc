@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "agg/partial_agg.h"
+#include "common/rng.h"
+
+namespace sqp {
+namespace {
+
+TupleRef KV(int64_t key, int64_t val) {
+  return MakeTuple(0, {Value(key), Value(val)});
+}
+
+std::map<int64_t, std::vector<double>> Collect(
+    const FinalAggregator& fin) {
+  std::map<int64_t, std::vector<double>> out;
+  for (const auto& [key, vals] : fin.Results()) {
+    std::vector<double> row;
+    for (const Value& v : vals) row.push_back(v.ToDouble());
+    out[key.parts[0].AsInt()] = row;
+  }
+  return out;
+}
+
+TEST(PartialAggTest, UnboundedModeIsExact) {
+  std::vector<AggSpec> aggs = {{AggKind::kCount, -1, 0.5},
+                               {AggKind::kSum, 1, 0.5}};
+  PartialAggregator agg(0, {0}, aggs);
+  FinalAggregator fin(aggs);
+  std::vector<PartialGroup> out;
+  agg.Add(*KV(1, 10), &out);
+  agg.Add(*KV(1, 20), &out);
+  agg.Add(*KV(2, 5), &out);
+  EXPECT_TRUE(out.empty());  // Unbounded: nothing evicted.
+  agg.Flush(&out);
+  for (auto& g : out) fin.Merge(std::move(g));
+
+  auto res = Collect(fin);
+  EXPECT_DOUBLE_EQ(res[1][0], 2);
+  EXPECT_DOUBLE_EQ(res[1][1], 30);
+  EXPECT_DOUBLE_EQ(res[2][0], 1);
+  EXPECT_DOUBLE_EQ(res[2][1], 5);
+}
+
+TEST(PartialAggTest, CollisionsEvictPartials) {
+  std::vector<AggSpec> aggs = {{AggKind::kCount, -1, 0.5}};
+  // One slot: every key change evicts.
+  PartialAggregator agg(1, {0}, aggs);
+  std::vector<PartialGroup> out;
+  agg.Add(*KV(1, 0), &out);
+  agg.Add(*KV(2, 0), &out);  // Evicts key 1.
+  agg.Add(*KV(1, 0), &out);  // Evicts key 2.
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(agg.stats().evictions, 2u);
+  agg.Flush(&out);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+// The central two-level property (slide 37): a slot-limited low level
+// merged at the high level is exact, for any slot count.
+class SlotSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SlotSweepTest, TwoLevelExactForAnySlotCount) {
+  size_t slots = GetParam();
+  std::vector<AggSpec> aggs = {{AggKind::kCount, -1, 0.5},
+                               {AggKind::kSum, 1, 0.5},
+                               {AggKind::kMin, 1, 0.5},
+                               {AggKind::kMax, 1, 0.5}};
+  Rng rng(77);
+  std::vector<TupleRef> data;
+  for (int i = 0; i < 5000; ++i) {
+    data.push_back(KV(static_cast<int64_t>(rng.Uniform(100)),
+                      static_cast<int64_t>(rng.Uniform(1000))));
+  }
+
+  // Reference: unbounded single-level.
+  PartialAggregator ref_agg(0, {0}, aggs);
+  FinalAggregator ref_fin(aggs);
+  std::vector<PartialGroup> tmp;
+  for (const TupleRef& t : data) ref_agg.Add(*t, &tmp);
+  ref_agg.Flush(&tmp);
+  for (auto& g : tmp) ref_fin.Merge(std::move(g));
+
+  // Slot-limited low level + merge.
+  PartialAggregator low(slots, {0}, aggs);
+  FinalAggregator high(aggs);
+  std::vector<PartialGroup> partials;
+  for (const TupleRef& t : data) low.Add(*t, &partials);
+  low.Flush(&partials);
+  for (auto& g : partials) high.Merge(std::move(g));
+
+  auto expect = Collect(ref_fin);
+  auto got = Collect(high);
+  ASSERT_EQ(expect.size(), got.size());
+  for (const auto& [key, vals] : expect) {
+    ASSERT_TRUE(got.count(key));
+    for (size_t i = 0; i < vals.size(); ++i) {
+      EXPECT_DOUBLE_EQ(got[key][i], vals[i]) << "key=" << key << " agg=" << i;
+    }
+  }
+  // Fewer slots -> at least as many evictions.
+  if (slots > 0 && slots < 100) {
+    EXPECT_GT(low.stats().evictions, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Slots, SlotSweepTest,
+                         ::testing::Values(1, 2, 8, 32, 128, 0));
+
+TEST(PartialAggTest, ResidentGroupsBoundedBySlots) {
+  std::vector<AggSpec> aggs = {{AggKind::kCount, -1, 0.5}};
+  PartialAggregator agg(16, {0}, aggs);
+  std::vector<PartialGroup> out;
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    agg.Add(*KV(static_cast<int64_t>(rng.Uniform(10000)), 0), &out);
+    EXPECT_LE(agg.resident_groups(), 16u);
+  }
+}
+
+TEST(PartialAggTest, MemoryStaysFlatWithBoundedSlots) {
+  std::vector<AggSpec> aggs = {{AggKind::kCount, -1, 0.5}};
+  PartialAggregator bounded(32, {0}, aggs);
+  PartialAggregator unbounded(0, {0}, aggs);
+  std::vector<PartialGroup> out;
+  Rng rng(4);
+  for (int i = 0; i < 20000; ++i) {
+    TupleRef t = KV(static_cast<int64_t>(rng.Uniform(1000000)), 0);
+    bounded.Add(*t, &out);
+    out.clear();
+    unbounded.Add(*t, &out);
+  }
+  EXPECT_LT(bounded.MemoryBytes() * 100, unbounded.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+#include "common/rng.h"
+#include "cql/planner.h"
+#include "exec/partitioned_window_agg.h"
+#include "exec/plan.h"
+#include "stream/generators.h"
+
+namespace sqp {
+namespace {
+
+TupleRef T(int64_t ts, int64_t key, int64_t val) {
+  return MakeTuple(ts, {Value(ts), Value(key), Value(val)});
+}
+
+TEST(PartitionedWindowAggTest, PerKeyWindowsIndependent) {
+  Plan plan;
+  auto* op = plan.Make<PartitionedWindowAggregateOp>(
+      1, 2, std::vector<AggSpec>{{AggKind::kSum, 2, 0.5}});
+  auto* sink = plan.Make<CollectorSink>();
+  op->SetOutput(sink);
+
+  op->Push(Element(T(1, 7, 10)));  // Key 7: [10] -> 10.
+  op->Push(Element(T(2, 8, 5)));   // Key 8: [5] -> 5.
+  op->Push(Element(T(3, 7, 20)));  // Key 7: [10,20] -> 30.
+  op->Push(Element(T(4, 7, 30)));  // Key 7: [20,30] -> 50 (10 evicted).
+  ASSERT_EQ(sink->count(), 4u);
+  EXPECT_EQ(sink->tuples()[0]->at(2).AsInt(), 10);
+  EXPECT_EQ(sink->tuples()[1]->at(2).AsInt(), 5);
+  EXPECT_EQ(sink->tuples()[2]->at(2).AsInt(), 30);
+  EXPECT_EQ(sink->tuples()[3]->at(2).AsInt(), 50);
+  EXPECT_EQ(op->num_partitions(), 2u);
+  // Output carries the partition key.
+  EXPECT_EQ(sink->tuples()[3]->at(1).AsInt(), 7);
+}
+
+TEST(PartitionedWindowAggTest, NonInvertibleRecomputes) {
+  Plan plan;
+  auto* op = plan.Make<PartitionedWindowAggregateOp>(
+      1, 2, std::vector<AggSpec>{{AggKind::kMax, 2, 0.5}});
+  auto* sink = plan.Make<CollectorSink>();
+  op->SetOutput(sink);
+  op->Push(Element(T(1, 7, 100)));
+  op->Push(Element(T(2, 7, 50)));
+  op->Push(Element(T(3, 7, 30)));  // 100 evicted: max over [50,30] = 50.
+  EXPECT_EQ(sink->tuples()[2]->at(2).AsInt(), 50);
+  EXPECT_GE(op->recompute_count(), 1u);
+}
+
+// Property: each emission equals the brute-force aggregate over that
+// key's last N tuples.
+class PartitionedPropertyTest
+    : public ::testing::TestWithParam<std::pair<size_t, AggKind>> {};
+
+TEST_P(PartitionedPropertyTest, MatchesBruteForce) {
+  auto [rows, kind] = GetParam();
+  Plan plan;
+  auto* op = plan.Make<PartitionedWindowAggregateOp>(
+      1, rows, std::vector<AggSpec>{{kind, 2, 0.5}});
+  auto* sink = plan.Make<CollectorSink>();
+  op->SetOutput(sink);
+
+  Rng rng(41);
+  std::map<int64_t, std::deque<int64_t>> brute;
+  for (int64_t i = 0; i < 2000; ++i) {
+    int64_t key = static_cast<int64_t>(rng.Uniform(7));
+    int64_t val = static_cast<int64_t>(rng.Uniform(1000));
+    op->Push(Element(T(i, key, val)));
+    auto& dq = brute[key];
+    dq.push_back(val);
+    if (dq.size() > rows) dq.pop_front();
+    double expect = 0;
+    if (kind == AggKind::kSum) {
+      for (int64_t v : dq) expect += static_cast<double>(v);
+    } else if (kind == AggKind::kMax) {
+      expect = -1e18;
+      for (int64_t v : dq) expect = std::max(expect, double(v));
+    } else {  // kAvg
+      for (int64_t v : dq) expect += static_cast<double>(v);
+      expect /= static_cast<double>(dq.size());
+    }
+    ASSERT_NEAR(sink->tuples().back()->at(2).ToDouble(), expect, 1e-9)
+        << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PartitionedPropertyTest,
+    ::testing::Values(std::make_pair(size_t{4}, AggKind::kSum),
+                      std::make_pair(size_t{16}, AggKind::kSum),
+                      std::make_pair(size_t{8}, AggKind::kMax),
+                      std::make_pair(size_t{8}, AggKind::kAvg)),
+    [](const auto& info) {
+      return std::string(AggKindName(info.param.second)) + "_n" +
+             std::to_string(info.param.first);
+    });
+
+// --- CQL integration ---
+
+cql::Catalog Cat() {
+  cql::Catalog cat;
+  std::vector<FieldDomain> domains(gen::PacketSchema()->num_fields());
+  domains[gen::PacketCols::kSrcIp] = {"src_ip", true, 1024};
+  EXPECT_TRUE(cat.Register("packets", gen::PacketSchema(), domains).ok());
+  return cat;
+}
+
+TupleRef Pkt(int64_t ts, int64_t src, int64_t len) {
+  return MakeTuple(ts, {Value(ts), Value(src), Value(int64_t{0}),
+                        Value(int64_t{0}), Value(int64_t{0}), Value(int64_t{6}),
+                        Value(len), Value(int64_t{0}), Value(int64_t{0}),
+                        Value("")});
+}
+
+TEST(PartitionedCqlTest, ParseAndRun) {
+  cql::Catalog cat = Cat();
+  auto cq = cql::Compile(
+      "select src_ip, avg(len), count(*) from packets "
+      "[partition by src_ip rows 3]",
+      cat);
+  ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+  EXPECT_NE((*cq)->plan_desc().find("partitioned-window-agg"),
+            std::string::npos);
+  CollectorSink sink;
+  (*cq)->AttachSink(&sink);
+  // Key 1 gets 4 packets; window holds last 3.
+  (*cq)->Push(Element(Pkt(1, 1, 10)));
+  (*cq)->Push(Element(Pkt(2, 1, 20)));
+  (*cq)->Push(Element(Pkt(3, 2, 99)));
+  (*cq)->Push(Element(Pkt(4, 1, 30)));
+  (*cq)->Push(Element(Pkt(5, 1, 40)));  // Window [20,30,40] -> avg 30.
+  (*cq)->Finish();
+  ASSERT_EQ(sink.count(), 5u);
+  const TupleRef& last = sink.tuples().back();
+  EXPECT_EQ(last->at(0).AsInt(), 1);
+  EXPECT_DOUBLE_EQ(last->at(1).AsDouble(), 30.0);
+  EXPECT_EQ(last->at(2).AsInt(), 3);
+}
+
+TEST(PartitionedCqlTest, WhereAppliesBeforeWindow) {
+  cql::Catalog cat = Cat();
+  auto cq = cql::Compile(
+      "select src_ip, sum(len) from packets [partition by src_ip rows 2] "
+      "where len > 15",
+      cat);
+  ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+  CollectorSink sink;
+  (*cq)->AttachSink(&sink);
+  (*cq)->Push(Element(Pkt(1, 1, 10)));  // Filtered out.
+  (*cq)->Push(Element(Pkt(2, 1, 20)));
+  (*cq)->Push(Element(Pkt(3, 1, 30)));
+  (*cq)->Finish();
+  ASSERT_EQ(sink.count(), 2u);
+  EXPECT_EQ(sink.tuples()[1]->at(1).AsInt(), 50);  // 20 + 30 only.
+}
+
+TEST(PartitionedCqlTest, MemoryVerdictUsesPartitionDomain) {
+  cql::Catalog cat = Cat();
+  // src_ip declared bounded (1024) in this catalog: bounded partitions.
+  auto bounded = cql::Compile(
+      "select src_ip, sum(len) from packets [partition by src_ip rows 4]",
+      cat);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_EQ((*bounded)->memory().verdict, MemoryVerdict::kBounded);
+
+  // dst_ip has no domain metadata: unbounded partitions.
+  auto unbounded = cql::Compile(
+      "select dst_ip, sum(len) from packets [partition by dst_ip rows 4]",
+      cat);
+  ASSERT_TRUE(unbounded.ok()) << unbounded.status().ToString();
+  EXPECT_EQ((*unbounded)->memory().verdict, MemoryVerdict::kUnbounded);
+}
+
+TEST(PartitionedCqlTest, GroupByPlusPartitionWindowRejected) {
+  cql::Catalog cat = Cat();
+  auto cq = cql::Compile(
+      "select src_ip, count(*) from packets [partition by src_ip rows 3] "
+      "group by src_ip",
+      cat);
+  ASSERT_FALSE(cq.ok());
+  EXPECT_EQ(cq.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(PartitionedCqlTest, ParseErrors) {
+  cql::Catalog cat = Cat();
+  EXPECT_FALSE(cql::Compile(
+                   "select src_ip from packets [partition by rows 3]", cat)
+                   .ok());
+  EXPECT_FALSE(
+      cql::Compile("select src_ip from packets [partition by src_ip rows 0]",
+                   cat)
+          .ok());
+  EXPECT_FALSE(
+      cql::Compile(
+          "select nosuch, sum(len) from packets [partition by nosuch rows 3]",
+          cat)
+          .ok());
+}
+
+TEST(PartitionedWindowAggTest, StateScalesWithPartitionsNotStream) {
+  Plan plan;
+  auto* op = plan.Make<PartitionedWindowAggregateOp>(
+      1, 8, std::vector<AggSpec>{{AggKind::kSum, 2, 0.5}});
+  auto* sink = plan.Make<CountingSink>();
+  op->SetOutput(sink);
+  Rng rng(42);
+  for (int64_t i = 0; i < 50000; ++i) {
+    op->Push(Element(T(i, static_cast<int64_t>(rng.Uniform(20)), 1)));
+  }
+  EXPECT_EQ(op->num_partitions(), 20u);
+  // 20 partitions x 8 rows, regardless of the 50k tuples seen.
+  EXPECT_LT(op->StateBytes(), 64 * 1024u);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+
+namespace sqp {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(4);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.03);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(6);
+  double sum = 0, sumsq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Geometric(0.25));
+  // Mean failures before success = (1-p)/p = 3.
+  EXPECT_NEAR(sum / n, 3.0, 0.2);
+}
+
+TEST(ZipfTest, UniformWhenExponentZero) {
+  Rng rng(8);
+  ZipfGenerator zipf(10, 0.0);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[zipf.Next(rng)]++;
+  for (const auto& [k, c] : counts) {
+    EXPECT_NEAR(c / 20000.0, 0.1, 0.02);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsSmallIds) {
+  Rng rng(9);
+  ZipfGenerator zipf(1000, 1.2);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[zipf.Next(rng)]++;
+  // Item 0 should dominate item 100 heavily under s=1.2.
+  EXPECT_GT(counts[0], 20 * (counts.count(100) ? counts[100] : 1));
+}
+
+TEST(ZipfTest, TheoreticalHeadProbability) {
+  Rng rng(10);
+  const uint64_t n = 100;
+  const double s = 1.0;
+  ZipfGenerator zipf(n, s);
+  double hn = 0;
+  for (uint64_t i = 1; i <= n; ++i) hn += 1.0 / static_cast<double>(i);
+  int head = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) head += (zipf.Next(rng) == 0) ? 1 : 0;
+  EXPECT_NEAR(head / static_cast<double>(trials), 1.0 / hn, 0.01);
+}
+
+}  // namespace
+}  // namespace sqp

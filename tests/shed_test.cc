@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "exec/plan.h"
+#include "exec/select.h"
+#include "shed/load_shedder.h"
+#include "shed/qos.h"
+#include "shed/shed_planner.h"
+
+namespace sqp {
+namespace {
+
+TupleRef T(int64_t ts, int64_t v) {
+  return MakeTuple(ts, {Value(ts), Value(v)});
+}
+
+TEST(RandomDropTest, DropRateApproximatelyHonored) {
+  Plan plan;
+  auto* drop = plan.Make<RandomDropOp>(0.3, 42);
+  auto* sink = plan.Make<CountingSink>();
+  drop->SetOutput(sink);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) drop->Push(Element(T(i, i)));
+  EXPECT_NEAR(static_cast<double>(drop->dropped()) / n, 0.3, 0.02);
+  EXPECT_EQ(sink->tuples() + drop->dropped(), static_cast<uint64_t>(n));
+}
+
+TEST(RandomDropTest, ScaleFactorUnbiasesCounts) {
+  Plan plan;
+  auto* drop = plan.Make<RandomDropOp>(0.5, 7);
+  auto* sink = plan.Make<CountingSink>();
+  drop->SetOutput(sink);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) drop->Push(Element(T(i, i)));
+  double estimated = static_cast<double>(sink->tuples()) * drop->scale_factor();
+  EXPECT_NEAR(estimated / n, 1.0, 0.03);
+}
+
+TEST(RandomDropTest, PunctuationsNeverDropped) {
+  Plan plan;
+  auto* drop = plan.Make<RandomDropOp>(1.0, 1);
+  auto* sink = plan.Make<CollectorSink>();
+  drop->SetOutput(sink);
+  drop->Push(Element(T(1, 1)));
+  drop->Push(Element(Punctuation::Watermark(5)));
+  EXPECT_EQ(sink->count(), 0u);
+  EXPECT_EQ(sink->punctuations().size(), 1u);
+}
+
+TEST(SemanticDropTest, KeepsPredicateMatches) {
+  // Keep tuples with v >= 90 (the query-relevant ones), drop all else.
+  Plan plan;
+  auto* drop = plan.Make<SemanticDropOp>(Ge(Col(1), Lit(int64_t{90})), 1.0, 3);
+  auto* sink = plan.Make<CollectorSink>();
+  drop->SetOutput(sink);
+  for (int64_t v = 0; v < 100; ++v) drop->Push(Element(T(v, v)));
+  EXPECT_EQ(sink->count(), 10u);
+  for (const TupleRef& t : sink->tuples()) {
+    EXPECT_GE(t->at(1).AsInt(), 90);
+  }
+}
+
+TEST(SemanticDropTest, PartialDropRateOnNonMatches) {
+  Plan plan;
+  auto* drop = plan.Make<SemanticDropOp>(Ge(Col(1), Lit(int64_t{50})), 0.5, 4);
+  auto* sink = plan.Make<CountingSink>();
+  drop->SetOutput(sink);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    drop->Push(Element(T(i, i % 100)));
+  }
+  // Half the tuples match (always kept); the rest dropped at 50%.
+  EXPECT_NEAR(static_cast<double>(sink->tuples()) / n, 0.75, 0.02);
+}
+
+TEST(QosCurveTest, LinearAndClamping) {
+  QosCurve c = QosCurve::Linear();
+  EXPECT_DOUBLE_EQ(c.Utility(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.Utility(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(c.Utility(2.0), 1.0);  // Clamped.
+  EXPECT_DOUBLE_EQ(c.Utility(-1.0), 0.0);
+}
+
+TEST(QosCurveTest, PiecewiseInterpolation) {
+  auto c = QosCurve::Make({{0.0, 0.0}, {0.5, 0.8}, {1.0, 1.0}});
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(c->Utility(0.25), 0.4, 1e-9);
+  EXPECT_NEAR(c->Utility(0.75), 0.9, 1e-9);
+}
+
+TEST(QosCurveTest, RejectsInvalidPoints) {
+  EXPECT_FALSE(QosCurve::Make({{0.0, 0.0}}).ok());
+  EXPECT_FALSE(QosCurve::Make({{0.5, 0.0}, {0.5, 1.0}}).ok());
+  EXPECT_FALSE(QosCurve::Make({{0.0, -0.1}, {1.0, 1.0}}).ok());
+}
+
+TEST(QosAllocationTest, FullCapacityDeliversEverything) {
+  std::vector<double> rates = {10.0, 20.0};
+  std::vector<QosCurve> curves = {QosCurve::Linear(), QosCurve::Linear()};
+  auto alloc = AllocateCapacity(rates, curves, 30.0);
+  EXPECT_NEAR(alloc.delivered_fraction[0], 1.0, 0.05);
+  EXPECT_NEAR(alloc.delivered_fraction[1], 1.0, 0.05);
+  EXPECT_NEAR(alloc.total_utility, 2.0, 0.1);
+}
+
+TEST(QosAllocationTest, SteepCurveGetsCapacityFirst) {
+  std::vector<double> rates = {10.0, 10.0};
+  // Query 0 gains utility fast early (concave-ish knee curve inverted):
+  auto steep = QosCurve::Make({{0.0, 0.0}, {0.3, 0.9}, {1.0, 1.0}});
+  auto shallow = QosCurve::Linear();
+  ASSERT_TRUE(steep.ok());
+  std::vector<QosCurve> curves = {*steep, shallow};
+  auto alloc = AllocateCapacity(rates, curves, 4.0);  // 20% of demand.
+  EXPECT_GT(alloc.delivered_fraction[0], alloc.delivered_fraction[1]);
+}
+
+TEST(ShedPlannerTest, NoSheddingWhenUnderCapacity) {
+  std::vector<ShedPoint> points = {{10.0, 1.0, 1.0}};
+  auto plan = PlanShedding(points, 8.0, 10.0);
+  EXPECT_DOUBLE_EQ(plan.drop_rate[0], 0.0);
+  EXPECT_TRUE(plan.feasible);
+}
+
+TEST(ShedPlannerTest, ShedsExactlyTheExcess) {
+  std::vector<ShedPoint> points = {{20.0, 1.0, 1.0}};
+  auto plan = PlanShedding(points, 20.0, 15.0);
+  EXPECT_NEAR(plan.drop_rate[0], 0.25, 1e-9);
+  EXPECT_NEAR(plan.saved_work, 5.0, 1e-9);
+  EXPECT_TRUE(plan.feasible);
+}
+
+TEST(ShedPlannerTest, PrefersCheapAnswerLossPoints) {
+  // Point 0: high work saved per answer lost; point 1: poor ratio.
+  std::vector<ShedPoint> points = {{10.0, 5.0, 0.1}, {10.0, 1.0, 1.0}};
+  auto plan = PlanShedding(points, 60.0, 45.0);
+  EXPECT_GT(plan.drop_rate[0], 0.0);
+  EXPECT_DOUBLE_EQ(plan.drop_rate[1], 0.0);
+}
+
+TEST(ShedPlannerTest, InfeasibleWhenExcessTooLarge) {
+  std::vector<ShedPoint> points = {{1.0, 1.0, 1.0}};
+  auto plan = PlanShedding(points, 100.0, 1.0);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_DOUBLE_EQ(plan.drop_rate[0], 1.0);
+}
+
+// End-to-end: semantic shedding preserves a HAVING-style answer better
+// than random shedding at equal drop volume (slide 44's point).
+TEST(SheddingEndToEndTest, SemanticBeatsRandomForSelectiveQuery) {
+  // Query cares about v >= 900 (the top decile).
+  auto run = [&](bool semantic) {
+    Plan plan;
+    Operator* shed;
+    if (semantic) {
+      shed = plan.Make<SemanticDropOp>(Ge(Col(1), Lit(int64_t{900})), 0.556, 9);
+    } else {
+      shed = plan.Make<RandomDropOp>(0.5, 9);
+    }
+    auto* sel = plan.Make<SelectOp>(Ge(Col(1), Lit(int64_t{900})));
+    auto* sink = plan.Make<CountingSink>();
+    shed->SetOutput(sel);
+    sel->SetOutput(sink);
+    Rng rng(10);
+    for (int i = 0; i < 20000; ++i) {
+      shed->Push(Element(T(i, static_cast<int64_t>(rng.Uniform(1000)))));
+    }
+    return sink->tuples();
+  };
+  uint64_t with_random = run(false);
+  uint64_t with_semantic = run(true);
+  // True answer ~2000; semantic keeps all of it, random halves it.
+  EXPECT_GT(with_semantic, with_random * 18 / 10);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "exec/plan.h"
+#include "exec/streamify.h"
+
+namespace sqp {
+namespace {
+
+TupleRef T(int64_t ts, int64_t v) {
+  return MakeTuple(ts, {Value(ts), Value(v)});
+}
+
+TEST(StreamifyTest, IStreamEmitsOnInsert) {
+  Plan plan;
+  auto* s = plan.Make<StreamifyOp>(StreamifyKind::kIStream, 10);
+  auto* sink = plan.Make<CollectorSink>();
+  s->SetOutput(sink);
+  s->Push(Element(T(1, 1)));
+  s->Push(Element(T(2, 2)));
+  EXPECT_EQ(sink->count(), 2u);
+  EXPECT_EQ(sink->tuples()[0]->ts(), 1);
+}
+
+TEST(StreamifyTest, DStreamEmitsOnExpiry) {
+  Plan plan;
+  auto* s = plan.Make<StreamifyOp>(StreamifyKind::kDStream, 10);
+  auto* sink = plan.Make<CollectorSink>();
+  s->SetOutput(sink);
+  s->Push(Element(T(1, 1)));
+  s->Push(Element(T(5, 2)));
+  EXPECT_EQ(sink->count(), 0u);  // Nothing expired yet.
+  s->Push(Element(T(12, 3)));    // ts=1 leaves the window.
+  ASSERT_EQ(sink->count(), 1u);
+  EXPECT_EQ(sink->tuples()[0]->at(1).AsInt(), 1);
+}
+
+TEST(StreamifyTest, DStreamFlushDrainsWindow) {
+  Plan plan;
+  auto* s = plan.Make<StreamifyOp>(StreamifyKind::kDStream, 100);
+  auto* sink = plan.Make<CollectorSink>();
+  s->SetOutput(sink);
+  s->Push(Element(T(1, 1)));
+  s->Push(Element(T(2, 2)));
+  s->Flush();
+  EXPECT_EQ(sink->count(), 2u);
+}
+
+TEST(StreamifyTest, RStreamSnapshotsEveryPeriod) {
+  Plan plan;
+  auto* s = plan.Make<StreamifyOp>(StreamifyKind::kRStream, 10, 5);
+  auto* sink = plan.Make<CollectorSink>();
+  s->SetOutput(sink);
+  s->Push(Element(T(1, 1)));   // First tuple sets the snapshot phase.
+  s->Push(Element(T(2, 2)));
+  s->Push(Element(T(6, 3)));   // Crosses snapshot at ts=6.
+  // Snapshot at 6 contains tuples 1, 2, 6 (all within window 10).
+  EXPECT_EQ(sink->count(), 4u);  // 1 at ts=1 (initial) + 3 at ts=6.
+}
+
+TEST(StreamifyTest, RStreamRestampsOutput) {
+  Plan plan;
+  auto* s = plan.Make<StreamifyOp>(StreamifyKind::kRStream, 100, 10);
+  auto* sink = plan.Make<CollectorSink>();
+  s->SetOutput(sink);
+  s->Push(Element(T(1, 1)));
+  s->Push(Element(T(25, 2)));
+  for (const TupleRef& t : sink->tuples()) {
+    EXPECT_EQ(t->ts() % 10, 1 % 10);  // Snapshots on the period grid.
+  }
+}
+
+TEST(StreamifyTest, DStreamPunctuationDrivesExpiry) {
+  Plan plan;
+  auto* s = plan.Make<StreamifyOp>(StreamifyKind::kDStream, 10);
+  auto* sink = plan.Make<CollectorSink>();
+  s->SetOutput(sink);
+  s->Push(Element(T(1, 1)));
+  s->Push(Element(Punctuation::Watermark(50)));
+  ASSERT_EQ(sink->count(), 1u);
+  EXPECT_EQ(sink->punctuations().size(), 1u);
+}
+
+TEST(StreamifyTest, KindNames) {
+  EXPECT_STREQ(StreamifyKindName(StreamifyKind::kIStream), "istream");
+  EXPECT_STREQ(StreamifyKindName(StreamifyKind::kDStream), "dstream");
+  EXPECT_STREQ(StreamifyKindName(StreamifyKind::kRStream), "rstream");
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,52 @@
+// Compile-time check that the umbrella header is self-contained and the
+// whole public API coexists in one translation unit, plus a smoke test
+// touching one symbol from each layer.
+
+#include "sqp.h"
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+TEST(UmbrellaTest, OneSymbolPerLayer) {
+  // common
+  EXPECT_TRUE(Status::OK().ok());
+  // stream
+  EXPECT_TRUE(gen::PacketSchema()->has_ordering());
+  // window
+  EXPECT_TRUE(WindowSpec::TimeSliding(10).Validate().ok());
+  // agg
+  EXPECT_EQ(ClassOf(AggKind::kSum), AggClass::kDistributive);
+  // synopsis
+  HyperLogLog hll(10);
+  hll.Add(Value(int64_t{1}));
+  EXPECT_GT(hll.Estimate(), 0.0);
+  // exec
+  Plan plan;
+  auto* sel = plan.Make<SelectOp>(Lit(int64_t{1}));
+  auto* sink = plan.Make<CountingSink>();
+  sel->SetOutput(sink);
+  sel->Push(Element(MakeTuple(0, {Value(int64_t{1})})));
+  EXPECT_EQ(sink->tuples(), 1u);
+  // sched
+  EXPECT_EQ(MakeFifoPolicy()->name(), "fifo");
+  // shed
+  EXPECT_DOUBLE_EQ(QosCurve::Linear().Utility(0.5), 0.5);
+  // opt
+  EXPECT_NEAR(PipelineOutputRate(100.0, {{"f", 0.5, 1e18}}), 50.0, 1e-9);
+  // cql
+  EXPECT_TRUE(cql::Parse("select a from s").ok());
+  // arch
+  StreamEngine engine;
+  EXPECT_TRUE(engine.RegisterStream("s", gen::SensorSchema()).ok());
+  // hancock
+  hancock::SignatureStore store(1, 0.5);
+  store.Blend(1, {2.0});
+  EXPECT_DOUBLE_EQ(store.Get(1)[0], 2.0);
+  // xml
+  EXPECT_TRUE(xml::ParseXPath("//a/b").ok());
+}
+
+}  // namespace
+}  // namespace sqp

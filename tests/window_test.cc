@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "window/count_window.h"
+#include "window/partitioned_window.h"
+#include "window/punctuation_window.h"
+#include "window/time_window.h"
+#include "window/window_spec.h"
+
+namespace sqp {
+namespace {
+
+TupleRef T(int64_t ts, int64_t v = 0) {
+  return MakeTuple(ts, {Value(ts), Value(v)});
+}
+
+// --- WindowSpec ---
+
+TEST(WindowSpecTest, Validation) {
+  EXPECT_TRUE(WindowSpec::TimeSliding(10).Validate().ok());
+  EXPECT_FALSE(WindowSpec::TimeSliding(0).Validate().ok());
+  EXPECT_FALSE(WindowSpec::CountSliding(-5).Validate().ok());
+  EXPECT_TRUE(WindowSpec::Landmark().Validate().ok());
+  EXPECT_TRUE(WindowSpec::Punctuated().Validate().ok());
+}
+
+TEST(WindowSpecTest, Names) {
+  EXPECT_EQ(WindowSpec::TimeTumbling(60).ToString(), "time-tumbling size=60");
+  EXPECT_EQ(WindowSpec::Landmark(5).ToString(), "landmark start=5");
+}
+
+// --- TimeWindowBuffer ---
+
+TEST(TimeWindowTest, KeepsOnlyRecentTuples) {
+  TimeWindowBuffer w(10);
+  w.Insert(T(1));
+  w.Insert(T(5));
+  w.Insert(T(11));  // Expires ts=1 (1 <= 11-10).
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.contents().front()->ts(), 5);
+}
+
+TEST(TimeWindowTest, ExpiredTuplesReported) {
+  TimeWindowBuffer w(3);
+  std::vector<TupleRef> expired;
+  w.Insert(T(1), &expired);
+  w.Insert(T(2), &expired);
+  EXPECT_TRUE(expired.empty());
+  w.Insert(T(5), &expired);
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(expired[0]->ts(), 1);
+  EXPECT_EQ(expired[1]->ts(), 2);
+}
+
+TEST(TimeWindowTest, AdvanceToExpiresWithoutInsert) {
+  TimeWindowBuffer w(5);
+  w.Insert(T(1));
+  std::vector<TupleRef> expired;
+  w.AdvanceTo(100, &expired);
+  EXPECT_EQ(expired.size(), 1u);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(TimeWindowTest, BoundaryIsExclusiveAtTail) {
+  TimeWindowBuffer w(10);
+  w.Insert(T(0));
+  w.Insert(T(10));  // Window (0, 10]: ts=0 expires exactly.
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(TimeWindowTest, MemoryTracksContents) {
+  TimeWindowBuffer w(100);
+  EXPECT_EQ(w.MemoryBytes(), 0u);
+  w.Insert(T(1));
+  size_t one = w.MemoryBytes();
+  w.Insert(T(2));
+  EXPECT_EQ(w.MemoryBytes(), 2 * one);
+  w.AdvanceTo(500);
+  EXPECT_EQ(w.MemoryBytes(), 0u);
+}
+
+TEST(TumblingAssignerTest, Buckets) {
+  TumblingAssigner a(60);
+  EXPECT_EQ(a.BucketOf(0), 0);
+  EXPECT_EQ(a.BucketOf(59), 0);
+  EXPECT_EQ(a.BucketOf(60), 1);
+  EXPECT_EQ(a.BucketStart(2), 120);
+  EXPECT_EQ(a.BucketEnd(2), 180);
+}
+
+// --- CountWindowBuffer ---
+
+TEST(CountWindowTest, EvictsOldestWhenFull) {
+  CountWindowBuffer w(3);
+  EXPECT_FALSE(w.Insert(T(1)).has_value());
+  EXPECT_FALSE(w.Insert(T(2)).has_value());
+  EXPECT_FALSE(w.Insert(T(3)).has_value());
+  EXPECT_TRUE(w.full());
+  auto evicted = w.Insert(T(4));
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ((*evicted)->ts(), 1);
+  EXPECT_EQ(w.size(), 3u);
+}
+
+// --- PunctuationWindowBuffer ---
+
+TEST(PunctuationWindowTest, CloseKeyReleasesGroup) {
+  PunctuationWindowBuffer w(1);  // Key col 1.
+  w.Insert(MakeTuple(1, {Value(int64_t{1}), Value(int64_t{7})}));
+  w.Insert(MakeTuple(2, {Value(int64_t{2}), Value(int64_t{7})}));
+  w.Insert(MakeTuple(3, {Value(int64_t{3}), Value(int64_t{8})}));
+  EXPECT_EQ(w.num_open_keys(), 2u);
+
+  auto closed = w.OnPunctuation(Punctuation::CloseKey(3, Value(int64_t{7})));
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].first.AsInt(), 7);
+  EXPECT_EQ(closed[0].second.size(), 2u);
+  EXPECT_EQ(w.num_open_keys(), 1u);
+  EXPECT_EQ(w.buffered_tuples(), 1u);
+}
+
+TEST(PunctuationWindowTest, WatermarkClosesOldGroups) {
+  PunctuationWindowBuffer w(1);
+  w.Insert(MakeTuple(1, {Value(int64_t{1}), Value(int64_t{7})}));
+  w.Insert(MakeTuple(9, {Value(int64_t{9}), Value(int64_t{8})}));
+  auto closed = w.OnPunctuation(Punctuation::Watermark(5));
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].first.AsInt(), 7);
+  EXPECT_EQ(w.num_open_keys(), 1u);
+}
+
+TEST(PunctuationWindowTest, CloseUnknownKeyIsNoop) {
+  PunctuationWindowBuffer w(1);
+  auto closed = w.OnPunctuation(Punctuation::CloseKey(1, Value(int64_t{42})));
+  EXPECT_TRUE(closed.empty());
+}
+
+// --- PartitionedCountWindow ---
+
+TEST(PartitionedWindowTest, IndependentPartitions) {
+  PartitionedCountWindow w({1}, 2);  // Partition by col 1, 2 rows each.
+  w.Insert(MakeTuple(1, {Value(int64_t{1}), Value(int64_t{10})}));
+  w.Insert(MakeTuple(2, {Value(int64_t{2}), Value(int64_t{10})}));
+  w.Insert(MakeTuple(3, {Value(int64_t{3}), Value(int64_t{20})}));
+  EXPECT_EQ(w.num_partitions(), 2u);
+
+  // Third insert into partition 10 evicts its oldest only.
+  auto evicted = w.Insert(MakeTuple(4, {Value(int64_t{4}), Value(int64_t{10})}));
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ((*evicted)->ts(), 1);
+
+  Key k10{{Value(int64_t{10})}};
+  EXPECT_EQ(w.Partition(k10).size(), 2u);
+  Key k20{{Value(int64_t{20})}};
+  EXPECT_EQ(w.Partition(k20).size(), 1u);
+  EXPECT_EQ(w.Contents().size(), 3u);
+}
+
+TEST(PartitionedWindowTest, UnknownPartitionEmpty) {
+  PartitionedCountWindow w({0}, 4);
+  Key k{{Value(int64_t{5})}};
+  EXPECT_TRUE(w.Partition(k).empty());
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "xml/doc_gen.h"
+#include "xml/filter.h"
+#include "xml/xml_event.h"
+#include "xml/xpath.h"
+
+namespace sqp {
+namespace xml {
+namespace {
+
+// --- Tokenizer ---
+
+TEST(XmlTokenizerTest, ElementsAttrsText) {
+  auto ev = Tokenize("<a x='1' y=\"two\">hi<b/></a>");
+  ASSERT_TRUE(ev.ok()) << ev.status().ToString();
+  ASSERT_EQ(ev->size(), 5u);
+  EXPECT_EQ((*ev)[0].kind, XmlEvent::Kind::kStart);
+  EXPECT_EQ((*ev)[0].name, "a");
+  ASSERT_EQ((*ev)[0].attrs.size(), 2u);
+  EXPECT_EQ((*ev)[0].attrs[0].second, "1");
+  EXPECT_EQ((*ev)[0].attrs[1].second, "two");
+  EXPECT_EQ((*ev)[1].kind, XmlEvent::Kind::kText);
+  EXPECT_EQ((*ev)[1].text, "hi");
+  EXPECT_EQ((*ev)[2].name, "b");  // Self-closing expands to start+end.
+  EXPECT_EQ((*ev)[3].kind, XmlEvent::Kind::kEnd);
+  EXPECT_EQ((*ev)[4].name, "a");
+}
+
+TEST(XmlTokenizerTest, Errors) {
+  EXPECT_FALSE(Tokenize("<a>").ok());           // Unclosed.
+  EXPECT_FALSE(Tokenize("<a></b>").ok());       // Mismatched.
+  EXPECT_FALSE(Tokenize("<a x=1></a>").ok());   // Unquoted attr.
+  EXPECT_FALSE(Tokenize("<a x='1></a>").ok());  // Unterminated value.
+}
+
+TEST(XmlTokenizerTest, RoundTripsGeneratedDocs) {
+  XmlDocOptions opt;
+  auto events = GenerateAuctionDoc(opt);
+  auto reparsed = Tokenize(ToXmlText(events));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_EQ(reparsed->size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ((*reparsed)[i].kind, events[i].kind) << i;
+    EXPECT_EQ((*reparsed)[i].name, events[i].name) << i;
+  }
+}
+
+// --- XPath parser ---
+
+TEST(XPathParseTest, StepsAndAxes) {
+  auto p = ParseXPath("/site/people//person[@id='p3']/name");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ASSERT_EQ(p->steps.size(), 4u);
+  EXPECT_EQ(p->steps[0].axis, XPathStep::Axis::kChild);
+  EXPECT_EQ(p->steps[2].axis, XPathStep::Axis::kDescendant);
+  ASSERT_TRUE(p->steps[2].pred.has_value());
+  EXPECT_EQ(p->steps[2].pred->attr, "id");
+  EXPECT_EQ(p->steps[2].pred->value, "p3");
+  EXPECT_EQ(p->ToString(), "/site/people//person[@id='p3']/name");
+}
+
+TEST(XPathParseTest, Wildcard) {
+  auto p = ParseXPath("//*/bid");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->steps[0].name, "*");
+  EXPECT_EQ(p->steps[0].axis, XPathStep::Axis::kDescendant);
+}
+
+TEST(XPathParseTest, Errors) {
+  EXPECT_FALSE(ParseXPath("").ok());
+  EXPECT_FALSE(ParseXPath("site/x").ok());        // Missing leading /.
+  EXPECT_FALSE(ParseXPath("/a[@x=1]").ok());      // Unquoted predicate.
+  EXPECT_FALSE(ParseXPath("/a/").ok());           // Trailing slash.
+  EXPECT_FALSE(ParseXPath("/a[b='c']").ok());     // Non-attribute pred.
+}
+
+// --- Filter matching ---
+
+std::vector<XmlEvent> Doc(const std::string& text) {
+  auto ev = Tokenize(text);
+  EXPECT_TRUE(ev.ok());
+  return *ev;
+}
+
+TEST(XPathFilterTest, ChildPath) {
+  XPathFilterSet set;
+  ASSERT_TRUE(set.Add("/a/b").ok());
+  auto counts = set.MatchDocument(Doc("<a><b/><c><b/></c><b/></a>"));
+  EXPECT_EQ(counts[0], 2u);  // Only direct children of a.
+}
+
+TEST(XPathFilterTest, DescendantPath) {
+  XPathFilterSet set;
+  ASSERT_TRUE(set.Add("//b").ok());
+  auto counts = set.MatchDocument(Doc("<a><b/><c><b><b/></b></c></a>"));
+  EXPECT_EQ(counts[0], 3u);
+}
+
+TEST(XPathFilterTest, MixedAxes) {
+  XPathFilterSet set;
+  ASSERT_TRUE(set.Add("/a//c/d").ok());
+  auto counts = set.MatchDocument(
+      Doc("<a><c><d/></c><x><c><d/><e><d/></e></c></x><d/></a>"));
+  // d as a *child* of any descendant c: two of them; the e/d and a/d
+  // don't qualify.
+  EXPECT_EQ(counts[0], 2u);
+}
+
+TEST(XPathFilterTest, WildcardStep) {
+  XPathFilterSet set;
+  ASSERT_TRUE(set.Add("/a/*/d").ok());
+  auto counts = set.MatchDocument(Doc("<a><b><d/></b><c><d/></c><d/></a>"));
+  EXPECT_EQ(counts[0], 2u);  // a/d lacks the middle element.
+}
+
+TEST(XPathFilterTest, AttributePredicate) {
+  XPathFilterSet set;
+  ASSERT_TRUE(set.Add("//person[@id='p1']/name").ok());
+  auto counts = set.MatchDocument(
+      Doc("<site><person id='p0'><name/></person>"
+          "<person id='p1'><name/></person></site>"));
+  EXPECT_EQ(counts[0], 1u);
+}
+
+TEST(XPathFilterTest, RepeatedDescendantNoDoubleCount) {
+  // //a//b with nested a's: each b element fires once even though
+  // several derivations reach it.
+  XPathFilterSet set;
+  ASSERT_TRUE(set.Add("//a//b").ok());
+  auto counts = set.MatchDocument(Doc("<a><a><b/></a></a>"));
+  EXPECT_EQ(counts[0], 1u);
+}
+
+TEST(XPathFilterTest, ManyQueriesSharedPrefix) {
+  XPathFilterSet set;
+  ASSERT_TRUE(set.Add("/site/people/person/name").ok());
+  ASSERT_TRUE(set.Add("/site/people/person/city").ok());
+  ASSERT_TRUE(set.Add("/site/auctions/auction/bid").ok());
+  // Prefix sharing: far fewer states than 3 independent 4-step paths.
+  EXPECT_LT(set.num_states(), 12u);
+
+  auto events = GenerateAuctionDoc(XmlDocOptions{});
+  auto counts = set.MatchDocument(events);
+  EXPECT_EQ(counts[0], 20u);  // One name per person.
+  EXPECT_GT(counts[2], 20u);  // At least one bid per auction (30+).
+}
+
+TEST(XPathFilterTest, SharedMatchesNaiveOnRandomWorkload) {
+  // Property: the shared NFA agrees with per-query evaluation across a
+  // batch of random paths and generated documents.
+  XPathFilterSet set;
+  const char* kPaths[] = {
+      "/site/people/person",
+      "//person/name",
+      "//auction[@category='c1']",
+      "/site/auctions/auction/bid",
+      "//auction//bid",
+      "//*[@id='p1']",
+      "/site//name",
+      "//seller",
+  };
+  for (const char* p : kPaths) {
+    ASSERT_TRUE(set.Add(p).ok()) << p;
+  }
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    XmlDocOptions opt;
+    opt.seed = seed;
+    auto events = GenerateAuctionDoc(opt);
+    EXPECT_EQ(set.MatchDocument(events), set.MatchDocumentNaive(events))
+        << "seed " << seed;
+  }
+}
+
+TEST(XPathFilterTest, SharedStateKeepsChildDepthConstraint) {
+  // Regression: /a/b (child) and a query forcing /a to persist via a
+  // descendant edge out of the same trie state must not let /a/b match
+  // at deeper depths.
+  XPathFilterSet set;
+  auto q_child = set.Add("/a/b");
+  auto q_desc = set.Add("/a//c");
+  ASSERT_TRUE(q_child.ok() && q_desc.ok());
+  auto counts = set.MatchDocument(Doc("<a><x><b/><c/></x><b/></a>"));
+  EXPECT_EQ(counts[static_cast<size_t>(*q_child)], 1u);  // Only a's direct b.
+  EXPECT_EQ(counts[static_cast<size_t>(*q_desc)], 1u);
+  // And the shared result agrees with per-query evaluation.
+  EXPECT_EQ(counts, set.MatchDocumentNaive(Doc("<a><x><b/><c/></x><b/></a>")));
+}
+
+TEST(XPathFilterTest, MatcherStreamsIncrementally) {
+  XPathFilterSet set;
+  ASSERT_TRUE(set.Add("/a/b").ok());
+  auto m = set.NewMatcher();
+  EXPECT_TRUE(m.OnEvent(XmlEvent::Start("a")).empty());
+  auto hits = m.OnEvent(XmlEvent::Start("b"));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0);
+  m.OnEvent(XmlEvent::End("b"));
+  m.OnEvent(XmlEvent::End("a"));
+  EXPECT_EQ(m.match_counts()[0], 1u);
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace sqp
