@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chain_sched.dir/bench_chain_sched.cc.o"
+  "CMakeFiles/bench_chain_sched.dir/bench_chain_sched.cc.o.d"
+  "bench_chain_sched"
+  "bench_chain_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chain_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

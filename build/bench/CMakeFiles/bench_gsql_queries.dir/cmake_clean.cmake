@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gsql_queries.dir/bench_gsql_queries.cc.o"
+  "CMakeFiles/bench_gsql_queries.dir/bench_gsql_queries.cc.o.d"
+  "bench_gsql_queries"
+  "bench_gsql_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gsql_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_load_shedding.dir/bench_load_shedding.cc.o"
+  "CMakeFiles/bench_load_shedding.dir/bench_load_shedding.cc.o.d"
+  "bench_load_shedding"
+  "bench_load_shedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_load_shedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_multiquery.cc" "bench/CMakeFiles/bench_multiquery.dir/bench_multiquery.cc.o" "gcc" "bench/CMakeFiles/bench_multiquery.dir/bench_multiquery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_shed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_cql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_hancock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_synopsis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiquery.dir/bench_multiquery.cc.o"
+  "CMakeFiles/bench_multiquery.dir/bench_multiquery.cc.o.d"
+  "bench_multiquery"
+  "bench_multiquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partial_agg.dir/bench_partial_agg.cc.o"
+  "CMakeFiles/bench_partial_agg.dir/bench_partial_agg.cc.o.d"
+  "bench_partial_agg"
+  "bench_partial_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partial_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rate_opt.dir/bench_rate_opt.cc.o"
+  "CMakeFiles/bench_rate_opt.dir/bench_rate_opt.cc.o.d"
+  "bench_rate_opt"
+  "bench_rate_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rate_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

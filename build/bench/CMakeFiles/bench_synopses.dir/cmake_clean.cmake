@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_synopses.dir/bench_synopses.cc.o"
+  "CMakeFiles/bench_synopses.dir/bench_synopses.cc.o.d"
+  "bench_synopses"
+  "bench_synopses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synopses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

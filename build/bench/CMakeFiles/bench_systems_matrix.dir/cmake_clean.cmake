@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_systems_matrix.dir/bench_systems_matrix.cc.o"
+  "CMakeFiles/bench_systems_matrix.dir/bench_systems_matrix.cc.o.d"
+  "bench_systems_matrix"
+  "bench_systems_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_systems_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

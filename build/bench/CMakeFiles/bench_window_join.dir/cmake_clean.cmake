@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_window_join.dir/bench_window_join.cc.o"
+  "CMakeFiles/bench_window_join.dir/bench_window_join.cc.o.d"
+  "bench_window_join"
+  "bench_window_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_window_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xml_filter.dir/bench_xml_filter.cc.o"
+  "CMakeFiles/bench_xml_filter.dir/bench_xml_filter.cc.o.d"
+  "bench_xml_filter"
+  "bench_xml_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xml_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cql_demo.dir/cql_demo.cpp.o"
+  "CMakeFiles/cql_demo.dir/cql_demo.cpp.o.d"
+  "cql_demo"
+  "cql_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cql_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decomposed_aggregate.dir/decomposed_aggregate.cpp.o"
+  "CMakeFiles/decomposed_aggregate.dir/decomposed_aggregate.cpp.o.d"
+  "decomposed_aggregate"
+  "decomposed_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decomposed_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fraud_signatures.dir/fraud_signatures.cpp.o"
+  "CMakeFiles/fraud_signatures.dir/fraud_signatures.cpp.o.d"
+  "fraud_signatures"
+  "fraud_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fraud_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

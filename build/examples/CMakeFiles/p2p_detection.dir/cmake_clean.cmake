@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_detection.dir/p2p_detection.cpp.o"
+  "CMakeFiles/p2p_detection.dir/p2p_detection.cpp.o.d"
+  "p2p_detection"
+  "p2p_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

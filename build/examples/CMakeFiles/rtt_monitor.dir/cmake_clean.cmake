@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtt_monitor.dir/rtt_monitor.cpp.o"
+  "CMakeFiles/rtt_monitor.dir/rtt_monitor.cpp.o.d"
+  "rtt_monitor"
+  "rtt_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtt_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqpsh.dir/sqpsh.cpp.o"
+  "CMakeFiles/sqpsh.dir/sqpsh.cpp.o.d"
+  "sqpsh"
+  "sqpsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqpsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

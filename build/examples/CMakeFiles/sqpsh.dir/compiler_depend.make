@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sqpsh.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agg/aggregate_fn.cc" "src/CMakeFiles/sqp_agg.dir/agg/aggregate_fn.cc.o" "gcc" "src/CMakeFiles/sqp_agg.dir/agg/aggregate_fn.cc.o.d"
+  "/root/repo/src/agg/partial_agg.cc" "src/CMakeFiles/sqp_agg.dir/agg/partial_agg.cc.o" "gcc" "src/CMakeFiles/sqp_agg.dir/agg/partial_agg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_synopsis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_agg.dir/agg/aggregate_fn.cc.o"
+  "CMakeFiles/sqp_agg.dir/agg/aggregate_fn.cc.o.d"
+  "CMakeFiles/sqp_agg.dir/agg/partial_agg.cc.o"
+  "CMakeFiles/sqp_agg.dir/agg/partial_agg.cc.o.d"
+  "libsqp_agg.a"
+  "libsqp_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

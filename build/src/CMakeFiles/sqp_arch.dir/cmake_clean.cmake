@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_arch.dir/arch/cql_decompose.cc.o"
+  "CMakeFiles/sqp_arch.dir/arch/cql_decompose.cc.o.d"
+  "CMakeFiles/sqp_arch.dir/arch/db_sink.cc.o"
+  "CMakeFiles/sqp_arch.dir/arch/db_sink.cc.o.d"
+  "CMakeFiles/sqp_arch.dir/arch/decompose.cc.o"
+  "CMakeFiles/sqp_arch.dir/arch/decompose.cc.o.d"
+  "CMakeFiles/sqp_arch.dir/arch/engine.cc.o"
+  "CMakeFiles/sqp_arch.dir/arch/engine.cc.o.d"
+  "CMakeFiles/sqp_arch.dir/arch/node.cc.o"
+  "CMakeFiles/sqp_arch.dir/arch/node.cc.o.d"
+  "CMakeFiles/sqp_arch.dir/arch/system.cc.o"
+  "CMakeFiles/sqp_arch.dir/arch/system.cc.o.d"
+  "libsqp_arch.a"
+  "libsqp_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

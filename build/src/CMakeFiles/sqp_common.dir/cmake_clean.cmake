@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_common.dir/common/rng.cc.o"
+  "CMakeFiles/sqp_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/sqp_common.dir/common/schema.cc.o"
+  "CMakeFiles/sqp_common.dir/common/schema.cc.o.d"
+  "CMakeFiles/sqp_common.dir/common/status.cc.o"
+  "CMakeFiles/sqp_common.dir/common/status.cc.o.d"
+  "CMakeFiles/sqp_common.dir/common/strings.cc.o"
+  "CMakeFiles/sqp_common.dir/common/strings.cc.o.d"
+  "CMakeFiles/sqp_common.dir/common/tuple.cc.o"
+  "CMakeFiles/sqp_common.dir/common/tuple.cc.o.d"
+  "CMakeFiles/sqp_common.dir/common/value.cc.o"
+  "CMakeFiles/sqp_common.dir/common/value.cc.o.d"
+  "libsqp_common.a"
+  "libsqp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

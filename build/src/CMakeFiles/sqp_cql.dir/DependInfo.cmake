@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cql/analyzer.cc" "src/CMakeFiles/sqp_cql.dir/cql/analyzer.cc.o" "gcc" "src/CMakeFiles/sqp_cql.dir/cql/analyzer.cc.o.d"
+  "/root/repo/src/cql/ast.cc" "src/CMakeFiles/sqp_cql.dir/cql/ast.cc.o" "gcc" "src/CMakeFiles/sqp_cql.dir/cql/ast.cc.o.d"
+  "/root/repo/src/cql/lexer.cc" "src/CMakeFiles/sqp_cql.dir/cql/lexer.cc.o" "gcc" "src/CMakeFiles/sqp_cql.dir/cql/lexer.cc.o.d"
+  "/root/repo/src/cql/parser.cc" "src/CMakeFiles/sqp_cql.dir/cql/parser.cc.o" "gcc" "src/CMakeFiles/sqp_cql.dir/cql/parser.cc.o.d"
+  "/root/repo/src/cql/planner.cc" "src/CMakeFiles/sqp_cql.dir/cql/planner.cc.o" "gcc" "src/CMakeFiles/sqp_cql.dir/cql/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_synopsis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

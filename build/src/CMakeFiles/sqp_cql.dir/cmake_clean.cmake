@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_cql.dir/cql/analyzer.cc.o"
+  "CMakeFiles/sqp_cql.dir/cql/analyzer.cc.o.d"
+  "CMakeFiles/sqp_cql.dir/cql/ast.cc.o"
+  "CMakeFiles/sqp_cql.dir/cql/ast.cc.o.d"
+  "CMakeFiles/sqp_cql.dir/cql/lexer.cc.o"
+  "CMakeFiles/sqp_cql.dir/cql/lexer.cc.o.d"
+  "CMakeFiles/sqp_cql.dir/cql/parser.cc.o"
+  "CMakeFiles/sqp_cql.dir/cql/parser.cc.o.d"
+  "CMakeFiles/sqp_cql.dir/cql/planner.cc.o"
+  "CMakeFiles/sqp_cql.dir/cql/planner.cc.o.d"
+  "libsqp_cql.a"
+  "libsqp_cql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_cql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

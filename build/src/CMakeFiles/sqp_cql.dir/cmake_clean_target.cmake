@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsqp_cql.a"
+)

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/aggregate_op.cc" "src/CMakeFiles/sqp_exec.dir/exec/aggregate_op.cc.o" "gcc" "src/CMakeFiles/sqp_exec.dir/exec/aggregate_op.cc.o.d"
+  "/root/repo/src/exec/eddy.cc" "src/CMakeFiles/sqp_exec.dir/exec/eddy.cc.o" "gcc" "src/CMakeFiles/sqp_exec.dir/exec/eddy.cc.o.d"
+  "/root/repo/src/exec/expr.cc" "src/CMakeFiles/sqp_exec.dir/exec/expr.cc.o" "gcc" "src/CMakeFiles/sqp_exec.dir/exec/expr.cc.o.d"
+  "/root/repo/src/exec/merge_join.cc" "src/CMakeFiles/sqp_exec.dir/exec/merge_join.cc.o" "gcc" "src/CMakeFiles/sqp_exec.dir/exec/merge_join.cc.o.d"
+  "/root/repo/src/exec/mjoin.cc" "src/CMakeFiles/sqp_exec.dir/exec/mjoin.cc.o" "gcc" "src/CMakeFiles/sqp_exec.dir/exec/mjoin.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/CMakeFiles/sqp_exec.dir/exec/operator.cc.o" "gcc" "src/CMakeFiles/sqp_exec.dir/exec/operator.cc.o.d"
+  "/root/repo/src/exec/paned_window_agg.cc" "src/CMakeFiles/sqp_exec.dir/exec/paned_window_agg.cc.o" "gcc" "src/CMakeFiles/sqp_exec.dir/exec/paned_window_agg.cc.o.d"
+  "/root/repo/src/exec/partitioned_window_agg.cc" "src/CMakeFiles/sqp_exec.dir/exec/partitioned_window_agg.cc.o" "gcc" "src/CMakeFiles/sqp_exec.dir/exec/partitioned_window_agg.cc.o.d"
+  "/root/repo/src/exec/plan.cc" "src/CMakeFiles/sqp_exec.dir/exec/plan.cc.o" "gcc" "src/CMakeFiles/sqp_exec.dir/exec/plan.cc.o.d"
+  "/root/repo/src/exec/project.cc" "src/CMakeFiles/sqp_exec.dir/exec/project.cc.o" "gcc" "src/CMakeFiles/sqp_exec.dir/exec/project.cc.o.d"
+  "/root/repo/src/exec/punct_groupby.cc" "src/CMakeFiles/sqp_exec.dir/exec/punct_groupby.cc.o" "gcc" "src/CMakeFiles/sqp_exec.dir/exec/punct_groupby.cc.o.d"
+  "/root/repo/src/exec/reorder.cc" "src/CMakeFiles/sqp_exec.dir/exec/reorder.cc.o" "gcc" "src/CMakeFiles/sqp_exec.dir/exec/reorder.cc.o.d"
+  "/root/repo/src/exec/select.cc" "src/CMakeFiles/sqp_exec.dir/exec/select.cc.o" "gcc" "src/CMakeFiles/sqp_exec.dir/exec/select.cc.o.d"
+  "/root/repo/src/exec/streamify.cc" "src/CMakeFiles/sqp_exec.dir/exec/streamify.cc.o" "gcc" "src/CMakeFiles/sqp_exec.dir/exec/streamify.cc.o.d"
+  "/root/repo/src/exec/sym_hash_join.cc" "src/CMakeFiles/sqp_exec.dir/exec/sym_hash_join.cc.o" "gcc" "src/CMakeFiles/sqp_exec.dir/exec/sym_hash_join.cc.o.d"
+  "/root/repo/src/exec/union.cc" "src/CMakeFiles/sqp_exec.dir/exec/union.cc.o" "gcc" "src/CMakeFiles/sqp_exec.dir/exec/union.cc.o.d"
+  "/root/repo/src/exec/window_agg.cc" "src/CMakeFiles/sqp_exec.dir/exec/window_agg.cc.o" "gcc" "src/CMakeFiles/sqp_exec.dir/exec/window_agg.cc.o.d"
+  "/root/repo/src/exec/window_join.cc" "src/CMakeFiles/sqp_exec.dir/exec/window_join.cc.o" "gcc" "src/CMakeFiles/sqp_exec.dir/exec/window_join.cc.o.d"
+  "/root/repo/src/exec/xjoin.cc" "src/CMakeFiles/sqp_exec.dir/exec/xjoin.cc.o" "gcc" "src/CMakeFiles/sqp_exec.dir/exec/xjoin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqp_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_synopsis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

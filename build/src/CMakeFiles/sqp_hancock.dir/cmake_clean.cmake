@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_hancock.dir/hancock/program.cc.o"
+  "CMakeFiles/sqp_hancock.dir/hancock/program.cc.o.d"
+  "CMakeFiles/sqp_hancock.dir/hancock/signature.cc.o"
+  "CMakeFiles/sqp_hancock.dir/hancock/signature.cc.o.d"
+  "libsqp_hancock.a"
+  "libsqp_hancock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_hancock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

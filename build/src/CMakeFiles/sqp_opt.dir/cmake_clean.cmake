@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_opt.dir/opt/memory_bound.cc.o"
+  "CMakeFiles/sqp_opt.dir/opt/memory_bound.cc.o.d"
+  "CMakeFiles/sqp_opt.dir/opt/rate_model.cc.o"
+  "CMakeFiles/sqp_opt.dir/opt/rate_model.cc.o.d"
+  "CMakeFiles/sqp_opt.dir/opt/rate_optimizer.cc.o"
+  "CMakeFiles/sqp_opt.dir/opt/rate_optimizer.cc.o.d"
+  "CMakeFiles/sqp_opt.dir/opt/sharing.cc.o"
+  "CMakeFiles/sqp_opt.dir/opt/sharing.cc.o.d"
+  "libsqp_opt.a"
+  "libsqp_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/policies.cc" "src/CMakeFiles/sqp_sched.dir/sched/policies.cc.o" "gcc" "src/CMakeFiles/sqp_sched.dir/sched/policies.cc.o.d"
+  "/root/repo/src/sched/queued_executor.cc" "src/CMakeFiles/sqp_sched.dir/sched/queued_executor.cc.o" "gcc" "src/CMakeFiles/sqp_sched.dir/sched/queued_executor.cc.o.d"
+  "/root/repo/src/sched/sim.cc" "src/CMakeFiles/sqp_sched.dir/sched/sim.cc.o" "gcc" "src/CMakeFiles/sqp_sched.dir/sched/sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_synopsis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_sched.dir/sched/policies.cc.o"
+  "CMakeFiles/sqp_sched.dir/sched/policies.cc.o.d"
+  "CMakeFiles/sqp_sched.dir/sched/queued_executor.cc.o"
+  "CMakeFiles/sqp_sched.dir/sched/queued_executor.cc.o.d"
+  "CMakeFiles/sqp_sched.dir/sched/sim.cc.o"
+  "CMakeFiles/sqp_sched.dir/sched/sim.cc.o.d"
+  "libsqp_sched.a"
+  "libsqp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shed/feedback_shedder.cc" "src/CMakeFiles/sqp_shed.dir/shed/feedback_shedder.cc.o" "gcc" "src/CMakeFiles/sqp_shed.dir/shed/feedback_shedder.cc.o.d"
+  "/root/repo/src/shed/load_shedder.cc" "src/CMakeFiles/sqp_shed.dir/shed/load_shedder.cc.o" "gcc" "src/CMakeFiles/sqp_shed.dir/shed/load_shedder.cc.o.d"
+  "/root/repo/src/shed/qos.cc" "src/CMakeFiles/sqp_shed.dir/shed/qos.cc.o" "gcc" "src/CMakeFiles/sqp_shed.dir/shed/qos.cc.o.d"
+  "/root/repo/src/shed/shed_planner.cc" "src/CMakeFiles/sqp_shed.dir/shed/shed_planner.cc.o" "gcc" "src/CMakeFiles/sqp_shed.dir/shed/shed_planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_synopsis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

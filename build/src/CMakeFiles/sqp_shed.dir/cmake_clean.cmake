@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_shed.dir/shed/feedback_shedder.cc.o"
+  "CMakeFiles/sqp_shed.dir/shed/feedback_shedder.cc.o.d"
+  "CMakeFiles/sqp_shed.dir/shed/load_shedder.cc.o"
+  "CMakeFiles/sqp_shed.dir/shed/load_shedder.cc.o.d"
+  "CMakeFiles/sqp_shed.dir/shed/qos.cc.o"
+  "CMakeFiles/sqp_shed.dir/shed/qos.cc.o.d"
+  "CMakeFiles/sqp_shed.dir/shed/shed_planner.cc.o"
+  "CMakeFiles/sqp_shed.dir/shed/shed_planner.cc.o.d"
+  "libsqp_shed.a"
+  "libsqp_shed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_shed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

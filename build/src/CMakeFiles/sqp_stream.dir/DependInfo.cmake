@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/arrival.cc" "src/CMakeFiles/sqp_stream.dir/stream/arrival.cc.o" "gcc" "src/CMakeFiles/sqp_stream.dir/stream/arrival.cc.o.d"
+  "/root/repo/src/stream/element.cc" "src/CMakeFiles/sqp_stream.dir/stream/element.cc.o" "gcc" "src/CMakeFiles/sqp_stream.dir/stream/element.cc.o.d"
+  "/root/repo/src/stream/generators.cc" "src/CMakeFiles/sqp_stream.dir/stream/generators.cc.o" "gcc" "src/CMakeFiles/sqp_stream.dir/stream/generators.cc.o.d"
+  "/root/repo/src/stream/queue.cc" "src/CMakeFiles/sqp_stream.dir/stream/queue.cc.o" "gcc" "src/CMakeFiles/sqp_stream.dir/stream/queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_stream.dir/stream/arrival.cc.o"
+  "CMakeFiles/sqp_stream.dir/stream/arrival.cc.o.d"
+  "CMakeFiles/sqp_stream.dir/stream/element.cc.o"
+  "CMakeFiles/sqp_stream.dir/stream/element.cc.o.d"
+  "CMakeFiles/sqp_stream.dir/stream/generators.cc.o"
+  "CMakeFiles/sqp_stream.dir/stream/generators.cc.o.d"
+  "CMakeFiles/sqp_stream.dir/stream/queue.cc.o"
+  "CMakeFiles/sqp_stream.dir/stream/queue.cc.o.d"
+  "libsqp_stream.a"
+  "libsqp_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

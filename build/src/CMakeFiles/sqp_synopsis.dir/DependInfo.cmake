@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synopsis/ams.cc" "src/CMakeFiles/sqp_synopsis.dir/synopsis/ams.cc.o" "gcc" "src/CMakeFiles/sqp_synopsis.dir/synopsis/ams.cc.o.d"
+  "/root/repo/src/synopsis/count_min.cc" "src/CMakeFiles/sqp_synopsis.dir/synopsis/count_min.cc.o" "gcc" "src/CMakeFiles/sqp_synopsis.dir/synopsis/count_min.cc.o.d"
+  "/root/repo/src/synopsis/distinct.cc" "src/CMakeFiles/sqp_synopsis.dir/synopsis/distinct.cc.o" "gcc" "src/CMakeFiles/sqp_synopsis.dir/synopsis/distinct.cc.o.d"
+  "/root/repo/src/synopsis/exp_histogram.cc" "src/CMakeFiles/sqp_synopsis.dir/synopsis/exp_histogram.cc.o" "gcc" "src/CMakeFiles/sqp_synopsis.dir/synopsis/exp_histogram.cc.o.d"
+  "/root/repo/src/synopsis/gk_quantile.cc" "src/CMakeFiles/sqp_synopsis.dir/synopsis/gk_quantile.cc.o" "gcc" "src/CMakeFiles/sqp_synopsis.dir/synopsis/gk_quantile.cc.o.d"
+  "/root/repo/src/synopsis/histogram.cc" "src/CMakeFiles/sqp_synopsis.dir/synopsis/histogram.cc.o" "gcc" "src/CMakeFiles/sqp_synopsis.dir/synopsis/histogram.cc.o.d"
+  "/root/repo/src/synopsis/misra_gries.cc" "src/CMakeFiles/sqp_synopsis.dir/synopsis/misra_gries.cc.o" "gcc" "src/CMakeFiles/sqp_synopsis.dir/synopsis/misra_gries.cc.o.d"
+  "/root/repo/src/synopsis/reservoir.cc" "src/CMakeFiles/sqp_synopsis.dir/synopsis/reservoir.cc.o" "gcc" "src/CMakeFiles/sqp_synopsis.dir/synopsis/reservoir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_synopsis.dir/synopsis/ams.cc.o"
+  "CMakeFiles/sqp_synopsis.dir/synopsis/ams.cc.o.d"
+  "CMakeFiles/sqp_synopsis.dir/synopsis/count_min.cc.o"
+  "CMakeFiles/sqp_synopsis.dir/synopsis/count_min.cc.o.d"
+  "CMakeFiles/sqp_synopsis.dir/synopsis/distinct.cc.o"
+  "CMakeFiles/sqp_synopsis.dir/synopsis/distinct.cc.o.d"
+  "CMakeFiles/sqp_synopsis.dir/synopsis/exp_histogram.cc.o"
+  "CMakeFiles/sqp_synopsis.dir/synopsis/exp_histogram.cc.o.d"
+  "CMakeFiles/sqp_synopsis.dir/synopsis/gk_quantile.cc.o"
+  "CMakeFiles/sqp_synopsis.dir/synopsis/gk_quantile.cc.o.d"
+  "CMakeFiles/sqp_synopsis.dir/synopsis/histogram.cc.o"
+  "CMakeFiles/sqp_synopsis.dir/synopsis/histogram.cc.o.d"
+  "CMakeFiles/sqp_synopsis.dir/synopsis/misra_gries.cc.o"
+  "CMakeFiles/sqp_synopsis.dir/synopsis/misra_gries.cc.o.d"
+  "CMakeFiles/sqp_synopsis.dir/synopsis/reservoir.cc.o"
+  "CMakeFiles/sqp_synopsis.dir/synopsis/reservoir.cc.o.d"
+  "libsqp_synopsis.a"
+  "libsqp_synopsis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_synopsis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

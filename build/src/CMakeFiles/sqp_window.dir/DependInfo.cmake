@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/window/count_window.cc" "src/CMakeFiles/sqp_window.dir/window/count_window.cc.o" "gcc" "src/CMakeFiles/sqp_window.dir/window/count_window.cc.o.d"
+  "/root/repo/src/window/partitioned_window.cc" "src/CMakeFiles/sqp_window.dir/window/partitioned_window.cc.o" "gcc" "src/CMakeFiles/sqp_window.dir/window/partitioned_window.cc.o.d"
+  "/root/repo/src/window/punctuation_window.cc" "src/CMakeFiles/sqp_window.dir/window/punctuation_window.cc.o" "gcc" "src/CMakeFiles/sqp_window.dir/window/punctuation_window.cc.o.d"
+  "/root/repo/src/window/time_window.cc" "src/CMakeFiles/sqp_window.dir/window/time_window.cc.o" "gcc" "src/CMakeFiles/sqp_window.dir/window/time_window.cc.o.d"
+  "/root/repo/src/window/window_spec.cc" "src/CMakeFiles/sqp_window.dir/window/window_spec.cc.o" "gcc" "src/CMakeFiles/sqp_window.dir/window/window_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqp_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

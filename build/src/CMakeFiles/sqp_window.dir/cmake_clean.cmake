@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_window.dir/window/count_window.cc.o"
+  "CMakeFiles/sqp_window.dir/window/count_window.cc.o.d"
+  "CMakeFiles/sqp_window.dir/window/partitioned_window.cc.o"
+  "CMakeFiles/sqp_window.dir/window/partitioned_window.cc.o.d"
+  "CMakeFiles/sqp_window.dir/window/punctuation_window.cc.o"
+  "CMakeFiles/sqp_window.dir/window/punctuation_window.cc.o.d"
+  "CMakeFiles/sqp_window.dir/window/time_window.cc.o"
+  "CMakeFiles/sqp_window.dir/window/time_window.cc.o.d"
+  "CMakeFiles/sqp_window.dir/window/window_spec.cc.o"
+  "CMakeFiles/sqp_window.dir/window/window_spec.cc.o.d"
+  "libsqp_window.a"
+  "libsqp_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/doc_gen.cc" "src/CMakeFiles/sqp_xml.dir/xml/doc_gen.cc.o" "gcc" "src/CMakeFiles/sqp_xml.dir/xml/doc_gen.cc.o.d"
+  "/root/repo/src/xml/filter.cc" "src/CMakeFiles/sqp_xml.dir/xml/filter.cc.o" "gcc" "src/CMakeFiles/sqp_xml.dir/xml/filter.cc.o.d"
+  "/root/repo/src/xml/xml_event.cc" "src/CMakeFiles/sqp_xml.dir/xml/xml_event.cc.o" "gcc" "src/CMakeFiles/sqp_xml.dir/xml/xml_event.cc.o.d"
+  "/root/repo/src/xml/xpath.cc" "src/CMakeFiles/sqp_xml.dir/xml/xpath.cc.o" "gcc" "src/CMakeFiles/sqp_xml.dir/xml/xpath.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

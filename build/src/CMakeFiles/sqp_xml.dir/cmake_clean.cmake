@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_xml.dir/xml/doc_gen.cc.o"
+  "CMakeFiles/sqp_xml.dir/xml/doc_gen.cc.o.d"
+  "CMakeFiles/sqp_xml.dir/xml/filter.cc.o"
+  "CMakeFiles/sqp_xml.dir/xml/filter.cc.o.d"
+  "CMakeFiles/sqp_xml.dir/xml/xml_event.cc.o"
+  "CMakeFiles/sqp_xml.dir/xml/xml_event.cc.o.d"
+  "CMakeFiles/sqp_xml.dir/xml/xpath.cc.o"
+  "CMakeFiles/sqp_xml.dir/xml/xpath.cc.o.d"
+  "libsqp_xml.a"
+  "libsqp_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_agg_test.dir/approx_agg_test.cc.o"
+  "CMakeFiles/approx_agg_test.dir/approx_agg_test.cc.o.d"
+  "approx_agg_test"
+  "approx_agg_test.pdb"
+  "approx_agg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_agg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_shed_test.dir/feedback_shed_test.cc.o"
+  "CMakeFiles/feedback_shed_test.dir/feedback_shed_test.cc.o.d"
+  "feedback_shed_test"
+  "feedback_shed_test.pdb"
+  "feedback_shed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_shed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

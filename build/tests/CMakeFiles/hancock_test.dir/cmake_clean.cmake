@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hancock_test.dir/hancock_test.cc.o"
+  "CMakeFiles/hancock_test.dir/hancock_test.cc.o.d"
+  "hancock_test"
+  "hancock_test.pdb"
+  "hancock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hancock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paned_outer_test.dir/paned_outer_test.cc.o"
+  "CMakeFiles/paned_outer_test.dir/paned_outer_test.cc.o.d"
+  "paned_outer_test"
+  "paned_outer_test.pdb"
+  "paned_outer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paned_outer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

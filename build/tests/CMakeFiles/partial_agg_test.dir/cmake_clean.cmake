@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_agg_test.dir/partial_agg_test.cc.o"
+  "CMakeFiles/partial_agg_test.dir/partial_agg_test.cc.o.d"
+  "partial_agg_test"
+  "partial_agg_test.pdb"
+  "partial_agg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_agg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

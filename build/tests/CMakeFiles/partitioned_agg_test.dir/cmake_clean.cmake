@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_agg_test.dir/partitioned_agg_test.cc.o"
+  "CMakeFiles/partitioned_agg_test.dir/partitioned_agg_test.cc.o.d"
+  "partitioned_agg_test"
+  "partitioned_agg_test.pdb"
+  "partitioned_agg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_agg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

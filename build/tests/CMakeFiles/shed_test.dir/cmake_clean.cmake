@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shed_test.dir/shed_test.cc.o"
+  "CMakeFiles/shed_test.dir/shed_test.cc.o.d"
+  "shed_test"
+  "shed_test.pdb"
+  "shed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

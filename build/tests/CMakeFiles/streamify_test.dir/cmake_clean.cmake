@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamify_test.dir/streamify_test.cc.o"
+  "CMakeFiles/streamify_test.dir/streamify_test.cc.o.d"
+  "streamify_test"
+  "streamify_test.pdb"
+  "streamify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_agg_test.dir/window_agg_test.cc.o"
+  "CMakeFiles/window_agg_test.dir/window_agg_test.cc.o.d"
+  "window_agg_test"
+  "window_agg_test.pdb"
+  "window_agg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_agg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[UmbrellaTest.OneSymbolPerLayer]=]  /root/repo/build/tests/umbrella_test [==[--gtest_filter=UmbrellaTest.OneSymbolPerLayer]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[UmbrellaTest.OneSymbolPerLayer]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  umbrella_test_TESTS UmbrellaTest.OneSymbolPerLayer)
