@@ -182,10 +182,10 @@ BENCHMARK(BM_Eddy)->Arg(0)->Arg(1)->ArgNames({"adaptive"});
 }  // namespace sqp
 
 int main(int argc, char** argv) {
+  sqp::bench::ParseBenchArgs(argc, argv);
   sqp::PrintEddyDrift();
   sqp::PrintMJoinOrder();
   sqp::PrintSketchedGroupBy();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  sqp::bench::RunMicrobenchmarks(argc, argv);
   return 0;
 }

@@ -146,8 +146,8 @@ BENCHMARK(BM_HolisticVsDistributive)->Arg(0)->Arg(1)->ArgNames({"holistic"});
 }  // namespace sqp
 
 int main(int argc, char** argv) {
+  sqp::bench::ParseBenchArgs(argc, argv);
   sqp::PrintMemoryGrowth();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  sqp::bench::RunMicrobenchmarks(argc, argv);
   return 0;
 }

@@ -170,10 +170,10 @@ BENCHMARK(BM_ChainSimulation)->Arg(1000)->Arg(10000)->ArgNames({"ticks"});
 }  // namespace sqp
 
 int main(int argc, char** argv) {
+  sqp::bench::ParseBenchArgs(argc, argv);
   sqp::PrintSlide43();
   sqp::PrintBurstyExtension();
   sqp::PrintRealOperatorValidation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  sqp::bench::RunMicrobenchmarks(argc, argv);
   return 0;
 }

@@ -152,9 +152,9 @@ BENCHMARK(BM_CompileOnly);
 }  // namespace sqp
 
 int main(int argc, char** argv) {
+  sqp::bench::ParseBenchArgs(argc, argv);
   sqp::RunTrafficQuery();
   sqp::RunRttQuery();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  sqp::bench::RunMicrobenchmarks(argc, argv);
   return 0;
 }

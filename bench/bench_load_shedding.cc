@@ -140,10 +140,10 @@ BENCHMARK(BM_SheddingOverhead)->Arg(0)->Arg(1)->ArgNames({"semantic"});
 }  // namespace sqp
 
 int main(int argc, char** argv) {
+  sqp::bench::ParseBenchArgs(argc, argv);
   sqp::PrintAccuracyVsShedFraction();
   sqp::PrintShedPlanner();
   sqp::PrintQosAllocation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  sqp::bench::RunMicrobenchmarks(argc, argv);
   return 0;
 }

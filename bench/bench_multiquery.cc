@@ -121,9 +121,9 @@ BENCHMARK(BM_SharedFilterMatch)->Arg(0)->Arg(1)->ArgNames({"shared"});
 }  // namespace sqp
 
 int main(int argc, char** argv) {
+  sqp::bench::ParseBenchArgs(argc, argv);
   sqp::PrintSharedFilters();
   sqp::PrintSharedJoins();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  sqp::bench::RunMicrobenchmarks(argc, argv);
   return 0;
 }

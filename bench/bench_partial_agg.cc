@@ -152,9 +152,9 @@ BENCHMARK(BM_PartialAggregation)
 }  // namespace sqp
 
 int main(int argc, char** argv) {
+  sqp::bench::ParseBenchArgs(argc, argv);
   sqp::PrintSlotSweep();
   sqp::PrintThreeLevelPipeline();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  sqp::bench::RunMicrobenchmarks(argc, argv);
   return 0;
 }

@@ -98,8 +98,8 @@ BENCHMARK(BM_FilterOrder)->Arg(0)->Arg(1)->ArgNames({"expensive_first"});
 }  // namespace sqp
 
 int main(int argc, char** argv) {
+  sqp::bench::ParseBenchArgs(argc, argv);
   sqp::PrintSlide41();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  sqp::bench::RunMicrobenchmarks(argc, argv);
   return 0;
 }

@@ -220,10 +220,10 @@ BENCHMARK(BM_SynopsisInsert)
 }  // namespace sqp
 
 int main(int argc, char** argv) {
+  sqp::bench::ParseBenchArgs(argc, argv);
   sqp::PrintQuantiles();
   sqp::PrintFrequencyAndDistinct();
   sqp::PrintJoinSizeAndWindow();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  sqp::bench::RunMicrobenchmarks(argc, argv);
   return 0;
 }

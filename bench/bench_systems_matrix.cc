@@ -262,8 +262,8 @@ BENCHMARK(BM_Profile)->Arg(0)->Arg(1)->Arg(2)->ArgNames({"giga_stream_tele"});
 }  // namespace sqp
 
 int main(int argc, char** argv) {
+  sqp::bench::ParseBenchArgs(argc, argv);
   sqp::PrintMatrix();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  sqp::bench::RunMicrobenchmarks(argc, argv);
   return 0;
 }

@@ -1,12 +1,58 @@
 #ifndef SQP_BENCH_BENCH_UTIL_H_
 #define SQP_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace sqp {
 namespace bench {
+
+/// --smoke: CI mode. Every bench binary accepts it; experiments shrink
+/// their iteration counts via Iters() and the google-benchmark
+/// microbenchmark pass is skipped, so a full bench run finishes in
+/// seconds and bit-rot (compile breaks, crashed experiments, asserts)
+/// is still caught on every PR.
+inline bool& SmokeFlag() {
+  static bool smoke = false;
+  return smoke;
+}
+
+inline bool SmokeMode() { return SmokeFlag(); }
+
+/// Strips --smoke from argv (so benchmark::Initialize never sees it)
+/// and records it. Call first thing in main.
+inline void ParseBenchArgs(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      SmokeFlag() = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+}
+
+/// Iteration count for an experiment loop: `full` normally, `smoke`
+/// under --smoke.
+inline uint64_t Iters(uint64_t full, uint64_t smoke) {
+  return SmokeMode() ? smoke : full;
+}
+
+/// Runs the registered google-benchmark microbenchmarks unless --smoke.
+inline void RunMicrobenchmarks(int& argc, char** argv) {
+  if (SmokeMode()) {
+    std::printf("\n[--smoke] skipping google-benchmark microbenchmarks\n");
+    return;
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+}
 
 /// Minimal fixed-width table printer so every experiment binary reports
 /// its figure/table in the same shape the slides use.

@@ -138,9 +138,9 @@ BENCHMARK(BM_WindowJoin)->Arg(0)->Arg(1)->ArgNames({"nested_loop"});
 }  // namespace sqp
 
 int main(int argc, char** argv) {
+  sqp::bench::ParseBenchArgs(argc, argv);
   sqp::PrintStrategyMatrix();
   sqp::PrintMemoryCpuTradeoff();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  sqp::bench::RunMicrobenchmarks(argc, argv);
   return 0;
 }

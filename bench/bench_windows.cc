@@ -220,10 +220,10 @@ BENCHMARK(BM_WindowMaintenance)
 }  // namespace sqp
 
 int main(int argc, char** argv) {
+  sqp::bench::ParseBenchArgs(argc, argv);
   sqp::PrintWindowKinds();
   sqp::PrintPunctuationWindows();
   sqp::PrintPanedAblation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  sqp::bench::RunMicrobenchmarks(argc, argv);
   return 0;
 }

@@ -22,6 +22,25 @@ class TeeSink : public Operator {
   const std::function<void(const TupleRef&)>* callback_;
 };
 
+/// Whole-query stage for plans that are not linear chains (joins,
+/// multi-input): one worker drives the compiled query; the plan's
+/// existing internal wiring (including its sink) is untouched.
+class QueryStageOp : public Operator {
+ public:
+  explicit QueryStageOp(cql::CompiledQuery* q)
+      : Operator("query-stage"), q_(q) {}
+
+  void Push(const Element& e, int port = 0) override {
+    CountIn(e);
+    q_->Push(e, port);
+  }
+
+  void Flush() override { q_->Finish(); }
+
+ private:
+  cql::CompiledQuery* q_;
+};
+
 }  // namespace
 
 Status StreamEngine::RegisterStream(const std::string& name, SchemaRef schema,
@@ -91,6 +110,64 @@ Result<QueryHandle*> StreamEngine::Submit(const std::string& query_text) {
   return queries_.back().get();
 }
 
+Status StreamEngine::EnableParallel(QueryHandle* handle,
+                                    ParallelQueryOptions options) {
+  if (handle == nullptr) return Status::InvalidArgument("null handle");
+  if (handle->parallel_ != nullptr) {
+    return Status::InvalidArgument("query is already parallel");
+  }
+  if (handle->ingested_) {
+    return Status::InvalidArgument(
+        "EnableParallel must precede the first Ingest for this query");
+  }
+  for (const QueryHandle::Tap& tap : handle->taps_) {
+    if (tap.entry != nullptr) {
+      return Status::InvalidArgument(
+          "parallel execution does not yet support reorder/heartbeat "
+          "front-ends");
+    }
+  }
+
+  cql::CompiledQuery* q = handle->query_.get();
+  std::vector<ParallelExecutor::Stage> stages;
+  Operator* sink = nullptr;
+  bool chain = false;
+  if (q->num_inputs() == 1) {
+    // Split the linear chain input -> ... -> root op-per-stage; the tee
+    // (collector + callback) stays attached as the executor's sink and
+    // runs on the last stage's worker.
+    chain = true;
+    int in_port = q->input_port(0);
+    for (Operator* op = q->input(0); op != nullptr && op != handle->tee_.get();
+         op = op->output()) {
+      ParallelExecutor::Stage s;
+      s.op = op;
+      s.queue_limit = options.queue_limit;
+      s.backpressure = options.backpressure;
+      s.in_port = in_port;
+      in_port = op->output_port();  // Port the *next* stage is fed on.
+      stages.push_back(s);
+    }
+    sink = handle->tee_.get();
+  } else {
+    // Joins/multi-input plans: run the whole compiled query as one
+    // stage. Ingest still decouples from processing; the plan's wiring
+    // (root -> tee) is left untouched, so no sink override.
+    handle->parallel_adapter_ = std::make_unique<QueryStageOp>(q);
+    ParallelExecutor::Stage s;
+    s.op = handle->parallel_adapter_.get();
+    s.queue_limit = options.queue_limit;
+    s.backpressure = options.backpressure;
+    stages.push_back(s);
+  }
+
+  handle->chain_mode_ = chain;
+  handle->parallel_ = std::make_unique<ParallelExecutor>(std::move(stages),
+                                                         sink);
+  handle->parallel_->Start();
+  return Status::OK();
+}
+
 Status StreamEngine::IngestElement(const std::string& stream,
                                    const Element& e) {
   if (catalog_.Lookup(stream) == nullptr) {
@@ -102,7 +179,16 @@ Status StreamEngine::IngestElement(const std::string& stream,
   for (auto& q : queries_) {
     for (const QueryHandle::Tap& tap : q->taps_) {
       if (tap.stream != stream) continue;
-      if (tap.entry != nullptr) {
+      q->ingested_ = true;
+      if (q->parallel_ != nullptr) {
+        // Chain mode feeds the entry operator's port itself; the
+        // whole-query stage needs the input index for port routing.
+        if (q->chain_mode_) {
+          q->parallel_->Arrive(e);
+        } else {
+          q->parallel_->ArriveOn(e, tap.port);
+        }
+      } else if (tap.entry != nullptr) {
         tap.entry->Push(e, 0);
       } else {
         q->query_->Push(e, tap.port);
@@ -120,6 +206,13 @@ void StreamEngine::FinishAll() {
   if (finished_) return;
   finished_ = true;
   for (auto& q : queries_) {
+    if (q->parallel_ != nullptr) {
+      // The drain cascade flushes every stage (chain mode) or runs
+      // CompiledQuery::Finish on the worker (whole-query mode), then
+      // joins — results are safe to read once this returns.
+      q->parallel_->Drain();
+      continue;
+    }
     // Flush front-ends first (drains reorder buffers into the query),
     // then the query itself via its per-port flush protocol.
     for (const QueryHandle::Tap& tap : q->taps_) {

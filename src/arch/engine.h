@@ -9,6 +9,7 @@
 
 #include "cql/planner.h"
 #include "exec/reorder.h"
+#include "sched/parallel_executor.h"
 
 namespace sqp {
 
@@ -22,13 +23,31 @@ struct StreamOptions {
   int64_t heartbeat_period = 0;
 };
 
+/// Tuning for one query moved onto the threaded executor
+/// (StreamEngine::EnableParallel).
+struct ParallelQueryOptions {
+  /// Bound per stage queue, in elements (0 = unbounded).
+  size_t queue_limit = 1024;
+  /// Full-queue behavior: block the ingesting thread or shed the tuple.
+  Backpressure backpressure = Backpressure::kBlock;
+};
+
 /// A handle to one standing (continuous, persistent) query.
 class QueryHandle {
  public:
   /// Rows produced so far (the engine collects by default).
+  ///
+  /// For a parallel query (EnableParallel) the results are written by a
+  /// worker thread: read them only after FinishAll(), which joins the
+  /// workers.
   const std::vector<TupleRef>& results() const { return sink_->tuples(); }
   size_t result_count() const { return sink_->count(); }
   void ClearResults() { sink_->Clear(); }
+
+  /// True once the query runs on its own worker thread(s).
+  bool parallel() const { return parallel_ != nullptr; }
+  /// Per-stage counters of the parallel executor (null when serial).
+  const ParallelExecutor* parallel_executor() const { return parallel_.get(); }
 
   const Schema& output_schema() const { return query_->output_schema(); }
   const MemoryAnalysis& memory() const { return query_->memory(); }
@@ -58,6 +77,13 @@ class QueryHandle {
     int port;
   };
   std::vector<Tap> taps_;
+  // Set by EnableParallel: the threaded executor running this query's
+  // plan, plus the adapter operator for the whole-query fallback.
+  // Declared after query_/tee_ so it is destroyed (joined) first.
+  std::unique_ptr<Operator> parallel_adapter_;
+  std::unique_ptr<ParallelExecutor> parallel_;
+  bool chain_mode_ = false;  // True: plan split op-per-stage.
+  bool ingested_ = false;    // Any element delivered yet?
 };
 
 /// The engine: a registry of streams and standing queries with shared
@@ -69,8 +95,10 @@ class QueryHandle {
 ///   engine.Ingest("packets", tuple);   // Fans out to every reader.
 ///   engine.FinishAll();
 ///
-/// Single-threaded like the rest of the library; scheduling and shedding
-/// wrap around it (sqp/sched, sqp/shed) rather than inside it.
+/// Single-threaded by default; scheduling and shedding wrap around it
+/// (sqp/sched, sqp/shed) rather than inside it. Individual queries can
+/// opt into threaded execution with EnableParallel, which decouples
+/// ingest from processing behind bounded queues.
 class StreamEngine {
  public:
   StreamEngine() = default;
@@ -84,6 +112,19 @@ class StreamEngine {
   /// Compiles and installs a standing query. The handle stays valid for
   /// the engine's lifetime.
   Result<QueryHandle*> Submit(const std::string& query_text);
+
+  /// Opt-in: moves `handle`'s physical plan onto a ParallelExecutor so
+  /// it runs concurrently with ingest. Single-input queries whose plan
+  /// is a linear operator chain get one worker thread *per operator*
+  /// (true pipeline parallelism); other plans run whole on one dedicated
+  /// worker. Either way, Ingest() then only enqueues — blocking or
+  /// shedding per `options` when the query falls behind — and
+  /// FinishAll() drains and joins the workers before results are read.
+  ///
+  /// Must be called after Submit and before the first Ingest touching
+  /// the query; unsupported for queries with reorder/heartbeat
+  /// front-ends (those run on the ingest thread and are not yet staged).
+  Status EnableParallel(QueryHandle* handle, ParallelQueryOptions options = {});
 
   /// Pushes one tuple (or punctuation) into every query reading `stream`.
   Status Ingest(const std::string& stream, const TupleRef& tuple);

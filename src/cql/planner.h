@@ -18,6 +18,8 @@ class CompiledQuery {
  public:
   /// Entry operator for stream i.
   Operator* input(int i) const { return inputs_[static_cast<size_t>(i)]; }
+  /// Port of `input(i)` that stream i's elements are delivered on.
+  int input_port(int i) const { return ports_[static_cast<size_t>(i)]; }
   int num_inputs() const { return static_cast<int>(inputs_.size()); }
 
   /// Connects the query's output to `sink`.

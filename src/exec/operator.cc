@@ -7,6 +7,7 @@ void Operator::Flush() {
 }
 
 void Operator::Emit(const Element& e) {
+  AssertSingleCaller();
   if (e.is_punctuation()) {
     ++stats_.puncts_out;
   } else {

@@ -7,6 +7,12 @@
 #include <string>
 #include <vector>
 
+#ifndef NDEBUG
+#include <atomic>
+#include <cassert>
+#include <thread>
+#endif
+
 #include "stream/element.h"
 
 namespace sqp {
@@ -34,10 +40,16 @@ struct OperatorStats {
 /// `port` (0 = left, 1 = right). `Flush` signals end-of-stream and must be
 /// forwarded after emitting any buffered state.
 ///
-/// Single-threaded by design: the scheduling layer (sqp/sched) decides
+/// Single-caller by design: the scheduling layer (sqp/sched) decides
 /// when each operator runs and interposes queues; operator code itself
 /// stays oblivious, matching the tutorial's separation of operator
-/// semantics from scheduling policy (slides 42-43).
+/// semantics from scheduling policy (slides 42-43). An operator is never
+/// thread-safe — all Push/Flush/Emit calls on one operator must come
+/// from a single thread. The serial executors trivially satisfy this;
+/// ParallelExecutor satisfies it by pinning each stage's operator to
+/// that stage's worker thread. Debug builds assert the contract
+/// (AssertSingleCaller), so TSan jobs and unit tests catch an operator
+/// accidentally shared across stages.
 class Operator {
  public:
   explicit Operator(std::string name) : name_(std::move(name)) {}
@@ -65,6 +77,7 @@ class Operator {
   const std::string& name() const { return name_; }
   const OperatorStats& stats() const { return stats_; }
   Operator* output() const { return out_; }
+  int output_port() const { return out_port_; }
 
  protected:
   /// Forwards an element downstream, maintaining counters.
@@ -72,11 +85,28 @@ class Operator {
 
   /// Counts an arriving element. Subclasses call this first in Push.
   void CountIn(const Element& e) {
+    AssertSingleCaller();
     if (e.is_punctuation()) {
       ++stats_.puncts_in;
     } else {
       ++stats_.tuples_in;
     }
+  }
+
+  /// Debug check that every Push/Emit on this operator comes from one
+  /// thread: the first caller claims ownership, later callers must match.
+  /// Compiled out in release builds.
+  void AssertSingleCaller() const {
+#ifndef NDEBUG
+    std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};
+    if (!owner_.compare_exchange_strong(expected, self,
+                                        std::memory_order_relaxed)) {
+      assert(expected == self &&
+             "operator driven from multiple threads; each operator must "
+             "belong to exactly one stage/worker");
+    }
+#endif
   }
 
   Operator* out_ = nullptr;
@@ -85,6 +115,9 @@ class Operator {
 
  private:
   std::string name_;
+#ifndef NDEBUG
+  mutable std::atomic<std::thread::id> owner_{};
+#endif
 };
 
 /// Terminal operator that retains results for inspection (tests, examples).

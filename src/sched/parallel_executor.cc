@@ -1,0 +1,293 @@
+#include "sched/parallel_executor.h"
+
+#include <cassert>
+#include <chrono>
+
+namespace sqp {
+namespace sched {
+
+std::string StageStats::ToString() const {
+  return "enqueued=" + std::to_string(enqueued) +
+         " processed=" + std::to_string(processed) +
+         " dropped=" + std::to_string(dropped) +
+         " max_depth=" + std::to_string(max_queue_depth) +
+         " busy=" + std::to_string(busy_time);
+}
+
+}  // namespace sched
+
+/// Stage i's downstream: runs on worker i, buffers emissions and hands
+/// them to stage i+1's queue a chunk at a time — one lock acquisition
+/// and at most one wakeup per chunk instead of per element. Punctuations
+/// flush the buffer immediately (they are the latency-critical control
+/// path, and their ordering relative to buffered tuples is preserved by
+/// flushing tuples first).
+class ParallelExecutor::Relay : public Operator {
+ public:
+  Relay(ParallelExecutor* exec, size_t next, int port, size_t cap)
+      : Operator("relay"),
+        exec_(exec),
+        next_(next),
+        port_(port),
+        cap_(cap == 0 ? 1 : cap) {
+    buf_.reserve(cap_);
+  }
+
+  void Push(const Element& e, int /*port*/ = 0) override {
+    buf_.push_back(Item{e, port_});
+    if (e.is_punctuation() || buf_.size() >= cap_) FlushBuffer();
+  }
+
+  /// Reached by the upstream operator's flush cascade.
+  void Flush() override { FlushBuffer(); }
+
+  void FlushBuffer() {
+    if (buf_.empty()) return;
+    exec_->EnqueueBatch(next_, buf_);
+    buf_.clear();
+  }
+
+ private:
+  ParallelExecutor* exec_;
+  size_t next_;
+  int port_;
+  size_t cap_;
+  std::vector<Item> buf_;
+};
+
+ParallelExecutor::ParallelExecutor(std::vector<Stage> stages, Operator* sink)
+    : stages_(std::move(stages)), sink_(sink) {
+  assert(!stages_.empty());
+  states_.reserve(stages_.size());
+  for (const Stage& s : stages_) {
+    auto st = std::make_unique<StageState>();
+    st->cfg = s;
+    states_.push_back(std::move(st));
+  }
+  // Wire stage i's output into stage i+1's queue. The relay runs on
+  // worker i (it is stage i's downstream), so the only cross-thread
+  // hand-off is the queue itself.
+  relays_.reserve(stages_.size());
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (i + 1 < stages_.size()) {
+      size_t next = i + 1;
+      relays_.push_back(std::make_unique<Relay>(
+          this, next, stages_[next].in_port, stages_[next].wake_batch));
+      stages_[i].op->SetOutput(relays_.back().get());
+    } else if (sink_ != nullptr) {
+      stages_[i].op->SetOutput(sink_);
+    }
+  }
+}
+
+
+ParallelExecutor::~ParallelExecutor() {
+  if (running_) Stop();
+}
+
+void ParallelExecutor::Start() {
+  assert(!started_ && "ParallelExecutor is one-shot: Start() once");
+  started_ = true;
+  running_ = true;
+  for (size_t i = 0; i < states_.size(); ++i) {
+    states_[i]->worker = std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+bool ParallelExecutor::Arrive(Element e) {
+  return Enqueue(0, Item{std::move(e), stages_[0].in_port});
+}
+
+bool ParallelExecutor::ArriveOn(Element e, int port) {
+  return Enqueue(0, Item{std::move(e), port});
+}
+
+bool ParallelExecutor::Enqueue(size_t stage, Item item) {
+  StageState& st = *states_[stage];
+  std::unique_lock<std::mutex> lock(st.mu);
+  if (stop_ || st.closed) return false;
+  const size_t limit = st.cfg.queue_limit;
+  // Punctuations bypass the limit: a lost watermark deadlocks windows.
+  if (limit != 0 && st.q.size() >= limit && !item.e.is_punctuation()) {
+    if (st.cfg.backpressure == Backpressure::kDropNewest) {
+      ++st.dropped;
+      return false;
+    }
+    st.not_full.wait(lock, [&] {
+      return stop_ || st.closed || st.q.size() < limit;
+    });
+    // Shutdown refusal, not an overload drop: the caller sees `false`
+    // but `dropped` only counts queue-overflow losses.
+    if (stop_ || st.closed) return false;
+  }
+  const bool is_punct = item.e.is_punctuation();
+  st.q.push_back(std::move(item));
+  ++st.enqueued;
+  if (st.q.size() > st.max_depth) st.max_depth = st.q.size();
+  // Batched wakeup: signalling every element lets the consumer preempt
+  // the producer one element at a time — on few cores that degenerates
+  // into two context switches per element. Wake only once a batch is
+  // ready, or immediately for punctuations (watermarks are the latency-
+  // critical control path). Sub-batch trickle is covered by the worker's
+  // poll timeout, and CloseStage/Stop wake unconditionally.
+  // `== wake`, not `>=`: the worker claims the whole queue at once (size
+  // snaps back to 0), so each batch crosses the threshold exactly once —
+  // signalling on every element past it would be a futex call per tuple.
+  size_t wake = st.cfg.wake_batch == 0 ? 1 : st.cfg.wake_batch;
+  if (limit != 0 && wake > limit) wake = limit;
+  if (is_punct || st.q.size() == wake) st.not_empty.notify_one();
+  return true;
+}
+
+void ParallelExecutor::EnqueueBatch(size_t stage, std::vector<Item>& items) {
+  StageState& st = *states_[stage];
+  std::unique_lock<std::mutex> lock(st.mu);
+  const size_t limit = st.cfg.queue_limit;
+  if (stop_ || st.closed) return;
+  // Fast path: the whole chunk fits (or the queue is unbounded) — bulk
+  // move without per-element bookkeeping.
+  if (limit == 0 || st.q.size() + items.size() <= limit) {
+    st.q.insert(st.q.end(), std::make_move_iterator(items.begin()),
+                std::make_move_iterator(items.end()));
+    st.enqueued += items.size();
+    if (st.q.size() > st.max_depth) st.max_depth = st.q.size();
+    st.not_empty.notify_one();
+    return;
+  }
+  for (Item& item : items) {
+    if (stop_ || st.closed) return;  // Shutdown: remainder refused.
+    if (limit != 0 && st.q.size() >= limit && !item.e.is_punctuation()) {
+      if (st.cfg.backpressure == Backpressure::kDropNewest) {
+        ++st.dropped;
+        continue;
+      }
+      // The consumer must drain us before we can continue: make sure it
+      // is awake before sleeping on not_full.
+      st.not_empty.notify_one();
+      st.not_full.wait(lock, [&] {
+        return stop_ || st.closed || st.q.size() < limit;
+      });
+      if (stop_ || st.closed) return;
+    }
+    st.q.push_back(std::move(item));
+    ++st.enqueued;
+  }
+  if (st.q.size() > st.max_depth) st.max_depth = st.q.size();
+  st.not_empty.notify_one();  // Once per chunk, not per element.
+}
+
+void ParallelExecutor::CloseStage(size_t stage) {
+  StageState& st = *states_[stage];
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.closed = true;
+  }
+  st.not_empty.notify_all();
+  st.not_full.notify_all();
+}
+
+void ParallelExecutor::WorkerLoop(size_t stage) {
+  StageState& st = *states_[stage];
+  Operator* op = st.cfg.op;
+  std::vector<Item> batch;
+  for (;;) {
+    batch.clear();
+    bool flush = false;
+    {
+      std::unique_lock<std::mutex> lock(st.mu);
+      // wait_for, not wait: producers suppress wakeups until a full
+      // batch accumulates, so the poll timeout is what bounds the
+      // latency of a sub-batch trickle.
+      st.not_empty.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return stop_ || st.closed || !st.q.empty();
+      });
+      if (stop_) return;
+      if (!st.q.empty()) {
+        batch.swap(st.q);
+      } else if (st.closed) {
+        // closed && empty: our input is finished.
+        flush = true;
+      } else {
+        continue;  // Poll timeout with nothing to do.
+      }
+    }
+    if (flush) break;
+    // A whole batch was claimed: wake every producer blocked on the
+    // bound, then process outside the lock.
+    st.not_full.notify_all();
+    auto t0 = std::chrono::steady_clock::now();
+    for (Item& item : batch) {
+      op->Push(item.e, item.port);
+      if (stop_) break;
+    }
+    // Don't sit on buffered emissions while waiting for the next batch.
+    if (stage < relays_.size()) relays_[stage]->FlushBuffer();
+    auto t1 = std::chrono::steady_clock::now();
+    st.busy_ns.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count(),
+        std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(st.mu);
+      st.processed += batch.size();
+    }
+    if (stop_) return;
+  }
+  // Flush cascade: close-out emissions flow through the relay into the
+  // next stage's queue before we mark it closed.
+  op->Flush();
+  if (stage + 1 < states_.size()) CloseStage(stage + 1);
+}
+
+void ParallelExecutor::Drain() {
+  if (!running_) return;
+  CloseStage(0);
+  for (auto& st : states_) {
+    if (st->worker.joinable()) st->worker.join();
+  }
+  running_ = false;
+}
+
+void ParallelExecutor::Stop() {
+  if (!running_) return;
+  stop_ = true;
+  for (size_t i = 0; i < states_.size(); ++i) {
+    StageState& st = *states_[i];
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.not_empty.notify_all();
+    st.not_full.notify_all();
+  }
+  for (auto& st : states_) {
+    if (st->worker.joinable()) st->worker.join();
+  }
+  running_ = false;
+}
+
+sched::StageStats ParallelExecutor::stage_stats(size_t i) const {
+  const StageState& st = *states_[i];
+  sched::StageStats out;
+  std::lock_guard<std::mutex> lock(st.mu);
+  out.enqueued = st.enqueued;
+  out.processed = st.processed;
+  out.dropped = st.dropped;
+  out.max_queue_depth = st.max_depth;
+  out.busy_time =
+      static_cast<double>(st.busy_ns.load(std::memory_order_relaxed)) * 1e-9;
+  return out;
+}
+
+uint64_t ParallelExecutor::dropped() const {
+  uint64_t n = 0;
+  for (size_t i = 0; i < states_.size(); ++i) n += stage_stats(i).dropped;
+  return n;
+}
+
+size_t ParallelExecutor::QueuedElements() const {
+  size_t n = 0;
+  for (const auto& st : states_) {
+    std::lock_guard<std::mutex> lock(st->mu);
+    n += st->q.size();
+  }
+  return n;
+}
+
+}  // namespace sqp

@@ -1,0 +1,157 @@
+#ifndef SQP_SCHED_PARALLEL_EXECUTOR_H_
+#define SQP_SCHED_PARALLEL_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/operator.h"
+#include "sched/stage_stats.h"
+
+namespace sqp {
+
+/// What a stage's bounded input queue does when it is full.
+enum class Backpressure {
+  /// Producer blocks until the stage's worker frees a slot — loss-free,
+  /// propagates pressure upstream (the punctuation/feedback style of
+  /// inter-operator flow control).
+  kBlock,
+  /// The arriving element is dropped and counted — the classic DSMS
+  /// overload response (load shedding at the queue).
+  kDropNewest,
+};
+
+/// Runs a linear chain of operators with one worker thread per stage,
+/// connected by bounded queues — the threaded counterpart of
+/// QueuedExecutor, trading its explicit scheduling policy for actual
+/// pipeline parallelism.
+///
+/// Threading contract:
+///  - Each stage's operator is pushed and flushed only by that stage's
+///    worker thread (operators stay single-caller; debug builds assert
+///    this — see Operator::AssertSingleCaller).
+///  - `Arrive` may be called from any number of producer threads (the
+///    entry queue is MPSC); inter-stage queues are SPSC.
+///  - The sink runs on the last stage's worker thread. Read results only
+///    after Drain()/Stop() returned (the join gives happens-before).
+///
+/// Punctuations are never dropped: losing a watermark would stall every
+/// windowed operator downstream, so punctuations bypass queue limits
+/// (they may transiently exceed `queue_limit` by their own count).
+///
+/// Shutdown protocol:
+///  - Drain(): closes the entry queue; each worker finishes its backlog,
+///    flushes its operator (close-out emissions flow into the next
+///    queue), closes the downstream queue and exits — a clean cascade
+///    that ends with the sink flushed.
+///  - Stop(): abandons queued elements and joins workers without
+///    flushing. Safe to call at any time, including while producers are
+///    blocked on a full queue.
+class ParallelExecutor {
+ public:
+  struct Stage {
+    Operator* op = nullptr;
+    /// Bound on the stage's input queue in elements (0 = unbounded).
+    size_t queue_limit = 0;
+    /// Policy when the bounded queue is full.
+    Backpressure backpressure = Backpressure::kBlock;
+    /// Input port elements from the upstream queue are delivered on
+    /// (port 0 for plain chains; set when wrapping pre-wired plans).
+    int in_port = 0;
+    /// The worker is only woken once this many elements are queued (or a
+    /// punctuation arrives, the queue fills, or the input closes) — the
+    /// hand-off granularity. Larger batches amortize wakeups and context
+    /// switches; 1 wakes the worker per element. Latency stays bounded:
+    /// workers also poll on a short timeout, so a sub-batch trickle is
+    /// picked up within ~1ms rather than sitting until the next batch.
+    size_t wake_batch = 64;
+  };
+
+  /// `sink` receives the last stage's output; pass nullptr to keep the
+  /// last operator's existing wiring (used when wrapping a plan whose
+  /// root is already connected).
+  ParallelExecutor(std::vector<Stage> stages, Operator* sink);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  /// Spawns one worker per stage. Call once, before the first Arrive.
+  void Start();
+
+  /// Enqueues an element into the first stage on its configured port.
+  /// Returns false if it was dropped (bounded queue full under
+  /// kDropNewest, or the executor is stopped/drained).
+  bool Arrive(Element e);
+
+  /// Same, delivering on an explicit port (multi-input plan wrappers).
+  bool ArriveOn(Element e, int port);
+
+  /// Closes the input and waits for the flush cascade to finish.
+  void Drain();
+
+  /// Abandons queued work and joins the workers (no flush).
+  void Stop();
+
+  bool running() const { return running_; }
+  size_t num_stages() const { return stages_.size(); }
+
+  /// Snapshot of one stage's counters (safe to call while running).
+  sched::StageStats stage_stats(size_t i) const;
+  /// Total drops across all stages.
+  uint64_t dropped() const;
+  /// Elements currently waiting across all stage queues.
+  size_t QueuedElements() const;
+
+ private:
+  struct Item {
+    Element e;
+    int port;
+  };
+
+  /// One stage's queue + worker + counters. Counters written by the
+  /// owning threads under `mu` or as relaxed atomics (read-mostly
+  /// snapshots); the queue itself is mutex+condvar, with batched pops so
+  /// the lock is taken once per batch, not per element.
+  struct StageState {
+    Stage cfg;
+    mutable std::mutex mu;
+    std::condition_variable not_empty;
+    std::condition_variable not_full;
+    std::vector<Item> q;
+    /// No further input will ever be enqueued (drain cascade reached us).
+    bool closed = false;
+    // Counters (guarded by mu except busy_ns, owned by the worker).
+    uint64_t enqueued = 0;
+    uint64_t processed = 0;
+    uint64_t dropped = 0;
+    uint64_t max_depth = 0;
+    std::atomic<uint64_t> busy_ns{0};
+    std::thread worker;
+  };
+
+  class Relay;
+
+  bool Enqueue(size_t stage, Item item);
+  /// Appends a whole chunk under one lock acquisition (the relay path):
+  /// honors the limit per element, counts kDropNewest drops, and wakes
+  /// the consumer once per chunk instead of once per element.
+  void EnqueueBatch(size_t stage, std::vector<Item>& items);
+  void CloseStage(size_t stage);
+  void WorkerLoop(size_t stage);
+
+  std::vector<Stage> stages_;
+  std::vector<std::unique_ptr<StageState>> states_;
+  std::vector<std::unique_ptr<Relay>> relays_;
+  Operator* sink_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace sqp
+
+#endif  // SQP_SCHED_PARALLEL_EXECUTOR_H_

@@ -6,6 +6,7 @@ QueuedExecutor::QueuedExecutor(std::vector<Stage> stages, Operator* sink,
                                std::unique_ptr<SchedulingPolicy> policy)
     : stages_(std::move(stages)),
       queues_(stages_.size()),
+      stage_stats_(stages_.size()),
       sink_(sink),
       policy_(std::move(policy)),
       progress_(stages_.size(), 0.0) {
@@ -16,9 +17,7 @@ QueuedExecutor::QueuedExecutor(std::vector<Stage> stages, Operator* sink,
     if (i + 1 < stages_.size()) {
       size_t next = i + 1;
       relays_.push_back(std::make_unique<CallbackSink>(
-          [this, next](const Element& e) {
-            queues_[next].push_back(Entry{e, seq_++});
-          }));
+          [this, next](const Element& e) { Admit(next, e); }));
       stages_[i].op->SetOutput(relays_.back().get());
     } else {
       stages_[i].op->SetOutput(sink_);
@@ -28,16 +27,26 @@ QueuedExecutor::QueuedExecutor(std::vector<Stage> stages, Operator* sink,
 
 QueuedExecutor::~QueuedExecutor() = default;
 
-bool QueuedExecutor::Arrive(Element e) {
-  const Stage& s = stages_.front();
-  if (s.queue_limit != 0 && queues_[0].size() >= s.queue_limit &&
+bool QueuedExecutor::Admit(size_t stage, Element e) {
+  const Stage& s = stages_[stage];
+  sched::StageStats& stats = stage_stats_[stage];
+  // Punctuations bypass the bound: a dropped watermark stalls every
+  // window downstream.
+  if (s.queue_limit != 0 && queues_[stage].size() >= s.queue_limit &&
       !e.is_punctuation()) {
+    ++stats.dropped;
     ++dropped_;
     return false;
   }
-  queues_[0].push_back(Entry{std::move(e), seq_++});
+  queues_[stage].push_back(Entry{std::move(e), seq_++});
+  ++stats.enqueued;
+  if (queues_[stage].size() > stats.max_queue_depth) {
+    stats.max_queue_depth = queues_[stage].size();
+  }
   return true;
 }
+
+bool QueuedExecutor::Arrive(Element e) { return Admit(0, std::move(e)); }
 
 std::vector<OpView> QueuedExecutor::MakeViews() const {
   std::vector<OpView> views(stages_.size());
@@ -59,6 +68,7 @@ std::vector<OpView> QueuedExecutor::MakeViews() const {
 void QueuedExecutor::Deliver(size_t stage) {
   Entry entry = std::move(queues_[stage].front());
   queues_[stage].pop_front();
+  ++stage_stats_[stage].processed;
   stages_[stage].op->Push(entry.e, 0);
 }
 
@@ -71,10 +81,12 @@ void QueuedExecutor::Tick(double capacity) {
     double needed = stages_[i].cost - progress_[i];
     if (needed > budget) {
       progress_[i] += budget;
+      stage_stats_[i].busy_time += budget;
       break;
     }
     budget -= needed;
     progress_[i] = 0.0;
+    stage_stats_[i].busy_time += needed;
     Deliver(i);
   }
 }

@@ -7,6 +7,7 @@
 
 #include "exec/operator.h"
 #include "sched/policies.h"
+#include "sched/stage_stats.h"
 
 namespace sqp {
 
@@ -46,7 +47,18 @@ class QueuedExecutor {
 
   size_t QueuedElements() const;
   size_t QueuedBytes() const;
+  /// Total drops across all stages. Bounded queues drop at *every*
+  /// stage boundary (an overflowing relay hand-off counts against the
+  /// receiving stage), not just at Arrive.
   uint64_t dropped() const { return dropped_; }
+  /// Drops charged to one stage's input queue.
+  uint64_t dropped(size_t stage) const { return stage_stats_[stage].dropped; }
+  /// Per-stage counters, comparable with ParallelExecutor's. `busy_time`
+  /// accumulates scheduled cost units (the simulator's clock), not wall
+  /// time.
+  const sched::StageStats& stage_stats(size_t stage) const {
+    return stage_stats_[stage];
+  }
 
  private:
   struct Entry {
@@ -58,8 +70,13 @@ class QueuedExecutor {
   /// Pops the head of `stage`'s queue into its operator.
   void Deliver(size_t stage);
 
+  /// Appends to `stage`'s queue, honoring its bound (punctuations are
+  /// never dropped). Returns false and counts the drop on overflow.
+  bool Admit(size_t stage, Element e);
+
   std::vector<Stage> stages_;
   std::vector<std::deque<Entry>> queues_;
+  std::vector<sched::StageStats> stage_stats_;
   // Relay sinks routing each stage's output into the next queue.
   std::vector<std::unique_ptr<Operator>> relays_;
   Operator* sink_;

@@ -1,0 +1,37 @@
+#ifndef SQP_SCHED_STAGE_STATS_H_
+#define SQP_SCHED_STAGE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sqp {
+namespace sched {
+
+/// Per-stage observability counters shared by the serial QueuedExecutor
+/// and the threaded ParallelExecutor, so the two report comparably and
+/// benchmarks/engines can watch throughput and loss per stage instead of
+/// only a global drop counter.
+struct StageStats {
+  /// Elements accepted into the stage's input queue.
+  uint64_t enqueued = 0;
+  /// Elements popped from the queue and pushed into the operator.
+  uint64_t processed = 0;
+  /// Elements lost at this stage's queue (bounded queue overflow).
+  uint64_t dropped = 0;
+  /// High-water mark of the stage's input queue, in elements.
+  uint64_t max_queue_depth = 0;
+  /// Time the stage's operator spent processing. Wall-clock seconds for
+  /// ParallelExecutor; scheduled cost units for QueuedExecutor (its
+  /// clock is the simulated tick budget, not real time).
+  double busy_time = 0.0;
+
+  /// Elements still waiting (accepted but not yet processed).
+  uint64_t Backlog() const { return enqueued - processed; }
+
+  std::string ToString() const;
+};
+
+}  // namespace sched
+}  // namespace sqp
+
+#endif  // SQP_SCHED_STAGE_STATS_H_

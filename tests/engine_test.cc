@@ -199,5 +199,111 @@ TEST(EngineTest, TwoStreamJoinThroughEngine) {
   EXPECT_EQ((*q)->results()[0]->at(1).AsInt(), 5);
 }
 
+// --- Opt-in threaded execution (EnableParallel) ---
+
+TEST(EngineParallelTest, ChainQueryMatchesSerial) {
+  const char* kQuery =
+      "select tb, src_ip, count(*) from packets "
+      "where protocol = 6 group by ts/60 as tb, src_ip";
+  auto feed = [](StreamEngine& engine) {
+    Rng rng(7);
+    for (int64_t i = 0; i < 5000; ++i) {
+      ASSERT_TRUE(engine
+                      .Ingest("packets",
+                              Pkt(i, static_cast<int64_t>(rng.Uniform(8)),
+                                  (i % 3 == 0) ? 17 : 6,
+                                  static_cast<int64_t>(rng.Uniform(1500))))
+                      .ok());
+    }
+    engine.FinishAll();
+  };
+
+  StreamEngine serial;
+  ASSERT_TRUE(serial.RegisterStream("packets", gen::PacketSchema()).ok());
+  auto sq = serial.Submit(kQuery);
+  ASSERT_TRUE(sq.ok());
+  feed(serial);
+
+  StreamEngine par;
+  ASSERT_TRUE(par.RegisterStream("packets", gen::PacketSchema()).ok());
+  auto pq = par.Submit(kQuery);
+  ASSERT_TRUE(pq.ok());
+  ASSERT_TRUE(par.EnableParallel(*pq).ok());
+  EXPECT_TRUE((*pq)->parallel());
+  // Single-input plan: one worker per operator of the chain.
+  ASSERT_NE((*pq)->parallel_executor(), nullptr);
+  EXPECT_GE((*pq)->parallel_executor()->num_stages(), 2u);
+  feed(par);
+
+  ASSERT_EQ((*sq)->result_count(), (*pq)->result_count());
+  // The chain preserves order stage-to-stage, so rows match 1:1.
+  for (size_t i = 0; i < (*sq)->result_count(); ++i) {
+    EXPECT_EQ(*(*sq)->results()[i], *(*pq)->results()[i]) << "row " << i;
+  }
+  // Every stage saw the full (post-filter) flow; nothing was shed.
+  const ParallelExecutor* exec = (*pq)->parallel_executor();
+  for (size_t i = 0; i < exec->num_stages(); ++i) {
+    EXPECT_EQ(exec->stage_stats(i).dropped, 0u) << "stage " << i;
+  }
+}
+
+TEST(EngineParallelTest, JoinQueryRunsWholePlanOnWorker) {
+  StreamEngine engine;
+  ASSERT_TRUE(engine.RegisterStream("syn", gen::PacketSchema()).ok());
+  ASSERT_TRUE(engine.RegisterStream("synack", gen::PacketSchema()).ok());
+  auto q = engine.Submit(
+      "select s.ts, a.ts - s.ts as rtt "
+      "from syn s [range 100], synack a [range 100] "
+      "where s.src_ip = a.dst_ip");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(engine.EnableParallel(*q).ok());
+  // Multi-input plans fall back to one whole-query stage.
+  EXPECT_EQ((*q)->parallel_executor()->num_stages(), 1u);
+
+  auto syn = [&](int64_t ts, int64_t src) {
+    return MakeTuple(ts, {Value(ts), Value(src), Value(int64_t{0}),
+                          Value(int64_t{0}), Value(int64_t{0}),
+                          Value(int64_t{6}), Value(int64_t{60}),
+                          Value(int64_t{1}), Value(int64_t{0}), Value("")});
+  };
+  auto ack = [&](int64_t ts, int64_t dst) {
+    return MakeTuple(ts, {Value(ts), Value(int64_t{0}), Value(dst),
+                          Value(int64_t{0}), Value(int64_t{0}),
+                          Value(int64_t{6}), Value(int64_t{60}),
+                          Value(int64_t{1}), Value(int64_t{1}), Value("")});
+  };
+  for (int64_t i = 0; i < 200; ++i) {
+    (void)engine.Ingest("syn", syn(10 * i, i % 16));
+    (void)engine.Ingest("synack", ack(10 * i + 5, i % 16));
+  }
+  engine.FinishAll();
+  // Each synack joins the syns of the same key within range 100.
+  EXPECT_GT((*q)->result_count(), 0u);
+  for (const TupleRef& row : (*q)->results()) {
+    EXPECT_EQ(row->at(1).AsInt(), 5);
+  }
+}
+
+TEST(EngineParallelTest, EnableParallelValidation) {
+  StreamEngine engine;
+  StreamOptions opts;
+  opts.reorder_slack = 8;
+  ASSERT_TRUE(engine.RegisterStream("packets", gen::PacketSchema()).ok());
+  ASSERT_TRUE(
+      engine.RegisterStream("disordered", gen::PacketSchema(), {}, opts).ok());
+
+  auto fronted = engine.Submit("select ts from disordered where len > 0");
+  ASSERT_TRUE(fronted.ok());
+  EXPECT_FALSE(engine.EnableParallel(*fronted).ok());  // Has a front-end.
+
+  auto late = engine.Submit("select ts from packets where len > 0");
+  ASSERT_TRUE(late.ok());
+  ASSERT_TRUE(engine.Ingest("packets", Pkt(1, 1, 6, 10)).ok());
+  EXPECT_FALSE(engine.EnableParallel(*late).ok());  // Already ingested.
+
+  EXPECT_FALSE(engine.EnableParallel(nullptr).ok());
+  engine.FinishAll();
+}
+
 }  // namespace
 }  // namespace sqp
