@@ -3,11 +3,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include "obs/snapshot.h"
 
 namespace sqp {
 namespace bench {
@@ -24,18 +28,90 @@ inline bool& SmokeFlag() {
 
 inline bool SmokeMode() { return SmokeFlag(); }
 
-/// Strips --smoke from argv (so benchmark::Initialize never sees it)
-/// and records it. Call first thing in main.
+/// --json=<path>: machine-readable report. Every table a bench binary
+/// prints is also recorded and written to <path> as one JSON document at
+/// exit, so CI runs can archive BENCH_*.json artifacts instead of
+/// scraping stdout.
+inline std::string& JsonPath() {
+  static std::string path;
+  return path;
+}
+
+/// The recorded tables (in Print order) behind the JSON report.
+struct TableData {
+  std::string title;
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+};
+
+inline std::vector<TableData>& JsonReport() {
+  static std::vector<TableData> report;
+  return report;
+}
+
+inline std::string& BinaryName() {
+  static std::string name = "bench";
+  return name;
+}
+
+/// Writes the recorded tables to `path`. Called automatically at exit
+/// when --json=<path> was given; exposed for tests.
+inline void WriteJsonReport(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write --json file %s\n", path.c_str());
+    return;
+  }
+  std::string out = "{\"binary\":\"" + obs::JsonEscape(BinaryName()) +
+                    "\",\"smoke\":" + (SmokeMode() ? "true" : "false") +
+                    ",\"tables\":[";
+  const std::vector<TableData>& report = JsonReport();
+  for (size_t t = 0; t < report.size(); ++t) {
+    if (t > 0) out += ",";
+    out += "{\"title\":\"" + obs::JsonEscape(report[t].title) +
+           "\",\"headers\":[";
+    for (size_t c = 0; c < report[t].headers.size(); ++c) {
+      if (c > 0) out += ",";
+      out += "\"" + obs::JsonEscape(report[t].headers[c]) + "\"";
+    }
+    out += "],\"rows\":[";
+    for (size_t r = 0; r < report[t].rows.size(); ++r) {
+      if (r > 0) out += ",";
+      out += "[";
+      for (size_t c = 0; c < report[t].rows[r].size(); ++c) {
+        if (c > 0) out += ",";
+        out += "\"" + obs::JsonEscape(report[t].rows[r][c]) + "\"";
+      }
+      out += "]";
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+}
+
+/// Strips --smoke and --json=<path> from argv (so benchmark::Initialize
+/// never sees them) and records them. Call first thing in main.
 inline void ParseBenchArgs(int& argc, char** argv) {
+  if (argc > 0) BinaryName() = argv[0];
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       SmokeFlag() = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      JsonPath() = argv[i] + 7;
     } else {
       argv[out++] = argv[i];
     }
   }
   argc = out;
+  if (!JsonPath().empty()) {
+    JsonReport();  // Construct before registering: destroyed after.
+    std::atexit([] {
+      if (!JsonPath().empty()) WriteJsonReport(JsonPath());
+    });
+  }
 }
 
 /// Iteration count for an experiment loop: `full` normally, `smoke`
@@ -55,7 +131,8 @@ inline void RunMicrobenchmarks(int& argc, char** argv) {
 }
 
 /// Minimal fixed-width table printer so every experiment binary reports
-/// its figure/table in the same shape the slides use.
+/// its figure/table in the same shape the slides use. Print also records
+/// the table for the --json report.
 class Table {
  public:
   explicit Table(std::vector<std::string> headers)
@@ -67,21 +144,26 @@ class Table {
 
   void Print(const char* title) const {
     std::printf("\n=== %s ===\n", title);
-    std::vector<size_t> widths(headers_.size());
+    // Size the width table to the widest row, not just the headers: a
+    // row with extra trailing cells must not index past `widths`.
+    size_t cols = headers_.size();
+    for (const auto& row : rows_) cols = std::max(cols, row.size());
+    std::vector<size_t> widths(cols, 0);
     for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
     for (const auto& row : rows_) {
-      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      for (size_t c = 0; c < row.size(); ++c) {
         widths[c] = std::max(widths[c], row[c].size());
       }
     }
     auto print_row = [&](const std::vector<std::string>& row) {
-      for (size_t c = 0; c < row.size(); ++c) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
         std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
       }
       std::printf("\n");
     };
     print_row(headers_);
     for (const auto& row : rows_) print_row(row);
+    JsonReport().push_back(TableData{title, headers_, rows_});
   }
 
  private:

@@ -1,12 +1,20 @@
 // sqpsh — run continuous queries from the command line against the
 // built-in synthetic streams.
 //
-//   sqpsh [--tuples N] [--rows K] <query> [<query> ...]
+//   sqpsh [--tuples N] [--rows K] [--parallel] [--trace-every N]
+//         <query|command> [<query|command> ...]
 //
 // Registered streams: packets (IPv4/TCP tap), cdr (call records),
 // sensors (measurements). Every query sees the same interleaved feed.
 //
-//   ./build/examples/sqpsh --tuples 50000 \
+// Commands (backslash-prefixed, mixed freely with queries):
+//   \metrics        pretty-print the live metrics snapshot (mid-run and
+//                   after the run): per-operator tuples in/out,
+//                   selectivity, busy time, queue depth, stage stats.
+//   \metrics=json   same snapshot as one JSON object
+//   \metrics=prom   same snapshot in Prometheus text exposition format
+//
+//   ./build/examples/sqpsh --tuples 50000 '\metrics' \
 //     "select tb, src_ip, sum(len) from packets where protocol = 6 \
 //      group by ts/60 as tb, src_ip having count(*) > 5"
 
@@ -21,10 +29,32 @@
 
 namespace {
 
+enum class MetricsMode { kOff, kPretty, kJson, kProm };
+
 void Usage() {
-  std::fprintf(stderr,
-               "usage: sqpsh [--tuples N] [--rows K] <query> [<query>...]\n"
-               "streams: packets, cdr, sensors\n");
+  std::fprintf(
+      stderr,
+      "usage: sqpsh [--tuples N] [--rows K] [--parallel] [--trace-every N]\n"
+      "             <query|\\metrics[=json|prom]> [...]\n"
+      "streams: packets, cdr, sensors\n");
+}
+
+void PrintMetrics(const sqp::StreamEngine& engine, MetricsMode mode,
+                  const char* when) {
+  sqp::obs::Snapshot snap = engine.Metrics().TakeSnapshot();
+  switch (mode) {
+    case MetricsMode::kOff:
+      return;
+    case MetricsMode::kPretty:
+      std::printf("\n--- metrics (%s) ---\n%s", when, snap.Pretty().c_str());
+      break;
+    case MetricsMode::kJson:
+      std::printf("%s\n", snap.ToJson().c_str());
+      break;
+    case MetricsMode::kProm:
+      std::printf("%s", snap.ToPrometheus().c_str());
+      break;
+  }
 }
 
 }  // namespace
@@ -34,15 +64,32 @@ int main(int argc, char** argv) {
 
   int64_t tuples = 100000;
   int64_t show_rows = 10;
+  bool parallel = false;
+  int64_t trace_every = 0;
+  MetricsMode metrics_mode = MetricsMode::kOff;
   std::vector<std::string> query_texts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tuples") == 0 && i + 1 < argc) {
       tuples = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
       show_rows = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--parallel") == 0) {
+      parallel = true;
+    } else if (std::strcmp(argv[i], "--trace-every") == 0 && i + 1 < argc) {
+      trace_every = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage();
       return 0;
+    } else if (std::strcmp(argv[i], "\\metrics") == 0) {
+      metrics_mode = MetricsMode::kPretty;
+    } else if (std::strcmp(argv[i], "\\metrics=json") == 0) {
+      metrics_mode = MetricsMode::kJson;
+    } else if (std::strcmp(argv[i], "\\metrics=prom") == 0) {
+      metrics_mode = MetricsMode::kProm;
+    } else if (argv[i][0] == '\\') {
+      std::fprintf(stderr, "unknown command: %s\n", argv[i]);
+      Usage();
+      return 2;
     } else {
       query_texts.emplace_back(argv[i]);
     }
@@ -53,6 +100,9 @@ int main(int argc, char** argv) {
   }
 
   StreamEngine engine;
+  if (trace_every > 0) {
+    engine.EnableTracing(static_cast<uint64_t>(trace_every));
+  }
   std::vector<FieldDomain> pkt_domains(gen::PacketSchema()->num_fields());
   pkt_domains[gen::PacketCols::kProtocol] = {"protocol", true, 256};
   pkt_domains[gen::PacketCols::kIsSyn] = {"is_syn", true, 2};
@@ -70,23 +120,39 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("query : %s\n", text.c_str());
+    std::printf("label : %s\n", (*q)->metrics_label().c_str());
     std::printf("plan  : %s\n", (*q)->plan_desc().c_str());
     std::printf("output: %s\n", (*q)->output_schema().ToString().c_str());
-    std::printf("memory: %s (%s)\n\n",
+    std::printf("memory: %s (%s)\n",
                 (*q)->memory().verdict == MemoryVerdict::kBounded
                     ? "BOUNDED"
                     : "UNBOUNDED",
                 (*q)->memory().explanation.c_str());
+    if (parallel) {
+      Status st = engine.EnableParallel(*q);
+      if (st.ok()) {
+        std::printf("exec  : parallel (one worker per stage)\n");
+      } else {
+        std::printf("exec  : serial (%s)\n", st.ToString().c_str());
+      }
+    }
+    std::printf("\n");
     handles.push_back(*q);
   }
 
   gen::PacketGenerator packets(gen::PacketOptions{});
   gen::CdrGenerator cdrs(gen::CdrOptions{});
   gen::SensorGenerator sensors(gen::SensorOptions{});
+  // A mid-run snapshot shows the queries while data is still in flight
+  // (for --parallel the workers are live and queue depths are real).
+  const int64_t midpoint = tuples / 2;
   for (int64_t i = 0; i < tuples; ++i) {
     (void)engine.Ingest("packets", packets.Next());
     (void)engine.Ingest("cdr", cdrs.Next());
     (void)engine.Ingest("sensors", sensors.Next());
+    if (i == midpoint && metrics_mode == MetricsMode::kPretty) {
+      PrintMetrics(engine, metrics_mode, "mid-run, live");
+    }
   }
   engine.FinishAll();
 
@@ -104,5 +170,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  PrintMetrics(engine, metrics_mode, "final");
   return 0;
 }

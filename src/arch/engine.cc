@@ -49,6 +49,8 @@ Status StreamEngine::RegisterStream(const std::string& name, SchemaRef schema,
   SQP_RETURN_NOT_OK(
       catalog_.Register(name, std::move(schema), std::move(domains)));
   stream_options_[name] = options;
+  ingest_counters_[name] =
+      metrics_.GetCounter("sqp_stream_ingested_total", {{"stream", name}});
   return Status::OK();
 }
 
@@ -63,6 +65,11 @@ Result<QueryHandle*> StreamEngine::Submit(const std::string& query_text) {
   handle->tee_ =
       std::make_unique<TeeSink>(handle->sink_.get(), &handle->callback_);
   handle->query_->AttachSink(handle->tee_.get());
+
+  if (metrics_enabled_) {
+    handle->metrics_label_ = "q" + std::to_string(queries_.size());
+    handle->query_->plan().BindMetrics(metrics_, handle->metrics_label_);
+  }
 
   // Wire per-input front-ends: reorder and/or heartbeat per the owning
   // stream's options.
@@ -165,6 +172,16 @@ Status StreamEngine::EnableParallel(QueryHandle* handle,
   handle->parallel_ = std::make_unique<ParallelExecutor>(std::move(stages),
                                                          sink);
   handle->parallel_->Start();
+  // Per-stage queue stats join the registry through the shared
+  // StageStats path (one shape for serial and threaded executors).
+  const std::string label = handle->metrics_label_.empty()
+                                ? "q" + std::to_string(queries_.size() - 1)
+                                : handle->metrics_label_;
+  metrics_.AddCollector(
+      "stages:" + label,
+      [exec = handle->parallel_.get(), label](obs::SnapshotBuilder& b) {
+        exec->CollectStats(b, {{"query", label}});
+      });
   return Status::OK();
 }
 
@@ -176,6 +193,8 @@ Status StreamEngine::IngestElement(const std::string& stream,
   if (finished_) {
     return Status::InvalidArgument("engine already finished");
   }
+  auto ic = ingest_counters_.find(stream);
+  if (ic != ingest_counters_.end()) ic->second->Inc();
   for (auto& q : queries_) {
     for (const QueryHandle::Tap& tap : q->taps_) {
       if (tap.stream != stream) continue;
@@ -189,7 +208,7 @@ Status StreamEngine::IngestElement(const std::string& stream,
           q->parallel_->ArriveOn(e, tap.port);
         }
       } else if (tap.entry != nullptr) {
-        tap.entry->Push(e, 0);
+        tap.entry->Process(e, 0);
       } else {
         q->query_->Push(e, tap.port);
       }

@@ -9,6 +9,7 @@
 
 #include "cql/planner.h"
 #include "exec/reorder.h"
+#include "obs/registry.h"
 #include "sched/parallel_executor.h"
 
 namespace sqp {
@@ -53,6 +54,9 @@ class QueryHandle {
   const MemoryAnalysis& memory() const { return query_->memory(); }
   const std::string& text() const { return text_; }
   const std::string& plan_desc() const { return query_->plan_desc(); }
+  /// Label this query's operators report under in the engine registry
+  /// ("q0", "q1", ... — empty when metrics were disabled at Submit).
+  const std::string& metrics_label() const { return metrics_label_; }
 
   /// Optional streaming callback, invoked per output element in addition
   /// to collection.
@@ -64,6 +68,7 @@ class QueryHandle {
   friend class StreamEngine;
 
   std::string text_;
+  std::string metrics_label_;
   std::unique_ptr<cql::CompiledQuery> query_;
   std::unique_ptr<CollectorSink> sink_;
   std::unique_ptr<Operator> tee_;  // Collector + callback fan-out.
@@ -133,6 +138,27 @@ class StreamEngine {
   /// Ends every stream: flushes all queries (closing windows/groups).
   void FinishAll();
 
+  /// The engine-wide metrics registry. Every query submitted while
+  /// metrics are enabled (the default) reports per-operator counters
+  /// here, labeled q0, q1, ... in submission order; parallel queries
+  /// additionally publish per-stage queue stats. Snapshot it any time —
+  /// including while ingest/workers run — via Metrics().TakeSnapshot().
+  obs::MetricsRegistry& Metrics() { return metrics_; }
+  const obs::MetricsRegistry& Metrics() const { return metrics_; }
+
+  /// Turns per-operator instrumentation on/off for queries submitted
+  /// *after* the call. Off: operators stay unbound and pay only a
+  /// branch per element.
+  void SetMetricsEnabled(bool on) { metrics_enabled_ = on; }
+  bool metrics_enabled() const { return metrics_enabled_; }
+
+  /// Samples every Nth ingested tuple's path through its plan(s) into
+  /// the trace ring (0 = off). Takes effect for queries submitted after
+  /// the call if metrics were disabled before it.
+  void EnableTracing(uint64_t sample_every) {
+    metrics_.EnableTracing(sample_every);
+  }
+
   const cql::Catalog& catalog() const { return catalog_; }
   size_t num_queries() const { return queries_.size(); }
   const std::vector<std::unique_ptr<QueryHandle>>& queries() const {
@@ -145,6 +171,13 @@ class StreamEngine {
  private:
   cql::Catalog catalog_;
   std::map<std::string, StreamOptions> stream_options_;
+  // Outlives queries_ (destroyed later), so operators can report to
+  // their bound OpMetrics slots up to their last Flush. Collectors that
+  // reference per-query executors are only invoked via TakeSnapshot,
+  // never during destruction.
+  obs::MetricsRegistry metrics_;
+  std::map<std::string, obs::Counter*> ingest_counters_;
+  bool metrics_enabled_ = true;
   std::vector<std::unique_ptr<QueryHandle>> queries_;
   bool finished_ = false;
 };

@@ -25,9 +25,11 @@ class CompiledQuery {
   /// Connects the query's output to `sink`.
   void AttachSink(Operator* sink) { root_->SetOutput(sink); }
 
-  /// Pushes one element into input `i`.
+  /// Pushes one element into input `i` (through the instrumented entry
+  /// point so bound plans report metrics/lineage — see Operator::Process).
   void Push(const Element& e, int i = 0) {
-    inputs_[static_cast<size_t>(i)]->Push(e, ports_[static_cast<size_t>(i)]);
+    inputs_[static_cast<size_t>(i)]->Process(e,
+                                             ports_[static_cast<size_t>(i)]);
   }
 
   /// Signals end-of-stream on every input.

@@ -1,5 +1,7 @@
 #include "exec/operator.h"
 
+#include "obs/trace.h"
+
 namespace sqp {
 
 void Operator::Flush() {
@@ -13,7 +15,59 @@ void Operator::Emit(const Element& e) {
   } else {
     ++stats_.tuples_out;
   }
-  if (out_ != nullptr) out_->Push(e, out_port_);
+  if (metrics_ != nullptr) metrics_->CountOut(e.is_punctuation());
+  if (out_ != nullptr) out_->Process(e, out_port_);
+}
+
+void Operator::ProcessInstrumented(const Element& e, int port) {
+  obs::ThreadObsContext& ctx = obs::ObsContext();
+  const bool entry = ctx.depth == 0;
+  if (entry) {
+    if (tracer_ != nullptr && e.is_tuple()) {
+      ctx.trace_id = tracer_->SampleArrival();
+      ctx.hop = 0;
+    }
+    // Clock reads dominate instrumentation cost on cheap operators, so
+    // only every kTimeSampleEvery-th chain is actually timed; its
+    // self-times are scaled back up when recorded. Traced elements are
+    // timed too (hop timestamps need a clock) but don't feed busy_ns.
+    ctx.busy_sampled = (ctx.time_tick++ & (obs::kTimeSampleEvery - 1)) == 0;
+    ctx.timed = ctx.busy_sampled || ctx.trace_id != 0;
+  }
+  if (!ctx.timed) {
+    ++ctx.depth;
+    Push(e, port);  // Counters still tick via CountIn/Emit.
+    --ctx.depth;
+    return;
+  }
+  ++ctx.depth;
+  // Self time = own inclusive time minus the inclusive time of nested
+  // Process calls (downstream operators reached via Emit), collected in
+  // the thread-local child accumulator — the classic profiler trick, and
+  // it works across a synchronous push chain without any per-operator
+  // code.
+  const uint64_t saved_child = ctx.child_ns;
+  ctx.child_ns = 0;
+  const uint64_t t0 = obs::NowNs();
+  if (tracer_ != nullptr && ctx.trace_id != 0) {
+    tracer_->Record(ctx.trace_id, ctx.hop++, name(), t0);
+  }
+  Push(e, port);
+  const uint64_t total = obs::NowNs() - t0;
+  if (metrics_ != nullptr && ctx.busy_sampled) {
+    const uint64_t self = total > ctx.child_ns ? total - ctx.child_ns : 0;
+    metrics_->AddBusyNs(self * obs::kTimeSampleEvery);
+  }
+  ctx.child_ns = saved_child + total;
+  --ctx.depth;
+  if (entry) {
+    if (ctx.trace_id != 0) {
+      if (tracer_ != nullptr) tracer_->ObservePathNs(total);
+      ctx.trace_id = 0;
+    }
+    ctx.child_ns = 0;
+    ctx.timed = false;
+  }
 }
 
 void CollectorSink::Push(const Element& e, int /*port*/) {

@@ -13,9 +13,14 @@
 #include <thread>
 #endif
 
+#include "obs/op_metrics.h"
 #include "stream/element.h"
 
 namespace sqp {
+
+namespace obs {
+class Tracer;
+}  // namespace obs
 
 /// Per-operator throughput counters.
 struct OperatorStats {
@@ -61,6 +66,28 @@ class Operator {
   /// Processes one element arriving on `port`.
   virtual void Push(const Element& e, int port = 0) = 0;
 
+  /// Instrumented entry point: drivers (RunStream, executors, the
+  /// engine) and Emit route elements through here so a bound operator
+  /// gets self-time accounting and sampled lineage tracing without any
+  /// per-operator code. Unbound operators (the default) pay one
+  /// predictable branch and fall straight through to Push.
+  void Process(const Element& e, int port = 0) {
+    if (metrics_ == nullptr && tracer_ == nullptr) {
+      Push(e, port);
+      return;
+    }
+    ProcessInstrumented(e, port);
+  }
+
+  /// Binds observability outputs (see sqp::obs). Pass nullptr to
+  /// disable. Must happen before the operator processes elements; the
+  /// bound objects must outlive the operator's last Push.
+  void Bind(obs::OpMetrics* metrics, obs::Tracer* tracer = nullptr) {
+    metrics_ = metrics;
+    tracer_ = tracer;
+  }
+  obs::OpMetrics* metrics() const { return metrics_; }
+
   /// End-of-stream: emit buffered results, then forward downstream.
   virtual void Flush();
 
@@ -91,6 +118,7 @@ class Operator {
     } else {
       ++stats_.tuples_in;
     }
+    if (metrics_ != nullptr) metrics_->CountIn(e.is_punctuation());
   }
 
   /// Debug check that every Push/Emit on this operator comes from one
@@ -114,7 +142,12 @@ class Operator {
   OperatorStats stats_;
 
  private:
+  /// Out-of-line slow path of Process: self-time metrics + tracing.
+  void ProcessInstrumented(const Element& e, int port);
+
   std::string name_;
+  obs::OpMetrics* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 #ifndef NDEBUG
   mutable std::atomic<std::thread::id> owner_{};
 #endif

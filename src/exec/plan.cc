@@ -4,6 +4,16 @@
 
 namespace sqp {
 
+void Plan::BindMetrics(obs::MetricsRegistry& registry,
+                       const std::string& query_label) {
+  int index = 0;
+  for (const auto& op : ops_) {
+    op->Bind(registry.GetOpMetrics(query_label, op->name(), index),
+             registry.tracer());
+    ++index;
+  }
+}
+
 size_t Plan::TotalStateBytes() const {
   size_t bytes = 0;
   for (const auto& op : ops_) bytes += op->StateBytes();
@@ -26,7 +36,7 @@ std::string Plan::StatsString() const {
 void RunStream(Operator* entry, const std::function<TupleRef()>& next,
                uint64_t n, bool flush) {
   for (uint64_t i = 0; i < n; ++i) {
-    entry->Push(Element(next()), 0);
+    entry->Process(Element(next()), 0);
   }
   if (flush) entry->Flush();
 }
@@ -34,7 +44,7 @@ void RunStream(Operator* entry, const std::function<TupleRef()>& next,
 void RunElements(Operator* entry, const std::function<Element()>& next,
                  uint64_t n, bool flush) {
   for (uint64_t i = 0; i < n; ++i) {
-    entry->Push(next(), 0);
+    entry->Process(next(), 0);
   }
   if (flush) entry->Flush();
 }

@@ -1,0 +1,56 @@
+#include "obs/metrics.h"
+
+#include <limits>
+
+namespace sqp {
+namespace obs {
+
+uint64_t HistogramData::BucketUpperBound(int b) {
+  if (b <= 0) return 0;
+  if (b >= kNumBuckets - 1) return std::numeric_limits<uint64_t>::max();
+  return (uint64_t{1} << b) - 1;
+}
+
+uint64_t HistogramData::BucketLowerBound(int b) {
+  if (b <= 0) return 0;
+  return uint64_t{1} << (b - 1);
+}
+
+double HistogramData::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (1-based, ceil so q=1 hits the max
+  // bucket and q=0 the min).
+  double target = q * static_cast<double>(count);
+  if (target < 1.0) target = 1.0;
+  uint64_t cum = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (buckets[static_cast<size_t>(b)] == 0) continue;
+    uint64_t prev = cum;
+    cum += buckets[static_cast<size_t>(b)];
+    if (static_cast<double>(cum) >= target) {
+      double lo = static_cast<double>(BucketLowerBound(b));
+      double hi = static_cast<double>(BucketUpperBound(b));
+      double frac = (target - static_cast<double>(prev)) /
+                    static_cast<double>(buckets[static_cast<size_t>(b)]);
+      return lo + frac * (hi - lo);
+    }
+  }
+  return static_cast<double>(BucketUpperBound(kNumBuckets - 1));
+}
+
+HistogramData Histogram::Data() const {
+  HistogramData d;
+  for (int b = 0; b < HistogramData::kNumBuckets; ++b) {
+    uint64_t n = buckets_[static_cast<size_t>(b)].load(
+        std::memory_order_relaxed);
+    d.buckets[static_cast<size_t>(b)] = n;
+    d.count += n;
+  }
+  d.sum = sum_.load(std::memory_order_relaxed);
+  return d;
+}
+
+}  // namespace obs
+}  // namespace sqp

@@ -1,0 +1,108 @@
+#ifndef SQP_OBS_METRICS_H_
+#define SQP_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace sqp {
+namespace obs {
+
+/// Monotonic event count. All mutators are relaxed atomics: metrics are
+/// statistical, never used for synchronization, so the hot path pays one
+/// uncontended RMW and nothing else (no locks, no allocation).
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Point-in-time value (queue depth, backlog, rate). `UpdateMax` turns a
+/// gauge into a high-water mark.
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  void UpdateMax(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (cur < v && !v_.compare_exchange_weak(cur, v,
+                                                std::memory_order_relaxed,
+                                                std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Materialized histogram state (what a snapshot carries around).
+struct HistogramData {
+  /// Bucket b counts values whose bit width is b: bucket 0 holds the
+  /// value 0, bucket b >= 1 holds [2^(b-1), 2^b - 1]. 65 fixed bins
+  /// cover all of uint64 — log-bucketing trades fine resolution for a
+  /// constant-size, allocation-free layout.
+  static constexpr int kNumBuckets = 65;
+
+  std::array<uint64_t, kNumBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+
+  /// Inclusive upper bound of bucket `b` (UINT64_MAX for the last).
+  static uint64_t BucketUpperBound(int b);
+  /// Inclusive lower bound of bucket `b`.
+  static uint64_t BucketLowerBound(int b);
+
+  /// Estimated q-quantile (q in [0,1]): finds the bucket holding the
+  /// target rank and interpolates linearly inside it. Error is bounded
+  /// by the bucket width (a factor of 2 in value).
+  double Quantile(double q) const;
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Log-bucketed histogram with fixed bins. Observe is two relaxed RMWs;
+/// no allocation, no locks — safe to hammer from any number of threads
+/// (TSan-clean), with the usual caveat that a concurrent snapshot is a
+/// statistical read, not a linearizable one.
+class Histogram {
+ public:
+  static int BucketFor(uint64_t v) {
+    int b = 0;
+    while (v != 0) {
+      ++b;
+      v >>= 1;
+    }
+    return b;  // == std::bit_width(v)
+  }
+
+  void Observe(uint64_t v) {
+    buckets_[static_cast<size_t>(BucketFor(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Copies the live bins out (relaxed reads; per-bin consistent).
+  HistogramData Data() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, HistogramData::kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+}  // namespace obs
+}  // namespace sqp
+
+#endif  // SQP_OBS_METRICS_H_

@@ -1,0 +1,89 @@
+#ifndef SQP_OBS_OP_METRICS_H_
+#define SQP_OBS_OP_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace sqp {
+namespace obs {
+
+/// One operator's counters, copied out of the live atomics.
+struct OpSnapshot {
+  std::string query;  // Label of the owning plan ("q0", bench name, ...).
+  std::string op;     // Operator name ("select", "window-agg", ...).
+  int index = 0;      // Position in the plan (disambiguates duplicates).
+
+  uint64_t tuples_in = 0;
+  uint64_t tuples_out = 0;
+  uint64_t puncts_in = 0;
+  uint64_t puncts_out = 0;
+  /// Delivery batches claimed by an executor (0 for purely synchronous
+  /// operators — only staged executors hand work over in batches).
+  uint64_t batches = 0;
+  /// Self time: ns spent inside this operator's Push, excluding time
+  /// spent in downstream operators it pushed into.
+  uint64_t busy_ns = 0;
+  /// High-water mark of the input queue in front of this operator
+  /// (mirrored in by the executor that owns the queue; 0 if unqueued).
+  uint64_t queue_depth_hw = 0;
+
+  double Selectivity() const {
+    return tuples_in == 0 ? 0.0
+                          : static_cast<double>(tuples_out) /
+                                static_cast<double>(tuples_in);
+  }
+};
+
+/// Hot-path per-operator metrics: plain relaxed atomics, padded to a
+/// cache line so two busy operators bound to adjacent slots don't false-
+/// share. An operator updates these on every element when bound (see
+/// Operator::Bind); unbound operators pay only a null check.
+struct alignas(64) OpMetrics {
+  std::atomic<uint64_t> tuples_in{0};
+  std::atomic<uint64_t> tuples_out{0};
+  std::atomic<uint64_t> puncts_in{0};
+  std::atomic<uint64_t> puncts_out{0};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> busy_ns{0};
+  std::atomic<uint64_t> queue_depth_hw{0};
+
+  void CountIn(bool punct) {
+    (punct ? puncts_in : tuples_in).fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountOut(bool punct) {
+    (punct ? puncts_out : tuples_out).fetch_add(1, std::memory_order_relaxed);
+  }
+  void IncBatches() { batches.fetch_add(1, std::memory_order_relaxed); }
+  void AddBusyNs(uint64_t ns) {
+    busy_ns.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void UpdateQueueDepth(uint64_t depth) {
+    uint64_t cur = queue_depth_hw.load(std::memory_order_relaxed);
+    while (cur < depth &&
+           !queue_depth_hw.compare_exchange_weak(cur, depth,
+                                                 std::memory_order_relaxed,
+                                                 std::memory_order_relaxed)) {
+    }
+  }
+
+  OpSnapshot Snapshot(std::string query, std::string op, int index) const {
+    OpSnapshot s;
+    s.query = std::move(query);
+    s.op = std::move(op);
+    s.index = index;
+    s.tuples_in = tuples_in.load(std::memory_order_relaxed);
+    s.tuples_out = tuples_out.load(std::memory_order_relaxed);
+    s.puncts_in = puncts_in.load(std::memory_order_relaxed);
+    s.puncts_out = puncts_out.load(std::memory_order_relaxed);
+    s.batches = batches.load(std::memory_order_relaxed);
+    s.busy_ns = busy_ns.load(std::memory_order_relaxed);
+    s.queue_depth_hw = queue_depth_hw.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+}  // namespace obs
+}  // namespace sqp
+
+#endif  // SQP_OBS_OP_METRICS_H_

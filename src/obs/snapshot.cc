@@ -1,0 +1,293 @@
+#include "obs/snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace sqp {
+namespace obs {
+
+namespace {
+
+/// Renders a metric value: integral doubles (the common case — counters,
+/// depths) print without a fractional part so JSON/Prometheus goldens
+/// stay stable; everything else gets shortest-ish %.6g.
+std::string FmtNum(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.6g", v);
+}
+
+std::string PromLabels(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    // Prometheus label escaping: backslash, quote, newline.
+    for (char c : labels[i].second) {
+      if (c == '\\' || c == '"') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+LabelSet WithLabel(LabelSet labels, const std::string& k,
+                   const std::string& v) {
+  labels.emplace_back(k, v);
+  return labels;
+}
+
+void PromHistogram(std::string* out, const std::string& name,
+                   const LabelSet& labels, const HistogramData& h) {
+  uint64_t cum = 0;
+  for (int b = 0; b < HistogramData::kNumBuckets; ++b) {
+    if (h.buckets[static_cast<size_t>(b)] == 0) continue;
+    cum += h.buckets[static_cast<size_t>(b)];
+    std::string le = b == HistogramData::kNumBuckets - 1
+                         ? "+Inf"
+                         : std::to_string(HistogramData::BucketUpperBound(b));
+    *out += name + "_bucket" + PromLabels(WithLabel(labels, "le", le)) + " " +
+            std::to_string(cum) + "\n";
+  }
+  *out += name + "_bucket" + PromLabels(WithLabel(labels, "le", "+Inf")) +
+          " " + std::to_string(h.count) + "\n";
+  *out += name + "_sum" + PromLabels(labels) + " " + std::to_string(h.sum) +
+          "\n";
+  *out += name + "_count" + PromLabels(labels) + " " +
+          std::to_string(h.count) + "\n";
+}
+
+void JsonHistogram(std::string* out, const HistogramData& h) {
+  *out += "{\"count\":" + std::to_string(h.count) +
+          ",\"sum\":" + std::to_string(h.sum) + ",\"p50\":" +
+          FmtNum(h.Quantile(0.5)) + ",\"p99\":" + FmtNum(h.Quantile(0.99)) +
+          ",\"buckets\":[";
+  bool first = true;
+  for (int b = 0; b < HistogramData::kNumBuckets; ++b) {
+    uint64_t n = h.buckets[static_cast<size_t>(b)];
+    if (n == 0) continue;
+    if (!first) *out += ",";
+    first = false;
+    *out += "{\"le\":" + std::to_string(HistogramData::BucketUpperBound(b)) +
+            ",\"n\":" + std::to_string(n) + "}";
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Snapshot::ToJson() const {
+  std::string out = "{\"metrics\":[";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + JsonEscape(s.name) + "\"";
+    if (!s.labels.empty()) {
+      out += ",\"labels\":{";
+      for (size_t j = 0; j < s.labels.size(); ++j) {
+        if (j > 0) out += ",";
+        // Appended piecewise: GCC 12's -Wrestrict false-positives on
+        // `"lit" + std::string&&` chains under -O2 (PR105329).
+        out += "\"";
+        out += JsonEscape(s.labels[j].first);
+        out += "\":\"";
+        out += JsonEscape(s.labels[j].second);
+        out += "\"";
+      }
+      out += "}";
+    }
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += ",\"type\":\"counter\",\"value\":" + FmtNum(s.value);
+        break;
+      case MetricKind::kGauge:
+        out += ",\"type\":\"gauge\",\"value\":" + FmtNum(s.value);
+        break;
+      case MetricKind::kHistogram:
+        out += ",\"type\":\"histogram\",\"value\":";
+        JsonHistogram(&out, s.hist);
+        break;
+    }
+    out += "}";
+  }
+  out += "],\"operators\":[";
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const OpSnapshot& o = ops[i];
+    if (i > 0) out += ",";
+    out += "{\"query\":\"" + JsonEscape(o.query) + "\",\"op\":\"" +
+           JsonEscape(o.op) + "\",\"index\":" + std::to_string(o.index) +
+           ",\"tuples_in\":" + std::to_string(o.tuples_in) +
+           ",\"tuples_out\":" + std::to_string(o.tuples_out) +
+           ",\"puncts_in\":" + std::to_string(o.puncts_in) +
+           ",\"puncts_out\":" + std::to_string(o.puncts_out) +
+           ",\"selectivity\":" + StrFormat("%.4f", o.Selectivity()) +
+           ",\"batches\":" + std::to_string(o.batches) +
+           ",\"busy_ns\":" + std::to_string(o.busy_ns) +
+           ",\"queue_depth_hw\":" + std::to_string(o.queue_depth_hw) + "}";
+  }
+  out += "],\"trace\":[";
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const TraceEvent& t = trace[i];
+    if (i > 0) out += ",";
+    out += "{\"id\":" + std::to_string(t.trace_id) +
+           ",\"hop\":" + std::to_string(t.hop) + ",\"op\":\"" +
+           JsonEscape(t.op) + "\",\"ts_ns\":" + std::to_string(t.ts_ns) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Snapshot::ToPrometheus() const {
+  std::string out;
+  for (const Sample& s : samples) {
+    switch (s.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += "# TYPE " + s.name +
+               (s.kind == MetricKind::kCounter ? " counter\n" : " gauge\n");
+        out += s.name + PromLabels(s.labels) + " " + FmtNum(s.value) + "\n";
+        break;
+      case MetricKind::kHistogram:
+        out += "# TYPE " + s.name + " histogram\n";
+        PromHistogram(&out, s.name, s.labels, s.hist);
+        break;
+    }
+  }
+  if (!ops.empty()) {
+    struct Field {
+      const char* name;
+      const char* type;
+      uint64_t OpSnapshot::*member;
+    };
+    static const Field kFields[] = {
+        {"sqp_op_tuples_in_total", "counter", &OpSnapshot::tuples_in},
+        {"sqp_op_tuples_out_total", "counter", &OpSnapshot::tuples_out},
+        {"sqp_op_puncts_in_total", "counter", &OpSnapshot::puncts_in},
+        {"sqp_op_puncts_out_total", "counter", &OpSnapshot::puncts_out},
+        {"sqp_op_batches_total", "counter", &OpSnapshot::batches},
+        {"sqp_op_busy_ns_total", "counter", &OpSnapshot::busy_ns},
+        {"sqp_op_queue_depth_hw", "gauge", &OpSnapshot::queue_depth_hw},
+    };
+    for (const Field& f : kFields) {
+      out += std::string("# TYPE ") + f.name + " " + f.type + "\n";
+      for (const OpSnapshot& o : ops) {
+        out += std::string(f.name) +
+               PromLabels({{"query", o.query}, {"op", o.op},
+                           {"index", std::to_string(o.index)}}) +
+               " " + std::to_string(o.*(f.member)) + "\n";
+      }
+    }
+    out += "# TYPE sqp_op_selectivity gauge\n";
+    for (const OpSnapshot& o : ops) {
+      out += "sqp_op_selectivity" +
+             PromLabels({{"query", o.query}, {"op", o.op},
+                         {"index", std::to_string(o.index)}}) +
+             " " + StrFormat("%.4f", o.Selectivity()) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string Snapshot::Pretty() const {
+  std::string out;
+  if (!ops.empty()) {
+    out += StrFormat("%-6s %-24s %12s %12s %8s %10s %8s %8s\n", "query", "op",
+                     "in", "out", "sel", "busy_ms", "q_hw", "batches");
+    for (const OpSnapshot& o : ops) {
+      out += StrFormat(
+          "%-6s %-24s %12llu %12llu %8.4f %10.3f %8llu %8llu\n",
+          o.query.c_str(), o.op.c_str(),
+          static_cast<unsigned long long>(o.tuples_in),
+          static_cast<unsigned long long>(o.tuples_out), o.Selectivity(),
+          static_cast<double>(o.busy_ns) * 1e-6,
+          static_cast<unsigned long long>(o.queue_depth_hw),
+          static_cast<unsigned long long>(o.batches));
+    }
+  }
+  if (!samples.empty()) {
+    if (!out.empty()) out += "\n";
+    for (const Sample& s : samples) {
+      std::string label;
+      for (const auto& kv : s.labels) {
+        if (!label.empty()) label += ",";
+        label += kv.first + "=" + kv.second;
+      }
+      std::string name = s.name + (label.empty() ? "" : "{" + label + "}");
+      if (s.kind == MetricKind::kHistogram) {
+        out += StrFormat("%-52s n=%llu mean=%.1f p50=%.1f p99=%.1f\n",
+                         name.c_str(),
+                         static_cast<unsigned long long>(s.hist.count),
+                         s.hist.Mean(), s.hist.Quantile(0.5),
+                         s.hist.Quantile(0.99));
+      } else {
+        out += StrFormat("%-52s %s\n", name.c_str(), FmtNum(s.value).c_str());
+      }
+    }
+  }
+  if (!trace.empty()) {
+    out += StrFormat("\nsampled lineage (%zu hops, newest last):\n",
+                     trace.size());
+    uint64_t base = 0;
+    uint64_t cur_id = 0;
+    for (const TraceEvent& t : trace) {
+      if (t.trace_id != cur_id) {
+        cur_id = t.trace_id;
+        base = t.ts_ns;
+      }
+      out += StrFormat("  #%-6llu hop%-2u %-24s +%.1fus\n",
+                       static_cast<unsigned long long>(t.trace_id), t.hop,
+                       t.op.c_str(),
+                       static_cast<double>(t.ts_ns - base) * 1e-3);
+    }
+  }
+  if (out.empty()) out = "(no metrics)\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace sqp

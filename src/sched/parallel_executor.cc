@@ -4,17 +4,6 @@
 #include <chrono>
 
 namespace sqp {
-namespace sched {
-
-std::string StageStats::ToString() const {
-  return "enqueued=" + std::to_string(enqueued) +
-         " processed=" + std::to_string(processed) +
-         " dropped=" + std::to_string(dropped) +
-         " max_depth=" + std::to_string(max_queue_depth) +
-         " busy=" + std::to_string(busy_time);
-}
-
-}  // namespace sched
 
 /// Stage i's downstream: runs on worker i, buffers emissions and hands
 /// them to stage i+1's queue a chunk at a time — one lock acquisition
@@ -215,9 +204,13 @@ void ParallelExecutor::WorkerLoop(size_t stage) {
     // A whole batch was claimed: wake every producer blocked on the
     // bound, then process outside the lock.
     st.not_full.notify_all();
+    if (obs::OpMetrics* m = op->metrics()) {
+      m->IncBatches();
+      m->UpdateQueueDepth(batch.size());
+    }
     auto t0 = std::chrono::steady_clock::now();
     for (Item& item : batch) {
-      op->Push(item.e, item.port);
+      op->Process(item.e, item.port);
       if (stop_) break;
     }
     // Don't sit on buffered emissions while waiting for the next batch.
@@ -273,6 +266,22 @@ sched::StageStats ParallelExecutor::stage_stats(size_t i) const {
   out.busy_time =
       static_cast<double>(st.busy_ns.load(std::memory_order_relaxed)) * 1e-9;
   return out;
+}
+
+void ParallelExecutor::CollectStats(obs::SnapshotBuilder& builder,
+                                    const obs::LabelSet& base_labels) const {
+  for (size_t i = 0; i < states_.size(); ++i) {
+    sched::StageStats s = stage_stats(i);
+    obs::LabelSet labels = base_labels;
+    labels.emplace_back("stage", std::to_string(i));
+    labels.emplace_back("op", stages_[i].op->name());
+    // Mirror the queue high-water into the operator's own metrics slot
+    // so per-op views show queue pressure without asking the executor.
+    if (obs::OpMetrics* m = stages_[i].op->metrics()) {
+      m->UpdateQueueDepth(s.max_queue_depth);
+    }
+    sched::PublishStageStats(builder, labels, s);
+  }
 }
 
 uint64_t ParallelExecutor::dropped() const {

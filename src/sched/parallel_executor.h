@@ -101,6 +101,12 @@ class ParallelExecutor {
 
   /// Snapshot of one stage's counters (safe to call while running).
   sched::StageStats stage_stats(size_t i) const;
+  /// Publishes every stage's counters (sqp_stage_*) under
+  /// {base_labels..., stage=i, op=name} — typically registered as a
+  /// MetricsRegistry collector by whoever owns the executor. Safe to
+  /// call while the workers run.
+  void CollectStats(obs::SnapshotBuilder& builder,
+                    const obs::LabelSet& base_labels) const;
   /// Total drops across all stages.
   uint64_t dropped() const;
   /// Elements currently waiting across all stage queues.

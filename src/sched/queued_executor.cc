@@ -69,7 +69,20 @@ void QueuedExecutor::Deliver(size_t stage) {
   Entry entry = std::move(queues_[stage].front());
   queues_[stage].pop_front();
   ++stage_stats_[stage].processed;
-  stages_[stage].op->Push(entry.e, 0);
+  stages_[stage].op->Process(entry.e, 0);
+}
+
+void QueuedExecutor::CollectStats(obs::SnapshotBuilder& builder,
+                                  const obs::LabelSet& base_labels) const {
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    obs::LabelSet labels = base_labels;
+    labels.emplace_back("stage", std::to_string(i));
+    labels.emplace_back("op", stages_[i].op->name());
+    if (obs::OpMetrics* m = stages_[i].op->metrics()) {
+      m->UpdateQueueDepth(stage_stats_[i].max_queue_depth);
+    }
+    sched::PublishStageStats(builder, labels, stage_stats_[i]);
+  }
 }
 
 void QueuedExecutor::Tick(double capacity) {

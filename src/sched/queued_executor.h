@@ -59,6 +59,12 @@ class QueuedExecutor {
   const sched::StageStats& stage_stats(size_t stage) const {
     return stage_stats_[stage];
   }
+  /// Publishes every stage's counters (sqp_stage_*) under
+  /// {base_labels..., stage=i, op=name} — the same reporting path as
+  /// ParallelExecutor::CollectStats, so serial and threaded runs land in
+  /// one registry shape.
+  void CollectStats(obs::SnapshotBuilder& builder,
+                    const obs::LabelSet& base_labels) const;
 
  private:
   struct Entry {

@@ -1,0 +1,35 @@
+#include "sched/stage_stats.h"
+
+#include "common/strings.h"
+
+namespace sqp {
+namespace sched {
+
+std::string StageStats::ToString() const {
+  std::string out;
+  ForEachStageStatField(*this, [&](const char* name, double v, bool) {
+    if (!out.empty()) out += ' ';
+    if (v == static_cast<double>(static_cast<uint64_t>(v))) {
+      out += StrFormat("%s=%llu", name,
+                       static_cast<unsigned long long>(v));
+    } else {
+      out += StrFormat("%s=%.6f", name, v);
+    }
+  });
+  return out;
+}
+
+void PublishStageStats(obs::SnapshotBuilder& builder,
+                       const obs::LabelSet& labels, const StageStats& s) {
+  ForEachStageStatField(s, [&](const char* name, double v, bool counter) {
+    std::string metric = std::string("sqp_stage_") + name;
+    if (counter) {
+      builder.AddCounter(std::move(metric), labels, v);
+    } else {
+      builder.AddGauge(std::move(metric), labels, v);
+    }
+  });
+}
+
+}  // namespace sched
+}  // namespace sqp

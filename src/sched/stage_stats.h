@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/snapshot.h"
+
 namespace sqp {
 namespace sched {
 
@@ -25,11 +27,36 @@ struct StageStats {
   /// clock is the simulated tick budget, not real time).
   double busy_time = 0.0;
 
-  /// Elements still waiting (accepted but not yet processed).
-  uint64_t Backlog() const { return enqueued - processed; }
+  /// Elements still waiting (accepted but not yet processed). The two
+  /// fields are snapshotted independently while workers run, so a
+  /// transiently stale `enqueued` may read below `processed`; clamp
+  /// instead of wrapping to a huge unsigned backlog.
+  uint64_t Backlog() const {
+    return processed > enqueued ? 0 : enqueued - processed;
+  }
 
   std::string ToString() const;
 };
+
+/// The one description of StageStats' fields, shared by ToString and the
+/// obs snapshot bridge so the serial and threaded executors render
+/// identically everywhere. `fn(name, value, is_counter)` is called once
+/// per field (is_counter=false marks point-in-time gauges).
+template <typename Fn>
+void ForEachStageStatField(const StageStats& s, Fn&& fn) {
+  fn("enqueued", static_cast<double>(s.enqueued), true);
+  fn("processed", static_cast<double>(s.processed), true);
+  fn("dropped", static_cast<double>(s.dropped), true);
+  fn("backlog", static_cast<double>(s.Backlog()), false);
+  fn("max_queue_depth", static_cast<double>(s.max_queue_depth), false);
+  fn("busy_time", s.busy_time, true);
+}
+
+/// Publishes one stage's counters as sqp_stage_<field> samples under
+/// `labels` — the single reporting path both executors use to reach a
+/// MetricsRegistry (see ParallelExecutor/QueuedExecutor::CollectStats).
+void PublishStageStats(obs::SnapshotBuilder& builder,
+                       const obs::LabelSet& labels, const StageStats& s);
 
 }  // namespace sched
 }  // namespace sqp

@@ -44,6 +44,14 @@
 #include "synopsis/misra_gries.h"
 #include "synopsis/reservoir.h"
 
+// Observability: engine-wide metrics registry, per-operator counters,
+// sampled lineage tracing, JSON/Prometheus export.
+#include "obs/metrics.h"
+#include "obs/op_metrics.h"
+#include "obs/registry.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
+
 // Physical operators (slides 29-33).
 #include "exec/aggregate_op.h"
 #include "exec/eddy.h"

@@ -1,0 +1,69 @@
+#include "../bench/bench_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sqp {
+namespace bench {
+namespace {
+
+TEST(BenchTableTest, RaggedRowsDoNotReadPastWidths) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  // More cells than headers: Print must size its width table to the
+  // widest row instead of indexing past it (was an OOB read).
+  t.AddRow({"1", "2", "extra", "more"});
+  t.AddRow({"only-one"});
+  t.Print("ragged");  // ASan/valgrind would flag the old bug here.
+  const TableData& rec = JsonReport().back();
+  EXPECT_EQ(rec.title, "ragged");
+  EXPECT_EQ(rec.rows.size(), 3u);
+  EXPECT_EQ(rec.rows[1].size(), 4u);
+}
+
+TEST(BenchTableTest, WriteJsonReportRoundTrips) {
+  JsonReport().clear();
+  BinaryName() = "bench_util_test";
+  Table t({"metric", "value"});
+  t.AddRow({"throughput \"quoted\"", "1.5"});
+  t.Print("golden");
+
+  std::string path = ::testing::TempDir() + "/bench_util_test.json";
+  WriteJsonReport(path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(),
+            "{\"binary\":\"bench_util_test\",\"smoke\":false,\"tables\":["
+            "{\"title\":\"golden\",\"headers\":[\"metric\",\"value\"],"
+            "\"rows\":[[\"throughput \\\"quoted\\\"\",\"1.5\"]]}]}\n");
+  std::remove(path.c_str());
+}
+
+TEST(BenchArgsTest, ParsesSmokeAndJsonFlags) {
+  JsonPath().clear();
+  SmokeFlag() = false;
+  const char* argv_in[] = {"bench_x", "--smoke", "--json=/tmp/out.json",
+                           "--benchmark_filter=foo"};
+  char* argv[4];
+  for (int i = 0; i < 4; ++i) argv[i] = const_cast<char*>(argv_in[i]);
+  int argc = 4;
+  ParseBenchArgs(argc, argv);
+  EXPECT_TRUE(SmokeMode());
+  EXPECT_EQ(JsonPath(), "/tmp/out.json");
+  // Consumed flags are stripped; google-benchmark flags pass through.
+  ASSERT_EQ(argc, 2);
+  EXPECT_STREQ(argv[1], "--benchmark_filter=foo");
+  // Don't leave the atexit hook writing to /tmp from a unit test.
+  JsonPath().clear();
+  SmokeFlag() = false;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sqp

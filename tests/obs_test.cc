@@ -1,0 +1,414 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "arch/engine.h"
+#include "exec/plan.h"
+#include "exec/project.h"
+#include "exec/select.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
+#include "sched/parallel_executor.h"
+#include "stream/generators.h"
+
+namespace sqp {
+namespace {
+
+TupleRef T(int64_t ts, int64_t v) {
+  return MakeTuple(ts, {Value(ts), Value(v)});
+}
+
+// ---------------------------------------------------------------------------
+// Histogram: bucket boundaries and quantiles.
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket b holds values with bit width b: 0 -> bucket 0, 1 -> 1,
+  // [2,3] -> 2, [4,7] -> 3, ...
+  EXPECT_EQ(obs::Histogram::BucketFor(0), 0);
+  EXPECT_EQ(obs::Histogram::BucketFor(1), 1);
+  EXPECT_EQ(obs::Histogram::BucketFor(2), 2);
+  EXPECT_EQ(obs::Histogram::BucketFor(3), 2);
+  EXPECT_EQ(obs::Histogram::BucketFor(4), 3);
+  EXPECT_EQ(obs::Histogram::BucketFor(7), 3);
+  EXPECT_EQ(obs::Histogram::BucketFor(8), 4);
+  EXPECT_EQ(obs::Histogram::BucketFor(UINT64_MAX), 64);
+
+  EXPECT_EQ(obs::HistogramData::BucketLowerBound(0), 0u);
+  EXPECT_EQ(obs::HistogramData::BucketUpperBound(0), 0u);
+  EXPECT_EQ(obs::HistogramData::BucketLowerBound(3), 4u);
+  EXPECT_EQ(obs::HistogramData::BucketUpperBound(3), 7u);
+  EXPECT_EQ(obs::HistogramData::BucketUpperBound(64), UINT64_MAX);
+
+  obs::Histogram h;
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(2);
+  h.Observe(3);
+  h.Observe(1000);  // bit width 10
+  obs::HistogramData d = h.Data();
+  EXPECT_EQ(d.count, 5u);
+  EXPECT_EQ(d.sum, 1006u);
+  EXPECT_EQ(d.buckets[0], 1u);
+  EXPECT_EQ(d.buckets[1], 1u);
+  EXPECT_EQ(d.buckets[2], 2u);
+  EXPECT_EQ(d.buckets[10], 1u);
+}
+
+TEST(HistogramTest, QuantileEstimates) {
+  obs::Histogram h;
+  // 100 observations of 10 (bucket 4: [8,15]) and 100 of 1000
+  // (bucket 10: [512,1023]).
+  for (int i = 0; i < 100; ++i) h.Observe(10);
+  for (int i = 0; i < 100; ++i) h.Observe(1000);
+  obs::HistogramData d = h.Data();
+  // Quantile error is bounded by the bucket: p25 must land in [8,15],
+  // p99 in [512,1023].
+  double p25 = d.Quantile(0.25);
+  EXPECT_GE(p25, 8.0);
+  EXPECT_LE(p25, 15.0);
+  double p99 = d.Quantile(0.99);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1023.0);
+  // Degenerate inputs.
+  EXPECT_EQ(obs::HistogramData{}.Quantile(0.5), 0.0);
+  EXPECT_GE(d.Quantile(1.0), 512.0);
+  EXPECT_LE(d.Quantile(0.0), 15.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), (100.0 * 10 + 100.0 * 1000) / 200.0);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: counters and histograms hammered from N threads (run
+// under TSan in CI).
+
+TEST(MetricsConcurrencyTest, CountersAreExactUnderContention) {
+  obs::MetricsRegistry reg;
+  obs::Counter* c = reg.GetCounter("sqp_test_total");
+  obs::Gauge* g = reg.GetGauge("sqp_test_hw");
+  obs::Histogram* h = reg.GetHistogram("sqp_test_lat");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Inc();
+        g->UpdateMax(static_cast<double>(t * kPerThread + i));
+        h->Observe(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(g->Value(), kThreads * kPerThread - 1.0);
+  EXPECT_EQ(h->Data().count, static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsConcurrencyTest, SnapshotWhileRunning) {
+  obs::MetricsRegistry reg;
+  obs::Counter* c = reg.GetCounter("sqp_live_total");
+  // Prime the counter so the final EXPECT_GT holds even if the writer
+  // threads are never scheduled before the snapshot loop finishes.
+  c->Inc();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) c->Inc();
+    });
+  }
+  // Concurrent snapshots must never tear a metric: each observed value
+  // is monotonically non-decreasing.
+  double last = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    obs::Snapshot snap = reg.TakeSnapshot();
+    ASSERT_EQ(snap.samples.size(), 1u);
+    EXPECT_GE(snap.samples[0].value, last);
+    last = snap.samples[0].value;
+  }
+  stop = true;
+  for (auto& th : writers) th.join();
+  EXPECT_GT(last, 0.0);
+}
+
+TEST(MetricsConcurrencyTest, SameNameSameInstance) {
+  obs::MetricsRegistry reg;
+  EXPECT_EQ(reg.GetCounter("a", {{"k", "v"}}), reg.GetCounter("a", {{"k", "v"}}));
+  EXPECT_NE(reg.GetCounter("a", {{"k", "v"}}), reg.GetCounter("a", {{"k", "w"}}));
+  EXPECT_EQ(reg.GetOpMetrics("q0", "select", 0),
+            reg.GetOpMetrics("q0", "select", 0));
+  EXPECT_NE(reg.GetOpMetrics("q0", "select", 0),
+            reg.GetOpMetrics("q0", "select", 1));
+}
+
+// ---------------------------------------------------------------------------
+// Export goldens.
+
+TEST(SnapshotExportTest, JsonGolden) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("sqp_events_total", {{"stream", "pkts"}})->Inc(42);
+  reg.GetGauge("sqp_depth")->Set(7);
+  obs::Snapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.ToJson(),
+            "{\"metrics\":["
+            "{\"name\":\"sqp_events_total\",\"labels\":{\"stream\":\"pkts\"},"
+            "\"type\":\"counter\",\"value\":42},"
+            "{\"name\":\"sqp_depth\",\"type\":\"gauge\",\"value\":7}"
+            "],\"operators\":[],\"trace\":[]}");
+}
+
+TEST(SnapshotExportTest, PrometheusGolden) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("sqp_events_total", {{"stream", "pkts"}})->Inc(42);
+  obs::Histogram* h = reg.GetHistogram("sqp_lat_ns");
+  h->Observe(3);  // bucket 2, le=3
+  h->Observe(3);
+  h->Observe(12);  // bucket 4, le=15
+  obs::Snapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.ToPrometheus(),
+            "# TYPE sqp_events_total counter\n"
+            "sqp_events_total{stream=\"pkts\"} 42\n"
+            "# TYPE sqp_lat_ns histogram\n"
+            "sqp_lat_ns_bucket{le=\"3\"} 2\n"
+            "sqp_lat_ns_bucket{le=\"15\"} 3\n"
+            "sqp_lat_ns_bucket{le=\"+Inf\"} 3\n"
+            "sqp_lat_ns_sum 18\n"
+            "sqp_lat_ns_count 3\n");
+}
+
+TEST(SnapshotExportTest, JsonEscapesSpecials) {
+  EXPECT_EQ(obs::JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+// ---------------------------------------------------------------------------
+// Operator instrumentation: a bound plan reports in/out/selectivity,
+// self time, and sampled lineage with zero per-operator code.
+
+TEST(OpInstrumentationTest, BoundChainReportsCounts) {
+  obs::MetricsRegistry reg;
+  Plan plan;
+  auto* sel = plan.Make<SelectOp>(Gt(Col(1), Lit(int64_t{499})));
+  auto* proj = plan.Make<ProjectOp>(std::vector<ExprRef>{Col(1)});
+  auto* sink = plan.Make<CollectorSink>();
+  sel->SetOutput(proj);
+  proj->SetOutput(sink);
+  plan.BindMetrics(reg, "q0");
+
+  int64_t v = 0;
+  RunStream(sel, [&] { int64_t i = v++; return T(i, i % 1000); }, 10000);
+
+  obs::Snapshot snap = reg.TakeSnapshot();
+  ASSERT_EQ(snap.ops.size(), 3u);
+  const obs::OpSnapshot& s0 = snap.ops[0];
+  EXPECT_EQ(s0.query, "q0");
+  EXPECT_EQ(s0.op, "select");
+  EXPECT_EQ(s0.tuples_in, 10000u);
+  EXPECT_EQ(s0.tuples_out, 5000u);
+  EXPECT_DOUBLE_EQ(s0.Selectivity(), 0.5);
+  EXPECT_GT(s0.busy_ns, 0u);
+  const obs::OpSnapshot& s1 = snap.ops[1];
+  EXPECT_EQ(s1.op, "project");
+  EXPECT_EQ(s1.tuples_in, 5000u);
+  EXPECT_EQ(s1.tuples_out, 5000u);
+  // The sink is a plan operator too.
+  EXPECT_EQ(snap.ops[2].tuples_in, 5000u);
+  // Renderings include the operators.
+  EXPECT_NE(snap.ToPrometheus().find("sqp_op_tuples_in_total{query=\"q0\","
+                                     "op=\"select\",index=\"0\"} 10000"),
+            std::string::npos);
+  EXPECT_NE(snap.Pretty().find("select"), std::string::npos);
+}
+
+TEST(OpInstrumentationTest, TracerRecordsLineage) {
+  obs::MetricsRegistry reg;
+  reg.EnableTracing(100);  // Every 100th tuple.
+  Plan plan;
+  auto* sel = plan.Make<SelectOp>(Lit(int64_t{1}));  // Pass-through.
+  auto* proj = plan.Make<ProjectOp>(std::vector<ExprRef>{Col(1)});
+  auto* sink = plan.Make<CollectorSink>();
+  sel->SetOutput(proj);
+  proj->SetOutput(sink);
+  plan.BindMetrics(reg, "q0");
+
+  int64_t v = 0;
+  RunStream(sel, [&] { int64_t i = v++; return T(i, i); }, 1000);
+
+  obs::Snapshot snap = reg.TakeSnapshot();
+  // 10 sampled tuples x 3 hops each.
+  ASSERT_EQ(snap.trace.size(), 30u);
+  EXPECT_EQ(snap.trace[0].hop, 0u);
+  EXPECT_EQ(snap.trace[0].op, "select");
+  EXPECT_EQ(snap.trace[1].hop, 1u);
+  EXPECT_EQ(snap.trace[1].op, "project");
+  EXPECT_EQ(snap.trace[2].hop, 2u);
+  EXPECT_EQ(snap.trace[2].op, "collect");
+  // Hops of one trace share an id and have non-decreasing timestamps.
+  EXPECT_EQ(snap.trace[0].trace_id, snap.trace[1].trace_id);
+  EXPECT_LE(snap.trace[0].ts_ns, snap.trace[1].ts_ns);
+  // Path latency histogram observed one value per sampled tuple.
+  bool found = false;
+  for (const obs::Sample& s : snap.samples) {
+    if (s.name == "sqp_trace_path_ns") {
+      found = true;
+      EXPECT_EQ(s.hist.count, 10u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(OpInstrumentationTest, TraceRingWraps) {
+  obs::Tracer tracer(4);
+  tracer.SetSampleEvery(1);
+  for (uint64_t i = 1; i <= 10; ++i) tracer.Record(i, 0, "op", i);
+  std::vector<obs::TraceEvent> ev = tracer.Events();
+  ASSERT_EQ(ev.size(), 4u);
+  EXPECT_EQ(ev[0].trace_id, 7u);  // Oldest surviving entry first.
+  EXPECT_EQ(ev[3].trace_id, 10u);
+}
+
+TEST(OpInstrumentationTest, UnboundOperatorsReportNothing) {
+  obs::MetricsRegistry reg;
+  Plan plan;
+  auto* sel = plan.Make<SelectOp>(Lit(int64_t{1}));
+  auto* sink = plan.Make<CollectorSink>();
+  sel->SetOutput(sink);
+  int64_t v = 0;
+  RunStream(sel, [&] { int64_t i = v++; return T(i, i); }, 100);
+  obs::Snapshot snap = reg.TakeSnapshot();
+  EXPECT_TRUE(snap.ops.empty());
+  EXPECT_TRUE(snap.trace.empty());
+  // Classic per-operator stats still work.
+  EXPECT_EQ(sel->stats().tuples_in, 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: StreamEngine::Metrics() end-to-end, serial and
+// parallel, snapshot taken while workers are live.
+
+TEST(EngineMetricsTest, SerialQueryReportsPerOpMetrics) {
+  StreamEngine engine;
+  ASSERT_TRUE(engine.RegisterStream("packets", gen::PacketSchema()).ok());
+  auto q = engine.Submit("select ts, len from packets where len > 500");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->metrics_label(), "q0");
+
+  gen::PacketGenerator packets(gen::PacketOptions{});
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(engine.Ingest("packets", packets.Next()).ok());
+  }
+  engine.FinishAll();
+
+  obs::Snapshot snap = engine.Metrics().TakeSnapshot();
+  ASSERT_FALSE(snap.ops.empty());
+  uint64_t select_in = 0;
+  uint64_t root_out = 0;
+  for (const obs::OpSnapshot& o : snap.ops) {
+    if (o.op == "select") select_in = o.tuples_in;
+    root_out = o.tuples_out;  // Last plan op drives the sink.
+  }
+  EXPECT_EQ(select_in, 2000u);
+  EXPECT_EQ(root_out, (*q)->result_count());
+  // The ingest counter rode along.
+  bool found = false;
+  for (const obs::Sample& s : snap.samples) {
+    if (s.name == "sqp_stream_ingested_total") {
+      found = true;
+      EXPECT_EQ(s.value, 2000.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EngineMetricsTest, ParallelQueryPublishesStageStats) {
+  StreamEngine engine;
+  ASSERT_TRUE(engine.RegisterStream("packets", gen::PacketSchema()).ok());
+  auto q = engine.Submit("select ts, len from packets where len > 500");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(engine.EnableParallel(*q).ok());
+
+  gen::PacketGenerator packets(gen::PacketOptions{});
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(engine.Ingest("packets", packets.Next()).ok());
+    if (i == 2500) {
+      // Snapshot while the workers are live (ingest still running).
+      obs::Snapshot live = engine.Metrics().TakeSnapshot();
+      EXPECT_FALSE(live.samples.empty());
+    }
+  }
+  engine.FinishAll();
+
+  obs::Snapshot snap = engine.Metrics().TakeSnapshot();
+  uint64_t stage0_processed = 0;
+  for (const obs::Sample& s : snap.samples) {
+    if (s.name != "sqp_stage_processed") continue;
+    for (const auto& kv : s.labels) {
+      if (kv.first == "stage" && kv.second == "0") {
+        stage0_processed = static_cast<uint64_t>(s.value);
+      }
+    }
+  }
+  EXPECT_EQ(stage0_processed, 5000u);
+  // Per-op metrics flow from the worker threads too.
+  bool saw_select = false;
+  for (const obs::OpSnapshot& o : snap.ops) {
+    if (o.op == "select") {
+      saw_select = true;
+      EXPECT_EQ(o.tuples_in, 5000u);
+    }
+  }
+  EXPECT_TRUE(saw_select);
+}
+
+TEST(EngineMetricsTest, DisabledMetricsBindNothing) {
+  StreamEngine engine;
+  engine.SetMetricsEnabled(false);
+  ASSERT_TRUE(engine.RegisterStream("packets", gen::PacketSchema()).ok());
+  auto q = engine.Submit("select ts, len from packets where len > 500");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE((*q)->metrics_label().empty());
+  gen::PacketGenerator packets(gen::PacketOptions{});
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine.Ingest("packets", packets.Next()).ok());
+  }
+  engine.FinishAll();
+  EXPECT_TRUE(engine.Metrics().TakeSnapshot().ops.empty());
+}
+
+// ---------------------------------------------------------------------------
+// StageStats satellites: unified rendering + backlog underflow guard.
+
+TEST(StageStatsTest, BacklogClampsTransientUnderflow) {
+  sched::StageStats s;
+  s.enqueued = 10;
+  s.processed = 12;  // Torn concurrent read: processed ran ahead.
+  EXPECT_EQ(s.Backlog(), 0u);
+  s.enqueued = 20;
+  EXPECT_EQ(s.Backlog(), 8u);
+}
+
+TEST(StageStatsTest, ToStringMatchesPublishedFields) {
+  sched::StageStats s;
+  s.enqueued = 5;
+  s.processed = 3;
+  s.dropped = 1;
+  s.max_queue_depth = 4;
+  s.busy_time = 0.25;
+  EXPECT_EQ(s.ToString(),
+            "enqueued=5 processed=3 dropped=1 backlog=2 max_queue_depth=4 "
+            "busy_time=0.250000");
+  // The obs bridge publishes exactly the same fields.
+  obs::Snapshot snap;
+  obs::SnapshotBuilder b(&snap);
+  sched::PublishStageStats(b, {{"stage", "0"}}, s);
+  ASSERT_EQ(snap.samples.size(), 6u);
+  EXPECT_EQ(snap.samples[0].name, "sqp_stage_enqueued");
+  EXPECT_EQ(snap.samples[0].value, 5.0);
+  EXPECT_EQ(snap.samples[3].name, "sqp_stage_backlog");
+  EXPECT_EQ(snap.samples[3].value, 2.0);
+}
+
+}  // namespace
+}  // namespace sqp
