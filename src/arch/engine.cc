@@ -151,6 +151,7 @@ Status StreamEngine::EnableParallel(QueryHandle* handle,
       s.op = op;
       s.queue_limit = options.queue_limit;
       s.backpressure = options.backpressure;
+      s.max_batch = options.max_batch;
       s.in_port = in_port;
       in_port = op->output_port();  // Port the *next* stage is fed on.
       stages.push_back(s);
@@ -165,6 +166,7 @@ Status StreamEngine::EnableParallel(QueryHandle* handle,
     s.op = handle->parallel_adapter_.get();
     s.queue_limit = options.queue_limit;
     s.backpressure = options.backpressure;
+    s.max_batch = options.max_batch;
     stages.push_back(s);
   }
 

@@ -31,6 +31,10 @@ struct ParallelQueryOptions {
   size_t queue_limit = 1024;
   /// Full-queue behavior: block the ingesting thread or shed the tuple.
   Backpressure backpressure = Backpressure::kBlock;
+  /// Delivery granularity per stage (ParallelExecutor::Stage::max_batch):
+  /// the worker hands queued elements to each operator in ElementBatch
+  /// runs of at most this size. <= 1 delivers per element.
+  size_t max_batch = 64;
 };
 
 /// A handle to one standing (continuous, persistent) query.

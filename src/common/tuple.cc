@@ -36,13 +36,42 @@ std::string Key::ToString() const {
   return out;
 }
 
+namespace {
+
+// Boost-style hash combine — the one key-hash used by both the owning
+// Key and the borrowed KeyView, so heterogeneous probes land in the
+// same bucket.
+inline size_t CombineHash(size_t h, size_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+}  // namespace
+
 size_t KeyHash::operator()(const Key& k) const {
   size_t h = 0x9e3779b97f4a7c15ULL;
-  for (const Value& v : k.parts) {
-    // Boost-style hash combine.
-    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  }
+  for (const Value& v : k.parts) h = CombineHash(h, v.Hash());
   return h;
+}
+
+size_t KeyView::Hash() const {
+  size_t h = 0x9e3779b97f4a7c15ULL;
+  for (size_t i = 0; i < n_; ++i) h = CombineHash(h, part(i).Hash());
+  return h;
+}
+
+bool KeyView::Equals(const Key& k) const {
+  if (k.parts.size() != n_) return false;
+  for (size_t i = 0; i < n_; ++i) {
+    if (!(part(i) == k.parts[i])) return false;
+  }
+  return true;
+}
+
+Key KeyView::Materialize() const {
+  Key key;
+  key.parts.reserve(n_);
+  for (size_t i = 0; i < n_; ++i) key.parts.push_back(part(i));
+  return key;
 }
 
 Key ExtractKey(const Tuple& t, const std::vector<int>& cols) {

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/value.h"
@@ -61,9 +63,63 @@ struct Key {
   std::string ToString() const;
 };
 
-struct KeyHash {
-  size_t operator()(const Key& k) const;
+/// A borrowed, zero-allocation view of the key `cols` of a tuple —
+/// three words on the stack, valid only while the tuple it references
+/// is. Probe hash tables with it (heterogeneous lookup through
+/// KeyHash/KeyEq) and materialize an owning Key only when an insert is
+/// actually needed, so hot probe paths (hash join, group-by) never heap-
+/// allocate for keys that already exist.
+class KeyView {
+ public:
+  KeyView(const Tuple& t, const std::vector<int>& cols)
+      : t_(&t), cols_(cols.data()), n_(cols.size()) {}
+
+  size_t size() const { return n_; }
+  const Value& part(size_t i) const {
+    return t_->at(static_cast<size_t>(cols_[i]));
+  }
+
+  /// Hash-consistent with KeyHash(Key) for an equal owning key.
+  size_t Hash() const;
+
+  bool Equals(const Key& k) const;
+
+  /// The one allocating step: copies the borrowed columns into an
+  /// owning Key (use on genuine inserts only).
+  Key Materialize() const;
+
+ private:
+  const Tuple* t_;
+  const int* cols_;
+  size_t n_;
 };
+
+/// Transparent hash: lets unordered containers keyed by Key be probed
+/// with a borrowed KeyView (C++20 heterogeneous lookup, no Key
+/// materialization on the probe path).
+struct KeyHash {
+  using is_transparent = void;
+  size_t operator()(const Key& k) const;
+  size_t operator()(const KeyView& v) const { return v.Hash(); }
+};
+
+/// Transparent equality, the other half of heterogeneous Key lookup.
+struct KeyEq {
+  using is_transparent = void;
+  bool operator()(const Key& a, const Key& b) const { return a == b; }
+  bool operator()(const KeyView& v, const Key& k) const {
+    return v.Equals(k);
+  }
+  bool operator()(const Key& k, const KeyView& v) const {
+    return v.Equals(k);
+  }
+};
+
+/// Key-indexed hash containers with KeyView probing enabled — the
+/// default table shape for joins and grouped aggregation.
+template <typename V>
+using KeyMap = std::unordered_map<Key, V, KeyHash, KeyEq>;
+using KeySet = std::unordered_set<Key, KeyHash, KeyEq>;
 
 /// Extracts `cols` of `t` as a Key.
 Key ExtractKey(const Tuple& t, const std::vector<int>& cols);

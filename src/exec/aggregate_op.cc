@@ -48,7 +48,9 @@ void GroupByAggregateOp::FoldTuple(const Tuple& t) {
   int64_t bucket =
       options_.window_size > 0 ? t.ts() / options_.window_size : 0;
   GroupMap& groups = buckets_[bucket];
-  Key key = ExtractKey(t, options_.key_cols);
+  // Borrowed-view probe: folding into an existing group — the steady
+  // state — allocates nothing for the key.
+  KeyView key(t, options_.key_cols);
   auto it = groups.find(key);
   if (it == groups.end()) {
     GroupState state;
@@ -56,7 +58,7 @@ void GroupByAggregateOp::FoldTuple(const Tuple& t) {
     for (const AggregateFunction& fn : fns_) {
       state.accs.push_back(fn.NewAccumulator());
     }
-    it = groups.emplace(std::move(key), std::move(state)).first;
+    it = groups.emplace(key.Materialize(), std::move(state)).first;
   }
   for (size_t i = 0; i < options_.aggs.size(); ++i) {
     const AggSpec& s = options_.aggs[i];

@@ -59,7 +59,7 @@ class GroupByAggregateOp : public Operator {
   struct GroupState {
     std::vector<std::unique_ptr<Accumulator>> accs;
   };
-  using GroupMap = std::unordered_map<Key, GroupState, KeyHash>;
+  using GroupMap = KeyMap<GroupState>;  // KeyView-probed (zero-alloc).
 
   void FoldTuple(const Tuple& t);
   void EmitBucket(int64_t bucket, GroupMap& groups);

@@ -16,7 +16,86 @@ void Operator::Emit(const Element& e) {
     ++stats_.tuples_out;
   }
   if (metrics_ != nullptr) metrics_->CountOut(e.is_punctuation());
+  if (coalescing_) {
+    // Inside a ProcessBatch call: buffer the emission so downstream
+    // receives one batch per input batch instead of a singleton per
+    // output element. The cap bounds buffer growth for expanding
+    // operators (joins); flushing a prefix early preserves order.
+    emit_buf_.push_back(e);
+    if (emit_buf_.size() >= kEmitBufferCap) FlushEmitBuffer();
+    return;
+  }
   if (out_ != nullptr) out_->Process(e, out_port_);
+}
+
+void Operator::Emit(Element&& e) {
+  AssertSingleCaller();
+  if (e.is_punctuation()) {
+    ++stats_.puncts_out;
+  } else {
+    ++stats_.tuples_out;
+  }
+  if (metrics_ != nullptr) metrics_->CountOut(e.is_punctuation());
+  if (coalescing_) {
+    emit_buf_.push_back(std::move(e));
+    if (emit_buf_.size() >= kEmitBufferCap) FlushEmitBuffer();
+    return;
+  }
+  if (out_ != nullptr) out_->Process(e, out_port_);
+}
+
+void Operator::ProcessBatch(ElementBatch& batch, int port) {
+  if (batch.empty()) return;
+  if (metrics_ == nullptr && tracer_ == nullptr) {
+    coalescing_ = out_ != nullptr;
+    PushBatch(batch, port);
+    coalescing_ = false;
+    FlushEmitBuffer();
+    return;
+  }
+  ProcessBatchInstrumented(batch, port);
+}
+
+void Operator::ProcessBatchInstrumented(ElementBatch& batch, int port) {
+  if (tracer_ != nullptr) {
+    // Lineage tracing records per-element hop chains; take the exact
+    // per-element path so sampled traces look identical under batching.
+    for (const Element& e : batch) Process(e, port);
+    return;
+  }
+  obs::ThreadObsContext& ctx = obs::ObsContext();
+  const bool entry = ctx.depth == 0;
+  if (entry) {
+    // Unlike the per-element path, every batch is timed: the two clock
+    // reads amortize over the whole batch, so no 1-in-N sampling (and
+    // busy_ns is recorded unscaled).
+    ctx.busy_sampled = false;
+    ctx.timed = true;
+  }
+  ++ctx.depth;
+  const uint64_t saved_child = ctx.child_ns;
+  ctx.child_ns = 0;
+  const uint64_t t0 = obs::NowNs();
+  coalescing_ = out_ != nullptr;
+  PushBatch(batch, port);
+  coalescing_ = false;
+  FlushEmitBuffer();
+  const uint64_t total = obs::NowNs() - t0;
+  const uint64_t self = total > ctx.child_ns ? total - ctx.child_ns : 0;
+  metrics_->AddBusyNs(self);
+  ctx.child_ns = saved_child + total;
+  --ctx.depth;
+  if (entry) {
+    ctx.child_ns = 0;
+    ctx.timed = false;
+  }
+}
+
+void Operator::FlushEmitBuffer() {
+  if (emit_buf_.empty()) return;
+  // Non-empty only when coalescing was on, which requires out_ != nullptr.
+  out_->ProcessBatch(emit_buf_, out_port_);
+  emit_buf_.clear();
 }
 
 void Operator::ProcessInstrumented(const Element& e, int port) {
@@ -77,6 +156,30 @@ void CollectorSink::Push(const Element& e, int /*port*/) {
   } else {
     tuples_.push_back(e.tuple());
   }
+}
+
+void CollectorSink::PushBatch(ElementBatch& batch, int /*port*/) {
+  size_t tuples = 0;
+  for (const Element& e : batch) {
+    if (!e.is_punctuation()) ++tuples;
+  }
+  tuples_.reserve(tuples_.size() + tuples);
+  puncts_.reserve(puncts_.size() + (batch.size() - tuples));
+  for (const Element& e : batch) {
+    CountIn(e);
+    if (e.is_punctuation()) {
+      puncts_.push_back(e.punctuation());
+    } else {
+      tuples_.push_back(e.tuple());
+    }
+  }
+}
+
+size_t CollectorSink::StateBytes() const {
+  size_t bytes = tuples_.capacity() * sizeof(TupleRef) +
+                 puncts_.capacity() * sizeof(Punctuation);
+  for (const TupleRef& t : tuples_) bytes += t->MemoryBytes();
+  return bytes;
 }
 
 }  // namespace sqp

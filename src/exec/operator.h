@@ -15,6 +15,7 @@
 
 #include "obs/op_metrics.h"
 #include "stream/element.h"
+#include "stream/element_batch.h"
 
 namespace sqp {
 
@@ -79,6 +80,23 @@ class Operator {
     ProcessInstrumented(e, port);
   }
 
+  /// Batched entry point (non-virtual, mirrors Process): semantically
+  /// identical to calling Process once per element in order, but the
+  /// whole run crosses the operator in one call. While the batch is
+  /// being processed, Emit coalesces this operator's output into a
+  /// batch of its own and forwards it downstream via ProcessBatch when
+  /// the input batch completes (or the coalescing buffer hits its cap),
+  /// so batches propagate down the chain instead of decaying back into
+  /// singletons at the first selective operator. Tuple/punctuation
+  /// ordering is preserved end to end: the output batch holds exactly
+  /// the sequence the per-element path would have pushed.
+  ///
+  /// The batch is taken by mutable reference because the operator may
+  /// move elements out of it (pass-through operators forward ownership
+  /// instead of bumping tuple refcounts); after the call the batch's
+  /// elements are unspecified — clear()/refill before reuse.
+  void ProcessBatch(ElementBatch& batch, int port = 0);
+
   /// Binds observability outputs (see sqp::obs). Pass nullptr to
   /// disable. Must happen before the operator processes elements; the
   /// bound objects must outlive the operator's last Push.
@@ -107,8 +125,29 @@ class Operator {
   int output_port() const { return out_port_; }
 
  protected:
-  /// Forwards an element downstream, maintaining counters.
+  /// Batch body, called by ProcessBatch. The default loops Push, so
+  /// every operator participates in the batched path unchanged; hot
+  /// per-element operators (select, project, sinks) override it with a
+  /// tight loop that skips the per-element virtual dispatch. Overrides
+  /// must preserve per-element semantics exactly: CountIn each element,
+  /// Emit in arrival order. Overrides may move elements out of the
+  /// batch (the caller treats the contents as consumed).
+  virtual void PushBatch(ElementBatch& batch, int port) {
+    for (const Element& e : batch) Push(e, port);
+  }
+
+  /// Forwards an element downstream, maintaining counters. Inside a
+  /// ProcessBatch call, emissions are coalesced into an output batch
+  /// (see ProcessBatch); otherwise they are pushed downstream
+  /// immediately.
   void Emit(const Element& e);
+
+  /// Move form: while coalescing, the element is moved into the output
+  /// batch instead of copied — pass-through operators (select) and
+  /// operators emitting freshly built elements (project, joins) avoid a
+  /// tuple refcount round-trip per element. Outside a batch it behaves
+  /// exactly like Emit(const Element&).
+  void Emit(Element&& e);
 
   /// Counts an arriving element. Subclasses call this first in Push.
   void CountIn(const Element& e) {
@@ -144,10 +183,24 @@ class Operator {
  private:
   /// Out-of-line slow path of Process: self-time metrics + tracing.
   void ProcessInstrumented(const Element& e, int port);
+  /// Slow path of ProcessBatch: whole-batch self-timing; falls back to
+  /// per-element Process when lineage tracing is on.
+  void ProcessBatchInstrumented(ElementBatch& batch, int port);
+  /// Hands the coalesced output batch downstream and resets the buffer.
+  void FlushEmitBuffer();
+
+  /// Emit buffer cap while coalescing: a join exploding one input batch
+  /// into many outputs flushes downstream mid-batch instead of growing
+  /// the buffer without bound (ordering is unaffected — the flush
+  /// forwards the prefix in order).
+  static constexpr size_t kEmitBufferCap = 1024;
 
   std::string name_;
   obs::OpMetrics* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  /// True only inside a ProcessBatch call with a wired output.
+  bool coalescing_ = false;
+  ElementBatch emit_buf_;
 #ifndef NDEBUG
   mutable std::atomic<std::thread::id> owner_{};
 #endif
@@ -160,6 +213,10 @@ class CollectorSink : public Operator {
 
   void Push(const Element& e, int port = 0) override;
 
+  /// Retained results count toward operator state for the memory
+  /// experiments (a collector is a window that never expires).
+  size_t StateBytes() const override;
+
   const std::vector<TupleRef>& tuples() const { return tuples_; }
   const std::vector<Punctuation>& punctuations() const { return puncts_; }
   size_t count() const { return tuples_.size(); }
@@ -168,6 +225,10 @@ class CollectorSink : public Operator {
     tuples_.clear();
     puncts_.clear();
   }
+
+ protected:
+  /// Batched append: one reserve per batch, then the per-element loop.
+  void PushBatch(ElementBatch& batch, int port) override;
 
  private:
   std::vector<TupleRef> tuples_;
@@ -182,6 +243,21 @@ class CountingSink : public Operator {
   void Push(const Element& e, int /*port*/ = 0) override { CountIn(e); }
 
   uint64_t tuples() const { return stats().tuples_in; }
+
+ protected:
+  /// Counting needs no per-element work at all: tally the batch once
+  /// and bump the counters in bulk.
+  void PushBatch(ElementBatch& batch, int /*port*/) override {
+    AssertSingleCaller();
+    uint64_t tuples = 0;
+    for (const Element& e : batch) {
+      if (!e.is_punctuation()) ++tuples;
+    }
+    const uint64_t puncts = batch.size() - tuples;
+    stats_.tuples_in += tuples;
+    stats_.puncts_in += puncts;
+    if (metrics() != nullptr) metrics()->CountInBulk(tuples, puncts);
+  }
 };
 
 /// Terminal operator invoking a callback per element.

@@ -18,6 +18,28 @@ void ProjectOp::Push(const Element& e, int /*port*/) {
   Emit(Element(MakeTuple(in.ts(), std::move(out))));
 }
 
+void ProjectOp::PushBatch(ElementBatch& batch, int /*port*/) {
+  AssertSingleCaller();
+  uint64_t tuples = 0;
+  uint64_t puncts = 0;
+  for (Element& e : batch) {
+    if (e.is_punctuation()) {
+      ++puncts;
+      Emit(std::move(e));
+      continue;
+    }
+    ++tuples;
+    const Tuple& in = *e.tuple();
+    std::vector<Value> out;
+    out.reserve(exprs_.size());
+    for (const ExprRef& ex : exprs_) out.push_back(ex->Eval(in));
+    Emit(Element(MakeTuple(in.ts(), std::move(out))));
+  }
+  stats_.tuples_in += tuples;
+  stats_.puncts_in += puncts;
+  if (metrics() != nullptr) metrics()->CountInBulk(tuples, puncts);
+}
+
 Result<Schema> ProjectOp::OutputSchema(const Schema& input,
                                        const std::vector<ExprRef>& exprs,
                                        const std::vector<std::string>& names) {
@@ -53,8 +75,11 @@ void DistinctOp::Push(const Element& e, int /*port*/) {
       seen_.clear();
     }
   }
-  Key key = ExtractKey(t, cols_);
-  if (seen_.insert(std::move(key)).second) {
+  // Probe with a borrowed view; duplicates (the common case once the
+  // window warms up) never allocate a Key.
+  KeyView view(t, cols_);
+  if (seen_.find(view) == seen_.end()) {
+    seen_.insert(view.Materialize());
     // First occurrence (in this window): project to the distinct columns.
     std::vector<Value> out;
     out.reserve(cols_.size());

@@ -26,6 +26,10 @@ class ProjectOp : public Operator {
                                      const std::vector<ExprRef>& exprs,
                                      const std::vector<std::string>& names = {});
 
+ protected:
+  /// Tight per-batch projection loop (see Operator::PushBatch).
+  void PushBatch(ElementBatch& batch, int port) override;
+
  private:
   std::vector<ExprRef> exprs_;
 };
@@ -46,7 +50,7 @@ class DistinctOp : public Operator {
   std::vector<int> cols_;
   int64_t window_size_;
   int64_t current_bucket_ = INT64_MIN;
-  std::unordered_set<Key, KeyHash> seen_;
+  KeySet seen_;  // KeyView-probed: duplicates never materialize a Key.
 };
 
 }  // namespace sqp

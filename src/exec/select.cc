@@ -14,4 +14,25 @@ void SelectOp::Push(const Element& e, int /*port*/) {
   if (Truthy(pred_->Eval(*e.tuple()))) Emit(e);
 }
 
+void SelectOp::PushBatch(ElementBatch& batch, int /*port*/) {
+  AssertSingleCaller();
+  // Per-element work is only the predicate: passing elements are moved
+  // straight into the coalesced output batch (no refcount traffic), and
+  // in/out counters are settled once per batch instead of per element.
+  uint64_t tuples = 0;
+  uint64_t puncts = 0;
+  for (Element& e : batch) {
+    if (e.is_punctuation()) {
+      ++puncts;
+      Emit(std::move(e));
+      continue;
+    }
+    ++tuples;
+    if (Truthy(pred_->Eval(*e.tuple()))) Emit(std::move(e));
+  }
+  stats_.tuples_in += tuples;
+  stats_.puncts_in += puncts;
+  if (metrics() != nullptr) metrics()->CountInBulk(tuples, puncts);
+}
+
 }  // namespace sqp

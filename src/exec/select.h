@@ -19,6 +19,11 @@ class SelectOp : public Operator {
 
   const ExprRef& predicate() const { return pred_; }
 
+ protected:
+  /// Tight filter loop: evaluate the predicate per element without
+  /// re-entering the virtual Push per element.
+  void PushBatch(ElementBatch& batch, int port) override;
+
  private:
   ExprRef pred_;
 };

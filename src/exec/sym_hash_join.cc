@@ -29,7 +29,9 @@ void SymmetricHashJoinOp::Push(const Element& e, int port) {
   int side = port == 0 ? 0 : 1;
   int other = 1 - side;
   const TupleRef& t = e.tuple();
-  Key key = ExtractKey(*t, key_cols_[side]);
+  // Probe and insert through a borrowed view: an owning Key is only
+  // materialized the first time a key value is seen on this side.
+  KeyView key(*t, key_cols_[side]);
 
   // Probe the other side's table first, then insert (no self-pairing).
   auto it = table_[other].find(key);
@@ -43,7 +45,12 @@ void SymmetricHashJoinOp::Push(const Element& e, int port) {
     }
   }
   table_bytes_[side] += t->MemoryBytes();
-  table_[side][std::move(key)].push_back(t);
+  auto own = table_[side].find(key);
+  if (own == table_[side].end()) {
+    own = table_[side].emplace(key.Materialize(), std::vector<TupleRef>{})
+              .first;
+  }
+  own->second.push_back(t);
 }
 
 void SymmetricHashJoinOp::Flush() {

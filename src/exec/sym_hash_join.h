@@ -29,7 +29,7 @@ class SymmetricHashJoinOp : public Operator {
   void EmitJoined(const Tuple& left, const Tuple& right);
 
   std::vector<int> key_cols_[2];
-  std::unordered_map<Key, std::vector<TupleRef>, KeyHash> table_[2];
+  KeyMap<std::vector<TupleRef>> table_[2];  // KeyView-probed (zero-alloc).
   size_t table_bytes_[2] = {0, 0};
   int flushes_ = 0;
 };

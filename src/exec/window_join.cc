@@ -61,7 +61,7 @@ void BinaryWindowJoinOp::EmitUnmatchedLeft(const Tuple& left, int64_t ts) {
   Emit(Element(MakeTuple(ts, std::move(row))));
 }
 
-uint64_t BinaryWindowJoinOp::Probe(const Side& probe_side, const Key& key,
+uint64_t BinaryWindowJoinOp::Probe(const Side& probe_side, const KeyView& key,
                                    const Tuple& t, bool t_is_left) {
   uint64_t matches = 0;
   if (probe_side.strategy == JoinStrategy::kHash) {
@@ -83,11 +83,18 @@ uint64_t BinaryWindowJoinOp::Probe(const Side& probe_side, const Key& key,
     }
     return matches;
   }
-  // Nested loop: scan the window buffer.
+  // Nested loop: scan the window buffer, comparing each candidate's key
+  // columns directly against the already-extracted probe key — no
+  // per-candidate key construction.
   auto scan = [&](const auto& contents) {
+    const std::vector<int>& cols = probe_side.key_cols;
     for (const TupleRef& match : contents) {
       ++jstats_.nl_comparisons;
-      if (ExtractKey(*match, probe_side.key_cols) == key) {
+      bool eq = cols.size() == key.size();
+      for (size_t c = 0; eq && c < cols.size(); ++c) {
+        eq = match->at(static_cast<size_t>(cols[c])) == key.part(c);
+      }
+      if (eq) {
         ++matches;
         if (t_is_left) {
           EmitJoined(t, *match);
@@ -109,7 +116,7 @@ void BinaryWindowJoinOp::RemoveFromIndex(Side& side,
                                          const std::vector<TupleRef>& expired) {
   if (side.strategy != JoinStrategy::kHash) return;
   for (const TupleRef& t : expired) {
-    Key key = ExtractKey(*t, side.key_cols);
+    KeyView key(*t, side.key_cols);
     auto it = side.index.find(key);
     if (it == side.index.end()) continue;
     auto& vec = it->second;
@@ -152,7 +159,13 @@ void BinaryWindowJoinOp::Insert(Side& side, const TupleRef& t) {
   }
   if (side.strategy == JoinStrategy::kHash) {
     side.index_bytes += t->MemoryBytes();
-    side.index[ExtractKey(*t, side.key_cols)].push_back(t);
+    KeyView key(*t, side.key_cols);
+    auto it = side.index.find(key);
+    if (it == side.index.end()) {
+      it = side.index.emplace(key.Materialize(), std::vector<TupleRef>{})
+               .first;
+    }
+    it->second.push_back(t);
   }
   HandleExpired(static_cast<int>(&side - &sides_[0]), expired);
 }
@@ -177,7 +190,7 @@ void BinaryWindowJoinOp::Push(const Element& e, int port) {
   int me = port == 0 ? 0 : 1;
   int other = 1 - me;
   const TupleRef& t = e.tuple();
-  Key key = ExtractKey(*t, sides_[me].key_cols);
+  KeyView key(*t, sides_[me].key_cols);
 
   // KNV03 order: invalidate the opposite window up to the arriving
   // tuple's time, probe it, then insert into our own window (which also

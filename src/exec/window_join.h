@@ -77,13 +77,15 @@ class BinaryWindowJoinOp : public Operator {
     std::unique_ptr<TimeWindowBuffer> time_buf;
     std::unique_ptr<CountWindowBuffer> count_buf;
     /// Hash index over the window (kHash only); lazily purged.
-    std::unordered_map<Key, std::vector<TupleRef>, KeyHash> index;
+    /// KeyView-probed: arrivals and expiries never allocate for lookups.
+    KeyMap<std::vector<TupleRef>> index;
     size_t index_bytes = 0;
   };
 
   void Insert(Side& side, const TupleRef& t);
-  /// Returns the number of matches produced.
-  uint64_t Probe(const Side& probe_side, const Key& key, const Tuple& t,
+  /// Returns the number of matches produced. `key` is a borrowed view of
+  /// `t`'s key columns (valid for the duration of the call).
+  uint64_t Probe(const Side& probe_side, const KeyView& key, const Tuple& t,
                  bool t_is_left);
   void RemoveFromIndex(Side& side, const std::vector<TupleRef>& expired);
   /// Expiry hook: index cleanup plus outer-join emission for side 0.

@@ -51,6 +51,12 @@ struct alignas(64) OpMetrics {
   void CountIn(bool punct) {
     (punct ? puncts_in : tuples_in).fetch_add(1, std::memory_order_relaxed);
   }
+  /// Bulk arrival count for batched sinks: one atomic add per kind per
+  /// batch instead of one per element.
+  void CountInBulk(uint64_t tuples, uint64_t puncts) {
+    if (tuples != 0) tuples_in.fetch_add(tuples, std::memory_order_relaxed);
+    if (puncts != 0) puncts_in.fetch_add(puncts, std::memory_order_relaxed);
+  }
   void CountOut(bool punct) {
     (punct ? puncts_out : tuples_out).fetch_add(1, std::memory_order_relaxed);
   }

@@ -30,6 +30,25 @@ class ParallelExecutor::Relay : public Operator {
   /// Reached by the upstream operator's flush cascade.
   void Flush() override { FlushBuffer(); }
 
+ protected:
+  /// Batched hand-off from the upstream operator's Emit coalescing:
+  /// move the whole output batch into the buffer (the relay is the end
+  /// of this stage's synchronous chain, so it can take ownership), then
+  /// flush once — same ordering as the per-element path (which would
+  /// have flushed at the batch's last punctuation anyway), one
+  /// EnqueueBatch per batch.
+  void PushBatch(ElementBatch& batch, int /*port*/) override {
+    buf_.reserve(buf_.size() + batch.size());
+    bool saw_punct = false;
+    for (Element& e : batch) {
+      if (e.is_punctuation()) saw_punct = true;
+      buf_.push_back(Item{std::move(e), port_});
+    }
+    if (saw_punct || buf_.size() >= cap_) FlushBuffer();
+  }
+
+ public:
+
   void FlushBuffer() {
     if (buf_.empty()) return;
     exec_->EnqueueBatch(next_, buf_);
@@ -119,8 +138,9 @@ bool ParallelExecutor::Enqueue(size_t stage, Item item) {
   // ready, or immediately for punctuations (watermarks are the latency-
   // critical control path). Sub-batch trickle is covered by the worker's
   // poll timeout, and CloseStage/Stop wake unconditionally.
-  // `== wake`, not `>=`: the worker claims the whole queue at once (size
-  // snaps back to 0), so each batch crosses the threshold exactly once —
+  // `== wake`, not `>=`: the worker only sleeps once the queue is empty
+  // (a partially claimed queue keeps it looping without waiting), so a
+  // refilling queue crosses the threshold exactly once per sleep —
   // signalling on every element past it would be a futex call per tuple.
   size_t wake = st.cfg.wake_batch == 0 ? 1 : st.cfg.wake_batch;
   if (limit != 0 && wake > limit) wake = limit;
@@ -178,7 +198,10 @@ void ParallelExecutor::CloseStage(size_t stage) {
 void ParallelExecutor::WorkerLoop(size_t stage) {
   StageState& st = *states_[stage];
   Operator* op = st.cfg.op;
-  std::vector<Item> batch;
+  const size_t max_batch = st.cfg.max_batch == 0 ? 1 : st.cfg.max_batch;
+  std::deque<Item> batch;
+  ElementBatch eb;
+  if (max_batch > 1) eb.reserve(max_batch);
   for (;;) {
     batch.clear();
     bool flush = false;
@@ -192,7 +215,19 @@ void ParallelExecutor::WorkerLoop(size_t stage) {
       });
       if (stop_) return;
       if (!st.q.empty()) {
-        batch.swap(st.q);
+        // Claim at most max_batch elements per lock acquisition —
+        // max_batch is the one hand-off granularity knob, so =1 really
+        // is the classic element-at-a-time executor (a lock round-trip
+        // and a producer wakeup per element) that the batched path is
+        // measured against.
+        if (st.q.size() <= max_batch) {
+          batch.swap(st.q);
+        } else {
+          for (size_t k = 0; k < max_batch; ++k) {
+            batch.push_back(std::move(st.q.front()));
+            st.q.pop_front();
+          }
+        }
       } else if (st.closed) {
         // closed && empty: our input is finished.
         flush = true;
@@ -201,17 +236,39 @@ void ParallelExecutor::WorkerLoop(size_t stage) {
       }
     }
     if (flush) break;
-    // A whole batch was claimed: wake every producer blocked on the
-    // bound, then process outside the lock.
+    // A batch was claimed: wake every producer blocked on the bound,
+    // then process outside the lock.
     st.not_full.notify_all();
     if (obs::OpMetrics* m = op->metrics()) {
       m->IncBatches();
       m->UpdateQueueDepth(batch.size());
     }
     auto t0 = std::chrono::steady_clock::now();
-    for (Item& item : batch) {
-      op->Process(item.e, item.port);
-      if (stop_) break;
+    uint64_t deliveries = 0;
+    if (max_batch <= 1) {
+      // Exact pre-batching path: one virtual Push per element.
+      for (Item& item : batch) {
+        op->Process(item.e, item.port);
+        if (stop_) break;
+      }
+    } else {
+      // Slice the claimed queue into same-port runs of at most
+      // max_batch elements and deliver each as one ProcessBatch call.
+      // Elements are moved out of the claimed vector; order, including
+      // punctuations, is untouched.
+      size_t i = 0;
+      while (i < batch.size() && !stop_) {
+        const int port = batch[i].port;
+        size_t end = batch.size() - i > max_batch ? i + max_batch
+                                                  : batch.size();
+        eb.clear();
+        while (i < end && batch[i].port == port) {
+          eb.push_back(std::move(batch[i].e));
+          ++i;
+        }
+        op->ProcessBatch(eb, port);
+        ++deliveries;
+      }
     }
     // Don't sit on buffered emissions while waiting for the next batch.
     if (stage < relays_.size()) relays_[stage]->FlushBuffer();
@@ -222,6 +279,7 @@ void ParallelExecutor::WorkerLoop(size_t stage) {
     {
       std::lock_guard<std::mutex> lock(st.mu);
       st.processed += batch.size();
+      st.batches += deliveries;
     }
     if (stop_) return;
   }
@@ -261,6 +319,7 @@ sched::StageStats ParallelExecutor::stage_stats(size_t i) const {
   std::lock_guard<std::mutex> lock(st.mu);
   out.enqueued = st.enqueued;
   out.processed = st.processed;
+  out.batches = st.batches;
   out.dropped = st.dropped;
   out.max_queue_depth = st.max_depth;
   out.busy_time =

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -68,6 +69,15 @@ class ParallelExecutor {
     /// workers also poll on a short timeout, so a sub-batch trickle is
     /// picked up within ~1ms rather than sitting until the next batch.
     size_t wake_batch = 64;
+    /// Hand-off granularity out of the stage's queue: the worker claims
+    /// at most this many elements per lock acquisition and delivers the
+    /// run as one Operator::ProcessBatch call, so batches keep
+    /// propagating downstream through Emit coalescing. <= 1 reproduces
+    /// the classic element-at-a-time executor loop — one lock
+    /// acquisition and one virtual Process per element. Order (tuples
+    /// and punctuations alike) is preserved either way, and the bound
+    /// also caps how long a claimed run can delay the relay flush.
+    size_t max_batch = 64;
   };
 
   /// `sink` receives the last stage's output; pass nullptr to keep the
@@ -127,12 +137,13 @@ class ParallelExecutor {
     mutable std::mutex mu;
     std::condition_variable not_empty;
     std::condition_variable not_full;
-    std::vector<Item> q;
+    std::deque<Item> q;
     /// No further input will ever be enqueued (drain cascade reached us).
     bool closed = false;
     // Counters (guarded by mu except busy_ns, owned by the worker).
     uint64_t enqueued = 0;
     uint64_t processed = 0;
+    uint64_t batches = 0;  // ProcessBatch deliveries (0 if max_batch <= 1).
     uint64_t dropped = 0;
     uint64_t max_depth = 0;
     std::atomic<uint64_t> busy_ns{0};

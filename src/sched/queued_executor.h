@@ -29,6 +29,13 @@ class QueuedExecutor {
     double selectivity_hint = 1.0;
     /// Bound on the stage's input queue in elements (0 = unbounded).
     size_t queue_limit = 0;
+    /// Delivery granularity: when the policy picks this stage and the
+    /// budget covers more than one element, up to this many queued
+    /// elements are handed to the operator as one ProcessBatch call
+    /// (each still charged `cost`). 1 = per-element delivery, the
+    /// default, which keeps the scheduling simulation exact: batching
+    /// trades policy granularity for lower per-element overhead.
+    size_t max_batch = 1;
   };
 
   QueuedExecutor(std::vector<Stage> stages, Operator* sink,
@@ -72,9 +79,16 @@ class QueuedExecutor {
     uint64_t seq;
   };
 
+  /// Routes a stage's output into the next stage's queue. Batch-aware:
+  /// a batched flush moves its elements into queue entries instead of
+  /// copying them one hand-off at a time, so delivery batches cross
+  /// stage boundaries without per-element refcount traffic.
+  class Relay;
+
   std::vector<OpView> MakeViews() const;
-  /// Pops the head of `stage`'s queue into its operator.
-  void Deliver(size_t stage);
+  /// Pops the first `n` elements of `stage`'s queue into its operator —
+  /// one Process call when n == 1, one ProcessBatch call otherwise.
+  void DeliverBatch(size_t stage, size_t n);
 
   /// Appends to `stage`'s queue, honoring its bound (punctuations are
   /// never dropped). Returns false and counts the drop on overflow.
@@ -82,6 +96,9 @@ class QueuedExecutor {
 
   std::vector<Stage> stages_;
   std::vector<std::deque<Entry>> queues_;
+  /// Reused across DeliverBatch calls: batched delivery must not pay a
+  /// heap allocation per train.
+  ElementBatch scratch_;
   std::vector<sched::StageStats> stage_stats_;
   // Relay sinks routing each stage's output into the next queue.
   std::vector<std::unique_ptr<Operator>> relays_;

@@ -18,6 +18,10 @@ struct StageStats {
   uint64_t enqueued = 0;
   /// Elements popped from the queue and pushed into the operator.
   uint64_t processed = 0;
+  /// ProcessBatch deliveries into the stage's operator. 0 on pure
+  /// per-element paths (max_batch <= 1); processed/batches is the
+  /// realized batch size otherwise.
+  uint64_t batches = 0;
   /// Elements lost at this stage's queue (bounded queue overflow).
   uint64_t dropped = 0;
   /// High-water mark of the stage's input queue, in elements.
@@ -46,6 +50,7 @@ template <typename Fn>
 void ForEachStageStatField(const StageStats& s, Fn&& fn) {
   fn("enqueued", static_cast<double>(s.enqueued), true);
   fn("processed", static_cast<double>(s.processed), true);
+  fn("batches", static_cast<double>(s.batches), true);
   fn("dropped", static_cast<double>(s.dropped), true);
   fn("backlog", static_cast<double>(s.Backlog()), false);
   fn("max_queue_depth", static_cast<double>(s.max_queue_depth), false);

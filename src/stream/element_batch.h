@@ -1,0 +1,154 @@
+#ifndef SQP_STREAM_ELEMENT_BATCH_H_
+#define SQP_STREAM_ELEMENT_BATCH_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "stream/element.h"
+
+namespace sqp {
+
+/// An ordered run of stream elements handed across the engine in one
+/// call — the unit of the batched execution path (see
+/// Operator::ProcessBatch). Tuples and punctuations keep their relative
+/// order, so a batch is semantically identical to pushing its elements
+/// one at a time; only the per-element crossing costs (virtual dispatch,
+/// queue locks, condvar wakeups) are amortized.
+///
+/// Small-buffer optimized: up to kInlineCapacity elements live inside
+/// the batch object itself, so the common executor hand-off sizes avoid
+/// a heap allocation for the batch container; larger batches spill to
+/// the heap with doubling growth. Move-only, like the buffers it feeds.
+class ElementBatch {
+ public:
+  static constexpr size_t kInlineCapacity = 8;
+
+  ElementBatch() : data_(inline_ptr()), capacity_(kInlineCapacity) {}
+
+  ~ElementBatch() {
+    DestroyAll();
+    if (!is_inline()) Allocator().deallocate(data_, capacity_);
+  }
+
+  ElementBatch(const ElementBatch&) = delete;
+  ElementBatch& operator=(const ElementBatch&) = delete;
+
+  ElementBatch(ElementBatch&& other) noexcept
+      : data_(inline_ptr()), capacity_(kInlineCapacity) {
+    MoveFrom(std::move(other));
+  }
+
+  ElementBatch& operator=(ElementBatch&& other) noexcept {
+    if (this == &other) return *this;
+    DestroyAll();
+    if (!is_inline()) {
+      Allocator().deallocate(data_, capacity_);
+      data_ = inline_ptr();
+      capacity_ = kInlineCapacity;
+    }
+    MoveFrom(std::move(other));
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  const Element& operator[](size_t i) const { return data_[i]; }
+  const Element* begin() const { return data_; }
+  const Element* end() const { return data_ + size_; }
+  const Element& back() const { return data_[size_ - 1]; }
+
+  // Mutable access: batch consumers (Operator::PushBatch overrides) may
+  // move elements out instead of copying — a moved-from slot stays a
+  // valid Element until clear(), it just no longer owns a tuple.
+  Element& operator[](size_t i) { return data_[i]; }
+  Element* begin() { return data_; }
+  Element* end() { return data_ + size_; }
+  Element& back() { return data_[size_ - 1]; }
+
+  void push_back(Element e) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    ::new (static_cast<void*>(data_ + size_)) Element(std::move(e));
+    ++size_;
+  }
+
+  /// Destroys the elements; capacity (inline or heap) is retained so a
+  /// reused batch buffer stops allocating once warm.
+  void clear() {
+    DestroyAll();
+    size_ = 0;
+  }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  /// Approximate footprint of the batched payloads (queue/shedding
+  /// accounting — sums each element's own MemoryBytes, see
+  /// Tuple::MemoryBytes), plus the batch buffer itself.
+  size_t MemoryBytes() const {
+    size_t bytes = sizeof(ElementBatch);
+    if (!is_inline()) bytes += capacity_ * sizeof(Element);
+    for (size_t i = 0; i < size_; ++i) bytes += data_[i].MemoryBytes();
+    return bytes;
+  }
+
+ private:
+  using Allocator = std::allocator<Element>;
+
+  Element* inline_ptr() {
+    return std::launder(reinterpret_cast<Element*>(inline_storage_));
+  }
+  bool is_inline() const {
+    return data_ ==
+           std::launder(reinterpret_cast<const Element*>(inline_storage_));
+  }
+
+  void DestroyAll() {
+    for (size_t i = 0; i < size_; ++i) data_[i].~Element();
+  }
+
+  void Grow(size_t new_cap) {
+    if (new_cap < kInlineCapacity * 2) new_cap = kInlineCapacity * 2;
+    Element* nd = Allocator().allocate(new_cap);
+    for (size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(nd + i)) Element(std::move(data_[i]));
+      data_[i].~Element();
+    }
+    if (!is_inline()) Allocator().deallocate(data_, capacity_);
+    data_ = nd;
+    capacity_ = new_cap;
+  }
+
+  /// Precondition: *this is empty and inline (freshly reset).
+  void MoveFrom(ElementBatch&& other) noexcept {
+    if (other.is_inline()) {
+      for (size_t i = 0; i < other.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i))
+            Element(std::move(other.data_[i]));
+      }
+      size_ = other.size_;
+      other.DestroyAll();
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_ptr();
+      other.capacity_ = kInlineCapacity;
+    }
+    other.size_ = 0;
+  }
+
+  Element* data_;
+  size_t size_ = 0;
+  size_t capacity_;
+  alignas(Element) unsigned char inline_storage_[kInlineCapacity *
+                                                 sizeof(Element)];
+};
+
+}  // namespace sqp
+
+#endif  // SQP_STREAM_ELEMENT_BATCH_H_

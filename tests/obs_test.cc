@@ -393,21 +393,24 @@ TEST(StageStatsTest, ToStringMatchesPublishedFields) {
   sched::StageStats s;
   s.enqueued = 5;
   s.processed = 3;
+  s.batches = 2;
   s.dropped = 1;
   s.max_queue_depth = 4;
   s.busy_time = 0.25;
   EXPECT_EQ(s.ToString(),
-            "enqueued=5 processed=3 dropped=1 backlog=2 max_queue_depth=4 "
-            "busy_time=0.250000");
+            "enqueued=5 processed=3 batches=2 dropped=1 backlog=2 "
+            "max_queue_depth=4 busy_time=0.250000");
   // The obs bridge publishes exactly the same fields.
   obs::Snapshot snap;
   obs::SnapshotBuilder b(&snap);
   sched::PublishStageStats(b, {{"stage", "0"}}, s);
-  ASSERT_EQ(snap.samples.size(), 6u);
+  ASSERT_EQ(snap.samples.size(), 7u);
   EXPECT_EQ(snap.samples[0].name, "sqp_stage_enqueued");
   EXPECT_EQ(snap.samples[0].value, 5.0);
-  EXPECT_EQ(snap.samples[3].name, "sqp_stage_backlog");
-  EXPECT_EQ(snap.samples[3].value, 2.0);
+  EXPECT_EQ(snap.samples[2].name, "sqp_stage_batches");
+  EXPECT_EQ(snap.samples[2].value, 2.0);
+  EXPECT_EQ(snap.samples[4].name, "sqp_stage_backlog");
+  EXPECT_EQ(snap.samples[4].value, 2.0);
 }
 
 }  // namespace
