@@ -11,12 +11,17 @@
 #include <cstdio>
 #include <vector>
 
+#include "arch/engine.h"
 #include "bench_util.h"
+#include "common/rng.h"
 #include "exec/expr.h"
 #include "exec/plan.h"
 #include "exec/project.h"
 #include "exec/select.h"
+#include "obs/monitor.h"
 #include "obs/registry.h"
+#include "shed/feedback_shedder.h"
+#include "stream/arrival.h"
 #include "stream/generators.h"
 
 namespace sqp {
@@ -151,6 +156,173 @@ void PrintSnapshotCosts() {
   t.Print("E15: snapshot + export cost (3-op plan, tracing on)");
 }
 
+struct EngineRun {
+  double seconds = 0.0;
+  size_t rows = 0;
+};
+
+/// Streams `input` through a full StreamEngine (select->project over the
+/// packets stream) with the given observability configuration. The timed
+/// region covers ingest through FinishAll, so it includes everything the
+/// monitor/latency machinery touches on the hot path.
+EngineRun RunEngineIngest(const std::vector<TupleRef>& input,
+                          uint64_t latency_every, int monitor_period_ms) {
+  StreamEngine engine;
+  (void)engine.RegisterStream("packets", gen::PacketSchema());
+  engine.SetLatencySampleEvery(latency_every);
+  auto q = engine.Submit("select ts, len from packets where len > 500");
+  if (!q.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", q.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (monitor_period_ms > 0) {
+    obs::MonitorOptions mopt;
+    mopt.period_ms = monitor_period_ms;
+    engine.StartMonitor(mopt);
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  for (const TupleRef& t : input) (void)engine.Ingest("packets", t);
+  engine.FinishAll();
+  auto t1 = std::chrono::steady_clock::now();
+  EngineRun r;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.rows = (*q)->result_count();
+  return r;
+}
+
+/// E17 — continuous-monitor overhead. The Monitor samples the registry
+/// from its own thread; the ingest path only pays the latency probe (a
+/// relaxed load + occasional CAS). This measures the whole engine ingest
+/// path with the monitor off vs ticking, best-of-reps interleaved.
+void PrintMonitorOverheadTable() {
+  const uint64_t n = bench::Iters(2000000, 100000);
+  const int reps = static_cast<int>(bench::Iters(7, 5));
+  std::vector<TupleRef> input;
+  input.reserve(n);
+  gen::PacketGenerator packets(gen::PacketOptions{});
+  for (uint64_t i = 0; i < n; ++i) input.push_back(packets.Next());
+
+  struct Config {
+    const char* name;
+    uint64_t latency_every;
+    int monitor_period_ms;
+  };
+  const Config configs[] = {
+      {"metrics only (no monitor)", 0, 0},
+      {"+ latency sampling 1/256 (default)", 256, 0},
+      {"+ monitor 100ms tick (default)", 256, 100},
+      {"+ monitor 10ms tick", 256, 10},
+      {"+ monitor 1ms tick (stress)", 256, 1},
+  };
+  constexpr int kConfigs = 5;
+  // Shared machines drift several percent between runs, swamping a
+  // best-of comparison across configs. Pair instead: every rep times
+  // the baseline and each config back to back, the overhead is the
+  // per-rep ratio (slow drift cancels), and the median rep rejects
+  // scheduler bursts.
+  std::vector<std::vector<double>> ratio(kConfigs);
+  double best[kConfigs] = {1e100, 1e100, 1e100, 1e100, 1e100};
+  size_t rows[kConfigs] = {0, 0, 0, 0, 0};
+  for (int r = 0; r < reps; ++r) {
+    // Untimed warmup: the first engine of a rep otherwise runs cold
+    // (allocator + cache state) and inflates whichever config runs
+    // first. The rotation below makes any residual within-rep drift
+    // hit every config in every slot across reps, so it cancels out
+    // of the aggregated ratios instead of biasing the baseline.
+    (void)RunEngineIngest(input, 0, 0);
+    double rep_s[kConfigs];
+    for (int s = 0; s < kConfigs; ++s) {
+      int c = (r + s) % kConfigs;
+      EngineRun run = RunEngineIngest(input, configs[c].latency_every,
+                                      configs[c].monitor_period_ms);
+      rep_s[c] = run.seconds;
+      best[c] = std::min(best[c], run.seconds);
+      rows[c] = run.rows;
+    }
+    for (int c = 0; c < kConfigs; ++c) ratio[c].push_back(rep_s[c] / rep_s[0]);
+  }
+  for (int c = 1; c < kConfigs; ++c) {
+    if (rows[c] != rows[0]) {
+      std::fprintf(stderr, "FATAL: observability changed results\n");
+      std::exit(1);
+    }
+  }
+  // Median rep for real runs; min rep under --smoke, where each run is
+  // milliseconds and one scheduler burst skews even the median — the
+  // min stays meaningful for the CI gate because a systematic slowdown
+  // (say, a lock added to the ingest path) inflates every rep.
+  auto agg = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    if (bench::SmokeMode()) return v.front();
+    size_t m = v.size() / 2;
+    return v.size() % 2 == 1 ? v[m] : (v[m - 1] + v[m]) / 2.0;
+  };
+  auto mps = [&](double s) { return static_cast<double>(n) / s / 1e6; };
+  Table t({"config", "Mtuples/s", "ns/tuple", "overhead %"});
+  t.AddRow({configs[0].name, Fmt(mps(best[0])),
+            Fmt(best[0] / static_cast<double>(n) * 1e9, 1), "baseline"});
+  for (int c = 1; c < kConfigs; ++c) {
+    t.AddRow({configs[c].name, Fmt(mps(best[c])),
+              Fmt(best[c] / static_cast<double>(n) * 1e9, 1),
+              Fmt((agg(ratio[c]) - 1.0) * 100.0, 1)});
+  }
+  t.Print("E17: continuous monitor overhead, engine ingest path");
+  std::printf(
+      "note: the monitor thread snapshots every period; the ingest path\n"
+      "itself only pays the sampled latency probe. overhead %% is the\n"
+      "per-rep paired ratio vs the same rep's baseline (median rep on\n"
+      "full runs, min rep under --smoke). Acceptance gate: 'monitor\n"
+      "100ms tick (default)' < 3%% on a full run; the 1ms row is a\n"
+      "stress configuration (100x the default).\n");
+}
+
+/// E17b — adaptive shedding convergence. Deterministic queue simulation:
+/// Poisson arrivals at 2x service capacity, the PI controller watching
+/// the queue. Reports time-to-target, steady-state error, and recovery.
+void PrintSheddingConvergenceTable() {
+  const int ticks = static_cast<int>(bench::Iters(20000, 3000));
+  FeedbackShedder::Options opt;
+  opt.target_queue = 100.0;
+  FeedbackShedder shed(opt);
+  Rng rng(17);
+  PoissonArrival arrivals(2.0, 18);
+  double queue = 0;
+  int first_in_band = -1;
+  double tail_queue = 0.0;
+  double tail_rate = 0.0;
+  int tail_n = 0;
+  const int tail_start = ticks * 3 / 4;
+  for (int t = 0; t < ticks; ++t) {
+    uint64_t arr = arrivals.ArrivalsAt(t);
+    double p = shed.Observe(static_cast<size_t>(queue));
+    for (uint64_t i = 0; i < arr; ++i) {
+      if (!rng.Bernoulli(p)) queue += 1;
+    }
+    queue = std::max(0.0, queue - 1.0);
+    if (first_in_band < 0 && queue >= 75.0 && queue <= 125.0) {
+      first_in_band = t;
+    }
+    if (t >= tail_start) {
+      tail_queue += queue;
+      tail_rate += p;
+      ++tail_n;
+    }
+  }
+  // Load vanishes: how fast does the gate reopen?
+  int recovery_ticks = 0;
+  while (shed.Observe(0) >= 0.01 && recovery_ticks < 10000) ++recovery_ticks;
+
+  Table t({"metric", "value"});
+  t.AddRow({"ticks to reach +-25% of target", FmtInt(static_cast<uint64_t>(
+                                                  std::max(first_in_band, 0)))});
+  t.AddRow({"tail mean queue (target 100)", Fmt(tail_queue / tail_n, 1)});
+  t.AddRow({"tail mean drop rate (ideal 0.50)", Fmt(tail_rate / tail_n, 3)});
+  t.AddRow({"ticks to <1% drops after load ends", FmtInt(
+                                                      static_cast<uint64_t>(
+                                                          recovery_ticks))});
+  t.Print("E17b: adaptive shedding convergence, 2x overload");
+}
+
 void BM_CounterInc(benchmark::State& state) {
   obs::Counter c;
   for (auto _ : state) {
@@ -198,6 +370,8 @@ int main(int argc, char** argv) {
   sqp::bench::ParseBenchArgs(argc, argv);
   sqp::PrintOverheadTable();
   sqp::PrintSnapshotCosts();
+  sqp::PrintMonitorOverheadTable();
+  sqp::PrintSheddingConvergenceTable();
   sqp::bench::RunMicrobenchmarks(argc, argv);
   return 0;
 }

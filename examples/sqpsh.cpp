@@ -2,7 +2,8 @@
 // built-in synthetic streams.
 //
 //   sqpsh [--tuples N] [--rows K] [--parallel] [--trace-every N]
-//         <query|command> [<query|command> ...]
+//         [--http PORT] [--linger SECS] [--adaptive-shed]
+//         [--shed-target N] <query|command> [<query|command> ...]
 //
 // Registered streams: packets (IPv4/TCP tap), cdr (call records),
 // sensors (measurements). Every query sees the same interleaved feed.
@@ -13,15 +14,24 @@
 //                   selectivity, busy time, queue depth, stage stats.
 //   \metrics=json   same snapshot as one JSON object
 //   \metrics=prom   same snapshot in Prometheus text exposition format
+//   \top            live refreshing dashboard from the continuous
+//                   monitor: stream rates, per-operator throughput and
+//                   selectivity, backlog, latency p50/p99, drop rates
 //
-//   ./build/examples/sqpsh --tuples 50000 '\metrics' \
-//     "select tb, src_ip, sum(len) from packets where protocol = 6 \
+//   ./build/examples/sqpsh --tuples 50000 '\metrics'
+//     "select tb, src_ip, sum(len) from packets where protocol = 6
 //      group by ts/60 as tb, src_ip having count(*) > 5"
+//
+//   # Scrapeable run: serve /metrics while ingesting, keep serving 30s.
+//   ./build/examples/sqpsh --http 9464 --linger 30 --parallel
+//     --adaptive-shed '\top' "select ts from packets where len > 256"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "arch/engine.h"
@@ -34,8 +44,25 @@ enum class MetricsMode { kOff, kPretty, kJson, kProm };
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: sqpsh [--tuples N] [--rows K] [--parallel] [--trace-every N]\n"
-      "             <query|\\metrics[=json|prom]> [...]\n"
+      "usage: sqpsh [options] <query|command> [<query|command> ...]\n"
+      "options:\n"
+      "  --tuples N        tuples to generate per stream (default 100000)\n"
+      "  --rows K          result rows to print per query (default 10)\n"
+      "  --parallel        run each query on the threaded executor\n"
+      "  --trace-every N   sample every Nth tuple's lineage (default off)\n"
+      "  --http PORT       serve GET /metrics (Prometheus), /snapshot.json,\n"
+      "                    /series.json while running (0 = ephemeral port)\n"
+      "  --linger SECS     keep the process (and --http endpoint) alive\n"
+      "                    SECS seconds after the run finishes\n"
+      "  --adaptive-shed   attach monitor-driven load shedding to each\n"
+      "                    parallel query (requires --parallel)\n"
+      "  --shed-target N   backlog the shedding controller holds\n"
+      "                    (default 256 elements)\n"
+      "  --help            this message\n"
+      "commands:\n"
+      "  \\metrics[=json|prom]  metrics snapshot mid-run and after the run\n"
+      "  \\top                  live monitor dashboard (rates, selectivity,\n"
+      "                        backlog, latency, drop rates)\n"
       "streams: packets, cdr, sensors\n");
 }
 
@@ -66,6 +93,11 @@ int main(int argc, char** argv) {
   int64_t show_rows = 10;
   bool parallel = false;
   int64_t trace_every = 0;
+  int64_t http_port = -1;  // < 0 = no endpoint.
+  int64_t linger_s = 0;
+  bool adaptive_shed = false;
+  double shed_target = 256.0;
+  bool top_mode = false;
   MetricsMode metrics_mode = MetricsMode::kOff;
   std::vector<std::string> query_texts;
   for (int i = 1; i < argc; ++i) {
@@ -77,6 +109,16 @@ int main(int argc, char** argv) {
       parallel = true;
     } else if (std::strcmp(argv[i], "--trace-every") == 0 && i + 1 < argc) {
       trace_every = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--http") == 0 && i + 1 < argc) {
+      http_port = std::atoll(argv[++i]);
+    } else if (std::strncmp(argv[i], "--http=", 7) == 0) {
+      http_port = std::atoll(argv[i] + 7);
+    } else if (std::strcmp(argv[i], "--linger") == 0 && i + 1 < argc) {
+      linger_s = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--adaptive-shed") == 0) {
+      adaptive_shed = true;
+    } else if (std::strcmp(argv[i], "--shed-target") == 0 && i + 1 < argc) {
+      shed_target = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage();
       return 0;
@@ -86,6 +128,8 @@ int main(int argc, char** argv) {
       metrics_mode = MetricsMode::kJson;
     } else if (std::strcmp(argv[i], "\\metrics=prom") == 0) {
       metrics_mode = MetricsMode::kProm;
+    } else if (std::strcmp(argv[i], "\\top") == 0) {
+      top_mode = true;
     } else if (argv[i][0] == '\\') {
       std::fprintf(stderr, "unknown command: %s\n", argv[i]);
       Usage();
@@ -96,6 +140,11 @@ int main(int argc, char** argv) {
   }
   if (query_texts.empty()) {
     Usage();
+    return 2;
+  }
+  if (adaptive_shed && !parallel) {
+    std::fprintf(stderr, "--adaptive-shed requires --parallel (the\n"
+                         "controller watches the executor queues)\n");
     return 2;
   }
 
@@ -110,6 +159,24 @@ int main(int argc, char** argv) {
   (void)engine.RegisterStream("packets", gen::PacketSchema(), pkt_domains);
   (void)engine.RegisterStream("cdr", gen::CdrSchema());
   (void)engine.RegisterStream("sensors", gen::SensorSchema());
+
+  // The continuous monitor backs \top, /series.json, and the adaptive
+  // shedding loop; start it whenever any of those is requested.
+  if (top_mode || http_port >= 0 || adaptive_shed) {
+    obs::MonitorOptions mopt;
+    mopt.period_ms = 50;
+    engine.StartMonitor(mopt);
+  }
+  if (http_port >= 0) {
+    auto bound = engine.ServeMetrics(static_cast<int>(http_port));
+    if (!bound.ok()) {
+      std::fprintf(stderr, "--http failed: %s\n",
+                   bound.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("serving http://localhost:%d/metrics (also /snapshot.json, "
+                "/series.json)\n\n", *bound);
+  }
 
   std::vector<QueryHandle*> handles;
   for (const std::string& text : query_texts) {
@@ -132,6 +199,17 @@ int main(int argc, char** argv) {
       Status st = engine.EnableParallel(*q);
       if (st.ok()) {
         std::printf("exec  : parallel (one worker per stage)\n");
+        if (adaptive_shed) {
+          AdaptiveShedOptions sopt;
+          sopt.controller.target_queue = shed_target;
+          Status shed = engine.EnableAdaptiveShedding(*q, sopt);
+          if (shed.ok()) {
+            std::printf("shed  : adaptive (target backlog %.0f)\n",
+                        shed_target);
+          } else {
+            std::printf("shed  : off (%s)\n", shed.ToString().c_str());
+          }
+        }
       } else {
         std::printf("exec  : serial (%s)\n", st.ToString().c_str());
       }
@@ -146,6 +224,8 @@ int main(int argc, char** argv) {
   // A mid-run snapshot shows the queries while data is still in flight
   // (for --parallel the workers are live and queue depths are real).
   const int64_t midpoint = tuples / 2;
+  // \top refreshes the dashboard a few times over the run.
+  const int64_t top_every = top_mode && tuples >= 5 ? tuples / 5 : 0;
   for (int64_t i = 0; i < tuples; ++i) {
     (void)engine.Ingest("packets", packets.Next());
     (void)engine.Ingest("cdr", cdrs.Next());
@@ -153,12 +233,25 @@ int main(int argc, char** argv) {
     if (i == midpoint && metrics_mode == MetricsMode::kPretty) {
       PrintMetrics(engine, metrics_mode, "mid-run, live");
     }
+    if (top_every > 0 && i > 0 && i % top_every == 0) {
+      // Force a sample so the dashboard is fresh even when the run is
+      // shorter than the background sampling period.
+      engine.monitor()->TickOnce();
+      std::printf("\n--- top (tuple %lld/%lld) ---\n%s",
+                  static_cast<long long>(i), static_cast<long long>(tuples),
+                  engine.monitor()->TopString().c_str());
+    }
   }
   engine.FinishAll();
 
   for (QueryHandle* q : handles) {
     std::printf("== %s\n", q->text().c_str());
     std::printf("rows: %zu\n", q->result_count());
+    if (q->adaptive_shedding()) {
+      std::printf("shed: %llu dropped, final drop rate %.4f\n",
+                  static_cast<unsigned long long>(q->shed_dropped()),
+                  q->shed_drop_rate());
+    }
     int64_t shown = 0;
     for (const TupleRef& row : q->results()) {
       if (shown++ >= show_rows) {
@@ -171,5 +264,16 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   PrintMetrics(engine, metrics_mode, "final");
+  if (top_mode) {
+    engine.monitor()->TickOnce();
+    std::printf("\n--- top (final) ---\n%s",
+                engine.monitor()->TopString().c_str());
+  }
+  if (linger_s > 0) {
+    std::printf("lingering %llds (scrape away)...\n",
+                static_cast<long long>(linger_s));
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(linger_s));
+  }
   return 0;
 }

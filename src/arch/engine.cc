@@ -1,18 +1,36 @@
 #include "arch/engine.h"
 
+#include "obs/trace.h"
+
 namespace sqp {
 
 namespace {
 
-/// Forwards every element to the collector and the optional callback.
+/// Forwards every element to the collector and the optional callback,
+/// and claims the query's pending end-to-end latency sample (armed at
+/// ingest) when an output tuple arrives.
 class TeeSink : public Operator {
  public:
   TeeSink(CollectorSink* collector,
-          const std::function<void(const TupleRef&)>* callback)
-      : Operator("tee"), collector_(collector), callback_(callback) {}
+          const std::function<void(const TupleRef&)>* callback,
+          obs::Histogram* latency_hist,
+          std::atomic<uint64_t>* pending_ingest_ns)
+      : Operator("tee"),
+        collector_(collector),
+        callback_(callback),
+        latency_hist_(latency_hist),
+        pending_(pending_ingest_ns) {}
 
   void Push(const Element& e, int port = 0) override {
     CountIn(e);
+    if (latency_hist_ != nullptr && e.is_tuple() &&
+        pending_->load(std::memory_order_relaxed) != 0) {
+      // exchange(0) claims the sample exactly once even if another
+      // output races in; the acquire pairs with the ingest-side release
+      // so the timestamp read is the one the prober wrote.
+      uint64_t t0 = pending_->exchange(0, std::memory_order_acquire);
+      if (t0 != 0) latency_hist_->Observe(obs::NowNs() - t0);
+    }
     collector_->Push(e, port);
     if (*callback_ && e.is_tuple()) (*callback_)(e.tuple());
   }
@@ -20,6 +38,8 @@ class TeeSink : public Operator {
  private:
   CollectorSink* collector_;
   const std::function<void(const TupleRef&)>* callback_;
+  obs::Histogram* latency_hist_;
+  std::atomic<uint64_t>* pending_;
 };
 
 /// Whole-query stage for plans that are not linear chains (joins,
@@ -62,14 +82,19 @@ Result<QueryHandle*> StreamEngine::Submit(const std::string& query_text) {
   handle->text_ = query_text;
   handle->query_ = std::move(*compiled);
   handle->sink_ = std::make_unique<CollectorSink>();
-  handle->tee_ =
-      std::make_unique<TeeSink>(handle->sink_.get(), &handle->callback_);
-  handle->query_->AttachSink(handle->tee_.get());
 
   if (metrics_enabled_) {
     handle->metrics_label_ = "q" + std::to_string(queries_.size());
     handle->query_->plan().BindMetrics(metrics_, handle->metrics_label_);
+    handle->latency_hist_ = metrics_.GetHistogram(
+        "sqp_query_latency_ns", {{"query", handle->metrics_label_}});
   }
+
+  handle->tee_ = std::make_unique<TeeSink>(handle->sink_.get(),
+                                           &handle->callback_,
+                                           handle->latency_hist_,
+                                           &handle->pending_ingest_ns_);
+  handle->query_->AttachSink(handle->tee_.get());
 
   // Wire per-input front-ends: reorder and/or heartbeat per the owning
   // stream's options.
@@ -187,6 +212,36 @@ Status StreamEngine::EnableParallel(QueryHandle* handle,
   return Status::OK();
 }
 
+void StreamEngine::DeliverDirect(QueryHandle& q, const QueryHandle::Tap& tap,
+                                 const Element& e) {
+  // Arm the end-to-end latency probe on every Nth tuple that actually
+  // enters the query (post-shedding, so dropped tuples don't leave a
+  // stale timestamp that a much later output would claim). Countdown
+  // instead of modulo: the sample period is runtime-configurable, and a
+  // per-tuple integer division is measurable on this path.
+  if (q.latency_hist_ != nullptr && latency_sample_every_ > 0 &&
+      e.is_tuple() && --q.latency_countdown_ == 0) {
+    q.latency_countdown_ = latency_sample_every_;
+    uint64_t expected = 0;
+    q.pending_ingest_ns_.compare_exchange_strong(expected, obs::NowNs(),
+                                                 std::memory_order_release,
+                                                 std::memory_order_relaxed);
+  }
+  if (q.parallel_ != nullptr) {
+    // Chain mode feeds the entry operator's port itself; the
+    // whole-query stage needs the input index for port routing.
+    if (q.chain_mode_) {
+      q.parallel_->Arrive(e);
+    } else {
+      q.parallel_->ArriveOn(e, tap.port);
+    }
+  } else if (tap.entry != nullptr) {
+    tap.entry->Process(e, 0);
+  } else {
+    q.query_->Push(e, tap.port);
+  }
+}
+
 Status StreamEngine::IngestElement(const std::string& stream,
                                    const Element& e) {
   if (catalog_.Lookup(stream) == nullptr) {
@@ -201,21 +256,108 @@ Status StreamEngine::IngestElement(const std::string& stream,
     for (const QueryHandle::Tap& tap : q->taps_) {
       if (tap.stream != stream) continue;
       q->ingested_ = true;
-      if (q->parallel_ != nullptr) {
-        // Chain mode feeds the entry operator's port itself; the
-        // whole-query stage needs the input index for port routing.
-        if (q->chain_mode_) {
-          q->parallel_->Arrive(e);
-        } else {
-          q->parallel_->ArriveOn(e, tap.port);
-        }
-      } else if (tap.entry != nullptr) {
-        tap.entry->Process(e, 0);
+      if (q->shed_gate_ != nullptr) {
+        // The gate forwards surviving elements into DeliverDirect via
+        // its CallbackSink output; shed tuples end here.
+        q->shed_gate_->Process(e, 0);
       } else {
-        q->query_->Push(e, tap.port);
+        DeliverDirect(*q, tap, e);
       }
     }
   }
+  return Status::OK();
+}
+
+obs::Monitor& StreamEngine::StartMonitor(obs::MonitorOptions options) {
+  if (monitor_ == nullptr) {
+    monitor_ = std::make_unique<obs::Monitor>(&metrics_, options);
+  }
+  monitor_->Start();  // No-op in manual mode or when already running.
+  return *monitor_;
+}
+
+Result<int> StreamEngine::ServeMetrics(int port) {
+  if (http_ != nullptr && http_->serving()) {
+    return Status::AlreadyExists("metrics endpoint already on port " +
+                                 std::to_string(http_->port()));
+  }
+  if (monitor_ == nullptr) StartMonitor();
+  http_ = std::make_unique<obs::HttpExporter>(&metrics_, monitor_.get());
+  SQP_RETURN_NOT_OK(http_->Serve(port));
+  return http_->port();
+}
+
+Status StreamEngine::EnableAdaptiveShedding(QueryHandle* handle,
+                                            AdaptiveShedOptions options) {
+  if (handle == nullptr) return Status::InvalidArgument("null handle");
+  if (handle->shed_gate_ != nullptr) {
+    return Status::AlreadyExists("adaptive shedding already enabled");
+  }
+  if (handle->taps_.size() != 1) {
+    return Status::InvalidArgument(
+        "adaptive shedding supports single-input queries only");
+  }
+  std::function<size_t()> probe = std::move(options.backlog_probe);
+  if (!probe) {
+    if (handle->parallel_ == nullptr) {
+      return Status::InvalidArgument(
+          "serial queries have no executor queue to watch: supply "
+          "AdaptiveShedOptions::backlog_probe");
+    }
+    // Backlog (enqueued - processed) rather than instantaneous queue
+    // occupancy: workers pop whole batches, so q.size() can read 0 while
+    // hundreds of elements are in flight inside a stage.
+    probe = [exec = handle->parallel_.get()] {
+      size_t n = 0;
+      for (size_t i = 0; i < exec->num_stages(); ++i) {
+        n += exec->stage_stats(i).Backlog();
+      }
+      return n;
+    };
+  }
+  if (monitor_ == nullptr) StartMonitor();
+
+  std::string label = handle->metrics_label_;
+  if (label.empty()) {
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      if (queries_[i].get() == handle) {
+        label = "q" + std::to_string(i);
+        break;
+      }
+    }
+  }
+
+  handle->shedder_ = std::make_unique<FeedbackShedder>(options.controller);
+  handle->shed_gate_ =
+      std::make_unique<RandomDropOp>(0.0, options.seed, "shed-gate");
+  handle->shed_fwd_ = std::make_unique<CallbackSink>(
+      [this, handle](const Element& e) {
+        DeliverDirect(*handle, handle->taps_[0], e);
+      });
+  handle->shed_gate_->SetOutput(handle->shed_fwd_.get());
+
+  // Shedding state joins every snapshot/scrape alongside the raw
+  // counters it is derived from.
+  metrics_.AddCollector(
+      "shed:" + label, [handle, label](obs::SnapshotBuilder& b) {
+        obs::LabelSet ls{{"query", label}};
+        b.AddGauge("sqp_shed_drop_rate", ls, handle->shed_gate_->drop_rate());
+        b.AddCounter("sqp_shed_dropped_total", ls,
+                     static_cast<double>(handle->shed_gate_->dropped()));
+        b.AddGauge("sqp_shed_backlog", ls,
+                   static_cast<double>(handle->shed_backlog_.load(
+                       std::memory_order_relaxed)));
+      });
+
+  // The loop itself: every monitor tick, observed backlog -> controller
+  // -> gate drop probability. Runs on the ticking thread with no locks
+  // held; the gate's rate is atomic.
+  monitor_->AddTickListener(
+      "shed:" + label, [handle, probe = std::move(probe)](uint64_t) {
+        size_t backlog = probe();
+        handle->shed_backlog_.store(backlog, std::memory_order_relaxed);
+        handle->shed_gate_->set_drop_rate(handle->shedder_->Observe(backlog));
+      });
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef SQP_ARCH_ENGINE_H_
 #define SQP_ARCH_ENGINE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -9,8 +10,12 @@
 
 #include "cql/planner.h"
 #include "exec/reorder.h"
+#include "obs/http_exporter.h"
+#include "obs/monitor.h"
 #include "obs/registry.h"
 #include "sched/parallel_executor.h"
+#include "shed/feedback_shedder.h"
+#include "shed/load_shedder.h"
 
 namespace sqp {
 
@@ -35,6 +40,20 @@ struct ParallelQueryOptions {
   /// the worker hands queued elements to each operator in ElementBatch
   /// runs of at most this size. <= 1 delivers per element.
   size_t max_batch = 64;
+};
+
+/// Tuning for StreamEngine::EnableAdaptiveShedding.
+struct AdaptiveShedOptions {
+  /// PI controller tuning: the backlog to hold and the gains mapping
+  /// normalized backlog error to drop probability.
+  FeedbackShedder::Options controller;
+  /// Seed of the random-drop gate in front of the query.
+  uint64_t seed = 42;
+  /// Where the controller reads the query's backlog each monitor tick.
+  /// Default (empty): the query's ParallelExecutor queue occupancy.
+  /// Serial queries have no executor queue and must supply a probe
+  /// (e.g. an application-side buffer length).
+  std::function<size_t()> backlog_probe;
 };
 
 /// A handle to one standing (continuous, persistent) query.
@@ -68,6 +87,21 @@ class QueryHandle {
     callback_ = std::move(fn);
   }
 
+  /// Measured end-to-end (ingest -> sink) latency histogram, in ns.
+  /// Null when the engine's metrics were disabled at Submit.
+  const obs::Histogram* latency_histogram() const { return latency_hist_; }
+
+  /// True once EnableAdaptiveShedding attached a drop gate to this query.
+  bool adaptive_shedding() const { return shed_gate_ != nullptr; }
+  /// Current drop probability of the adaptive gate (0 when detached).
+  double shed_drop_rate() const {
+    return shed_gate_ != nullptr ? shed_gate_->drop_rate() : 0.0;
+  }
+  /// Tuples the adaptive gate has shed so far.
+  uint64_t shed_dropped() const {
+    return shed_gate_ != nullptr ? shed_gate_->dropped() : 0;
+  }
+
  private:
   friend class StreamEngine;
 
@@ -93,6 +127,21 @@ class QueryHandle {
   std::unique_ptr<ParallelExecutor> parallel_;
   bool chain_mode_ = false;  // True: plan split op-per-stage.
   bool ingested_ = false;    // Any element delivered yet?
+  // End-to-end latency probe: the engine arms `pending_ingest_ns_` with
+  // a NowNs() timestamp on every Nth delivered tuple (arm-if-empty, so
+  // a sample in flight is never overwritten); the tee claims it at the
+  // first output and records the difference here. One atomic slot, no
+  // allocation, works across the parallel queue boundary.
+  obs::Histogram* latency_hist_ = nullptr;
+  std::atomic<uint64_t> pending_ingest_ns_{0};
+  uint64_t latency_countdown_ = 1;  // Ingest-thread only; fires at 0.
+  // Adaptive shedding (EnableAdaptiveShedding): ingest-side drop gate,
+  // its forwarding sink into the normal delivery path, the controller,
+  // and the last backlog it observed (written on the monitor thread).
+  std::unique_ptr<RandomDropOp> shed_gate_;
+  std::unique_ptr<Operator> shed_fwd_;
+  std::unique_ptr<FeedbackShedder> shedder_;
+  std::atomic<size_t> shed_backlog_{0};
 };
 
 /// The engine: a registry of streams and standing queries with shared
@@ -163,6 +212,36 @@ class StreamEngine {
     metrics_.EnableTracing(sample_every);
   }
 
+  /// 1/N sampling period of the end-to-end latency probes (default 256,
+  /// 0 disables). Takes effect at the next Ingest.
+  void SetLatencySampleEvery(uint64_t n) { latency_sample_every_ = n; }
+  uint64_t latency_sample_every() const { return latency_sample_every_; }
+
+  /// Starts the engine's continuous monitor over Metrics() (idempotent;
+  /// later calls return the existing monitor and ignore `options`).
+  /// With options.period_ms <= 0 no sampler thread is spawned — drive
+  /// observation manually with monitor()->TickOnce().
+  obs::Monitor& StartMonitor(obs::MonitorOptions options = {});
+  obs::Monitor* monitor() { return monitor_.get(); }
+  const obs::Monitor* monitor() const { return monitor_.get(); }
+
+  /// Starts the HTTP scrape endpoint (GET /metrics, /snapshot.json,
+  /// /series.json) on `port` — 0 binds an ephemeral port. Starts the
+  /// monitor (default options) if it is not already running, so
+  /// /series.json has history. Returns the bound port.
+  Result<int> ServeMetrics(int port);
+  const obs::HttpExporter* http_exporter() const { return http_.get(); }
+
+  /// Closes the observation loop for one query: interposes a
+  /// RandomDropOp gate between Ingest and the query, attaches a
+  /// FeedbackShedder, and drives its Observe() from every monitor tick
+  /// with the query's measured backlog — the gate's drop probability
+  /// follows the controller. Starts the monitor (default options) if
+  /// needed. Single-input queries only; serial queries must supply
+  /// options.backlog_probe.
+  Status EnableAdaptiveShedding(QueryHandle* handle,
+                                AdaptiveShedOptions options = {});
+
   const cql::Catalog& catalog() const { return catalog_; }
   size_t num_queries() const { return queries_.size(); }
   const std::vector<std::unique_ptr<QueryHandle>>& queries() const {
@@ -173,6 +252,13 @@ class StreamEngine {
   size_t TotalStateBytes() const;
 
  private:
+  /// The one delivery path from ingest into a query: arms the latency
+  /// probe, then routes to the parallel executor, the reorder/heartbeat
+  /// front-end, or the query itself. The adaptive-shedding gate sits in
+  /// front of this.
+  void DeliverDirect(QueryHandle& q, const QueryHandle::Tap& tap,
+                     const Element& e);
+
   cql::Catalog catalog_;
   std::map<std::string, StreamOptions> stream_options_;
   // Outlives queries_ (destroyed later), so operators can report to
@@ -184,6 +270,12 @@ class StreamEngine {
   bool metrics_enabled_ = true;
   std::vector<std::unique_ptr<QueryHandle>> queries_;
   bool finished_ = false;
+  uint64_t latency_sample_every_ = 256;
+  // Declared after queries_ so teardown runs observation-first: the
+  // exporter stops serving, then the monitor joins its sampler (whose
+  // tick listeners read query state), and only then do queries die.
+  std::unique_ptr<obs::Monitor> monitor_;
+  std::unique_ptr<obs::HttpExporter> http_;
 };
 
 }  // namespace sqp

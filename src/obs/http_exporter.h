@@ -1,0 +1,74 @@
+#ifndef SQP_OBS_HTTP_EXPORTER_H_
+#define SQP_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/registry.h"
+
+namespace sqp {
+namespace obs {
+
+class Monitor;
+
+/// Dependency-free metrics scrape endpoint: a blocking-socket HTTP/1.0
+/// server with three routes, each answered from a fresh registry
+/// snapshot so a scrape never blocks the hot path:
+///
+///   GET /metrics        Prometheus text exposition
+///   GET /snapshot.json  Snapshot::ToJson()
+///   GET /series.json    Monitor::SeriesJson() (empty shell without one)
+///
+/// One accept-loop thread handles connections sequentially — a scrape
+/// target serving one Prometheus server (the intended load) needs no
+/// concurrency, and a slow client is bounded by a per-connection socket
+/// timeout rather than a thread pool. Start with Serve(port); port 0
+/// binds an ephemeral port (tests), readable via port().
+class HttpExporter {
+ public:
+  /// `monitor` may be null: /series.json then answers with an empty
+  /// series list. Neither pointer is owned; both must outlive Stop().
+  explicit HttpExporter(const MetricsRegistry* registry,
+                        const Monitor* monitor = nullptr);
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds 0.0.0.0:`port`, starts listening, and spawns the accept loop.
+  Status Serve(int port);
+  /// Shuts the listener down and joins the accept loop.
+  void Stop();
+
+  bool serving() const { return serving_.load(std::memory_order_relaxed); }
+  /// Bound port (resolves 0 to the kernel-assigned ephemeral port).
+  int port() const { return port_; }
+
+  /// Routes one request target to a (status line, content type, body)
+  /// response. Exposed for direct unit testing of the routing table.
+  struct Response {
+    int code = 200;
+    std::string content_type;
+    std::string body;
+  };
+  Response Handle(const std::string& target) const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  const MetricsRegistry* registry_;
+  const Monitor* monitor_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> serving_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace sqp
+
+#endif  // SQP_OBS_HTTP_EXPORTER_H_

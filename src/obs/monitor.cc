@@ -1,0 +1,371 @@
+#include "obs/monitor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/strings.h"
+#include "obs/trace.h"
+
+namespace sqp {
+namespace obs {
+
+namespace {
+
+/// Rendered series key for a raw sample: name{k=v,...}. Stable and
+/// human-readable — it doubles as the /series.json series name.
+std::string SampleKey(const std::string& name, const LabelSet& labels) {
+  if (labels.empty()) return name;
+  std::string key = name + "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) key += ",";
+    key += labels[i].first;
+    key += "=";
+    key += labels[i].second;
+  }
+  key += "}";
+  return key;
+}
+
+std::string OpKey(const OpSnapshot& o) {
+  return o.query + "/" + o.op + "#" + std::to_string(o.index);
+}
+
+std::string FmtSeriesNum(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.6g", v);
+}
+
+}  // namespace
+
+bool Monitor::RateState::Update(double value, double dt_s, double alpha,
+                                double* out) {
+  if (!has_prev) {
+    prev = value;
+    has_prev = true;
+    return false;
+  }
+  if (dt_s <= 0.0) return false;
+  // Counters are monotone; a negative delta means the metric was reset
+  // (fresh registry entry reusing a key) — restart from the new value.
+  double delta = value - prev;
+  prev = value;
+  if (delta < 0.0) delta = 0.0;
+  const double rate = delta / dt_s;
+  if (!has_ewma) {
+    ewma = rate;
+    has_ewma = true;
+  } else {
+    ewma = alpha * rate + (1.0 - alpha) * ewma;
+  }
+  *out = ewma;
+  return true;
+}
+
+Monitor::Monitor(MetricsRegistry* registry, MonitorOptions options)
+    : registry_(registry), options_(options) {
+  if (options_.history == 0) options_.history = 1;
+  if (!(options_.alpha > 0.0) || options_.alpha > 1.0) options_.alpha = 0.3;
+  start_ns_ = NowNs();
+  // Derived rates/backlogs reach exporters through the same collector
+  // path executors use, so every snapshot shape stays uniform.
+  registry_->AddCollector("monitor",
+                          [this](SnapshotBuilder& b) { Publish(b); });
+}
+
+Monitor::~Monitor() {
+  Stop();
+  registry_->RemoveCollector("monitor");
+}
+
+void Monitor::Start() {
+  if (running_ || options_.period_ms <= 0) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_requested_ = false;
+  }
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Monitor::Stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_requested_ = true;
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_ = false;
+}
+
+void Monitor::Loop() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  while (!stop_requested_) {
+    lock.unlock();
+    TickOnce();
+    lock.lock();
+    wake_cv_.wait_for(lock, std::chrono::milliseconds(options_.period_ms),
+                      [this] { return stop_requested_; });
+  }
+}
+
+bool Monitor::RecordLocked(const std::string& key, SeriesPoint p) {
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    if (series_.size() >= options_.max_series) return false;
+    it = series_.emplace(key, SeriesRing(options_.history)).first;
+  }
+  it->second.Push(p);
+  return true;
+}
+
+void Monitor::TickOnce(double dt_override_s) {
+  // Snapshot first, with no monitor lock held: TakeSnapshot runs the
+  // registry's collectors (including this monitor's own Publish, which
+  // takes mu_), so grabbing mu_ before snapshotting would deadlock.
+  Snapshot snap = registry_->TakeSnapshot();
+  const uint64_t now = NowNs();
+
+  std::vector<std::pair<std::string, std::function<void(uint64_t)>>>
+      listeners;
+  uint64_t tick;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    double dt_s = dt_override_s;
+    if (dt_s <= 0.0) {
+      dt_s = last_tick_ns_ == 0
+                 ? 0.0
+                 : static_cast<double>(now - last_tick_ns_) * 1e-9;
+    }
+    last_tick_ns_ = now;
+    tick = ++tick_count_;
+    const uint64_t wall_ms = (now - start_ns_) / 1000000;
+    const double alpha = options_.alpha;
+    derived_.clear();
+    derived_.push_back({"sqp_monitor_ticks_total", {},
+                        static_cast<double>(tick)});
+
+    // Raw samples: counters become EWMA rates, gauges are recorded
+    // verbatim, histograms contribute p50/p99. Values the monitor itself
+    // derived last tick come back through the collector — skip them or
+    // the series set doubles every tick.
+    for (const Sample& s : snap.samples) {
+      if (s.name.rfind("sqp_monitor_", 0) == 0) continue;
+      const std::string key = SampleKey(s.name, s.labels);
+      switch (s.kind) {
+        case MetricKind::kCounter: {
+          double rate = 0.0;
+          if (rates_[key].Update(s.value, dt_s, alpha, &rate)) {
+            RecordLocked("rate(" + key + ")", {tick, wall_ms, rate});
+            if (s.name == "sqp_stream_ingested_total") {
+              derived_.push_back({"sqp_monitor_stream_rate", s.labels, rate});
+            }
+          }
+          break;
+        }
+        case MetricKind::kGauge:
+          RecordLocked(key, {tick, wall_ms, s.value});
+          break;
+        case MetricKind::kHistogram: {
+          RecordLocked("p50(" + key + ")",
+                       {tick, wall_ms, s.hist.Quantile(0.5)});
+          RecordLocked("p99(" + key + ")",
+                       {tick, wall_ms, s.hist.Quantile(0.99)});
+          if (s.name == "sqp_query_latency_ns") {
+            derived_.push_back({"sqp_monitor_latency_p50_ns", s.labels,
+                                s.hist.Quantile(0.5)});
+            derived_.push_back({"sqp_monitor_latency_p99_ns", s.labels,
+                                s.hist.Quantile(0.99)});
+          }
+          break;
+        }
+      }
+    }
+
+    // Per-operator throughput and *windowed* selectivity (delta out over
+    // delta in this interval — the rate-model inputs, unlike the
+    // cumulative ratio OpSnapshot reports).
+    for (const OpSnapshot& o : snap.ops) {
+      const std::string key = OpKey(o);
+      const LabelSet labels = {{"query", o.query},
+                               {"op", o.op},
+                               {"index", std::to_string(o.index)}};
+      RateState& in = rates_["opin(" + key + ")"];
+      RateState& out = rates_["opout(" + key + ")"];
+      double in_rate = 0.0;
+      double out_rate = 0.0;
+      const double prev_in = in.prev;
+      const double prev_out = out.prev;
+      const bool had = in.has_prev;
+      const bool got_in = in.Update(static_cast<double>(o.tuples_in), dt_s,
+                                    alpha, &in_rate);
+      const bool got_out = out.Update(static_cast<double>(o.tuples_out),
+                                      dt_s, alpha, &out_rate);
+      if (got_out) {
+        RecordLocked("rate(" + key + ")", {tick, wall_ms, out_rate});
+        derived_.push_back({"sqp_monitor_op_rate", labels, out_rate});
+      }
+      if (had && got_in) {
+        const double din = static_cast<double>(o.tuples_in) - prev_in;
+        const double dout = static_cast<double>(o.tuples_out) - prev_out;
+        if (din > 0.0) {
+          const double sel = std::max(0.0, dout) / din;
+          RecordLocked("sel(" + key + ")", {tick, wall_ms, sel});
+          derived_.push_back({"sqp_monitor_op_selectivity", labels, sel});
+        }
+      }
+    }
+
+    // Queue backlog per query: the executors publish per-stage backlog
+    // gauges; the monitor folds them into one number a shedder can act
+    // on.
+    std::map<std::string, double> backlog_by_query;
+    for (const Sample& s : snap.samples) {
+      if (s.name != "sqp_stage_backlog") continue;
+      for (const auto& kv : s.labels) {
+        if (kv.first == "query") backlog_by_query[kv.second] += s.value;
+      }
+    }
+    for (const auto& [query, backlog] : backlog_by_query) {
+      RecordLocked("backlog(" + query + ")", {tick, wall_ms, backlog});
+      derived_.push_back(
+          {"sqp_monitor_backlog", {{"query", query}}, backlog});
+    }
+
+    listeners = listeners_;
+  }
+
+  // Listeners run with no lock held: they may snapshot, read Current(),
+  // or retune operators (the adaptive-shedding loop does all three).
+  for (auto& l : listeners) l.second(tick);
+}
+
+void Monitor::Publish(SnapshotBuilder& builder) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Derived& d : derived_) {
+    if (d.name == "sqp_monitor_ticks_total") {
+      builder.AddCounter(d.name, d.labels, d.value);
+    } else {
+      builder.AddGauge(d.name, d.labels, d.value);
+    }
+  }
+}
+
+void Monitor::AddTickListener(const std::string& name,
+                              std::function<void(uint64_t)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& l : listeners_) {
+    if (l.first == name) {
+      l.second = std::move(fn);
+      return;
+    }
+  }
+  listeners_.emplace_back(name, std::move(fn));
+}
+
+void Monitor::RemoveTickListener(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+    if (it->first == name) {
+      listeners_.erase(it);
+      return;
+    }
+  }
+}
+
+uint64_t Monitor::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tick_count_;
+}
+
+std::vector<std::string> Monitor::SeriesNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, ring] : series_) names.push_back(name);
+  return names;
+}
+
+std::vector<SeriesPoint> Monitor::Series(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end()) return {};
+  return it->second.Points();
+}
+
+double Monitor::Current(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end() || it->second.empty()) return 0.0;
+  return it->second.Back().value;
+}
+
+std::string Monitor::SeriesJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"ticks\":" + std::to_string(tick_count_) +
+                    ",\"period_ms\":" + std::to_string(options_.period_ms) +
+                    ",\"series\":[";
+  bool first = true;
+  for (const auto& [name, ring] : series_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(name) + "\",\"points\":[";
+    std::vector<SeriesPoint> pts = ring.Points();
+    for (size_t i = 0; i < pts.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "{\"tick\":" + std::to_string(pts[i].tick) +
+             ",\"ms\":" + std::to_string(pts[i].wall_ms) + ",\"v\":" +
+             FmtSeriesNum(pts[i].value) + "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Monitor::TopString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out =
+      StrFormat("monitor tick %llu (period %lld ms, %zu series)\n",
+                static_cast<unsigned long long>(tick_count_),
+                static_cast<long long>(options_.period_ms), series_.size());
+  // One pass over the derived gauges groups the dashboard by kind: the
+  // monitor already folded raw counters into exactly the numbers a human
+  // watches (rates, selectivities, backlog, latency quantiles).
+  auto section = [&](const char* title, const char* name,
+                     const char* unit, double scale) {
+    bool any = false;
+    for (const Derived& d : derived_) {
+      if (d.name != name) continue;
+      if (!any) out += StrFormat("%s\n", title);
+      any = true;
+      std::string label;
+      for (const auto& kv : d.labels) {
+        if (!label.empty()) label += " ";
+        label += kv.first + "=" + kv.second;
+      }
+      out += StrFormat("  %-44s %12.1f %s\n", label.c_str(), d.value * scale,
+                       unit);
+    }
+  };
+  section("stream input rate:", "sqp_monitor_stream_rate", "tuples/s", 1.0);
+  section("operator throughput:", "sqp_monitor_op_rate", "tuples/s", 1.0);
+  section("operator selectivity (windowed):", "sqp_monitor_op_selectivity",
+          "", 1.0);
+  section("queue backlog:", "sqp_monitor_backlog", "elements", 1.0);
+  section("latency p50:", "sqp_monitor_latency_p50_ns", "ms", 1e-6);
+  section("latency p99:", "sqp_monitor_latency_p99_ns", "ms", 1e-6);
+  // Shedding state rides in as plain gauges the engine owns.
+  for (const auto& [name, ring] : series_) {
+    if (name.rfind("sqp_shed_drop_rate", 0) != 0 || ring.empty()) continue;
+    out += StrFormat("drop rate %-34s %12.4f\n", name.c_str() + 18,
+                     ring.Back().value);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace sqp

@@ -1,0 +1,195 @@
+#ifndef SQP_OBS_MONITOR_H_
+#define SQP_OBS_MONITOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace sqp {
+namespace obs {
+
+/// One observation of one time series: the monitor tick it was taken on,
+/// the wall-clock offset since the monitor started (ms), and the value.
+struct SeriesPoint {
+  uint64_t tick = 0;
+  uint64_t wall_ms = 0;
+  double value = 0.0;
+};
+
+/// Fixed-capacity history of one metric: the last `capacity` points,
+/// oldest first when read back. Not internally synchronized — the
+/// Monitor's mutex guards every ring it owns.
+class SeriesRing {
+ public:
+  explicit SeriesRing(size_t capacity) : capacity_(capacity) {}
+
+  void Push(SeriesPoint p) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(p);
+    } else {
+      ring_[next_] = p;
+    }
+    next_ = (next_ + 1) % capacity_;
+  }
+
+  /// Copies the history out in arrival order (oldest first).
+  std::vector<SeriesPoint> Points() const {
+    std::vector<SeriesPoint> out;
+    out.reserve(ring_.size());
+    if (ring_.size() < capacity_) {
+      out = ring_;
+    } else {
+      out.insert(out.end(), ring_.begin() + static_cast<long>(next_),
+                 ring_.end());
+      out.insert(out.end(), ring_.begin(),
+                 ring_.begin() + static_cast<long>(next_));
+    }
+    return out;
+  }
+
+  size_t size() const { return ring_.size(); }
+  bool empty() const { return ring_.empty(); }
+  /// Newest point (must not be called on an empty ring).
+  const SeriesPoint& Back() const {
+    if (ring_.size() < capacity_) return ring_.back();
+    return ring_[(next_ + capacity_ - 1) % capacity_];
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<SeriesPoint> ring_;  // Grows to capacity_, then wraps.
+  size_t next_ = 0;
+};
+
+struct MonitorOptions {
+  /// Tick period of the background sampler thread. <= 0 disables the
+  /// thread entirely: the owner drives ticks with TickOnce() — the mode
+  /// deterministic tests and simulations use.
+  int64_t period_ms = 100;
+  /// Points retained per series (ring capacity).
+  size_t history = 240;
+  /// EWMA weight of the newest per-tick rate (1.0 = no smoothing).
+  double alpha = 0.3;
+  /// Bound on distinct series tracked; once reached, metrics first seen
+  /// later get current-value gauges but no history. Keeps a plan with an
+  /// unbounded label space (per-key metrics) from growing the monitor
+  /// without limit.
+  size_t max_series = 512;
+};
+
+/// Continuous monitoring over a MetricsRegistry: a background sampler
+/// that ticks at a fixed period, snapshots the registry, derives
+/// per-tick deltas -> EWMA rates (stream input rate, per-operator
+/// throughput and windowed selectivity, queue backlog, latency
+/// quantiles), stores per-metric history in fixed-capacity ring buffers,
+/// and republishes the derived values as `sqp_monitor_*` gauges through
+/// a registry collector — so one TakeSnapshot (or one /metrics scrape)
+/// sees both the raw counters and the rates the adaptation layer acts
+/// on. This is the StreaMon/QoS-monitor role from the tutorial: the
+/// observation loop that scheduling and shedding decisions read.
+///
+/// Threading: Start() spawns the sampler; TickOnce() may also be called
+/// manually (the two are serialized by the monitor mutex). Tick
+/// listeners run on the ticking thread *after* the monitor state is
+/// updated and with no monitor/registry lock held, so they may freely
+/// read rates, take snapshots, or adjust operators.
+class Monitor {
+ public:
+  explicit Monitor(MetricsRegistry* registry, MonitorOptions options = {});
+  ~Monitor();
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// Spawns the sampler thread (no-op when period_ms <= 0 or already
+  /// running).
+  void Start();
+  /// Stops and joins the sampler thread. Safe to call repeatedly.
+  void Stop();
+  bool running() const { return running_; }
+
+  /// Takes one monitoring sample now: snapshot -> deltas -> rates ->
+  /// history -> listeners. `dt_override_s` > 0 substitutes the wall
+  /// interval used for rate math (deterministic tests); 0 measures.
+  void TickOnce(double dt_override_s = 0.0);
+
+  /// Registers a named callback invoked after every tick (re-registering
+  /// a name replaces it). Listeners drive closed-loop consumers — the
+  /// engine's adaptive shedding hooks in here.
+  void AddTickListener(const std::string& name,
+                       std::function<void(uint64_t tick)> fn);
+  void RemoveTickListener(const std::string& name);
+
+  uint64_t ticks() const;
+  const MonitorOptions& options() const { return options_; }
+
+  /// History API: names of all tracked series, one series' points, and
+  /// the newest value of one series (0 when absent/empty).
+  std::vector<std::string> SeriesNames() const;
+  std::vector<SeriesPoint> Series(const std::string& name) const;
+  double Current(const std::string& name) const;
+
+  /// {"ticks":N,"period_ms":P,"series":[{"name":...,"points":[...]},..]}
+  /// — the /series.json payload.
+  std::string SeriesJson() const;
+
+  /// Compact live dashboard (the sqpsh \top view): stream rates, per-op
+  /// throughput/selectivity, per-query latency/backlog/drop rate.
+  std::string TopString() const;
+
+ private:
+  struct RateState {
+    double prev = 0.0;
+    bool has_prev = false;
+    double ewma = 0.0;
+    bool has_ewma = false;
+    /// Feeds one cumulative-counter reading; returns the updated EWMA
+    /// rate (per second) or false before the first delta exists.
+    bool Update(double value, double dt_s, double alpha, double* out);
+  };
+  /// A derived gauge republished into snapshots by the collector.
+  struct Derived {
+    std::string name;
+    LabelSet labels;
+    double value = 0.0;
+  };
+
+  void Loop();
+  /// Appends to `series_[key]` (creating it capacity-capped) and returns
+  /// whether the point was retained.
+  bool RecordLocked(const std::string& key, SeriesPoint p);
+  void Publish(SnapshotBuilder& builder) const;
+
+  MetricsRegistry* registry_;
+  MonitorOptions options_;
+
+  mutable std::mutex mu_;
+  uint64_t tick_count_ = 0;
+  uint64_t start_ns_ = 0;
+  uint64_t last_tick_ns_ = 0;
+  std::map<std::string, RateState> rates_;
+  std::map<std::string, SeriesRing> series_;
+  std::vector<Derived> derived_;
+  std::vector<std::pair<std::string, std::function<void(uint64_t)>>>
+      listeners_;
+
+  // Sampler thread plumbing. `cv_` lets Stop() interrupt a sleeping
+  // sampler immediately instead of waiting out the period.
+  std::thread thread_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+};
+
+}  // namespace obs
+}  // namespace sqp
+
+#endif  // SQP_OBS_MONITOR_H_

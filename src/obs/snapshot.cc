@@ -71,6 +71,47 @@ void PromHistogram(std::string* out, const std::string& name,
           std::to_string(h.count) + "\n";
 }
 
+/// Help strings of the engine's own metric families; unknown families
+/// get no # HELP line (Prometheus does not require one).
+const char* HelpFor(const std::string& name) {
+  static const std::pair<const char*, const char*> kHelp[] = {
+      {"sqp_stream_ingested_total", "Elements ingested per stream."},
+      {"sqp_query_latency_ns",
+       "Sampled end-to-end ingest-to-sink latency per query (ns)."},
+      {"sqp_stage_enqueued", "Elements accepted into the stage queue."},
+      {"sqp_stage_processed", "Elements delivered into the stage operator."},
+      {"sqp_stage_batches", "Batched deliveries into the stage operator."},
+      {"sqp_stage_dropped", "Elements shed at the stage queue bound."},
+      {"sqp_stage_backlog", "Accepted-but-unprocessed elements."},
+      {"sqp_stage_queue_depth", "Stage queue occupancy at snapshot time."},
+      {"sqp_stage_max_queue_depth", "Stage queue high-water mark."},
+      {"sqp_stage_busy_time", "Time spent processing in the stage."},
+      {"sqp_monitor_ticks_total", "Monitor sampling ticks taken."},
+      {"sqp_monitor_stream_rate", "EWMA stream input rate (tuples/s)."},
+      {"sqp_monitor_op_rate", "EWMA operator output rate (tuples/s)."},
+      {"sqp_monitor_op_selectivity",
+       "Windowed operator selectivity (delta out / delta in)."},
+      {"sqp_monitor_backlog", "Queued elements per query (monitor view)."},
+      {"sqp_monitor_latency_p50_ns", "Monitor view of latency p50 (ns)."},
+      {"sqp_monitor_latency_p99_ns", "Monitor view of latency p99 (ns)."},
+      {"sqp_shed_drop_rate", "Adaptive shedding drop probability."},
+      {"sqp_shed_dropped_total", "Tuples shed by the adaptive gate."},
+      {"sqp_shed_backlog", "Backlog the shedding controller last saw."},
+      {"sqp_op_tuples_in_total", "Tuples into the operator."},
+      {"sqp_op_tuples_out_total", "Tuples out of the operator."},
+      {"sqp_op_puncts_in_total", "Punctuations into the operator."},
+      {"sqp_op_puncts_out_total", "Punctuations out of the operator."},
+      {"sqp_op_batches_total", "Batched deliveries into the operator."},
+      {"sqp_op_busy_ns_total", "Sampled operator processing time (ns)."},
+      {"sqp_op_queue_depth_hw", "Operator input queue high-water mark."},
+      {"sqp_op_selectivity", "Lifetime operator selectivity (out/in)."},
+  };
+  for (const auto& kv : kHelp) {
+    if (name == kv.first) return kv.second;
+  }
+  return nullptr;
+}
+
 void JsonHistogram(std::string* out, const HistogramData& h) {
   *out += "{\"count\":" + std::to_string(h.count) +
           ",\"sum\":" + std::to_string(h.sum) + ",\"p50\":" +
@@ -184,17 +225,57 @@ std::string Snapshot::ToJson() const {
 
 std::string Snapshot::ToPrometheus() const {
   std::string out;
+  // The exposition format requires all samples of a family in one block
+  // under a single # TYPE line; collectors interleave families (e.g.
+  // stage stats repeat per stage), so group by name in first-seen order.
+  std::vector<std::pair<std::string, std::vector<const Sample*>>> families;
   for (const Sample& s : samples) {
-    switch (s.kind) {
+    std::vector<const Sample*>* slot = nullptr;
+    for (auto& fam : families) {
+      if (fam.first == s.name) {
+        slot = &fam.second;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      families.emplace_back(s.name, std::vector<const Sample*>());
+      slot = &families.back().second;
+    }
+    slot->push_back(&s);
+  }
+  for (const auto& fam : families) {
+    const std::string& name = fam.first;
+    const MetricKind kind = fam.second.front()->kind;
+    if (const char* help = HelpFor(name)) {
+      out += "# HELP " + name + " " + help + "\n";
+    }
+    switch (kind) {
       case MetricKind::kCounter:
       case MetricKind::kGauge:
-        out += "# TYPE " + s.name +
-               (s.kind == MetricKind::kCounter ? " counter\n" : " gauge\n");
-        out += s.name + PromLabels(s.labels) + " " + FmtNum(s.value) + "\n";
+        out += "# TYPE " + name +
+               (kind == MetricKind::kCounter ? " counter\n" : " gauge\n");
+        for (const Sample* s : fam.second) {
+          out += name + PromLabels(s->labels) + " " + FmtNum(s->value) + "\n";
+        }
         break;
       case MetricKind::kHistogram:
-        out += "# TYPE " + s.name + " histogram\n";
-        PromHistogram(&out, s.name, s.labels, s.hist);
+        out += "# TYPE " + name + " histogram\n";
+        for (const Sample* s : fam.second) {
+          PromHistogram(&out, name, s->labels, s->hist);
+        }
+        // Prometheus has no native quantile in the histogram type;
+        // surface p50/p99 as derived gauge families so scrapes see the
+        // same numbers as the JSON/pretty exports.
+        out += "# TYPE " + name + "_p50 gauge\n";
+        for (const Sample* s : fam.second) {
+          out += name + "_p50" + PromLabels(s->labels) + " " +
+                 FmtNum(s->hist.Quantile(0.5)) + "\n";
+        }
+        out += "# TYPE " + name + "_p99 gauge\n";
+        for (const Sample* s : fam.second) {
+          out += name + "_p99" + PromLabels(s->labels) + " " +
+                 FmtNum(s->hist.Quantile(0.99)) + "\n";
+        }
         break;
     }
   }
@@ -214,6 +295,9 @@ std::string Snapshot::ToPrometheus() const {
         {"sqp_op_queue_depth_hw", "gauge", &OpSnapshot::queue_depth_hw},
     };
     for (const Field& f : kFields) {
+      if (const char* help = HelpFor(f.name)) {
+        out += std::string("# HELP ") + f.name + " " + help + "\n";
+      }
       out += std::string("# TYPE ") + f.name + " " + f.type + "\n";
       for (const OpSnapshot& o : ops) {
         out += std::string(f.name) +
@@ -221,6 +305,9 @@ std::string Snapshot::ToPrometheus() const {
                            {"index", std::to_string(o.index)}}) +
                " " + std::to_string(o.*(f.member)) + "\n";
       }
+    }
+    if (const char* help = HelpFor("sqp_op_selectivity")) {
+      out += std::string("# HELP sqp_op_selectivity ") + help + "\n";
     }
     out += "# TYPE sqp_op_selectivity gauge\n";
     for (const OpSnapshot& o : ops) {

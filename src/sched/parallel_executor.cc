@@ -321,6 +321,7 @@ sched::StageStats ParallelExecutor::stage_stats(size_t i) const {
   out.processed = st.processed;
   out.batches = st.batches;
   out.dropped = st.dropped;
+  out.queue_depth = st.q.size();
   out.max_queue_depth = st.max_depth;
   out.busy_time =
       static_cast<double>(st.busy_ns.load(std::memory_order_relaxed)) * 1e-9;

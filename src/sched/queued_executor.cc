@@ -74,6 +74,7 @@ bool QueuedExecutor::Admit(size_t stage, Element e) {
   }
   queues_[stage].push_back(Entry{std::move(e), seq_++});
   ++stats.enqueued;
+  stats.queue_depth = queues_[stage].size();
   if (queues_[stage].size() > stats.max_queue_depth) {
     stats.max_queue_depth = queues_[stage].size();
   }
@@ -106,6 +107,7 @@ void QueuedExecutor::DeliverBatch(size_t stage, size_t n) {
     Entry entry = std::move(q.front());
     q.pop_front();
     ++stats.processed;
+    stats.queue_depth = q.size();
     stages_[stage].op->Process(entry.e, 0);
     return;
   }
@@ -117,6 +119,7 @@ void QueuedExecutor::DeliverBatch(size_t stage, size_t n) {
   }
   stats.processed += n;
   ++stats.batches;
+  stats.queue_depth = q.size();
   stages_[stage].op->ProcessBatch(scratch_, 0);
 }
 

@@ -24,6 +24,10 @@ struct StageStats {
   uint64_t batches = 0;
   /// Elements lost at this stage's queue (bounded queue overflow).
   uint64_t dropped = 0;
+  /// Current occupancy of the stage's input queue at snapshot time, in
+  /// elements — the instantaneous signal monitors and shedders act on
+  /// (max_queue_depth only ratchets up and can't show recovery).
+  uint64_t queue_depth = 0;
   /// High-water mark of the stage's input queue, in elements.
   uint64_t max_queue_depth = 0;
   /// Time the stage's operator spent processing. Wall-clock seconds for
@@ -53,6 +57,7 @@ void ForEachStageStatField(const StageStats& s, Fn&& fn) {
   fn("batches", static_cast<double>(s.batches), true);
   fn("dropped", static_cast<double>(s.dropped), true);
   fn("backlog", static_cast<double>(s.Backlog()), false);
+  fn("queue_depth", static_cast<double>(s.queue_depth), false);
   fn("max_queue_depth", static_cast<double>(s.max_queue_depth), false);
   fn("busy_time", s.busy_time, true);
 }

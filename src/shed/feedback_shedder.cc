@@ -4,13 +4,34 @@
 
 namespace sqp {
 
+FeedbackShedder::FeedbackShedder(Options options) : options_(options) {
+  // A non-positive (or NaN) target would divide the error by zero or
+  // flip its sign; degrade to "keep the queue empty-ish" instead.
+  if (!(options_.target_queue > 0.0)) options_.target_queue = 1.0;
+  if (!(options_.kp >= 0.0)) options_.kp = 0.0;
+  if (!(options_.ki >= 0.0)) options_.ki = 0.0;
+}
+
 double FeedbackShedder::Observe(size_t queue_len) {
   double error =
       (static_cast<double>(queue_len) - options_.target_queue) /
       options_.target_queue;
-  integral_ += options_.ki * error;
-  // Anti-windup: the integral term alone must stay a valid probability.
-  integral_ = std::clamp(integral_, 0.0, 1.0);
+  // Bound the normalized error: occupancy can't go below 0 (error -1),
+  // and a grossly overfull queue shouldn't slam the integral in one
+  // tick — 10x target already drives the proportional term well past
+  // saturation.
+  error = std::clamp(error, -1.0, 10.0);
+  // Conditional-integration anti-windup: while the output is pinned at a
+  // bound *and* the error keeps pushing into that bound, integrating
+  // further only stores up correction that must unwind later — a long
+  // overload burst would otherwise leave the drop rate pinned high for
+  // many ticks after load subsides. Freeze the integral instead.
+  const double pinned = integral_ + options_.kp * error;
+  const bool wind_high = pinned >= 1.0 && error > 0.0;
+  const bool wind_low = pinned <= 0.0 && error < 0.0;
+  if (!wind_high && !wind_low) {
+    integral_ = std::clamp(integral_ + options_.ki * error, 0.0, 1.0);
+  }
   drop_rate_ = std::clamp(integral_ + options_.kp * error, 0.0, 1.0);
   return drop_rate_;
 }

@@ -26,13 +26,17 @@ class FeedbackShedder {
     double ki = 0.02;
   };
 
-  explicit FeedbackShedder(Options options) : options_(options) {}
+  /// Non-positive / non-finite tuning values are sanitized: target_queue
+  /// falls back to 1 (treat any occupancy as pressure), negative gains
+  /// to 0.
+  explicit FeedbackShedder(Options options);
 
   /// Feeds one queue-length observation (call once per tick); returns
   /// the updated drop probability in [0, 1].
   double Observe(size_t queue_len);
 
   double drop_rate() const { return drop_rate_; }
+  const Options& options() const { return options_; }
 
  private:
   Options options_;

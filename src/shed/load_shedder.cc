@@ -11,8 +11,8 @@ void RandomDropOp::Push(const Element& e, int /*port*/) {
     Emit(e);
     return;
   }
-  if (rng_.Bernoulli(drop_rate_)) {
-    ++dropped_;
+  if (rng_.Bernoulli(drop_rate_.load(std::memory_order_relaxed))) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   Emit(e);

@@ -1,6 +1,7 @@
 #ifndef SQP_SHED_LOAD_SHEDDER_H_
 #define SQP_SHED_LOAD_SHEDDER_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -13,6 +14,11 @@ namespace sqp {
 /// Random load shedding (slide 44): drops each tuple independently with
 /// probability `drop_rate`. Downstream aggregate answers can be scaled by
 /// 1/(1-p) to stay approximately unbiased — `scale_factor()` exposes it.
+///
+/// `drop_rate` and `dropped` are atomic so a monitoring/control thread
+/// (StreamEngine::EnableAdaptiveShedding) can retune the rate and read
+/// the loss counter while the data path runs. The data path itself must
+/// stay single-threaded (rng_ is not synchronized).
 class RandomDropOp : public Operator {
  public:
   RandomDropOp(double drop_rate, uint64_t seed,
@@ -20,17 +26,22 @@ class RandomDropOp : public Operator {
 
   void Push(const Element& e, int port = 0) override;
 
-  void set_drop_rate(double p) { drop_rate_ = p; }
-  double drop_rate() const { return drop_rate_; }
-  double scale_factor() const {
-    return drop_rate_ >= 1.0 ? 0.0 : 1.0 / (1.0 - drop_rate_);
+  void set_drop_rate(double p) {
+    drop_rate_.store(p, std::memory_order_relaxed);
   }
-  uint64_t dropped() const { return dropped_; }
+  double drop_rate() const {
+    return drop_rate_.load(std::memory_order_relaxed);
+  }
+  double scale_factor() const {
+    double p = drop_rate();
+    return p >= 1.0 ? 0.0 : 1.0 / (1.0 - p);
+  }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
  private:
-  double drop_rate_;
+  std::atomic<double> drop_rate_;
   Rng rng_;
-  uint64_t dropped_ = 0;
+  std::atomic<uint64_t> dropped_{0};
 };
 
 /// Semantic load shedding (slide 44): drops tuples by *value*, keeping

@@ -46,7 +46,9 @@
 
 // Observability: engine-wide metrics registry, per-operator counters,
 // sampled lineage tracing, JSON/Prometheus export.
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 #include "obs/op_metrics.h"
 #include "obs/registry.h"
 #include "obs/snapshot.h"

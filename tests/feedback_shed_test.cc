@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <deque>
 
 #include "common/rng.h"
@@ -85,6 +86,91 @@ TEST(FeedbackShedderTest, DropRateAlwaysValidProbability) {
     EXPECT_GE(p, 0.0);
     EXPECT_LE(p, 1.0);
   }
+}
+
+TEST(FeedbackShedderTest, SanitizesDegenerateOptions) {
+  // target_queue <= 0 would divide by zero (or invert the error sign);
+  // the constructor degrades to target 1 and the controller still
+  // behaves: zero queue -> no drops, big queue -> drops.
+  for (double bad : {0.0, -5.0, std::nan("")}) {
+    FeedbackShedder::Options opt;
+    opt.target_queue = bad;
+    FeedbackShedder shed(opt);
+    EXPECT_DOUBLE_EQ(shed.options().target_queue, 1.0);
+    EXPECT_DOUBLE_EQ(shed.Observe(0), 0.0);
+    double p = 0.0;
+    for (int i = 0; i < 50; ++i) p = shed.Observe(1000);
+    EXPECT_GT(p, 0.5);
+    for (int i = 0; i < 200; ++i) p = shed.Observe(0);
+    EXPECT_LT(p, 0.05);
+  }
+  FeedbackShedder::Options neg;
+  neg.kp = -1.0;
+  neg.ki = -1.0;
+  FeedbackShedder shed(neg);
+  for (int i = 0; i < 100; ++i) {
+    double p = shed.Observe(10000);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(FeedbackShedderTest, AntiWindupRecoversQuicklyAfterLongBurst) {
+  // A long hard overload (queue pinned far above target) must not bank
+  // integral that keeps shedding long after the queue empties. With
+  // conditional integration the drop rate falls below 1% within a
+  // bounded number of idle ticks.
+  FeedbackShedder::Options opt;
+  opt.target_queue = 100.0;
+  FeedbackShedder shed(opt);
+  for (int i = 0; i < 5000; ++i) shed.Observe(100000);  // 1000x target.
+  EXPECT_DOUBLE_EQ(shed.drop_rate(), 1.0);
+  int ticks_to_recover = 0;
+  while (shed.Observe(0) >= 0.01 && ticks_to_recover < 10000) {
+    ++ticks_to_recover;
+  }
+  // kp=0.2, ki=0.02: the frozen integral can hold at most ~1 - kp*10,
+  // and draining at ki per tick bounds recovery well under 100 ticks —
+  // not the 5000 the burst lasted.
+  EXPECT_LT(ticks_to_recover, 100);
+}
+
+TEST(FeedbackShedderTest, ConvergesUnderBurstyTicks) {
+  // Scripted bursty observation sequence: backlog alternates between
+  // hard bursts and idle valleys around the target; the controller must
+  // settle to a mid-range rate rather than slam between 0 and 1 forever.
+  FeedbackShedder::Options opt;
+  opt.target_queue = 100.0;
+  FeedbackShedder shed(opt);
+  Rng rng(11);
+  double queue = 0;
+  BurstyArrival arrivals(10.0, 30.0, 120.0, 9);
+  for (int t = 0; t < 30000; ++t) {
+    uint64_t n = arrivals.ArrivalsAt(t);
+    double p = shed.Observe(static_cast<size_t>(queue));
+    for (uint64_t i = 0; i < n; ++i) {
+      if (!rng.Bernoulli(p)) queue += 1;
+    }
+    queue = std::max(0.0, queue - 1.0);
+  }
+  // Long-run mean arrival is 10*30/(30+120) = 2/tick against capacity 1:
+  // the steady drop rate must sit near 1/2, and the queue near target.
+  double tail_rate = 0.0;
+  double tail_queue = 0.0;
+  int tail_n = 0;
+  for (int t = 0; t < 30000; ++t) {
+    uint64_t n = arrivals.ArrivalsAt(30000 + t);
+    double p = shed.Observe(static_cast<size_t>(queue));
+    for (uint64_t i = 0; i < n; ++i) {
+      if (!rng.Bernoulli(p)) queue += 1;
+    }
+    queue = std::max(0.0, queue - 1.0);
+    tail_rate += p;
+    tail_queue += queue;
+    ++tail_n;
+  }
+  EXPECT_NEAR(tail_rate / tail_n, 0.5, 0.15);
+  EXPECT_LT(tail_queue / tail_n, 1000.0);
 }
 
 TEST(FeedbackShedderTest, BurstyArrivalsBoundedQueue) {

@@ -176,7 +176,37 @@ TEST(SnapshotExportTest, PrometheusGolden) {
             "sqp_lat_ns_bucket{le=\"15\"} 3\n"
             "sqp_lat_ns_bucket{le=\"+Inf\"} 3\n"
             "sqp_lat_ns_sum 18\n"
-            "sqp_lat_ns_count 3\n");
+            "sqp_lat_ns_count 3\n"
+            "# TYPE sqp_lat_ns_p50 gauge\n"
+            "sqp_lat_ns_p50 2.75\n"
+            "# TYPE sqp_lat_ns_p99 gauge\n"
+            "sqp_lat_ns_p99 14.79\n");
+}
+
+TEST(SnapshotExportTest, PrometheusGroupsFamiliesAndEmitsHelp) {
+  // Two streams interleave with another family in registration order;
+  // the exposition must still render each family as one block with a
+  // single # TYPE (and # HELP for known families).
+  obs::MetricsRegistry reg;
+  reg.GetCounter("sqp_stream_ingested_total", {{"stream", "a"}})->Inc(1);
+  reg.GetGauge("sqp_other")->Set(9);
+  reg.GetCounter("sqp_stream_ingested_total", {{"stream", "b"}})->Inc(2);
+  EXPECT_EQ(reg.TakeSnapshot().ToPrometheus(),
+            "# HELP sqp_stream_ingested_total Elements ingested per "
+            "stream.\n"
+            "# TYPE sqp_stream_ingested_total counter\n"
+            "sqp_stream_ingested_total{stream=\"a\"} 1\n"
+            "sqp_stream_ingested_total{stream=\"b\"} 2\n"
+            "# TYPE sqp_other gauge\n"
+            "sqp_other 9\n");
+}
+
+TEST(SnapshotExportTest, PrometheusEscapesLabelValues) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("sqp_events_total", {{"q", "a\\b\"c\nd"}})->Inc(1);
+  EXPECT_NE(reg.TakeSnapshot().ToPrometheus().find(
+                "sqp_events_total{q=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            std::string::npos);
 }
 
 TEST(SnapshotExportTest, JsonEscapesSpecials) {
@@ -395,22 +425,25 @@ TEST(StageStatsTest, ToStringMatchesPublishedFields) {
   s.processed = 3;
   s.batches = 2;
   s.dropped = 1;
+  s.queue_depth = 3;
   s.max_queue_depth = 4;
   s.busy_time = 0.25;
   EXPECT_EQ(s.ToString(),
             "enqueued=5 processed=3 batches=2 dropped=1 backlog=2 "
-            "max_queue_depth=4 busy_time=0.250000");
+            "queue_depth=3 max_queue_depth=4 busy_time=0.250000");
   // The obs bridge publishes exactly the same fields.
   obs::Snapshot snap;
   obs::SnapshotBuilder b(&snap);
   sched::PublishStageStats(b, {{"stage", "0"}}, s);
-  ASSERT_EQ(snap.samples.size(), 7u);
+  ASSERT_EQ(snap.samples.size(), 8u);
   EXPECT_EQ(snap.samples[0].name, "sqp_stage_enqueued");
   EXPECT_EQ(snap.samples[0].value, 5.0);
   EXPECT_EQ(snap.samples[2].name, "sqp_stage_batches");
   EXPECT_EQ(snap.samples[2].value, 2.0);
   EXPECT_EQ(snap.samples[4].name, "sqp_stage_backlog");
   EXPECT_EQ(snap.samples[4].value, 2.0);
+  EXPECT_EQ(snap.samples[5].name, "sqp_stage_queue_depth");
+  EXPECT_EQ(snap.samples[5].value, 3.0);
 }
 
 }  // namespace
