@@ -1,9 +1,10 @@
 // sqpsh — run continuous queries from the command line against the
 // built-in synthetic streams.
 //
-//   sqpsh [--tuples N] [--rows K] [--parallel] [--trace-every N]
-//         [--http PORT] [--linger SECS] [--adaptive-shed]
-//         [--shed-target N] <query|command> [<query|command> ...]
+//   sqpsh [--tuples N] [--rows K] [--parallel] [--shards N]
+//         [--trace-every N] [--http PORT] [--linger SECS]
+//         [--adaptive-shed] [--shed-target N]
+//         <query|command> [<query|command> ...]
 //
 // Registered streams: packets (IPv4/TCP tap), cdr (call records),
 // sensors (measurements). Every query sees the same interleaved feed.
@@ -49,6 +50,9 @@ void Usage() {
       "  --tuples N        tuples to generate per stream (default 100000)\n"
       "  --rows K          result rows to print per query (default 10)\n"
       "  --parallel        run each query on the threaded executor\n"
+      "  --shards N        key-partition each query's stateful operators\n"
+      "                    (joins, keyed group-bys) across N replica\n"
+      "                    threads behind a hash exchange\n"
       "  --trace-every N   sample every Nth tuple's lineage (default off)\n"
       "  --http PORT       serve GET /metrics (Prometheus), /snapshot.json,\n"
       "                    /series.json while running (0 = ephemeral port)\n"
@@ -97,6 +101,7 @@ int main(int argc, char** argv) {
   int64_t linger_s = 0;
   bool adaptive_shed = false;
   double shed_target = 256.0;
+  int64_t shards = 0;  // 0 = sharding off.
   bool top_mode = false;
   MetricsMode metrics_mode = MetricsMode::kOff;
   std::vector<std::string> query_texts;
@@ -119,6 +124,8 @@ int main(int argc, char** argv) {
       adaptive_shed = true;
     } else if (std::strcmp(argv[i], "--shed-target") == 0 && i + 1 < argc) {
       shed_target = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage();
       return 0;
@@ -195,6 +202,29 @@ int main(int argc, char** argv) {
                     ? "BOUNDED"
                     : "UNBOUNDED",
                 (*q)->memory().explanation.c_str());
+    if (shards > 1) {
+      // Before EnableParallel: the rewrite moves plan edges the
+      // executor's stages would otherwise capture.
+      ShardPlanOptions shopt;
+      shopt.shards = static_cast<int>(shards);
+      Status st = engine.EnableSharding(*q, shopt);
+      if (!st.ok()) {
+        std::printf("shard : off (%s)\n", st.ToString().c_str());
+      } else if (!(*q)->sharded()) {
+        std::printf("shard : off (no shardable stateful operator)\n");
+      } else {
+        for (const ShardRewrite& rw : (*q)->shard_rewrites()) {
+          if (rw.sharded != nullptr) {
+            std::printf("shard : %s x%d (%s routing)\n",
+                        rw.original->name().c_str(), rw.sharded->shards(),
+                        ShardRoutingName(rw.routing));
+          } else {
+            std::printf("shard : %s kept serial (%s)\n",
+                        rw.original->name().c_str(), rw.reason.c_str());
+          }
+        }
+      }
+    }
     if (parallel) {
       Status st = engine.EnableParallel(*q);
       if (st.ok()) {

@@ -164,7 +164,11 @@ Status StreamEngine::EnableParallel(QueryHandle* handle,
   std::vector<ParallelExecutor::Stage> stages;
   Operator* sink = nullptr;
   bool chain = false;
-  if (q->num_inputs() == 1) {
+  // A sharded plan always runs whole-query: a ShardedOp's merge worker
+  // drives the downstream edge, and op-per-stage mode would hand that
+  // same edge (a stage relay) to a stage worker too — two drivers, one
+  // operator. The shard/merge threads already decouple the pipeline.
+  if (q->num_inputs() == 1 && handle->sharded_ops_.empty()) {
     // Split the linear chain input -> ... -> root op-per-stage; the tee
     // (collector + callback) stays attached as the executor's sink and
     // runs on the last stage's worker.
@@ -209,6 +213,54 @@ Status StreamEngine::EnableParallel(QueryHandle* handle,
       [exec = handle->parallel_.get(), label](obs::SnapshotBuilder& b) {
         exec->CollectStats(b, {{"query", label}});
       });
+  return Status::OK();
+}
+
+Status StreamEngine::EnableSharding(QueryHandle* handle,
+                                    ShardPlanOptions options) {
+  if (handle == nullptr) return Status::InvalidArgument("null handle");
+  if (handle->sharded()) {
+    return Status::AlreadyExists("sharding already enabled");
+  }
+  if (handle->ingested_) {
+    return Status::InvalidArgument(
+        "EnableSharding must precede the first Ingest for this query");
+  }
+  if (handle->parallel_ != nullptr) {
+    return Status::InvalidArgument(
+        "EnableSharding must precede EnableParallel (the rewrite moves "
+        "plan edges the executor's stages captured)");
+  }
+  if (options.shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+
+  cql::CompiledQuery* q = handle->query_.get();
+  handle->shard_rewrites_ = ShardStatefulOps(q->plan(), options);
+  for (const ShardRewrite& rw : handle->shard_rewrites_) {
+    if (rw.sharded == nullptr) continue;
+    // The rewrite fixed the plan-internal edges; the query's external
+    // edges (input taps, root) follow here.
+    q->ReplaceOperator(rw.original, rw.sharded);
+    handle->sharded_ops_.push_back(rw.sharded);
+  }
+  if (handle->sharded_ops_.empty()) return Status::OK();
+
+  std::string label = handle->metrics_label_;
+  if (label.empty()) {
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      if (queries_[i].get() == handle) {
+        label = "q" + std::to_string(i);
+        break;
+      }
+    }
+  }
+  metrics_.AddCollector("shards:" + label,
+                        [handle, label](obs::SnapshotBuilder& b) {
+                          for (const ShardedOp* op : handle->sharded_ops_) {
+                            op->CollectStats(b, {{"query", label}});
+                          }
+                        });
   return Status::OK();
 }
 

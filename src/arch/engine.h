@@ -10,6 +10,7 @@
 
 #include "cql/planner.h"
 #include "exec/reorder.h"
+#include "exec/sharding.h"
 #include "obs/http_exporter.h"
 #include "obs/monitor.h"
 #include "obs/registry.h"
@@ -91,6 +92,17 @@ class QueryHandle {
   /// Null when the engine's metrics were disabled at Submit.
   const obs::Histogram* latency_histogram() const { return latency_hist_; }
 
+  /// True once EnableSharding spliced at least one ShardedOp into this
+  /// query's plan.
+  bool sharded() const { return !sharded_ops_.empty(); }
+  /// The spliced sharded operators (plan-owned), for stats inspection.
+  const std::vector<ShardedOp*>& sharded_ops() const { return sharded_ops_; }
+  /// Rewrite report of EnableSharding: one entry per stateful operator,
+  /// spliced or skipped-with-reason.
+  const std::vector<ShardRewrite>& shard_rewrites() const {
+    return shard_rewrites_;
+  }
+
   /// True once EnableAdaptiveShedding attached a drop gate to this query.
   bool adaptive_shedding() const { return shed_gate_ != nullptr; }
   /// Current drop probability of the adaptive gate (0 when detached).
@@ -125,6 +137,9 @@ class QueryHandle {
   // Declared after query_/tee_ so it is destroyed (joined) first.
   std::unique_ptr<Operator> parallel_adapter_;
   std::unique_ptr<ParallelExecutor> parallel_;
+  // Set by EnableSharding (plan-owned operators; handle only observes).
+  std::vector<ShardedOp*> sharded_ops_;
+  std::vector<ShardRewrite> shard_rewrites_;
   bool chain_mode_ = false;  // True: plan split op-per-stage.
   bool ingested_ = false;    // Any element delivered yet?
   // End-to-end latency probe: the engine arms `pending_ingest_ns_` with
@@ -183,6 +198,20 @@ class StreamEngine {
   /// the query; unsupported for queries with reorder/heartbeat
   /// front-ends (those run on the ingest thread and are not yet staged).
   Status EnableParallel(QueryHandle* handle, ParallelQueryOptions options = {});
+
+  /// Opt-in data parallelism: rewrites `handle`'s plan with
+  /// ShardStatefulOps, replacing each shardable stateful operator
+  /// (joins, keyed group-bys) with `options.shards` key-partitioned
+  /// replicas behind a hash exchange and a punctuation-correct merge.
+  /// Operators that refuse (count windows, global aggregates) are left
+  /// serial — inspect handle->shard_rewrites() for the per-operator
+  /// outcome. Per-shard counters (sqp_shard_*) join the engine registry.
+  ///
+  /// Must be called after Submit, before the first Ingest, and before
+  /// EnableParallel (which then runs the sharded plan in whole-query
+  /// mode — the shard/merge workers already provide the pipeline
+  /// decoupling that op-per-stage mode would add).
+  Status EnableSharding(QueryHandle* handle, ShardPlanOptions options = {});
 
   /// Pushes one tuple (or punctuation) into every query reading `stream`.
   Status Ingest(const std::string& stream, const TupleRef& tuple);

@@ -81,4 +81,8 @@ Key ExtractKey(const Tuple& t, const std::vector<int>& cols) {
   return key;
 }
 
+size_t OneValueKeyHash(const Value& v) {
+  return CombineHash(0x9e3779b97f4a7c15ULL, v.Hash());
+}
+
 }  // namespace sqp

@@ -124,6 +124,12 @@ using KeySet = std::unordered_set<Key, KeyHash, KeyEq>;
 /// Extracts `cols` of `t` as a Key.
 Key ExtractKey(const Tuple& t, const std::vector<int>& cols);
 
+/// Hash of a single value as a one-part key — identical to
+/// KeyView::Hash/KeyHash over a one-column key, so key-addressed
+/// punctuations (Punctuation::CloseKey) hash-route to the same
+/// partition as the tuples they close.
+size_t OneValueKeyHash(const Value& v);
+
 }  // namespace sqp
 
 #endif  // SQP_COMMON_TUPLE_H_

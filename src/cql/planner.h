@@ -42,6 +42,17 @@ class CompiledQuery {
   const std::string& plan_desc() const { return plan_desc_; }
   Plan& plan() { return plan_; }
 
+  /// Patches the query's external edges after a plan rewrite replaced
+  /// `from` with `to`: input entry points move (ports preserved) and the
+  /// root follows, so Push/AttachSink keep working on the rewritten
+  /// plan. Call once per splice (see ShardStatefulOps).
+  void ReplaceOperator(Operator* from, Operator* to) {
+    for (Operator*& in : inputs_) {
+      if (in == from) in = to;
+    }
+    if (root_ == from) root_ = to;
+  }
+
  private:
   friend Result<std::unique_ptr<CompiledQuery>> Compile(
       const std::string& text, const Catalog& catalog);

@@ -11,6 +11,7 @@
 #include "agg/partial_agg.h"
 #include "exec/expr.h"
 #include "exec/operator.h"
+#include "exec/sharding.h"
 
 namespace sqp {
 
@@ -40,13 +41,38 @@ struct GroupByOptions {
 /// Memory behaviour mirrors [ABB+02]: bounded iff the grouping columns
 /// have bounded domains within a window and no aggregate is holistic —
 /// measured, not assumed, via StateBytes() (experiment E4).
-class GroupByAggregateOp : public Operator {
+class GroupByAggregateOp : public Operator, public ShardableOperator {
  public:
   GroupByAggregateOp(GroupByOptions options, std::string name = "group-by");
 
   void Push(const Element& e, int port = 0) override;
   void Flush() override;
   size_t StateBytes() const override;
+
+  /// Partitioning on the full grouping key puts each group wholly on
+  /// one shard, so ANY aggregate (holistic included) stays exact —
+  /// no partial-aggregate merge is ever needed.
+  std::unique_ptr<Operator> CloneReplica() const override {
+    return std::make_unique<GroupByAggregateOp>(options_, name());
+  }
+  std::vector<std::vector<int>> ShardKeyColumns() const override {
+    return {options_.key_cols};
+  }
+  /// Global aggregates (no grouping key) have one group spanning every
+  /// shard; unwindowed grouped output stamps rows with the shard-local
+  /// max ts, so only windowed or punctuation-bounded plans stay
+  /// bit-identical.
+  bool CanShard(std::string* why) const override {
+    if (options_.key_cols.empty()) {
+      if (why != nullptr) *why = "global aggregate spans all shards";
+      return false;
+    }
+    if (options_.window_size <= 0) {
+      if (why != nullptr) *why = "unwindowed output ts is shard-local";
+      return false;
+    }
+    return true;
+  }
 
   /// Output schema for the given input schema.
   static Result<Schema> OutputSchema(const Schema& input,

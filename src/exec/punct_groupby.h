@@ -8,6 +8,7 @@
 
 #include "agg/partial_agg.h"
 #include "exec/operator.h"
+#include "exec/sharding.h"
 
 namespace sqp {
 
@@ -20,7 +21,7 @@ namespace sqp {
 /// Output row: [ts = close time, key, agg...]. Unlike the tumbling
 /// GroupByAggregateOp, window extent here is *data-dependent*: the
 /// application, not the clock, decides when a group is complete.
-class PunctuationGroupByOp : public Operator {
+class PunctuationGroupByOp : public Operator, public ShardableOperator {
  public:
   /// `key_col` both partitions tuples and matches CloseKey punctuations.
   PunctuationGroupByOp(int key_col, std::vector<AggSpec> aggs,
@@ -31,6 +32,18 @@ class PunctuationGroupByOp : public Operator {
   size_t StateBytes() const override;
 
   size_t open_groups() const { return groups_.size(); }
+
+  /// Single-column key: CloseKey punctuations hash-route (via
+  /// OneValueKeyHash) to the same shard as the group's tuples, so
+  /// data-dependent close-out works unchanged under disjoint sharding.
+  std::unique_ptr<Operator> CloneReplica() const override {
+    return std::make_unique<PunctuationGroupByOp>(key_col_, agg_specs_,
+                                                  name());
+  }
+  std::vector<std::vector<int>> ShardKeyColumns() const override {
+    return {{key_col_}};
+  }
+  bool CanShard(std::string* /*why*/) const override { return true; }
 
  private:
   struct GroupState {

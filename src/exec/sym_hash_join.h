@@ -1,11 +1,13 @@
 #ifndef SQP_EXEC_SYM_HASH_JOIN_H_
 #define SQP_EXEC_SYM_HASH_JOIN_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "exec/operator.h"
+#include "exec/sharding.h"
 
 namespace sqp {
 
@@ -16,7 +18,7 @@ namespace sqp {
 ///
 /// Output row: left tuple's values ++ right tuple's values; output ts is
 /// the later of the two.
-class SymmetricHashJoinOp : public Operator {
+class SymmetricHashJoinOp : public Operator, public ShardableOperator {
  public:
   SymmetricHashJoinOp(std::vector<int> left_cols, std::vector<int> right_cols,
                       std::string name = "sym-hash-join");
@@ -24,6 +26,17 @@ class SymmetricHashJoinOp : public Operator {
   void Push(const Element& e, int port = 0) override;
   void Flush() override;
   size_t StateBytes() const override;
+
+  /// Equi-join: partitioning both sides on the join keys keeps matching
+  /// pairs co-located, so disjoint routing is always valid.
+  std::unique_ptr<Operator> CloneReplica() const override {
+    return std::make_unique<SymmetricHashJoinOp>(key_cols_[0], key_cols_[1],
+                                                 name());
+  }
+  std::vector<std::vector<int>> ShardKeyColumns() const override {
+    return {key_cols_[0], key_cols_[1]};
+  }
+  bool CanShard(std::string* /*why*/) const override { return true; }
 
  private:
   void EmitJoined(const Tuple& left, const Tuple& right);

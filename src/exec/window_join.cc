@@ -17,14 +17,15 @@ const char* JoinStrategyName(JoinStrategy s) {
 
 BinaryWindowJoinOp::BinaryWindowJoinOp(Options options, std::string name)
     : Operator(std::move(name)),
-      left_outer_(options.left_outer),
-      right_arity_(options.right_arity) {
-  sides_[0].key_cols = std::move(options.left_cols);
-  sides_[1].key_cols = std::move(options.right_cols);
-  sides_[0].window = options.left_window;
-  sides_[1].window = options.right_window;
-  sides_[0].strategy = options.left_strategy;
-  sides_[1].strategy = options.right_strategy;
+      options_(std::move(options)),
+      left_outer_(options_.left_outer),
+      right_arity_(options_.right_arity) {
+  sides_[0].key_cols = options_.left_cols;
+  sides_[1].key_cols = options_.right_cols;
+  sides_[0].window = options_.left_window;
+  sides_[1].window = options_.right_window;
+  sides_[0].strategy = options_.left_strategy;
+  sides_[1].strategy = options_.right_strategy;
   assert(!left_outer_ || right_arity_ > 0);
   for (Side& s : sides_) {
     assert(s.window.Validate().ok());
@@ -223,6 +224,20 @@ void BinaryWindowJoinOp::Flush() {
     }
   }
   Operator::Flush();
+}
+
+bool BinaryWindowJoinOp::CanShard(std::string* why) const {
+  for (const Side& s : sides_) {
+    if (s.window.kind == WindowKind::kCountSliding) {
+      if (why != nullptr) *why = "count window is not partitionable";
+      return false;
+    }
+  }
+  if (left_outer_) {
+    if (why != nullptr) *why = "outer join pad timestamps are shard-local";
+    return false;
+  }
+  return true;
 }
 
 size_t BinaryWindowJoinOp::StateBytes() const {

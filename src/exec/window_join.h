@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "exec/operator.h"
+#include "exec/sharding.h"
 #include "window/count_window.h"
 #include "window/time_window.h"
 #include "window/window_spec.h"
@@ -43,7 +44,7 @@ struct WindowJoinStats {
 /// Windows are per-side (time- or count-based); probe strategy is
 /// per-side too: `left_strategy` is the strategy used to probe the
 /// *left* window (i.e. applied when a right tuple arrives).
-class BinaryWindowJoinOp : public Operator {
+class BinaryWindowJoinOp : public Operator, public ShardableOperator {
  public:
   struct Options {
     std::vector<int> left_cols;
@@ -69,6 +70,18 @@ class BinaryWindowJoinOp : public Operator {
 
   const WindowJoinStats& join_stats() const { return jstats_; }
 
+  std::unique_ptr<Operator> CloneReplica() const override {
+    return std::make_unique<BinaryWindowJoinOp>(options_, name());
+  }
+  std::vector<std::vector<int>> ShardKeyColumns() const override {
+    return {options_.left_cols, options_.right_cols};
+  }
+  /// Time windows shard cleanly (expiry is by timestamp, identical on
+  /// every replica). Count windows don't: a shard's last-N of its slice
+  /// is not the stream's last-N. Outer joins don't either: pad-row
+  /// timestamps come from the window's shard-local clock.
+  bool CanShard(std::string* why) const override;
+
  private:
   struct Side {
     std::vector<int> key_cols;
@@ -93,6 +106,8 @@ class BinaryWindowJoinOp : public Operator {
   void EmitJoined(const Tuple& left, const Tuple& right);
   void EmitUnmatchedLeft(const Tuple& left, int64_t ts);
 
+  /// Retained verbatim so CloneReplica can build identical replicas.
+  Options options_;
   bool left_outer_ = false;
   size_t right_arity_ = 0;
   Side sides_[2];
