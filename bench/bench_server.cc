@@ -1,0 +1,243 @@
+// Experiment E19: the continuous-query server under concurrent clients.
+// N clients each register a standing query over HTTP, a driver thread
+// ingests a shared feed stamped with wall-clock nanoseconds, and every
+// client streams its rows back over chunked long-poll reads. Measured:
+// aggregate delivered rows/s and per-row delivery latency (ingest stamp
+// to client receipt) p50/p99. The run aborts on a completeness
+// mismatch — every client must receive exactly the feed it subscribed
+// to, or the numbers are meaningless.
+
+#include <benchmark/benchmark.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/engine.h"
+#include "bench_util.h"
+#include "obs/trace.h"
+#include "server/http.h"
+#include "server/query_server.h"
+
+namespace sqp {
+namespace {
+
+using bench::Fmt;
+using bench::FmtInt;
+using bench::Table;
+
+SchemaRef EventSchema() {
+  return std::make_shared<Schema>(
+      std::vector<Field>{{"ts", ValueType::kInt}, {"v", ValueType::kInt}});
+}
+
+std::string RawRequest(int port, const std::string& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  if (!server::SendAll(fd, request.data(), request.size())) {
+    ::close(fd);
+    return "";
+  }
+  std::string resp;
+  char buf[8192];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+std::string Body(const std::string& raw) {
+  std::string head, body;
+  if (!server::SplitHttpResponse(raw, &head, &body)) return "";
+  return server::DechunkBody(head, body);
+}
+
+std::string SessionOf(const std::string& body) {
+  const std::string pat = "\"session\":\"";
+  size_t p = body.find(pat);
+  if (p == std::string::npos) return "";
+  p += pat.size();
+  return body.substr(p, body.find('"', p) - p);
+}
+
+struct ClientResult {
+  uint64_t rows = 0;
+  std::vector<uint64_t> latencies_ns;
+};
+
+/// Streams one session to completion, recording per-row delivery
+/// latency from the ingest-time wall-clock stamp each row carries.
+ClientResult RunClient(int port, const std::string& sid) {
+  ClientResult out;
+  uint64_t cursor = 0;
+  for (;;) {
+    std::string payload = Body(RawRequest(
+        port, "GET /session/" + sid + "/results?wait_ms=2000&cursor=" +
+                  std::to_string(cursor) +
+                  " HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n"));
+    bool finished = false;
+    size_t pos = 0;
+    while (pos < payload.size()) {
+      size_t nl = payload.find('\n', pos);
+      if (nl == std::string::npos) nl = payload.size();
+      const uint64_t now = obs::NowNs();
+      std::string line = payload.substr(pos, nl - pos);
+      pos = nl + 1;
+      if (line.empty()) continue;
+      if (line.find("\"next_cursor\"") != std::string::npos) {
+        size_t p = line.find("\"next_cursor\":");
+        cursor = static_cast<uint64_t>(std::atoll(line.c_str() + p + 14));
+        finished = line.find("\"finished\":true") != std::string::npos;
+        continue;
+      }
+      size_t tp = line.find("\"ts\":");
+      if (tp == std::string::npos) continue;
+      uint64_t stamp = static_cast<uint64_t>(std::atoll(line.c_str() + tp + 5));
+      out.rows += 1;
+      out.latencies_ns.push_back(now > stamp ? now - stamp : 0);
+    }
+    if (finished) return out;
+    if (payload.empty()) {
+      // Connection refused / torn down: bail instead of spinning.
+      return out;
+    }
+  }
+}
+
+double PercentileMs(std::vector<uint64_t>& ns, double p) {
+  if (ns.empty()) return 0.0;
+  std::sort(ns.begin(), ns.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(ns.size() - 1));
+  return static_cast<double>(ns[idx]) / 1e6;
+}
+
+void PrintClientSweep() {
+  const uint64_t rows_per_client = bench::Iters(20000, 2000);
+  std::vector<int> sweep = bench::SmokeMode() ? std::vector<int>{1, 8}
+                                              : std::vector<int>{1, 2, 4, 8,
+                                                                 16, 32};
+  Table table({"clients", "rows/client", "rows/s", "p50_ms", "p99_ms",
+               "drops"});
+  for (int clients : sweep) {
+    StreamEngine engine;
+    (void)engine.RegisterStream("events", EventSchema());
+    server::QueryServerOptions opts;
+    opts.admission.max_sessions = 64;
+    auto bound = engine.Serve(0, opts);
+    if (!bound.ok()) {
+      std::fprintf(stderr, "bench_server: serve failed: %s\n",
+                   bound.status().ToString().c_str());
+      std::exit(1);
+    }
+    const int port = *bound;
+
+    std::vector<std::string> sids(clients);
+    for (int c = 0; c < clients; ++c) {
+      const std::string cql = "select ts, v from events where v >= 0";
+      std::string resp = RawRequest(
+          port, "POST /query?queue=4096&block_ms=60000 HTTP/1.1\r\nHost: b\r\n"
+                "Content-Length: " +
+                    std::to_string(cql.size()) +
+                    "\r\nConnection: close\r\n\r\n" + cql);
+      sids[c] = SessionOf(Body(resp));
+      if (sids[c].empty()) {
+        std::fprintf(stderr, "bench_server: submit %d rejected\n", c);
+        std::exit(1);
+      }
+    }
+
+    std::vector<ClientResult> results(clients);
+    std::vector<std::thread> readers;
+    for (int c = 0; c < clients; ++c) {
+      readers.emplace_back(
+          [&, c] { results[c] = RunClient(port, sids[c]); });
+    }
+
+    const uint64_t t0 = obs::NowNs();
+    for (uint64_t i = 0; i < rows_per_client; ++i) {
+      const int64_t stamp = static_cast<int64_t>(obs::NowNs());
+      (void)engine.Ingest(
+          "events",
+          MakeTuple(stamp, {Value(stamp), Value(static_cast<int64_t>(i))}));
+    }
+    engine.FinishAll();
+    engine.query_server()->FinishSessions();
+    for (auto& th : readers) th.join();
+    const double secs = static_cast<double>(obs::NowNs() - t0) / 1e9;
+
+    uint64_t total = 0;
+    std::vector<uint64_t> all_ns;
+    for (const ClientResult& r : results) {
+      total += r.rows;
+      all_ns.insert(all_ns.end(), r.latencies_ns.begin(),
+                    r.latencies_ns.end());
+    }
+    const uint64_t want =
+        static_cast<uint64_t>(clients) * rows_per_client;
+    if (total != want) {
+      std::fprintf(stderr,
+                   "bench_server: completeness mismatch: delivered %llu of "
+                   "%llu rows across %d clients\n",
+                   static_cast<unsigned long long>(total),
+                   static_cast<unsigned long long>(want), clients);
+      std::exit(1);
+    }
+    table.AddRow({FmtInt(static_cast<uint64_t>(clients)),
+                  FmtInt(rows_per_client),
+                  FmtInt(static_cast<uint64_t>(
+                      static_cast<double>(total) / secs)),
+                  Fmt(PercentileMs(all_ns, 0.50)),
+                  Fmt(PercentileMs(all_ns, 0.99)), FmtInt(0)});
+  }
+  table.Print("E19 query server: concurrent streaming clients");
+}
+
+void BM_RowJson(benchmark::State& state) {
+  TupleRef t = MakeTuple(
+      12345, {Value(int64_t{12345}), Value(3.25), Value("payload")});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server::RowJson(*t));
+  }
+}
+BENCHMARK(BM_RowJson);
+
+void BM_ResultQueuePushAck(benchmark::State& state) {
+  server::ResultQueueOptions opts;
+  opts.limit = 1024;
+  server::ResultQueue q(opts);
+  TupleRef t = MakeTuple(1, {Value(int64_t{1}), Value(int64_t{2})});
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.Push(t));
+    q.Ack(++seq);
+  }
+}
+BENCHMARK(BM_ResultQueuePushAck);
+
+}  // namespace
+}  // namespace sqp
+
+int main(int argc, char** argv) {
+  sqp::bench::ParseBenchArgs(argc, argv);
+  sqp::PrintClientSweep();
+  sqp::bench::RunMicrobenchmarks(argc, argv);
+  return 0;
+}

@@ -26,6 +26,16 @@
 //   # Scrapeable run: serve /metrics while ingesting, keep serving 30s.
 //   ./build/examples/sqpsh --http 9464 --linger 30 --parallel
 //     --adaptive-shed '\top' "select ts from packets where len > 256"
+//
+//   # Continuous-query server: ingest at 20k tuples/s per stream while
+//   # clients POST CQL and stream results back.
+//   ./build/examples/sqpsh --serve 9470 --tuples 1000000 --rate 20000
+//   ./build/examples/sqpsh --connect localhost:9470 --rows 5
+//     "select ts, len from packets where len > 200"
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
@@ -36,6 +46,8 @@
 #include <vector>
 
 #include "arch/engine.h"
+#include "server/http.h"
+#include "server/query_server.h"
 #include "stream/generators.h"
 
 namespace {
@@ -62,6 +74,16 @@ void Usage() {
       "                    parallel query (requires --parallel)\n"
       "  --shed-target N   backlog the shedding controller holds\n"
       "                    (default 256 elements)\n"
+      "  --serve PORT      run the continuous-query server: clients POST\n"
+      "                    CQL to /query and stream results back over\n"
+      "                    /session/<id>/results (0 = ephemeral port)\n"
+      "  --rate N          pace ingest at N tuples/s per stream (serve\n"
+      "                    mode; 0 = full speed, the default)\n"
+      "  --max-sessions N  admission cap on concurrent server queries\n"
+      "  --connect H:P     act as a client: submit the query to a running\n"
+      "                    --serve endpoint, stream --rows rows, close\n"
+      "  --policy P        client: block|drop|shed result-queue policy\n"
+      "  --queue N         client: per-session result queue capacity\n"
       "  --help            this message\n"
       "commands:\n"
       "  \\metrics[=json|prom]  metrics snapshot mid-run and after the run\n"
@@ -88,6 +110,140 @@ void PrintMetrics(const sqp::StreamEngine& engine, MetricsMode mode,
   }
 }
 
+// ---------------------------------------------------------------------
+// --connect: a minimal HTTP client against a --serve endpoint. One
+// connection per request (the server speaks Connection: close), cursor
+// carried across long-poll calls so a re-run resumes cleanly.
+
+int Dial(const std::string& host, int port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res) !=
+      0) {
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    close(fd);
+    fd = -1;
+  }
+  freeaddrinfo(res);
+  return fd;
+}
+
+bool RoundTrip(const std::string& host, int port, const std::string& request,
+               std::string* head, std::string* body) {
+  int fd = Dial(host, port);
+  if (fd < 0) return false;
+  if (!sqp::server::SendAll(fd, request.data(), request.size())) {
+    close(fd);
+    return false;
+  }
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) raw.append(buf, n);
+  close(fd);
+  return sqp::server::SplitHttpResponse(raw, head, body);
+}
+
+std::string JsonStr(const std::string& body, const std::string& key) {
+  const std::string pat = "\"" + key + "\":\"";
+  size_t p = body.find(pat);
+  if (p == std::string::npos) return "";
+  p += pat.size();
+  size_t e = body.find('"', p);
+  return e == std::string::npos ? "" : body.substr(p, e - p);
+}
+
+int64_t JsonInt(const std::string& body, const std::string& key,
+                int64_t def) {
+  const std::string pat = "\"" + key + "\":";
+  size_t p = body.find(pat);
+  if (p == std::string::npos) return def;
+  return std::atoll(body.c_str() + p + pat.size());
+}
+
+int RunConnect(const std::string& host, int port, const std::string& query,
+               int64_t rows, const std::string& policy, int64_t queue_limit) {
+  std::string target = "/query";
+  char sep = '?';
+  if (!policy.empty()) {
+    target += sep + ("policy=" + policy);
+    sep = '&';
+  }
+  if (queue_limit > 0) {
+    target += sep + ("queue=" + std::to_string(queue_limit));
+    sep = '&';
+  }
+  std::string req = "POST " + target + " HTTP/1.1\r\nHost: " + host +
+                    "\r\nContent-Length: " + std::to_string(query.size()) +
+                    "\r\nConnection: close\r\n\r\n" + query;
+  std::string head, body;
+  if (!RoundTrip(host, port, req, &head, &body)) {
+    std::fprintf(stderr, "connect to %s:%d failed\n", host.c_str(), port);
+    return 1;
+  }
+  if (head.find(" 200 ") == std::string::npos) {
+    std::fprintf(stderr, "submit rejected: %s\n", body.c_str());
+    return 1;
+  }
+  const std::string sid = JsonStr(body, "session");
+  if (sid.empty()) {
+    std::fprintf(stderr, "bad submit response: %s\n", body.c_str());
+    return 1;
+  }
+  std::printf("session: %s\n", sid.c_str());
+  std::printf("schema : %s\n", JsonStr(body, "schema").c_str());
+  std::printf("plan   : %s\n", JsonStr(body, "plan").c_str());
+
+  uint64_t cursor = 0;
+  int64_t printed = 0;
+  bool finished = false;
+  while (!finished && (rows <= 0 || printed < rows)) {
+    std::string t = "/session/" + sid +
+                    "/results?cursor=" + std::to_string(cursor) +
+                    "&wait_ms=2000";
+    if (rows > 0) t += "&max=" + std::to_string(rows - printed);
+    req = "GET " + t + " HTTP/1.1\r\nHost: " + host +
+          "\r\nConnection: close\r\n\r\n";
+    if (!RoundTrip(host, port, req, &head, &body)) {
+      std::fprintf(stderr, "results poll failed (session %s, cursor %llu)\n",
+                   sid.c_str(), static_cast<unsigned long long>(cursor));
+      return 1;
+    }
+    std::string payload = sqp::server::DechunkBody(head, body);
+    size_t pos = 0;
+    while (pos < payload.size()) {
+      size_t nl = payload.find('\n', pos);
+      if (nl == std::string::npos) nl = payload.size();
+      std::string line = payload.substr(pos, nl - pos);
+      pos = nl + 1;
+      if (line.empty()) continue;
+      if (line.find("\"next_cursor\"") != std::string::npos) {
+        cursor = static_cast<uint64_t>(
+            JsonInt(line, "next_cursor", static_cast<int64_t>(cursor)));
+        finished = line.find("\"finished\":true") != std::string::npos;
+      } else {
+        std::printf("%s\n", line.c_str());
+        ++printed;
+      }
+    }
+  }
+
+  req = "DELETE /session/" + sid + " HTTP/1.1\r\nHost: " + host +
+        "\r\nConnection: close\r\n\r\n";
+  (void)RoundTrip(host, port, req, &head, &body);
+  std::printf("rows printed: %lld%s\n", static_cast<long long>(printed),
+              finished ? " (query finished)" : "");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -102,6 +258,12 @@ int main(int argc, char** argv) {
   bool adaptive_shed = false;
   double shed_target = 256.0;
   int64_t shards = 0;  // 0 = sharding off.
+  int64_t serve_port = -1;     // < 0 = no query server.
+  int64_t rate = 0;            // Tuples/s per stream (0 = full speed).
+  int64_t max_sessions = 0;    // 0 = server default.
+  std::string connect_hostport;  // Client mode when non-empty.
+  std::string client_policy;
+  int64_t client_queue = 0;
   bool top_mode = false;
   MetricsMode metrics_mode = MetricsMode::kOff;
   std::vector<std::string> query_texts;
@@ -126,6 +288,18 @@ int main(int argc, char** argv) {
       shed_target = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve_port = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc) {
+      rate = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-sessions") == 0 && i + 1 < argc) {
+      max_sessions = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect_hostport = argv[++i];
+    } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+      client_policy = argv[++i];
+    } else if (std::strcmp(argv[i], "--queue") == 0 && i + 1 < argc) {
+      client_queue = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage();
       return 0;
@@ -145,7 +319,18 @@ int main(int argc, char** argv) {
       query_texts.emplace_back(argv[i]);
     }
   }
-  if (query_texts.empty()) {
+  if (!connect_hostport.empty()) {
+    size_t colon = connect_hostport.rfind(':');
+    if (colon == std::string::npos || query_texts.size() != 1) {
+      std::fprintf(stderr,
+                   "--connect wants HOST:PORT and exactly one query\n");
+      return 2;
+    }
+    return RunConnect(connect_hostport.substr(0, colon),
+                      std::atoi(connect_hostport.c_str() + colon + 1),
+                      query_texts[0], show_rows, client_policy, client_queue);
+  }
+  if (query_texts.empty() && serve_port < 0) {
     Usage();
     return 2;
   }
@@ -169,7 +354,7 @@ int main(int argc, char** argv) {
 
   // The continuous monitor backs \top, /series.json, and the adaptive
   // shedding loop; start it whenever any of those is requested.
-  if (top_mode || http_port >= 0 || adaptive_shed) {
+  if (top_mode || http_port >= 0 || adaptive_shed || serve_port >= 0) {
     obs::MonitorOptions mopt;
     mopt.period_ms = 50;
     engine.StartMonitor(mopt);
@@ -183,6 +368,21 @@ int main(int argc, char** argv) {
     }
     std::printf("serving http://localhost:%d/metrics (also /snapshot.json, "
                 "/series.json)\n\n", *bound);
+  }
+  if (serve_port >= 0) {
+    server::QueryServerOptions sopt;
+    if (max_sessions > 0) {
+      sopt.admission.max_sessions = static_cast<size_t>(max_sessions);
+    }
+    auto bound = engine.Serve(static_cast<int>(serve_port), sopt);
+    if (!bound.ok()) {
+      std::fprintf(stderr, "--serve failed: %s\n",
+                   bound.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("query server on http://localhost:%d "
+                "(POST /query, GET /session/<id>/results)\n\n", *bound);
+    std::fflush(stdout);
   }
 
   std::vector<QueryHandle*> handles;
@@ -256,10 +456,18 @@ int main(int argc, char** argv) {
   const int64_t midpoint = tuples / 2;
   // \top refreshes the dashboard a few times over the run.
   const int64_t top_every = top_mode && tuples >= 5 ? tuples / 5 : 0;
+  const auto ingest_start = std::chrono::steady_clock::now();
   for (int64_t i = 0; i < tuples; ++i) {
     (void)engine.Ingest("packets", packets.Next());
     (void)engine.Ingest("cdr", cdrs.Next());
     (void)engine.Ingest("sensors", sensors.Next());
+    if (rate > 0 && (i & 255) == 0) {
+      // Pace to `rate` tuples/s per stream so server clients see a
+      // steady feed instead of one burst.
+      auto due = ingest_start + std::chrono::nanoseconds(
+                                    i * int64_t{1000000000} / rate);
+      std::this_thread::sleep_until(due);
+    }
     if (i == midpoint && metrics_mode == MetricsMode::kPretty) {
       PrintMetrics(engine, metrics_mode, "mid-run, live");
     }
@@ -273,6 +481,11 @@ int main(int argc, char** argv) {
     }
   }
   engine.FinishAll();
+  if (engine.query_server() != nullptr) {
+    // Streaming clients drain the queued rows and then see a finished
+    // trailer instead of long-polling an ended run.
+    engine.query_server()->FinishSessions();
+  }
 
   for (QueryHandle* q : handles) {
     std::printf("== %s\n", q->text().c_str());

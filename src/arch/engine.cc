@@ -6,9 +6,9 @@ namespace sqp {
 
 namespace {
 
-/// Forwards every element to the collector and the optional callback,
-/// and claims the query's pending end-to-end latency sample (armed at
-/// ingest) when an output tuple arrives.
+/// Forwards every element to the collector (when retention is on) and
+/// the optional callback, and claims the query's pending end-to-end
+/// latency sample (armed at ingest) when an output tuple arrives.
 class TeeSink : public Operator {
  public:
   TeeSink(CollectorSink* collector,
@@ -31,12 +31,12 @@ class TeeSink : public Operator {
       uint64_t t0 = pending_->exchange(0, std::memory_order_acquire);
       if (t0 != 0) latency_hist_->Observe(obs::NowNs() - t0);
     }
-    collector_->Push(e, port);
+    if (collector_ != nullptr) collector_->Push(e, port);
     if (*callback_ && e.is_tuple()) (*callback_)(e.tuple());
   }
 
  private:
-  CollectorSink* collector_;
+  CollectorSink* collector_;  // Null: SubmitOptions::collect was false.
   const std::function<void(const TupleRef&)>* callback_;
   obs::Histogram* latency_hist_;
   std::atomic<uint64_t>* pending_;
@@ -66,6 +66,7 @@ class QueryStageOp : public Operator {
 Status StreamEngine::RegisterStream(const std::string& name, SchemaRef schema,
                                     std::vector<FieldDomain> domains,
                                     StreamOptions options) {
+  std::unique_lock<std::shared_mutex> reg(reg_mu_);
   SQP_RETURN_NOT_OK(
       catalog_.Register(name, std::move(schema), std::move(domains)));
   stream_options_[name] = options;
@@ -74,7 +75,9 @@ Status StreamEngine::RegisterStream(const std::string& name, SchemaRef schema,
   return Status::OK();
 }
 
-Result<QueryHandle*> StreamEngine::Submit(const std::string& query_text) {
+Result<QueryHandle*> StreamEngine::Submit(const std::string& query_text,
+                                          SubmitOptions options) {
+  std::unique_lock<std::shared_mutex> reg(reg_mu_);
   auto compiled = cql::Compile(query_text, catalog_);
   if (!compiled.ok()) return compiled.status();
 
@@ -82,18 +85,19 @@ Result<QueryHandle*> StreamEngine::Submit(const std::string& query_text) {
   handle->text_ = query_text;
   handle->query_ = std::move(*compiled);
   handle->sink_ = std::make_unique<CollectorSink>();
+  handle->callback_ = std::move(options.on_result);
 
   if (metrics_enabled_) {
-    handle->metrics_label_ = "q" + std::to_string(queries_.size());
+    handle->metrics_label_ = "q" + std::to_string(query_seq_);
     handle->query_->plan().BindMetrics(metrics_, handle->metrics_label_);
     handle->latency_hist_ = metrics_.GetHistogram(
         "sqp_query_latency_ns", {{"query", handle->metrics_label_}});
   }
+  ++query_seq_;
 
-  handle->tee_ = std::make_unique<TeeSink>(handle->sink_.get(),
-                                           &handle->callback_,
-                                           handle->latency_hist_,
-                                           &handle->pending_ingest_ns_);
+  handle->tee_ = std::make_unique<TeeSink>(
+      options.collect ? handle->sink_.get() : nullptr, &handle->callback_,
+      handle->latency_hist_, &handle->pending_ingest_ns_);
   handle->query_->AttachSink(handle->tee_.get());
 
   // Wire per-input front-ends: reorder and/or heartbeat per the owning
@@ -144,6 +148,7 @@ Result<QueryHandle*> StreamEngine::Submit(const std::string& query_text) {
 
 Status StreamEngine::EnableParallel(QueryHandle* handle,
                                     ParallelQueryOptions options) {
+  std::unique_lock<std::shared_mutex> reg(reg_mu_);
   if (handle == nullptr) return Status::InvalidArgument("null handle");
   if (handle->parallel_ != nullptr) {
     return Status::InvalidArgument("query is already parallel");
@@ -205,9 +210,7 @@ Status StreamEngine::EnableParallel(QueryHandle* handle,
   handle->parallel_->Start();
   // Per-stage queue stats join the registry through the shared
   // StageStats path (one shape for serial and threaded executors).
-  const std::string label = handle->metrics_label_.empty()
-                                ? "q" + std::to_string(queries_.size() - 1)
-                                : handle->metrics_label_;
+  const std::string label = LabelFor(handle);
   metrics_.AddCollector(
       "stages:" + label,
       [exec = handle->parallel_.get(), label](obs::SnapshotBuilder& b) {
@@ -218,6 +221,7 @@ Status StreamEngine::EnableParallel(QueryHandle* handle,
 
 Status StreamEngine::EnableSharding(QueryHandle* handle,
                                     ShardPlanOptions options) {
+  std::unique_lock<std::shared_mutex> reg(reg_mu_);
   if (handle == nullptr) return Status::InvalidArgument("null handle");
   if (handle->sharded()) {
     return Status::AlreadyExists("sharding already enabled");
@@ -246,15 +250,7 @@ Status StreamEngine::EnableSharding(QueryHandle* handle,
   }
   if (handle->sharded_ops_.empty()) return Status::OK();
 
-  std::string label = handle->metrics_label_;
-  if (label.empty()) {
-    for (size_t i = 0; i < queries_.size(); ++i) {
-      if (queries_[i].get() == handle) {
-        label = "q" + std::to_string(i);
-        break;
-      }
-    }
-  }
+  const std::string label = LabelFor(handle);
   metrics_.AddCollector("shards:" + label,
                         [handle, label](obs::SnapshotBuilder& b) {
                           for (const ShardedOp* op : handle->sharded_ops_) {
@@ -296,6 +292,9 @@ void StreamEngine::DeliverDirect(QueryHandle& q, const QueryHandle::Tap& tap,
 
 Status StreamEngine::IngestElement(const std::string& stream,
                                    const Element& e) {
+  // Shared: delivery may overlap registration/teardown from a server
+  // thread, but never another delivery (single ingest thread contract).
+  std::shared_lock<std::shared_mutex> reg(reg_mu_);
   if (catalog_.Lookup(stream) == nullptr) {
     return Status::NotFound("unknown stream: " + stream);
   }
@@ -341,6 +340,7 @@ Result<int> StreamEngine::ServeMetrics(int port) {
 
 Status StreamEngine::EnableAdaptiveShedding(QueryHandle* handle,
                                             AdaptiveShedOptions options) {
+  std::unique_lock<std::shared_mutex> reg(reg_mu_);
   if (handle == nullptr) return Status::InvalidArgument("null handle");
   if (handle->shed_gate_ != nullptr) {
     return Status::AlreadyExists("adaptive shedding already enabled");
@@ -369,15 +369,7 @@ Status StreamEngine::EnableAdaptiveShedding(QueryHandle* handle,
   }
   if (monitor_ == nullptr) StartMonitor();
 
-  std::string label = handle->metrics_label_;
-  if (label.empty()) {
-    for (size_t i = 0; i < queries_.size(); ++i) {
-      if (queries_[i].get() == handle) {
-        label = "q" + std::to_string(i);
-        break;
-      }
-    }
-  }
+  const std::string label = LabelFor(handle);
 
   handle->shedder_ = std::make_unique<FeedbackShedder>(options.controller);
   handle->shed_gate_ =
@@ -417,7 +409,69 @@ Status StreamEngine::Ingest(const std::string& stream, const TupleRef& tuple) {
   return IngestElement(stream, Element(tuple));
 }
 
+const std::string& StreamEngine::LabelFor(QueryHandle* handle) {
+  if (handle->metrics_label_.empty()) {
+    // Metrics were off at Submit; assign a label anyway so collectors
+    // registered later (stages/shards/shed) have a stable teardown key.
+    handle->metrics_label_ = "q" + std::to_string(query_seq_++);
+  }
+  return handle->metrics_label_;
+}
+
+Status StreamEngine::Remove(QueryHandle* handle) {
+  if (handle == nullptr) return Status::InvalidArgument("null handle");
+  // The shedding tick listener captures the handle and runs on the
+  // monitor thread; remove it first (the call barriers on an in-flight
+  // tick) so nothing touches the handle's gate/shedder once teardown
+  // starts. Done before taking reg_mu_: the listener never takes the
+  // registration lock, but keeping the barrier outside the critical
+  // section keeps the lock dependency one-directional.
+  if (monitor_ != nullptr && !handle->metrics_label_.empty()) {
+    monitor_->RemoveTickListener("shed:" + handle->metrics_label_);
+  }
+
+  std::unique_lock<std::shared_mutex> reg(reg_mu_);
+  size_t index = queries_.size();
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (queries_[i].get() == handle) {
+      index = i;
+      break;
+    }
+  }
+  if (index == queries_.size()) {
+    return Status::NotFound("query is not registered with this engine");
+  }
+
+  // Flush so windows/groups close and the final rows reach the sink —
+  // unless the engine already finished everything. The caller guarantees
+  // the output callback cannot block (see header).
+  if (!finished_) {
+    if (handle->parallel_ != nullptr) {
+      handle->parallel_->Drain();
+    } else {
+      for (const QueryHandle::Tap& tap : handle->taps_) {
+        if (tap.entry != nullptr) tap.entry->Flush();
+      }
+      handle->query_->Finish();
+    }
+  }
+
+  // Collectors capture the handle or its executor; RemoveCollector
+  // barriers on any snapshot in flight, so after these return nothing
+  // can observe the dying query.
+  if (!handle->metrics_label_.empty()) {
+    const std::string& label = handle->metrics_label_;
+    metrics_.RemoveCollector("stages:" + label);
+    metrics_.RemoveCollector("shards:" + label);
+    metrics_.RemoveCollector("shed:" + label);
+  }
+
+  queries_.erase(queries_.begin() + static_cast<long>(index));
+  return Status::OK();
+}
+
 void StreamEngine::FinishAll() {
+  std::unique_lock<std::shared_mutex> reg(reg_mu_);
   if (finished_) return;
   finished_ = true;
   for (auto& q : queries_) {
@@ -438,6 +492,7 @@ void StreamEngine::FinishAll() {
 }
 
 size_t StreamEngine::TotalStateBytes() const {
+  std::shared_lock<std::shared_mutex> reg(reg_mu_);
   size_t bytes = 0;
   for (const auto& q : queries_) {
     bytes += q->query_->plan().TotalStateBytes();

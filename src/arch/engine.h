@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,11 @@
 #include "shed/load_shedder.h"
 
 namespace sqp {
+
+namespace server {
+class QueryServer;
+struct QueryServerOptions;
+}  // namespace server
 
 /// Options governing how the engine treats one registered stream.
 struct StreamOptions {
@@ -57,6 +63,22 @@ struct AdaptiveShedOptions {
   std::function<size_t()> backlog_probe;
 };
 
+/// Tuning for StreamEngine::Submit.
+struct SubmitOptions {
+  /// Streaming callback invoked per output tuple, wired atomically with
+  /// registration: no element delivered after Submit returns can miss
+  /// it. Runs on whichever thread drives the query's sink (the ingest
+  /// thread for serial queries, a worker for parallel ones) — it must be
+  /// thread-compatible with that and should not call back into the
+  /// engine's registration API.
+  std::function<void(const TupleRef&)> on_result;
+  /// When false, the engine does not retain output rows in the handle's
+  /// results() collector — the mode for standing server queries, whose
+  /// output goes to a bounded per-session queue instead of an unbounded
+  /// in-process vector.
+  bool collect = true;
+};
+
 /// A handle to one standing (continuous, persistent) query.
 class QueryHandle {
  public:
@@ -79,7 +101,9 @@ class QueryHandle {
   const std::string& text() const { return text_; }
   const std::string& plan_desc() const { return query_->plan_desc(); }
   /// Label this query's operators report under in the engine registry
-  /// ("q0", "q1", ... — empty when metrics were disabled at Submit).
+  /// ("q0", "q1", ...). Empty when metrics were disabled at Submit and
+  /// no collector has needed a label yet (the engine assigns one lazily
+  /// for stage/shard/shed collectors).
   const std::string& metrics_label() const { return metrics_label_; }
 
   /// Optional streaming callback, invoked per output element in addition
@@ -182,9 +206,27 @@ class StreamEngine {
                         std::vector<FieldDomain> domains = {},
                         StreamOptions options = {});
 
-  /// Compiles and installs a standing query. The handle stays valid for
-  /// the engine's lifetime.
-  Result<QueryHandle*> Submit(const std::string& query_text);
+  /// Compiles and installs a standing query. The handle stays valid
+  /// until Remove() or the engine's destruction.
+  ///
+  /// Registration is safe against a concurrent Ingest from another
+  /// thread (the query-server front door does exactly that): Submit,
+  /// Remove, and the Enable* calls take the registration lock
+  /// exclusively, Ingest takes it shared. Ingest itself must still come
+  /// from one thread at a time — operators are not concurrent.
+  Result<QueryHandle*> Submit(const std::string& query_text) {
+    return Submit(query_text, SubmitOptions{});
+  }
+  Result<QueryHandle*> Submit(const std::string& query_text,
+                              SubmitOptions options);
+
+  /// Tears one standing query down against a running engine: flushes it
+  /// (unless the engine already finished), detaches its metrics
+  /// collectors and shedding loop, and destroys the handle. Safe against
+  /// concurrent Ingest. The caller must guarantee the query's on_result
+  /// callback cannot block indefinitely once Remove is called (close the
+  /// downstream queue first), or the final flush could wedge.
+  Status Remove(QueryHandle* handle);
 
   /// Opt-in: moves `handle`'s physical plan onto a ParallelExecutor so
   /// it runs concurrently with ingest. Single-input queries whose plan
@@ -261,6 +303,20 @@ class StreamEngine {
   Result<int> ServeMetrics(int port);
   const obs::HttpExporter* http_exporter() const { return http_.get(); }
 
+  /// Starts the multi-client continuous-query server (server::
+  /// QueryServer) on `port` — 0 binds an ephemeral port. Clients POST
+  /// CQL to /query, receive a session id, and stream results back via
+  /// long-poll GET /session/<id>/results with cursor resume. Returns the
+  /// bound port. Defined in src/server/engine_serve.cc (the server
+  /// subsystem layers above the engine).
+  Result<int> Serve(int port);
+  Result<int> Serve(int port, const server::QueryServerOptions& options);
+  server::QueryServer* query_server() { return server_.get(); }
+
+  /// True once FinishAll() ran: streams are closed and new ingest is
+  /// rejected.
+  bool finished() const { return finished_; }
+
   /// Closes the observation loop for one query: interposes a
   /// RandomDropOp gate between Ingest and the query, attaches a
   /// FeedbackShedder, and drives its Observe() from every monitor tick
@@ -288,6 +344,18 @@ class StreamEngine {
   void DeliverDirect(QueryHandle& q, const QueryHandle::Tap& tap,
                      const Element& e);
 
+  /// The label this query's collectors/listeners register under —
+  /// handle->metrics_label_ when metrics were on at Submit, otherwise a
+  /// lazily assigned "qN" cached on the handle so teardown can find the
+  /// same names. Caller holds reg_mu_.
+  const std::string& LabelFor(QueryHandle* handle);
+
+  /// Guards the query/stream registries against concurrent registration
+  /// and delivery: Ingest takes it shared (one ingest thread may overlap
+  /// a Submit/Remove from a server connection thread), all registration
+  /// and teardown paths take it exclusive.
+  mutable std::shared_mutex reg_mu_;
+
   cql::Catalog catalog_;
   std::map<std::string, StreamOptions> stream_options_;
   // Outlives queries_ (destroyed later), so operators can report to
@@ -298,6 +366,9 @@ class StreamEngine {
   std::map<std::string, obs::Counter*> ingest_counters_;
   bool metrics_enabled_ = true;
   std::vector<std::unique_ptr<QueryHandle>> queries_;
+  // Monotonic label sequence: labels stay unique across Remove()s (a
+  // vector-index label would be reissued after an erase and collide).
+  uint64_t query_seq_ = 0;
   bool finished_ = false;
   uint64_t latency_sample_every_ = 256;
   // Declared after queries_ so teardown runs observation-first: the
@@ -305,6 +376,10 @@ class StreamEngine {
   // tick listeners read query state), and only then do queries die.
   std::unique_ptr<obs::Monitor> monitor_;
   std::unique_ptr<obs::HttpExporter> http_;
+  // Declared last: destroyed first, so the query server stops its
+  // listener and closes sessions (which reference query handles) before
+  // anything above dies. shared_ptr: QueryServer is incomplete here.
+  std::shared_ptr<server::QueryServer> server_;
 };
 
 }  // namespace sqp

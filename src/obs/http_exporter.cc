@@ -1,49 +1,10 @@
 #include "obs/http_exporter.h"
 
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-
 #include "obs/monitor.h"
+#include "server/http.h"
 
 namespace sqp {
 namespace obs {
-
-namespace {
-
-const char* StatusText(int code) {
-  switch (code) {
-    case 200:
-      return "OK";
-    case 404:
-      return "Not Found";
-    case 405:
-      return "Method Not Allowed";
-    default:
-      return "Bad Request";
-  }
-}
-
-/// Sends the whole buffer, tolerating short writes. Returns false on a
-/// hard error (client went away — nothing to do about it).
-bool SendAll(int fd, const char* data, size_t len) {
-  size_t sent = 0;
-  while (sent < len) {
-    ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-}  // namespace
 
 HttpExporter::HttpExporter(const MetricsRegistry* registry,
                            const Monitor* monitor)
@@ -52,140 +13,51 @@ HttpExporter::HttpExporter(const MetricsRegistry* registry,
 HttpExporter::~HttpExporter() { Stop(); }
 
 Status HttpExporter::Serve(int port) {
-  if (serving_.load(std::memory_order_relaxed)) {
-    return Status::AlreadyExists("exporter is already serving");
-  }
-  if (port < 0 || port > 65535) {
-    return Status::InvalidArgument("port out of range: " +
-                                   std::to_string(port));
-  }
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
-  }
-  int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_ANY);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    Status st = Status::Internal(std::string("bind: ") +
-                                 std::strerror(errno));
-    ::close(fd);
-    return st;
-  }
-  if (::listen(fd, 16) < 0) {
-    Status st = Status::Internal(std::string("listen: ") +
-                                 std::strerror(errno));
-    ::close(fd);
-    return st;
-  }
-  socklen_t len = sizeof(addr);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
-    port_ = ntohs(addr.sin_port);
-  } else {
-    port_ = port;
-  }
-  listen_fd_ = fd;
-  stop_requested_.store(false, std::memory_order_relaxed);
-  serving_.store(true, std::memory_order_relaxed);
-  thread_ = std::thread([this] { AcceptLoop(); });
-  return Status::OK();
+  server::NetListenerOptions opts;
+  opts.backlog = 16;
+  // A stalled client must not wedge the exporter: bound both directions.
+  opts.recv_timeout_ms = 2000;
+  opts.send_timeout_ms = 2000;
+  opts.max_concurrent = 0;  // Sequential: one scraper is the intended load.
+  return listener_.Start(port, [this](int fd) { ServeConnection(fd); }, opts);
 }
 
-void HttpExporter::Stop() {
-  if (!serving_.load(std::memory_order_relaxed)) return;
-  stop_requested_.store(true, std::memory_order_relaxed);
-  // shutdown() wakes the blocked accept(); close() alone may not.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  if (thread_.joinable()) thread_.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  serving_.store(false, std::memory_order_relaxed);
-}
-
-void HttpExporter::AcceptLoop() {
-  while (!stop_requested_.load(std::memory_order_relaxed)) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // Listener shut down (or a hard error): exit the loop.
-    }
-    // A stalled client must not wedge the exporter: bound both directions.
-    timeval tv{};
-    tv.tv_sec = 2;
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-    ServeConnection(fd);
-    ::close(fd);
-  }
-}
+void HttpExporter::Stop() { listener_.Stop(); }
 
 void HttpExporter::ServeConnection(int fd) {
-  // Read until the end of the request head (or a sane cap — scrape
-  // requests are one line plus a few headers).
-  std::string req;
-  char buf[1024];
-  while (req.size() < 8192 && req.find("\r\n\r\n") == std::string::npos &&
-         req.find("\n\n") == std::string::npos) {
-    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      if (req.find('\n') != std::string::npos) break;  // Have the line.
-      return;  // Timeout/EOF before a full request line: drop silently.
-    }
-    req.append(buf, static_cast<size_t>(n));
-  }
-  size_t line_end = req.find('\n');
-  if (line_end == std::string::npos) return;
-  std::string line = req.substr(0, line_end);
-  if (!line.empty() && line.back() == '\r') line.pop_back();
-
-  size_t sp1 = line.find(' ');
-  size_t sp2 = sp1 == std::string::npos ? std::string::npos
-                                        : line.find(' ', sp1 + 1);
-  const std::string method =
-      sp1 == std::string::npos ? line : line.substr(0, sp1);
-  std::string target = sp2 == std::string::npos
-                           ? (sp1 == std::string::npos
-                                  ? std::string()
-                                  : line.substr(sp1 + 1))
-                           : line.substr(sp1 + 1, sp2 - sp1 - 1);
-  // Route on the path alone; scrapers may append ?query params.
-  size_t qmark = target.find('?');
-  if (qmark != std::string::npos) target.resize(qmark);
+  server::HttpRequest req;
+  if (!server::ReadHttpRequest(fd, &req)) return;  // Drop silently.
 
   Response resp;
-  if (method != "GET" && method != "HEAD") {
+  if (req.method != "GET" && req.method != "HEAD") {
     resp.code = 405;
     resp.content_type = "text/plain; charset=utf-8";
     resp.body = "method not allowed\n";
   } else {
-    resp = Handle(target);
+    resp = Handle(req.path);
   }
-  std::string head = "HTTP/1.0 " + std::to_string(resp.code) + " " +
-                     StatusText(resp.code) +
-                     "\r\nContent-Type: " + resp.content_type +
-                     "\r\nContent-Length: " + std::to_string(resp.body.size()) +
-                     "\r\nConnection: close\r\n\r\n";
-  if (!SendAll(fd, head.data(), head.size())) return;
-  if (method != "HEAD") SendAll(fd, resp.body.data(), resp.body.size());
+  server::WriteHttpResponse(fd, resp.code, resp.content_type, resp.body,
+                            req.method == "HEAD");
 }
 
 HttpExporter::Response HttpExporter::Handle(const std::string& target) const {
+  // Route on the path alone; scrapers may append ?query params.
+  std::string path = target;
+  size_t qmark = path.find('?');
+  if (qmark != std::string::npos) path.resize(qmark);
+
   Response resp;
-  if (target == "/metrics") {
+  if (path == "/metrics") {
     resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
     resp.body = registry_->TakeSnapshot().ToPrometheus();
     return resp;
   }
-  if (target == "/snapshot.json") {
+  if (path == "/snapshot.json") {
     resp.content_type = "application/json";
     resp.body = registry_->TakeSnapshot().ToJson();
     return resp;
   }
-  if (target == "/series.json") {
+  if (path == "/series.json") {
     resp.content_type = "application/json";
     resp.body = monitor_ != nullptr
                     ? monitor_->SeriesJson()
@@ -193,7 +65,7 @@ HttpExporter::Response HttpExporter::Handle(const std::string& target) const {
                                   "\"series\":[]}");
     return resp;
   }
-  if (target == "/" || target.empty()) {
+  if (path == "/" || path.empty()) {
     resp.content_type = "text/plain; charset=utf-8";
     resp.body =
         "streamqp metrics exporter\n"

@@ -1,31 +1,33 @@
 #ifndef SQP_OBS_HTTP_EXPORTER_H_
 #define SQP_OBS_HTTP_EXPORTER_H_
 
-#include <atomic>
 #include <string>
-#include <thread>
 
 #include "common/status.h"
 #include "obs/registry.h"
+#include "server/net_listener.h"
 
 namespace sqp {
 namespace obs {
 
 class Monitor;
 
-/// Dependency-free metrics scrape endpoint: a blocking-socket HTTP/1.0
-/// server with three routes, each answered from a fresh registry
-/// snapshot so a scrape never blocks the hot path:
+/// Dependency-free metrics scrape endpoint: an HTTP/1.0 server with
+/// three routes, each answered from a fresh registry snapshot so a
+/// scrape never blocks the hot path:
 ///
 ///   GET /metrics        Prometheus text exposition
 ///   GET /snapshot.json  Snapshot::ToJson()
 ///   GET /series.json    Monitor::SeriesJson() (empty shell without one)
 ///
-/// One accept-loop thread handles connections sequentially — a scrape
+/// The socket plumbing (accept loop, per-connection recv/send timeouts,
+/// shutdown) lives in server::NetListener — the same listener the query
+/// server uses. The exporter runs it in sequential mode: a scrape
 /// target serving one Prometheus server (the intended load) needs no
-/// concurrency, and a slow client is bounded by a per-connection socket
-/// timeout rather than a thread pool. Start with Serve(port); port 0
-/// binds an ephemeral port (tests), readable via port().
+/// concurrency, and a slow client is bounded by the listener's
+/// per-connection socket timeouts rather than a thread pool. Start with
+/// Serve(port); port 0 binds an ephemeral port (tests), readable via
+/// port().
 class HttpExporter {
  public:
   /// `monitor` may be null: /series.json then answers with an empty
@@ -42,9 +44,9 @@ class HttpExporter {
   /// Shuts the listener down and joins the accept loop.
   void Stop();
 
-  bool serving() const { return serving_.load(std::memory_order_relaxed); }
+  bool serving() const { return listener_.serving(); }
   /// Bound port (resolves 0 to the kernel-assigned ephemeral port).
-  int port() const { return port_; }
+  int port() const { return listener_.port(); }
 
   /// Routes one request target to a (status line, content type, body)
   /// response. Exposed for direct unit testing of the routing table.
@@ -56,16 +58,11 @@ class HttpExporter {
   Response Handle(const std::string& target) const;
 
  private:
-  void AcceptLoop();
   void ServeConnection(int fd);
 
   const MetricsRegistry* registry_;
   const Monitor* monitor_;
-  int listen_fd_ = -1;
-  int port_ = 0;
-  std::atomic<bool> serving_{false};
-  std::atomic<bool> stop_requested_{false};
-  std::thread thread_;
+  server::NetListener listener_;
 };
 
 }  // namespace obs

@@ -238,9 +238,15 @@ void Monitor::TickOnce(double dt_override_s) {
     listeners = listeners_;
   }
 
-  // Listeners run with no lock held: they may snapshot, read Current(),
-  // or retune operators (the adaptive-shedding loop does all three).
-  for (auto& l : listeners) l.second(tick);
+  // Listeners run with no monitor-state lock held: they may snapshot,
+  // read Current(), or retune operators (the adaptive-shedding loop does
+  // all three). invoke_mu_ brackets the pass so RemoveTickListener can
+  // barrier on it — a removed listener's captured state is safe to free
+  // the moment removal returns.
+  {
+    std::lock_guard<std::mutex> invoking(invoke_mu_);
+    for (auto& l : listeners) l.second(tick);
+  }
 }
 
 void Monitor::Publish(SnapshotBuilder& builder) const {
@@ -267,13 +273,19 @@ void Monitor::AddTickListener(const std::string& name,
 }
 
 void Monitor::RemoveTickListener(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
-    if (it->first == name) {
-      listeners_.erase(it);
-      return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+      if (it->first == name) {
+        listeners_.erase(it);
+        break;
+      }
     }
   }
+  // A tick in flight copied the listener list before the erase above;
+  // wait for that invocation pass to finish so the caller can safely
+  // destroy whatever the listener captured.
+  std::lock_guard<std::mutex> barrier(invoke_mu_);
 }
 
 uint64_t Monitor::ticks() const {

@@ -125,6 +125,10 @@ class Monitor {
   /// engine's adaptive shedding hooks in here.
   void AddTickListener(const std::string& name,
                        std::function<void(uint64_t tick)> fn);
+  /// Unregisters and then barriers on the in-flight tick: when this
+  /// returns, the named listener is guaranteed to not be running and to
+  /// never run again — callers may free state the callback captured
+  /// (query teardown relies on this).
   void RemoveTickListener(const std::string& name);
 
   uint64_t ticks() const;
@@ -171,6 +175,10 @@ class Monitor {
   MonitorOptions options_;
 
   mutable std::mutex mu_;
+  /// Held for the duration of each tick's listener-invocation pass
+  /// (listeners run outside mu_ on a copied list); RemoveTickListener
+  /// acquires it after erasing to barrier on in-flight invocations.
+  std::mutex invoke_mu_;
   uint64_t tick_count_ = 0;
   uint64_t start_ns_ = 0;
   uint64_t last_tick_ns_ = 0;

@@ -1,0 +1,38 @@
+#include "server/admission.h"
+
+namespace sqp {
+namespace server {
+
+AdmissionController::Decision AdmissionController::Admit(size_t queue_limit) {
+  Decision d;
+  // Optimistically reserve, then back out on violation. Both caps are
+  // checked against the post-reservation totals so concurrent admits
+  // cannot jointly exceed a cap.
+  size_t s = sessions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.max_sessions > 0 && s > options_.max_sessions) {
+    sessions_.fetch_sub(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    d.reason = "max_sessions";
+    return d;
+  }
+  size_t r =
+      reserved_rows_.fetch_add(queue_limit, std::memory_order_relaxed) +
+      queue_limit;
+  if (options_.max_queued_rows > 0 && r > options_.max_queued_rows) {
+    reserved_rows_.fetch_sub(queue_limit, std::memory_order_relaxed);
+    sessions_.fetch_sub(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    d.reason = "overloaded";
+    return d;
+  }
+  d.admitted = true;
+  return d;
+}
+
+void AdmissionController::Release(size_t queue_limit) {
+  sessions_.fetch_sub(1, std::memory_order_relaxed);
+  reserved_rows_.fetch_sub(queue_limit, std::memory_order_relaxed);
+}
+
+}  // namespace server
+}  // namespace sqp

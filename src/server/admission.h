@@ -1,0 +1,64 @@
+#ifndef SQP_SERVER_ADMISSION_H_
+#define SQP_SERVER_ADMISSION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sqp {
+namespace server {
+
+struct AdmissionOptions {
+  /// Concurrent standing queries the server will host. 0 disables the cap.
+  size_t max_sessions = 64;
+  /// Total rows the server will retain across all session queues. A new
+  /// session is rejected when admitting its queue limit would exceed this
+  /// (the already-admitted sessions keep streaming). 0 disables the cap.
+  size_t max_queued_rows = 1 << 20;
+};
+
+/// Decides whether a new continuous query may be admitted, given what is
+/// already running. Sessions report their reserved queue capacity at
+/// admit time and release it at teardown — the controller tracks
+/// reservations, not instantaneous depth, so admission cannot flap as
+/// queues drain.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options)
+      : options_(options) {}
+
+  struct Decision {
+    bool admitted = false;
+    std::string reason;  // "max_sessions" | "overloaded" when rejected.
+  };
+
+  /// Tries to admit one session reserving `queue_limit` rows. On success
+  /// the reservation is held until Release is called with the same limit.
+  Decision Admit(size_t queue_limit);
+
+  /// Returns one session's reservation (teardown).
+  void Release(size_t queue_limit);
+
+  size_t sessions() const {
+    return sessions_.load(std::memory_order_relaxed);
+  }
+  size_t reserved_rows() const {
+    return reserved_rows_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  AdmissionOptions options_;
+  std::atomic<size_t> sessions_{0};
+  std::atomic<size_t> reserved_rows_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace server
+}  // namespace sqp
+
+#endif  // SQP_SERVER_ADMISSION_H_

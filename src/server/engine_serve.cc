@@ -1,0 +1,29 @@
+// StreamEngine::Serve lives here, not in arch/engine.cc: the engine core
+// must not depend on the server subsystem (which depends on the engine),
+// so the bridge is compiled into sqp_server and only links when the
+// server is linked.
+#include "arch/engine.h"
+#include "server/query_server.h"
+
+namespace sqp {
+
+Result<int> StreamEngine::Serve(int port) {
+  return Serve(port, server::QueryServerOptions{});
+}
+
+Result<int> StreamEngine::Serve(int port,
+                                const server::QueryServerOptions& options) {
+  if (server_ != nullptr && server_->serving()) {
+    return Status::AlreadyExists("query server already running on port " +
+                                 std::to_string(server_->port()));
+  }
+  server_ = std::make_shared<server::QueryServer>(this, options);
+  Status s = server_->Start(port);
+  if (!s.ok()) {
+    server_.reset();
+    return s;
+  }
+  return server_->port();
+}
+
+}  // namespace sqp
