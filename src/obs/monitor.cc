@@ -129,8 +129,6 @@ void Monitor::TickOnce(double dt_override_s) {
   Snapshot snap = registry_->TakeSnapshot();
   const uint64_t now = NowNs();
 
-  std::vector<std::pair<std::string, std::function<void(uint64_t)>>>
-      listeners;
   uint64_t tick;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -234,17 +232,26 @@ void Monitor::TickOnce(double dt_override_s) {
       derived_.push_back(
           {"sqp_monitor_backlog", {{"query", query}}, backlog});
     }
-
-    listeners = listeners_;
   }
 
   // Listeners run with no monitor-state lock held: they may snapshot,
   // read Current(), or retune operators (the adaptive-shedding loop does
   // all three). invoke_mu_ brackets the pass so RemoveTickListener can
   // barrier on it — a removed listener's captured state is safe to free
-  // the moment removal returns.
+  // the moment removal returns. invoke_mu_ MUST be held before the
+  // listener list is copied: copying under mu_ alone would let the
+  // remover's barrier acquire a momentarily-free invoke_mu_ between the
+  // copy and the invocation pass, then free state the stale copy still
+  // invokes. Lock order is invoke_mu_ -> mu_ (RemoveTickListener takes
+  // them sequentially, never nested, so this cannot deadlock).
   {
     std::lock_guard<std::mutex> invoking(invoke_mu_);
+    std::vector<std::pair<std::string, std::function<void(uint64_t)>>>
+        listeners;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      listeners = listeners_;
+    }
     for (auto& l : listeners) l.second(tick);
   }
 }

@@ -176,7 +176,7 @@ bool ReadHttpRequest(int fd, HttpRequest* req, size_t max_head,
   char chunk[1024];
   size_t head_end = std::string::npos;
   size_t body_start = 0;
-  while (buf.size() < max_head) {
+  for (;;) {
     head_end = buf.find("\r\n\r\n");
     if (head_end != std::string::npos) {
       body_start = head_end + 4;
@@ -187,6 +187,10 @@ bool ReadHttpRequest(int fd, HttpRequest* req, size_t max_head,
       body_start = head_end + 2;
       break;
     }
+    // The size cap applies only after a failed search: a head whose
+    // terminator arrives in the recv that reaches the cap is complete
+    // and within it.
+    if (buf.size() >= max_head) return false;  // Head too large.
     ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
@@ -194,7 +198,6 @@ bool ReadHttpRequest(int fd, HttpRequest* req, size_t max_head,
     }
     buf.append(chunk, static_cast<size_t>(n));
   }
-  if (head_end == std::string::npos) return false;
 
   size_t content_length = 0;
   if (!ParseHttpHead(buf.substr(0, head_end), req, &content_length)) {

@@ -148,8 +148,12 @@ QueryServer::Response QueryServer::HandleSubmit(const HttpRequest& req) {
   int64_t limit = req.ParamInt("queue", static_cast<int64_t>(qopts.limit));
   qopts.limit = static_cast<size_t>(
       std::clamp<int64_t>(limit, 1, int64_t{1} << 20));
-  qopts.block_ms = static_cast<int>(req.ParamInt(
-      "block_ms", qopts.block_ms));
+  // Clamp to a positive bound even when the client asked for 0 (or the
+  // server default is 0): the indefinite wait is for in-process callers
+  // only — see QueryServerOptions::max_block_ms.
+  qopts.block_ms = static_cast<int>(std::clamp<int64_t>(
+      req.ParamInt("block_ms", qopts.block_ms), 1,
+      std::max(1, options_.max_block_ms)));
 
   std::string policy =
       qopts.overflow == SessionOverflow::kBlock ? "block" : "drop";
@@ -216,10 +220,16 @@ QueryServer::Response QueryServer::HandleSubmit(const HttpRequest& req) {
   // A submit racing Stop() could land after the shutdown sweep cleared
   // the map; re-check and undo so nothing leaks past teardown.
   if (stopping_.load(std::memory_order_acquire)) {
-    if (CloseSession(id, /*remove_query=*/true)) {
-      return {503, "application/json",
-              ErrorJson("shutting down", "server is stopping")};
+    if (!CloseSession(id, /*remove_query=*/true)) {
+      // Stop's sweep won the erase: it closed the queue and released the
+      // admission slot but intentionally skips engine teardown, so
+      // removing the query falls to us. The sweep runs before
+      // listener_.Stop() joins this handler, so the engine is still alive.
+      engine_->Remove(*submitted);
+      sess->removed.store(true, std::memory_order_relaxed);
     }
+    return {503, "application/json",
+            ErrorJson("shutting down", "server is stopping")};
   }
   if (engine_->finished()) sess->queue.Finish();
 

@@ -40,6 +40,11 @@ struct QueryServerOptions {
   /// ?wait_ms=, and the row batch copied out per queue wait.
   int default_wait_ms = 1000;
   int max_wait_ms = 30000;
+  /// Upper bound on a client-supplied ?block_ms=. HTTP clients are always
+  /// clamped to [1, max_block_ms]: block_ms = 0 (wait indefinitely) is
+  /// reserved for in-process callers, since over HTTP it would let one
+  /// detached client wedge the engine's delivery thread forever.
+  int max_block_ms = 60000;
   size_t rows_per_batch = 256;
 
   static NetListenerOptions MakeListenerDefaults() {

@@ -1,5 +1,6 @@
 #include "server/session.h"
 
+#include <cmath>
 #include <cstdio>
 
 #include "arch/engine.h"
@@ -120,8 +121,11 @@ std::string ValueJson(const Value& v) {
     case ValueType::kInt:
       return std::to_string(v.AsInt());
     case ValueType::kDouble: {
+      const double d = v.AsDouble();
+      // %.17g renders NaN/Infinity as "nan"/"inf" — not JSON. null is.
+      if (!std::isfinite(d)) return "null";
       char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
       return buf;
     }
     case ValueType::kString:

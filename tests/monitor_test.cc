@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -218,6 +219,36 @@ TEST(MonitorTest, TickListenersFireAndDetach) {
   mon.RemoveTickListener("t");
   mon.TickOnce(1.0);
   EXPECT_EQ(calls, 2);
+}
+
+TEST(MonitorTest, RemoveTickListenerBarriersAgainstInFlightTick) {
+  obs::MetricsRegistry reg;
+  obs::MonitorOptions opt;
+  opt.period_ms = 0;
+  obs::Monitor mon(&reg, opt);
+
+  std::atomic<bool> stop{false};
+  std::thread ticker([&] {
+    while (!stop.load(std::memory_order_relaxed)) mon.TickOnce(1.0);
+  });
+
+  // Each listener captures heap state that is freed the moment removal
+  // returns — exactly what the adaptive-shedding teardown does. A tick
+  // that copied the listener list before RemoveTickListener's barrier
+  // acquisition must not still invoke the stale copy afterwards; under
+  // TSan this loop flags any such copy/invoke gap as a use-after-free.
+  for (int i = 0; i < 4000; ++i) {
+    auto state = std::make_unique<std::atomic<uint64_t>>(0);
+    std::atomic<uint64_t>* raw = state.get();
+    const std::string name = "l" + std::to_string(i % 4);
+    mon.AddTickListener(name, [raw](uint64_t tick) {
+      raw->store(tick, std::memory_order_relaxed);
+    });
+    mon.RemoveTickListener(name);
+    state.reset();  // Safe only because removal barriers on the tick.
+  }
+  stop.store(true, std::memory_order_relaxed);
+  ticker.join();
 }
 
 TEST(MonitorTest, BackgroundSamplerTicks) {

@@ -11,8 +11,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -187,6 +189,35 @@ TEST(HttpParseTest, ChunkedResponseRoundTrips) {
   EXPECT_EQ(server::DechunkBody("HTTP/1.0 200 OK\r\nContent-Length: 2",
                                 "hi"),
             "hi");
+}
+
+TEST(HttpParseTest, HeadEndingExactlyAtTheCapIsAccepted) {
+  // Pad with a header so the terminator's last byte lands exactly on the
+  // max_head boundary: the head is complete and within the cap, so it
+  // must parse (the cap only rejects heads whose terminator never came).
+  std::string head = "GET /healthz HTTP/1.0\r\nX-Pad: ";
+  while (head.size() < 90) head += "p";
+  head += "\r\n\r\n";
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ASSERT_TRUE(server::SendAll(sv[1], head.data(), head.size()));
+  ::close(sv[1]);
+  server::HttpRequest req;
+  EXPECT_TRUE(server::ReadHttpRequest(sv[0], &req, /*max_head=*/head.size()));
+  EXPECT_EQ(req.path, "/healthz");
+  ::close(sv[0]);
+}
+
+TEST(HttpParseTest, NonFiniteDoublesRenderAsJsonNull) {
+  // %.17g would emit "nan"/"inf" — invalid JSON in the NDJSON stream.
+  EXPECT_EQ(server::ValueJson(Value(std::nan(""))), "null");
+  EXPECT_EQ(server::ValueJson(
+                Value(std::numeric_limits<double>::infinity())),
+            "null");
+  EXPECT_EQ(server::ValueJson(
+                Value(-std::numeric_limits<double>::infinity())),
+            "null");
+  EXPECT_EQ(server::ValueJson(Value(3.5)), "3.5");
 }
 
 // ---------------------------------------------------------------------------
@@ -494,6 +525,30 @@ TEST_F(QueryServerTest, DetachReattachSeesEveryRowExactlyOnce) {
     EXPECT_EQ(SeqOf(rows[i]), static_cast<uint64_t>(i))
         << "gap or duplicate at row " << i;
   }
+}
+
+TEST_F(QueryServerTest, ClientBlockMsZeroIsClampedAndCannotWedgeIngest) {
+  server::QueryServerOptions opts;
+  opts.queue.limit = 4;
+  opts.max_block_ms = 50;
+  int port = Serve(opts);
+  // Unclamped, ?block_ms=0 means "wait indefinitely": with no reader
+  // ever attaching, every push past the 4-row limit would park the
+  // ingest thread forever. The server-side clamp bounds each push.
+  std::string sid =
+      Submit(port, "select ts, src_ip from packets where src_ip >= 0",
+             "?policy=block&block_ms=0");
+  ASSERT_FALSE(sid.empty());
+
+  for (int i = 0; i < 20; ++i) {
+    (void)engine_.Ingest("packets", Pkt(i, i % 7, 6, 400));
+  }
+  engine_.FinishAll();  // Returns only because each blocked push times out.
+
+  std::string info = Body(Get(port, "/session/" + sid));
+  size_t p = info.find("\"dropped\":");
+  ASSERT_NE(p, std::string::npos) << info;
+  EXPECT_GT(std::atoll(info.c_str() + p + 10), 0) << info;
 }
 
 TEST_F(QueryServerTest, ThirtyTwoConcurrentClientsEachGetTheirRows) {
