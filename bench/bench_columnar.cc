@@ -1,0 +1,432 @@
+// E20: the vectorized columnar path vs the batched row path.
+//
+// The gate sweep reuses E16's 4-stage select -> select -> project ->
+// project numeric chain on the parallel op-per-stage executor: the row
+// baseline at hand-off batch 64 (E16's best-practice setting) against
+// columnar delivery across batch sizes. Columnar stages convert each
+// claimed run to a ColumnBatch once, refine a selection vector through
+// both selects (no data movement), gather the projections column-at-a-
+// time, and hand downstream ONE queue item per batch — so queue locks,
+// wakeups and virtual dispatch amortize over the batch on top of the
+// kernel wins. Output counts must match the row path exactly — the
+// harness aborts otherwise (bit-identical values are proved by
+// columnar_equiv_test).
+//
+// Satellite sweeps: schema width (per-column conversion cost vs kernel
+// win), string-heavy vs numeric schemas (arena copies vs int loops),
+// and the E15 re-measure — per-batch metrics amortization (CountInBulk/
+// CountOutBulk + whole-batch self-timing) against E15's per-element
+// ~22% finding.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "exec/column_batch.h"
+#include "exec/expr.h"
+#include "exec/plan.h"
+#include "exec/project.h"
+#include "exec/select.h"
+#include "obs/op_metrics.h"
+#include "sched/parallel_executor.h"
+#include "stream/element_batch.h"
+
+namespace sqp {
+namespace {
+
+using bench::Fmt;
+using bench::FmtInt;
+using bench::Table;
+
+// E16's input schema: [pair_id, side, v], v uniform in [0, 1000).
+constexpr int kV = 2;
+
+std::vector<Element> MakeNumericInput(uint64_t n) {
+  Rng rng(17);
+  std::vector<Element> input;
+  input.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    input.push_back(Element(MakeTuple(
+        static_cast<int64_t>(i),
+        {Value(static_cast<int64_t>(i / 2)),
+         Value(static_cast<int64_t>(i % 2)),
+         Value(static_cast<int64_t>(rng.Uniform(1000)))})));
+  }
+  return input;
+}
+
+/// [id, tag, word, v]: two string columns riding through the chain, so
+/// conversion pays arena copies and the projection gathers strings.
+std::vector<Element> MakeStringInput(uint64_t n) {
+  Rng rng(17);
+  static const char* kWords[] = {"alpha", "beta", "gamma-delta", "x",
+                                 "stream-query", "punctuation"};
+  std::vector<Element> input;
+  input.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    input.push_back(Element(MakeTuple(
+        static_cast<int64_t>(i),
+        {Value(static_cast<int64_t>(i / 2)), Value(std::string(kWords[i % 6])),
+         Value(std::string(kWords[(i + 3) % 6])),
+         Value(static_cast<int64_t>(rng.Uniform(1000)))})));
+  }
+  return input;
+}
+
+/// `width` int columns; the select/project columns sit at the end so
+/// extra width is pure conversion+gather ballast.
+std::vector<Element> MakeWideInput(uint64_t n, size_t width) {
+  Rng rng(17);
+  std::vector<Element> input;
+  input.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::vector<Value> vals;
+    vals.reserve(width);
+    for (size_t c = 0; c + 1 < width; ++c) {
+      vals.push_back(Value(static_cast<int64_t>(i + c)));
+    }
+    vals.push_back(Value(static_cast<int64_t>(rng.Uniform(1000))));
+    input.push_back(Element(MakeTuple(static_cast<int64_t>(i), std::move(vals))));
+  }
+  return input;
+}
+
+/// E16's cheap 4-stage chain, parameterized on the value column (the
+/// last one for wide schemas) and the projection lists.
+std::vector<Operator*> BuildChain(Plan* plan, int vcol,
+                                  std::vector<ExprRef> proj1,
+                                  std::vector<ExprRef> proj2) {
+  std::vector<Operator*> ops;
+  ops.push_back(
+      plan->Make<SelectOp>(Gt(Col(vcol), Lit(int64_t{99})), "sel"));
+  ops.push_back(
+      plan->Make<SelectOp>(Lt(Col(vcol), Lit(int64_t{990})), "sel2"));
+  ops.push_back(plan->Make<ProjectOp>(std::move(proj1), "proj"));
+  ops.push_back(plan->Make<ProjectOp>(std::move(proj2), "proj2"));
+  return ops;
+}
+
+std::vector<ExprRef> Cols(std::initializer_list<int> idx) {
+  std::vector<ExprRef> out;
+  for (int i : idx) out.push_back(Col(i));
+  return out;
+}
+
+struct RunResult {
+  double seconds = 0;
+  uint64_t out = 0;
+};
+
+struct RunConfig {
+  size_t batch = 64;
+  bool columnar = false;
+  bool metrics = false;
+  int vcol = kV;
+  std::vector<ExprRef> proj1;
+  std::vector<ExprRef> proj2;
+};
+
+/// Parallel op-per-stage run: wake_batch = max_batch = B. Columnar mode
+/// flips Stage.columnar so each worker converts its claimed run once
+/// and the chain stays columnar until the counting sink.
+RunResult Run(const std::vector<Element>& input, const RunConfig& cfg) {
+  Plan plan;
+  std::vector<Operator*> chain =
+      BuildChain(&plan, cfg.vcol, cfg.proj1, cfg.proj2);
+  auto* sink = plan.Make<CountingSink>();
+  std::vector<obs::OpMetrics> metrics(chain.size());
+  if (cfg.metrics) {
+    for (size_t i = 0; i < chain.size(); ++i) chain[i]->Bind(&metrics[i]);
+  }
+  std::vector<ParallelExecutor::Stage> stages;
+  for (Operator* op : chain) {
+    ParallelExecutor::Stage s;
+    s.op = op;
+    s.queue_limit = std::max<size_t>(512, cfg.batch);
+    s.backpressure = Backpressure::kBlock;
+    s.wake_batch = cfg.batch;
+    s.max_batch = cfg.batch;
+    s.columnar = cfg.columnar;
+    stages.push_back(s);
+  }
+  ParallelExecutor exec(stages, sink);
+  exec.Start();
+  auto t0 = std::chrono::steady_clock::now();
+  for (const Element& e : input) exec.Arrive(e);
+  exec.Drain();
+  auto t1 = std::chrono::steady_clock::now();
+  return {std::chrono::duration<double>(t1 - t0).count(), sink->tuples()};
+}
+
+void CheckOut(uint64_t got, uint64_t want, const char* what) {
+  if (got != want || got == 0) {
+    std::fprintf(stderr,
+                 "FATAL: %s produced %llu output tuples, expected %llu "
+                 "(nonzero) — columnar path diverged\n",
+                 what, static_cast<unsigned long long>(got),
+                 static_cast<unsigned long long>(want));
+    std::abort();
+  }
+}
+
+/// Best-of-N with reps interleaved across configs so drifting background
+/// load biases no single configuration (E16's protocol).
+template <typename MakeCfg>
+std::vector<RunResult> Sweep(const std::vector<Element>& input, size_t n_cfgs,
+                             MakeCfg make_cfg, int reps) {
+  std::vector<RunResult> results(n_cfgs);
+  for (int rep = 0; rep < reps; ++rep) {
+    for (size_t i = 0; i < n_cfgs; ++i) {
+      RunResult r = Run(input, make_cfg(i));
+      if (rep == 0 || r.seconds < results[i].seconds) results[i] = r;
+    }
+  }
+  for (size_t i = 1; i < n_cfgs; ++i) {
+    CheckOut(results[i].out, results[0].out, "columnar sweep run");
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Gate sweep: row batch=64 baseline vs columnar batch sizes.
+
+struct GateCfg {
+  const char* name;
+  size_t batch;
+  bool columnar;
+};
+
+const GateCfg kGateCfgs[] = {
+    {"row b=64", 64, false},    {"row b=256", 256, false},
+    {"col b=64", 64, true},     {"col b=256", 256, true},
+    {"col b=1024", 1024, true}, {"col b=4096", 4096, true},
+};
+constexpr size_t kNumGateCfgs = sizeof(kGateCfgs) / sizeof(kGateCfgs[0]);
+
+void PrintGateSweep() {
+  const uint64_t n = bench::Iters(400000, 4000);
+  std::vector<Element> input = MakeNumericInput(n);
+  const int reps = bench::SmokeMode() ? 1 : 5;
+
+  std::vector<RunResult> results = Sweep(
+      input, kNumGateCfgs,
+      [](size_t i) {
+        RunConfig c;
+        c.batch = kGateCfgs[i].batch;
+        c.columnar = kGateCfgs[i].columnar;
+        c.proj1 = Cols({0, 1, 2});
+        c.proj2 = Cols({0, 2});
+        return c;
+      },
+      reps);
+
+  double base_t = static_cast<double>(n) / results[0].seconds / 1000.0;
+  Table t({"config", "Ktup/s", "speedup vs row b=64", "out"});
+  for (size_t i = 0; i < kNumGateCfgs; ++i) {
+    double bt = static_cast<double>(n) / results[i].seconds / 1000.0;
+    t.AddRow({kGateCfgs[i].name, Fmt(bt, 0), Fmt(bt / base_t, 2),
+              FmtInt(results[i].out)});
+  }
+  t.Print(
+      "Columnar gate: parallel 4-stage select->select->project->project "
+      "numeric chain, row batch=64 baseline vs columnar batch sweep");
+  std::printf(
+      "note: a columnar stage converts each claimed run once, refines a "
+      "selection\nvector through both selects and hands ONE queue item "
+      "per batch downstream;\nthe row path moves every surviving element "
+      "through every queue individually.\n");
+}
+
+// ---------------------------------------------------------------------------
+// Schema width: conversion touches every column, kernels only the used.
+
+void PrintWidthSweep() {
+  const uint64_t n = bench::Iters(150000, 3000);
+  const int reps = bench::SmokeMode() ? 1 : 3;
+  const size_t kWidths[] = {3, 8, 16};
+
+  Table t({"width", "row b=64 Ktup/s", "col b=1024 Ktup/s", "speedup"});
+  for (size_t width : kWidths) {
+    std::vector<Element> input = MakeWideInput(n, width);
+    const int vcol = static_cast<int>(width) - 1;
+    auto make_cfg = [&](size_t i) {
+      RunConfig c;
+      c.vcol = vcol;
+      // Project every column, then halve: the gather cost scales with
+      // width like the row path's tuple rebuild does.
+      for (int k = 0; k < static_cast<int>(width); ++k) {
+        c.proj1.push_back(Col(k));
+      }
+      for (int k = 0; k < static_cast<int>(width); k += 2) {
+        c.proj2.push_back(Col(k));
+      }
+      if (i == 0) {
+        c.batch = 64;
+        c.columnar = false;
+      } else {
+        c.batch = 1024;
+        c.columnar = true;
+      }
+      return c;
+    };
+    std::vector<RunResult> results = Sweep(input, 2, make_cfg, reps);
+    double row_t = static_cast<double>(n) / results[0].seconds / 1000.0;
+    double col_t = static_cast<double>(n) / results[1].seconds / 1000.0;
+    t.AddRow({FmtInt(width), Fmt(row_t, 0), Fmt(col_t, 0),
+              Fmt(col_t / row_t, 2)});
+  }
+  t.Print("Schema width sweep: all-int columns, same 4-stage chain");
+}
+
+// ---------------------------------------------------------------------------
+// String-heavy vs numeric: arena copies vs tight int loops.
+
+void PrintStringSweep() {
+  const uint64_t n = bench::Iters(150000, 3000);
+  const int reps = bench::SmokeMode() ? 1 : 3;
+
+  Table t({"schema", "row b=64 Ktup/s", "col b=1024 Ktup/s", "speedup"});
+  struct Shape {
+    const char* name;
+    std::vector<Element> input;
+    int vcol;
+    std::vector<ExprRef> proj1;
+    std::vector<ExprRef> proj2;
+  };
+  Shape shapes[2] = {
+      {"numeric [i,i,i]", MakeNumericInput(n), kV, Cols({0, 1, 2}),
+       Cols({0, 2})},
+      {"strings [i,s,s,i]", MakeStringInput(n), 3, Cols({0, 1, 2, 3}),
+       Cols({1, 3})},
+  };
+  for (Shape& shape : shapes) {
+    auto make_cfg = [&](size_t i) {
+      RunConfig c;
+      c.vcol = shape.vcol;
+      c.proj1 = shape.proj1;
+      c.proj2 = shape.proj2;
+      if (i == 0) {
+        c.batch = 64;
+        c.columnar = false;
+      } else {
+        c.batch = 1024;
+        c.columnar = true;
+      }
+      return c;
+    };
+    std::vector<RunResult> results = Sweep(shape.input, 2, make_cfg, reps);
+    double row_t = static_cast<double>(n) / results[0].seconds / 1000.0;
+    double col_t = static_cast<double>(n) / results[1].seconds / 1000.0;
+    t.AddRow({shape.name, Fmt(row_t, 0), Fmt(col_t, 0),
+              Fmt(col_t / row_t, 2)});
+  }
+  t.Print(
+      "String-heavy vs numeric schemas: conversion pays arena copies, "
+      "kernels fall back to per-row loops on string columns");
+}
+
+// ---------------------------------------------------------------------------
+// E15 re-measure: metrics overhead under per-batch amortization.
+
+void PrintMetricsOverhead() {
+  const uint64_t n = bench::Iters(200000, 3000);
+  std::vector<Element> input = MakeNumericInput(n);
+  const int reps = bench::SmokeMode() ? 1 : 5;
+
+  struct Cfg {
+    const char* name;
+    size_t batch;
+    bool columnar;
+    bool metrics;
+  };
+  const Cfg cfgs[] = {
+      {"row b=64, metrics off", 64, false, false},
+      {"row b=64, metrics on", 64, false, true},
+      {"col b=1024, metrics off", 1024, true, false},
+      {"col b=1024, metrics on", 1024, true, true},
+  };
+  std::vector<RunResult> results = Sweep(
+      input, 4,
+      [&](size_t i) {
+        RunConfig c;
+        c.batch = cfgs[i].batch;
+        c.columnar = cfgs[i].columnar;
+        c.metrics = cfgs[i].metrics;
+        c.proj1 = Cols({0, 1, 2});
+        c.proj2 = Cols({0, 2});
+        return c;
+      },
+      reps);
+
+  Table t({"config", "Ktup/s", "overhead vs metrics-off"});
+  for (size_t i = 0; i < 4; ++i) {
+    double bt = static_cast<double>(n) / results[i].seconds / 1000.0;
+    double off = static_cast<double>(n) / results[i & ~size_t{1}].seconds /
+                 1000.0;
+    t.AddRow({cfgs[i].name, Fmt(bt, 0),
+              i % 2 == 0 ? std::string("-")
+                         : Fmt((off / bt - 1.0) * 100.0, 1) + "%"});
+  }
+  t.Print(
+      "Metrics overhead re-measure (E15): per-batch bulk counting + "
+      "whole-batch self-timing vs per-element atomics");
+  std::printf(
+      "note: E15 measured ~22%% per-element metrics overhead on cheap "
+      "chains; the\ncolumnar path counts a whole batch with two relaxed "
+      "adds per direction and\ntimes the batch once, so the bound "
+      "operators' cost no longer scales per tuple.\n");
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks: conversion + kernel costs in isolation.
+
+void BM_FromRows(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Element> input = MakeNumericInput(n);
+  ElementBatch eb;
+  for (const Element& e : input) eb.push_back(e);
+  ColumnBatch cb;
+  for (auto _ : state) {
+    bool ok = ColumnBatch::FromRows(eb, &cb);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FromRows)->Arg(64)->Arg(1024)->ArgNames({"rows"});
+
+void BM_MaterializeRows(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Element> input = MakeNumericInput(n);
+  ElementBatch eb;
+  for (const Element& e : input) eb.push_back(e);
+  ColumnBatch cb;
+  if (!ColumnBatch::FromRows(eb, &cb)) std::abort();
+  for (auto _ : state) {
+    ElementBatch out;
+    cb.MaterializeRows(&out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MaterializeRows)->Arg(64)->Arg(1024)->ArgNames({"rows"});
+
+}  // namespace
+}  // namespace sqp
+
+int main(int argc, char** argv) {
+  sqp::bench::ParseBenchArgs(argc, argv);
+  sqp::PrintGateSweep();
+  sqp::PrintWidthSweep();
+  sqp::PrintStringSweep();
+  sqp::PrintMetricsOverhead();
+  sqp::bench::RunMicrobenchmarks(argc, argv);
+  return 0;
+}

@@ -1,7 +1,7 @@
 // sqpsh — run continuous queries from the command line against the
 // built-in synthetic streams.
 //
-//   sqpsh [--tuples N] [--rows K] [--parallel] [--shards N]
+//   sqpsh [--tuples N] [--rows K] [--parallel] [--columnar] [--shards N]
 //         [--trace-every N] [--http PORT] [--linger SECS]
 //         [--adaptive-shed] [--shed-target N]
 //         <query|command> [<query|command> ...]
@@ -62,6 +62,9 @@ void Usage() {
       "  --tuples N        tuples to generate per stream (default 100000)\n"
       "  --rows K          result rows to print per query (default 10)\n"
       "  --parallel        run each query on the threaded executor\n"
+      "  --columnar        vectorized execution: stage workers deliver\n"
+      "                    tuple runs to select/project/group-by as\n"
+      "                    columnar batches (requires --parallel)\n"
       "  --shards N        key-partition each query's stateful operators\n"
       "                    (joins, keyed group-bys) across N replica\n"
       "                    threads behind a hash exchange\n"
@@ -252,6 +255,7 @@ int main(int argc, char** argv) {
   int64_t tuples = 100000;
   int64_t show_rows = 10;
   bool parallel = false;
+  bool columnar = false;
   int64_t trace_every = 0;
   int64_t http_port = -1;  // < 0 = no endpoint.
   int64_t linger_s = 0;
@@ -274,6 +278,8 @@ int main(int argc, char** argv) {
       show_rows = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--parallel") == 0) {
       parallel = true;
+    } else if (std::strcmp(argv[i], "--columnar") == 0) {
+      columnar = true;
     } else if (std::strcmp(argv[i], "--trace-every") == 0 && i + 1 < argc) {
       trace_every = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--http") == 0 && i + 1 < argc) {
@@ -339,6 +345,12 @@ int main(int argc, char** argv) {
                          "controller watches the executor queues)\n");
     return 2;
   }
+  if (columnar && !parallel) {
+    std::fprintf(stderr, "--columnar requires --parallel (serial ingest\n"
+                         "is element-at-a-time; only stage workers batch\n"
+                         "tuples into columns)\n");
+    return 2;
+  }
 
   StreamEngine engine;
   if (trace_every > 0) {
@@ -402,6 +414,13 @@ int main(int argc, char** argv) {
                     ? "BOUNDED"
                     : "UNBOUNDED",
                 (*q)->memory().explanation.c_str());
+    if (columnar) {
+      // Before EnableSharding/EnableParallel: both capture the flag
+      // when they build their replicas/stages.
+      Status st = engine.EnableColumnar(*q);
+      std::printf("vec   : %s\n",
+                  st.ok() ? "columnar" : st.ToString().c_str());
+    }
     if (shards > 1) {
       // Before EnableParallel: the rewrite moves plan edges the
       // executor's stages would otherwise capture.

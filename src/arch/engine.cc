@@ -187,6 +187,9 @@ Status StreamEngine::EnableParallel(QueryHandle* handle,
       s.backpressure = options.backpressure;
       s.max_batch = options.max_batch;
       s.in_port = in_port;
+      // Columnar opt-in: the stage converts claimed runs only when the
+      // operator can actually evaluate them column-at-a-time.
+      s.columnar = handle->columnar_ && op->SupportsColumns(in_port);
       in_port = op->output_port();  // Port the *next* stage is fed on.
       stages.push_back(s);
     }
@@ -219,6 +222,27 @@ Status StreamEngine::EnableParallel(QueryHandle* handle,
   return Status::OK();
 }
 
+Status StreamEngine::EnableColumnar(QueryHandle* handle) {
+  std::unique_lock<std::shared_mutex> reg(reg_mu_);
+  if (handle == nullptr) return Status::InvalidArgument("null handle");
+  if (handle->ingested_) {
+    return Status::InvalidArgument(
+        "EnableColumnar must precede the first Ingest for this query");
+  }
+  if (handle->parallel_ != nullptr) {
+    return Status::InvalidArgument(
+        "EnableColumnar must precede EnableParallel (stages capture the "
+        "conversion flag when they are built)");
+  }
+  if (handle->sharded()) {
+    return Status::InvalidArgument(
+        "EnableColumnar must precede EnableSharding (replicas capture the "
+        "conversion flag when the plan is rewritten)");
+  }
+  handle->columnar_ = true;
+  return Status::OK();
+}
+
 Status StreamEngine::EnableSharding(QueryHandle* handle,
                                     ShardPlanOptions options) {
   std::unique_lock<std::shared_mutex> reg(reg_mu_);
@@ -240,6 +264,7 @@ Status StreamEngine::EnableSharding(QueryHandle* handle,
   }
 
   cql::CompiledQuery* q = handle->query_.get();
+  options.columnar = options.columnar || handle->columnar_;
   handle->shard_rewrites_ = ShardStatefulOps(q->plan(), options);
   for (const ShardRewrite& rw : handle->shard_rewrites_) {
     if (rw.sharded == nullptr) continue;

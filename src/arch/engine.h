@@ -116,6 +116,9 @@ class QueryHandle {
   /// Null when the engine's metrics were disabled at Submit.
   const obs::Histogram* latency_histogram() const { return latency_hist_; }
 
+  /// True once EnableColumnar opted this query into vectorized delivery.
+  bool columnar() const { return columnar_; }
+
   /// True once EnableSharding spliced at least one ShardedOp into this
   /// query's plan.
   bool sharded() const { return !sharded_ops_.empty(); }
@@ -165,6 +168,7 @@ class QueryHandle {
   std::vector<ShardedOp*> sharded_ops_;
   std::vector<ShardRewrite> shard_rewrites_;
   bool chain_mode_ = false;  // True: plan split op-per-stage.
+  bool columnar_ = false;    // Set by EnableColumnar.
   bool ingested_ = false;    // Any element delivered yet?
   // End-to-end latency probe: the engine arms `pending_ingest_ns_` with
   // a NowNs() timestamp on every Nth delivered tuple (arm-if-empty, so
@@ -240,6 +244,21 @@ class StreamEngine {
   /// the query; unsupported for queries with reorder/heartbeat
   /// front-ends (those run on the ingest thread and are not yet staged).
   Status EnableParallel(QueryHandle* handle, ParallelQueryOptions options = {});
+
+  /// Opt-in vectorized execution: stages built by a later EnableParallel
+  /// deliver queued tuple runs to column-capable operators (select,
+  /// project, punctuated group-by) as ColumnBatches, evaluated by the
+  /// compiled column-at-a-time kernels (sqp::vec) with rows rebuilt only
+  /// at row-bound operators and sinks; a later EnableSharding folds
+  /// converted runs inside each shard replica the same way. Output is
+  /// bit-identical to the row path — operators whose expressions cannot
+  /// vectorize simply keep their row delivery.
+  ///
+  /// Must be called after Submit, before the first Ingest, and before
+  /// EnableSharding/EnableParallel (both capture the flag when they
+  /// build their stages/replicas). A serial query without EnableParallel
+  /// ingests element-at-a-time and gains nothing from the flag.
+  Status EnableColumnar(QueryHandle* handle);
 
   /// Opt-in data parallelism: rewrites `handle`'s plan with
   /// ShardStatefulOps, replacing each shardable stateful operator

@@ -73,6 +73,9 @@ class ColumnExpr : public Expr {
     return "$" + std::to_string(index_);
   }
 
+  ExprKind kind() const override { return ExprKind::kColumn; }
+  int column_index() const override { return index_; }
+
  private:
   int index_;
 };
@@ -88,6 +91,9 @@ class ConstExpr : public Expr {
   }
 
   std::string ToString() const override { return v_.ToString(); }
+
+  ExprKind kind() const override { return ExprKind::kConst; }
+  const Value* literal() const override { return &v_; }
 
  private:
   Value v_;
@@ -196,6 +202,12 @@ class BinaryExpr : public Expr {
            rhs_->ToString() + ")";
   }
 
+  ExprKind kind() const override { return ExprKind::kBinary; }
+  BinOp bin_op() const override { return op_; }
+  const Expr* child(int i) const override {
+    return i == 0 ? lhs_.get() : (i == 1 ? rhs_.get() : nullptr);
+  }
+
  private:
   BinOp op_;
   ExprRef lhs_, rhs_;
@@ -216,6 +228,11 @@ class NotExpr : public Expr {
   }
 
   std::string ToString() const override { return "not " + e_->ToString(); }
+
+  ExprKind kind() const override { return ExprKind::kNot; }
+  const Expr* child(int i) const override {
+    return i == 0 ? e_.get() : nullptr;
+  }
 
  private:
   ExprRef e_;
@@ -249,6 +266,11 @@ class ContainsExpr : public Expr {
   std::string ToString() const override {
     return "contains(" + haystack_->ToString() + ", " + needle_->ToString() +
            ")";
+  }
+
+  ExprKind kind() const override { return ExprKind::kContains; }
+  const Expr* child(int i) const override {
+    return i == 0 ? haystack_.get() : (i == 1 ? needle_.get() : nullptr);
   }
 
  private:

@@ -33,6 +33,13 @@ enum class BinOp {
 
 const char* BinOpName(BinOp op);
 
+/// Structural shape of an expression node, exposed so plan-time
+/// compilers (the vectorizer in exec/vector_expr, the project ordinal
+/// fast path) can walk the tree without RTTI. kOther is the safe
+/// default for future node types: compilers must treat it as opaque and
+/// fall back to per-tuple Eval.
+enum class ExprKind { kColumn, kConst, kBinary, kNot, kContains, kOther };
+
 /// Scalar expression tree evaluated against one tuple.
 ///
 /// Contract: `Check` validates the expression against a schema at plan
@@ -51,6 +58,23 @@ class Expr {
   virtual Result<ValueType> Check(const Schema& schema) const = 0;
 
   virtual std::string ToString() const = 0;
+
+  /// Reflection for plan-time compilation (see ExprKind). The accessors
+  /// below are meaningful only for the kinds noted; defaults are the
+  /// "not this kind" sentinels so callers can probe without casts.
+  virtual ExprKind kind() const { return ExprKind::kOther; }
+  /// kColumn: the referenced column ordinal, else -1.
+  virtual int column_index() const { return -1; }
+  /// kConst: the literal, else nullptr.
+  virtual const Value* literal() const { return nullptr; }
+  /// kBinary: the operator (unspecified for other kinds).
+  virtual BinOp bin_op() const { return BinOp::kAdd; }
+  /// Operand subtrees: child(0)/child(1) for kBinary and kContains
+  /// (haystack, needle), child(0) for kNot; nullptr past the end.
+  virtual const Expr* child(int i) const {
+    (void)i;
+    return nullptr;
+  }
 };
 
 /// Column reference by position.

@@ -91,6 +91,65 @@ void Operator::ProcessBatchInstrumented(ElementBatch& batch, int port) {
   }
 }
 
+void Operator::ProcessColumns(ColumnBatch& batch, int port) {
+  if (batch.empty()) return;
+  if (metrics_ == nullptr && tracer_ == nullptr) {
+    coalescing_ = out_ != nullptr;
+    PushColumns(batch, port);
+    coalescing_ = false;
+    FlushEmitBuffer();
+    return;
+  }
+  ProcessColumnsInstrumented(batch, port);
+}
+
+void Operator::ProcessColumnsInstrumented(ColumnBatch& batch, int port) {
+  if (tracer_ != nullptr) {
+    // Lineage traces are per-element; materialize so sampled hop chains
+    // look identical to the row path.
+    ElementBatch rows;
+    batch.MaterializeRows(&rows);
+    for (const Element& e : rows) Process(e, port);
+    return;
+  }
+  obs::ThreadObsContext& ctx = obs::ObsContext();
+  const bool entry = ctx.depth == 0;
+  if (entry) {
+    ctx.busy_sampled = false;
+    ctx.timed = true;
+  }
+  ++ctx.depth;
+  const uint64_t saved_child = ctx.child_ns;
+  ctx.child_ns = 0;
+  const uint64_t t0 = obs::NowNs();
+  coalescing_ = out_ != nullptr;
+  PushColumns(batch, port);
+  coalescing_ = false;
+  FlushEmitBuffer();
+  const uint64_t total = obs::NowNs() - t0;
+  const uint64_t self = total > ctx.child_ns ? total - ctx.child_ns : 0;
+  metrics_->AddBusyNs(self);
+  ctx.child_ns = saved_child + total;
+  --ctx.depth;
+  if (entry) {
+    ctx.child_ns = 0;
+    ctx.timed = false;
+  }
+}
+
+void Operator::EmitColumns(ColumnBatch&& batch) {
+  AssertSingleCaller();
+  const uint64_t tuples = batch.ActiveRows();
+  const uint64_t puncts = batch.puncts.size();
+  stats_.tuples_out += tuples;
+  stats_.puncts_out += puncts;
+  if (metrics_ != nullptr) metrics_->CountOutBulk(tuples, puncts);
+  // Row emissions buffered before this batch must go first so output
+  // order matches the per-element path.
+  FlushEmitBuffer();
+  if (out_ != nullptr) out_->ProcessColumns(batch, out_port_);
+}
+
 void Operator::FlushEmitBuffer() {
   if (emit_buf_.empty()) return;
   // Non-empty only when coalescing was on, which requires out_ != nullptr.
@@ -172,6 +231,34 @@ void CollectorSink::PushBatch(ElementBatch& batch, int /*port*/) {
     } else {
       tuples_.push_back(e.tuple());
     }
+  }
+}
+
+void CollectorSink::PushColumns(ColumnBatch& batch, int /*port*/) {
+  CountInColumns(batch);
+  tuples_.reserve(tuples_.size() + batch.ActiveRows());
+  puncts_.reserve(puncts_.size() + batch.puncts.size());
+  // Interleave live rows and punctuation slots in stream order, exactly
+  // like MaterializeRows, but appending straight into the result vectors.
+  const size_t n = batch.ActiveRows();
+  const size_t width = batch.width();
+  size_t pi = 0;
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t r = batch.Active(k);
+    while (pi < batch.puncts.size() && batch.puncts[pi].pos <= r) {
+      puncts_.push_back(batch.puncts[pi].punct);
+      ++pi;
+    }
+    std::vector<Value> vals;
+    vals.reserve(width);
+    for (const ColumnBatch::Column& c : batch.cols) {
+      vals.push_back(c.ValueAt(r));
+    }
+    tuples_.push_back(MakeTuple(batch.ts[r], std::move(vals)));
+  }
+  while (pi < batch.puncts.size()) {
+    puncts_.push_back(batch.puncts[pi].punct);
+    ++pi;
   }
 }
 

@@ -13,6 +13,7 @@
 #include <thread>
 #endif
 
+#include "exec/column_batch.h"
 #include "obs/op_metrics.h"
 #include "stream/element.h"
 #include "stream/element_batch.h"
@@ -97,6 +98,26 @@ class Operator {
   /// elements are unspecified — clear()/refill before reuse.
   void ProcessBatch(ElementBatch& batch, int port = 0);
 
+  /// Columnar entry point (non-virtual, mirrors ProcessBatch):
+  /// semantically identical to materializing the batch's live rows and
+  /// punctuations in order and calling Process on each. Operators with a
+  /// PushColumns override stay columnar; everything else transparently
+  /// materializes and takes its row path — the fallback boundary of the
+  /// vectorized execution path (DESIGN.md "Columnar execution").
+  ///
+  /// Like ProcessBatch, the batch is consumed: an override may move its
+  /// arrays or refine its selection vector in place.
+  void ProcessColumns(ColumnBatch& batch, int port = 0);
+
+  /// True when this operator processes port's input columnarly (has a
+  /// real PushColumns). Executors use it to decide where row→column
+  /// conversion pays; sending columns to a non-supporting operator is
+  /// still correct, it just materializes at the boundary.
+  virtual bool SupportsColumns(int port = 0) const {
+    (void)port;
+    return false;
+  }
+
   /// Binds observability outputs (see sqp::obs). Pass nullptr to
   /// disable. Must happen before the operator processes elements; the
   /// bound objects must outlive the operator's last Push.
@@ -134,6 +155,32 @@ class Operator {
   /// batch (the caller treats the contents as consumed).
   virtual void PushBatch(ElementBatch& batch, int port) {
     for (const Element& e : batch) Push(e, port);
+  }
+
+  /// Columnar body, called by ProcessColumns. The default is the
+  /// fallback boundary: rebuild rows and run the batched row path.
+  /// Overrides must preserve per-element semantics exactly (bulk-count
+  /// arrivals, keep punctuation interleaving) and may consume the batch.
+  virtual void PushColumns(ColumnBatch& batch, int port) {
+    ElementBatch rows;
+    batch.MaterializeRows(&rows);
+    PushBatch(rows, port);
+  }
+
+  /// Forwards a whole columnar batch downstream, maintaining counters in
+  /// bulk. Any row emissions buffered so far are flushed first so output
+  /// order matches the per-element path. The batch is consumed.
+  void EmitColumns(ColumnBatch&& batch);
+
+  /// Bulk arrival accounting for PushColumns overrides (the columnar
+  /// twin of calling CountIn per element).
+  void CountInColumns(const ColumnBatch& batch) {
+    AssertSingleCaller();
+    const uint64_t tuples = batch.ActiveRows();
+    const uint64_t puncts = batch.puncts.size();
+    stats_.tuples_in += tuples;
+    stats_.puncts_in += puncts;
+    if (metrics_ != nullptr) metrics_->CountInBulk(tuples, puncts);
   }
 
   /// Forwards an element downstream, maintaining counters. Inside a
@@ -186,6 +233,10 @@ class Operator {
   /// Slow path of ProcessBatch: whole-batch self-timing; falls back to
   /// per-element Process when lineage tracing is on.
   void ProcessBatchInstrumented(ElementBatch& batch, int port);
+  /// Slow path of ProcessColumns: whole-batch self-timing (per-batch
+  /// metrics amortization); materializes to per-element Process under
+  /// lineage tracing so sampled traces look identical.
+  void ProcessColumnsInstrumented(ColumnBatch& batch, int port);
   /// Hands the coalesced output batch downstream and resets the buffer.
   void FlushEmitBuffer();
 
@@ -230,6 +281,10 @@ class CollectorSink : public Operator {
   /// Batched append: one reserve per batch, then the per-element loop.
   void PushBatch(ElementBatch& batch, int port) override;
 
+  /// Materialization boundary of the columnar path: rows are rebuilt
+  /// here, at the sink, with one reserve from the batch's live-row count.
+  void PushColumns(ColumnBatch& batch, int port) override;
+
  private:
   std::vector<TupleRef> tuples_;
   std::vector<Punctuation> puncts_;
@@ -244,6 +299,10 @@ class CountingSink : public Operator {
 
   uint64_t tuples() const { return stats().tuples_in; }
 
+  /// A counting sink never needs rows at all, so columnar batches are
+  /// tallied without materialization — the late-materialization ideal.
+  bool SupportsColumns(int /*port*/ = 0) const override { return true; }
+
  protected:
   /// Counting needs no per-element work at all: tally the batch once
   /// and bump the counters in bulk.
@@ -257,6 +316,10 @@ class CountingSink : public Operator {
     stats_.tuples_in += tuples;
     stats_.puncts_in += puncts;
     if (metrics() != nullptr) metrics()->CountInBulk(tuples, puncts);
+  }
+
+  void PushColumns(ColumnBatch& batch, int /*port*/) override {
+    CountInColumns(batch);
   }
 };
 

@@ -3,7 +3,32 @@
 namespace sqp {
 
 ProjectOp::ProjectOp(std::vector<ExprRef> exprs, std::string name)
-    : Operator(std::move(name)), exprs_(std::move(exprs)) {}
+    : Operator(std::move(name)), exprs_(std::move(exprs)) {
+  // Bind-time resolution: a projection made only of bare column
+  // references needs no expression evaluation at all per row — the
+  // ordinals are fixed here, once, and the hot loop just copies cells.
+  ordinals_.reserve(exprs_.size());
+  for (const ExprRef& ex : exprs_) {
+    if (ex == nullptr || ex->kind() != ExprKind::kColumn) {
+      ordinals_.clear();
+      break;
+    }
+    ordinals_.push_back(ex->column_index());
+  }
+  if (ordinals_.size() != exprs_.size()) ordinals_.clear();
+  vproj_ = vec::CompiledProjection::Compile(exprs_);
+}
+
+TupleRef ProjectOp::ProjectRow(const Tuple& in) const {
+  std::vector<Value> out;
+  out.reserve(exprs_.size());
+  if (!ordinals_.empty()) {
+    for (int c : ordinals_) out.push_back(in.at(static_cast<size_t>(c)));
+  } else {
+    for (const ExprRef& ex : exprs_) out.push_back(ex->Eval(in));
+  }
+  return MakeTuple(in.ts(), std::move(out));
+}
 
 void ProjectOp::Push(const Element& e, int /*port*/) {
   CountIn(e);
@@ -11,11 +36,7 @@ void ProjectOp::Push(const Element& e, int /*port*/) {
     Emit(e);
     return;
   }
-  const Tuple& in = *e.tuple();
-  std::vector<Value> out;
-  out.reserve(exprs_.size());
-  for (const ExprRef& ex : exprs_) out.push_back(ex->Eval(in));
-  Emit(Element(MakeTuple(in.ts(), std::move(out))));
+  Emit(Element(ProjectRow(*e.tuple())));
 }
 
 void ProjectOp::PushBatch(ElementBatch& batch, int /*port*/) {
@@ -29,15 +50,31 @@ void ProjectOp::PushBatch(ElementBatch& batch, int /*port*/) {
       continue;
     }
     ++tuples;
-    const Tuple& in = *e.tuple();
-    std::vector<Value> out;
-    out.reserve(exprs_.size());
-    for (const ExprRef& ex : exprs_) out.push_back(ex->Eval(in));
-    Emit(Element(MakeTuple(in.ts(), std::move(out))));
+    Emit(Element(ProjectRow(*e.tuple())));
   }
   stats_.tuples_in += tuples;
   stats_.puncts_in += puncts;
   if (metrics() != nullptr) metrics()->CountInBulk(tuples, puncts);
+}
+
+void ProjectOp::PushColumns(ColumnBatch& batch, int /*port*/) {
+  CountInColumns(batch);
+  if (vproj_ != nullptr && vproj_->Project(batch, &scratch_)) {
+    EmitColumns(std::move(scratch_));
+    return;
+  }
+  // Fallback (unsupported expression or a batch whose computed column
+  // mixes types): rebuild rows and project per element, counters
+  // already settled.
+  ElementBatch rows;
+  batch.MaterializeRows(&rows);
+  for (Element& e : rows) {
+    if (e.is_punctuation()) {
+      Emit(std::move(e));
+      continue;
+    }
+    Emit(Element(ProjectRow(*e.tuple())));
+  }
 }
 
 Result<Schema> ProjectOp::OutputSchema(const Schema& input,

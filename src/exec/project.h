@@ -8,6 +8,7 @@
 #include "common/schema.h"
 #include "exec/expr.h"
 #include "exec/operator.h"
+#include "exec/vector_expr.h"
 
 namespace sqp {
 
@@ -26,12 +27,33 @@ class ProjectOp : public Operator {
                                      const std::vector<ExprRef>& exprs,
                                      const std::vector<std::string>& names = {});
 
+  /// Columnar when every output expression vectorized at construction.
+  bool SupportsColumns(int port = 0) const override {
+    (void)port;
+    return vproj_ != nullptr;
+  }
+
  protected:
   /// Tight per-batch projection loop (see Operator::PushBatch).
   void PushBatch(ElementBatch& batch, int port) override;
 
+  /// Vectorized projection: gathers/computes dense output columns from
+  /// the live rows and forwards a fresh batch.
+  void PushColumns(ColumnBatch& batch, int port) override;
+
  private:
+  /// Row-path body shared by Push/PushBatch. Pure column projections
+  /// (every expression a bare column reference, resolved to ordinals at
+  /// construction) copy cells directly instead of virtual-dispatching
+  /// Eval per cell.
+  TupleRef ProjectRow(const Tuple& in) const;
+
   std::vector<ExprRef> exprs_;
+  /// Bind-time ordinal resolution: non-empty iff every expression is a
+  /// bare column reference.
+  std::vector<int> ordinals_;
+  std::unique_ptr<vec::CompiledProjection> vproj_;
+  ColumnBatch scratch_;  // columnar output (reused across batches)
 };
 
 /// Duplicate-eliminating projection: "like grouping" (slide 29). Keeps a

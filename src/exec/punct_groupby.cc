@@ -28,28 +28,31 @@ void PunctuationGroupByOp::EmitGroup(int64_t close_ts, const Value& key,
   Emit(Element(MakeTuple(close_ts, std::move(row))));
 }
 
+void PunctuationGroupByOp::HandlePunct(const Punctuation& p) {
+  if (p.has_key) {
+    auto it = groups_.find(p.key);
+    if (it != groups_.end()) {
+      EmitGroup(p.ts, it->first, it->second);
+      groups_.erase(it);
+    }
+  } else {
+    // Watermark: any group silent since before it is complete.
+    for (auto it = groups_.begin(); it != groups_.end();) {
+      if (it->second.last_ts <= p.ts) {
+        EmitGroup(p.ts, it->first, it->second);
+        it = groups_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  Emit(Element(p));
+}
+
 void PunctuationGroupByOp::Push(const Element& e, int /*port*/) {
   CountIn(e);
   if (e.is_punctuation()) {
-    const Punctuation& p = e.punctuation();
-    if (p.has_key) {
-      auto it = groups_.find(p.key);
-      if (it != groups_.end()) {
-        EmitGroup(p.ts, it->first, it->second);
-        groups_.erase(it);
-      }
-    } else {
-      // Watermark: any group silent since before it is complete.
-      for (auto it = groups_.begin(); it != groups_.end();) {
-        if (it->second.last_ts <= p.ts) {
-          EmitGroup(p.ts, it->first, it->second);
-          it = groups_.erase(it);
-        } else {
-          ++it;
-        }
-      }
-    }
-    Emit(e);
+    HandlePunct(e.punctuation());
     return;
   }
 
@@ -72,6 +75,50 @@ void PunctuationGroupByOp::Push(const Element& e, int /*port*/) {
     } else {
       it->second.accs[i]->Add(t.at(static_cast<size_t>(s.input_col)));
     }
+  }
+}
+
+void PunctuationGroupByOp::FoldRow(const ColumnBatch& batch, uint32_t row) {
+  Value key = batch.cols[static_cast<size_t>(key_col_)].ValueAt(row);
+  auto it = groups_.find(key);
+  if (it == groups_.end()) {
+    GroupState state;
+    state.accs.reserve(fns_.size());
+    for (const AggregateFunction& fn : fns_) {
+      state.accs.push_back(fn.NewAccumulator());
+    }
+    it = groups_.emplace(std::move(key), std::move(state)).first;
+  }
+  it->second.last_ts = std::max(it->second.last_ts, batch.ts[row]);
+  for (size_t i = 0; i < agg_specs_.size(); ++i) {
+    const AggSpec& s = agg_specs_[i];
+    if (s.input_col < 0) {
+      it->second.accs[i]->Add(Value(int64_t{1}));
+    } else {
+      it->second.accs[i]->Add(
+          batch.cols[static_cast<size_t>(s.input_col)].ValueAt(row));
+    }
+  }
+}
+
+void PunctuationGroupByOp::PushColumns(ColumnBatch& batch, int /*port*/) {
+  CountInColumns(batch);
+  // Merge live rows and punctuation slots back into stream order; rows
+  // fold straight from the typed arrays (no Tuple is ever built for the
+  // input side), punctuations run the same close-out as the row path.
+  const size_t n = batch.ActiveRows();
+  size_t pi = 0;
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t r = batch.Active(k);
+    while (pi < batch.puncts.size() && batch.puncts[pi].pos <= r) {
+      HandlePunct(batch.puncts[pi].punct);
+      ++pi;
+    }
+    FoldRow(batch, r);
+  }
+  while (pi < batch.puncts.size()) {
+    HandlePunct(batch.puncts[pi].punct);
+    ++pi;
   }
 }
 

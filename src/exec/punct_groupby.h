@@ -31,6 +31,15 @@ class PunctuationGroupByOp : public Operator, public ShardableOperator {
   void Flush() override;
   size_t StateBytes() const override;
 
+  /// Columnar ingest: keys and aggregate inputs are read straight from
+  /// the typed arrays (no per-row Tuple materialization); group rows and
+  /// punctuations still emit through the row path, so this operator is a
+  /// natural row/column boundary.
+  bool SupportsColumns(int port = 0) const override {
+    (void)port;
+    return true;
+  }
+
   size_t open_groups() const { return groups_.size(); }
 
   /// Single-column key: CloseKey punctuations hash-route (via
@@ -45,6 +54,9 @@ class PunctuationGroupByOp : public Operator, public ShardableOperator {
   }
   bool CanShard(std::string* /*why*/) const override { return true; }
 
+ protected:
+  void PushColumns(ColumnBatch& batch, int port) override;
+
  private:
   struct GroupState {
     std::vector<std::unique_ptr<Accumulator>> accs;
@@ -52,6 +64,11 @@ class PunctuationGroupByOp : public Operator, public ShardableOperator {
   };
 
   void EmitGroup(int64_t close_ts, const Value& key, GroupState& state);
+  /// Punctuation body shared by Push and PushColumns (close-outs + the
+  /// pass-through emission).
+  void HandlePunct(const Punctuation& p);
+  /// Folds one physical row of a columnar batch into its group.
+  void FoldRow(const ColumnBatch& batch, uint32_t row);
 
   int key_col_;
   std::vector<AggSpec> agg_specs_;

@@ -3,7 +3,9 @@
 namespace sqp {
 
 SelectOp::SelectOp(ExprRef predicate, std::string name)
-    : Operator(std::move(name)), pred_(std::move(predicate)) {}
+    : Operator(std::move(name)), pred_(std::move(predicate)) {
+  vpred_ = vec::CompiledPredicate::Compile(*pred_);
+}
 
 void SelectOp::Push(const Element& e, int /*port*/) {
   CountIn(e);
@@ -33,6 +35,25 @@ void SelectOp::PushBatch(ElementBatch& batch, int /*port*/) {
   stats_.tuples_in += tuples;
   stats_.puncts_in += puncts;
   if (metrics() != nullptr) metrics()->CountInBulk(tuples, puncts);
+}
+
+void SelectOp::PushColumns(ColumnBatch& batch, int port) {
+  CountInColumns(batch);
+  if (vpred_ == nullptr || !vpred_->Filter(&batch)) {
+    // Predicate didn't vectorize (or the batch doesn't fit the plan):
+    // materialize once and take the row loop. Counters were already
+    // settled in bulk, so bypass PushBatch's accounting via the
+    // uncounted filter loop below.
+    ElementBatch rows;
+    batch.MaterializeRows(&rows);
+    for (Element& e : rows) {
+      if (e.is_punctuation() || Truthy(pred_->Eval(*e.tuple()))) {
+        Emit(std::move(e));
+      }
+    }
+    return;
+  }
+  EmitColumns(std::move(batch));
 }
 
 }  // namespace sqp

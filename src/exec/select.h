@@ -6,6 +6,7 @@
 
 #include "exec/expr.h"
 #include "exec/operator.h"
+#include "exec/vector_expr.h"
 
 namespace sqp {
 
@@ -19,13 +20,24 @@ class SelectOp : public Operator {
 
   const ExprRef& predicate() const { return pred_; }
 
+  /// Columnar when the predicate vectorized at construction time.
+  bool SupportsColumns(int port = 0) const override {
+    (void)port;
+    return vpred_ != nullptr;
+  }
+
  protected:
   /// Tight filter loop: evaluate the predicate per element without
   /// re-entering the virtual Push per element.
   void PushBatch(ElementBatch& batch, int port) override;
 
+  /// Vectorized filter: refines the batch's selection vector in place
+  /// and forwards the same batch — zero data movement per stage.
+  void PushColumns(ColumnBatch& batch, int port) override;
+
  private:
   ExprRef pred_;
+  std::unique_ptr<vec::CompiledPredicate> vpred_;
 };
 
 }  // namespace sqp

@@ -171,7 +171,10 @@ void ShardedOp::EnqueueMerge(std::vector<MergeItem>& items) {
 void ShardedOp::ShardLoop(int shard) {
   ShardState& st = *states_[static_cast<size_t>(shard)];
   Operator* replica = st.replica.get();
+  const bool columnar = options_.columnar;
   std::deque<Item> batch;
+  ElementBatch eb;
+  ColumnBatch cb;
   for (;;) {
     batch.clear();
     bool drain = false;
@@ -193,8 +196,27 @@ void ShardedOp::ShardLoop(int shard) {
     if (drain) break;
     st.not_full.notify_all();
     auto t0 = std::chrono::steady_clock::now();
-    for (Item& item : batch) {
-      replica->Process(item.e, item.port);
+    size_t i = 0;
+    while (i < batch.size()) {
+      const int port = batch[i].port;
+      if (!columnar || !replica->SupportsColumns(port)) {
+        replica->Process(batch[i].e, port);
+        ++i;
+      } else {
+        // Columnar shard: convert the consecutive same-port run once
+        // and fold it column-at-a-time; conversion failure (ragged or
+        // mixed-type rows) falls back to the row batch unchanged.
+        eb.clear();
+        while (i < batch.size() && batch[i].port == port) {
+          eb.push_back(std::move(batch[i].e));
+          ++i;
+        }
+        if (ColumnBatch::FromRows(eb, &cb)) {
+          replica->ProcessColumns(cb, port);
+        } else {
+          replica->ProcessBatch(eb, port);
+        }
+      }
       if (stop_.load(std::memory_order_relaxed)) return;
     }
     // Don't sit on buffered emissions while waiting for the next batch.

@@ -46,6 +46,15 @@ struct ShardedOpOptions {
   /// Input-side Flush calls expected before the drain starts; 0 = the
   /// input port count (binary operators receive one flush per side).
   int expected_flushes = 0;
+  /// Columnar delivery inside each shard: the worker converts every
+  /// claimed same-port run into a ColumnBatch (ColumnBatch::FromRows)
+  /// and hands it to the replica as one ProcessColumns call, falling
+  /// back to per-element Process when conversion fails or the replica
+  /// does not support columns on that port. Routing and the merge stay
+  /// row-based — the hash exchange reads per-row keys and the merge
+  /// re-serializes per element, so those are natural materialization
+  /// boundaries.
+  bool columnar = false;
 };
 
 /// Per-shard counters, snapshot-safe while the workers run.

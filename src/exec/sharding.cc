@@ -65,6 +65,7 @@ std::vector<ShardRewrite> ShardStatefulOps(Plan& plan,
     op_opts.merge_queue_limit = options.merge_queue_limit;
     op_opts.wake_batch = options.wake_batch;
     op_opts.expected_flushes = static_cast<int>(key_cols.size());
+    op_opts.columnar = options.columnar;
 
     ShardedOp* sharded = plan.Make<ShardedOp>(
         op_opts, [shardable](int) { return shardable->CloneReplica(); },

@@ -54,6 +54,9 @@ struct ShardPlanOptions {
   ShardBackpressure backpressure = ShardBackpressure::kBlock;
   size_t merge_queue_limit = 4096;
   size_t wake_batch = 64;
+  /// Columnar delivery inside each shard (ShardedOpOptions::columnar):
+  /// replicas that support columns fold converted runs column-at-a-time.
+  bool columnar = false;
 };
 
 /// One operator's outcome under the rewrite: either spliced (sharded !=

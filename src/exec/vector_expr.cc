@@ -1,0 +1,910 @@
+#include "exec/vector_expr.h"
+
+#include <algorithm>
+#include <string_view>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace sqp {
+namespace vec {
+
+/// Compiled expression node: the Expr tree re-walked into a dumb struct
+/// so evaluation never touches virtual dispatch. Constant subtrees are
+/// folded at compile time.
+struct VNode {
+  enum Kind { kCol, kConst, kBin, kNot, kContains };
+  Kind kind = kConst;
+  int col = -1;     // kCol
+  Value lit;        // kConst
+  BinOp op = BinOp::kAdd;  // kBin
+  std::unique_ptr<VNode> a, b;
+};
+
+namespace {
+
+bool IsCmp(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Scalar twin of BinaryExpr::Eval over already-evaluated operands —
+/// the per-row body of the generic fallback loop. Must stay exactly in
+/// step with exec/expr.cc.
+Value EvalBinScalar(BinOp op, const Value& a, const Value& b) {
+  switch (op) {
+    case BinOp::kAnd:
+      if (!Truthy(a)) return Value(int64_t{0});
+      return Value(int64_t{Truthy(b) ? 1 : 0});
+    case BinOp::kOr:
+      if (Truthy(a)) return Value(int64_t{1});
+      return Value(int64_t{Truthy(b) ? 1 : 0});
+    case BinOp::kAdd:
+      return Value::Add(a, b).value_or(Value::Null());
+    case BinOp::kSub:
+      return Value::Sub(a, b).value_or(Value::Null());
+    case BinOp::kMul:
+      return Value::Mul(a, b).value_or(Value::Null());
+    case BinOp::kDiv:
+      return Value::Div(a, b).value_or(Value::Null());
+    case BinOp::kMod:
+      return Value::Mod(a, b).value_or(Value::Null());
+    case BinOp::kEq:
+      return Value(int64_t{a == b});
+    case BinOp::kNe:
+      return Value(int64_t{a != b});
+    case BinOp::kLt:
+      return Value(int64_t{a < b});
+    case BinOp::kLe:
+      return Value(int64_t{a <= b});
+    case BinOp::kGt:
+      return Value(int64_t{a > b});
+    case BinOp::kGe:
+      return Value(int64_t{a >= b});
+  }
+  return Value::Null();
+}
+
+Value EvalContainsScalar(const Value& h, const Value& n) {
+  if (h.type() != ValueType::kString || n.type() != ValueType::kString) {
+    return Value(int64_t{0});
+  }
+  return Value(int64_t{Contains(h.AsString(), n.AsString()) ? 1 : 0});
+}
+
+// ---------------------------------------------------------------------------
+// Compile
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<VNode> CompileNode(const Expr& e, int* max_col) {
+  auto node = std::make_unique<VNode>();
+  switch (e.kind()) {
+    case ExprKind::kColumn: {
+      node->kind = VNode::kCol;
+      node->col = e.column_index();
+      if (node->col < 0) return nullptr;
+      *max_col = std::max(*max_col, node->col);
+      return node;
+    }
+    case ExprKind::kConst: {
+      node->kind = VNode::kConst;
+      node->lit = *e.literal();
+      return node;
+    }
+    case ExprKind::kBinary: {
+      node->kind = VNode::kBin;
+      node->op = e.bin_op();
+      node->a = CompileNode(*e.child(0), max_col);
+      if (node->a == nullptr) return nullptr;
+      node->b = CompileNode(*e.child(1), max_col);
+      if (node->b == nullptr) return nullptr;
+      if (node->a->kind == VNode::kConst && node->b->kind == VNode::kConst) {
+        Value folded = EvalBinScalar(node->op, node->a->lit, node->b->lit);
+        node->kind = VNode::kConst;
+        node->lit = std::move(folded);
+        node->a.reset();
+        node->b.reset();
+      }
+      return node;
+    }
+    case ExprKind::kNot: {
+      node->kind = VNode::kNot;
+      node->a = CompileNode(*e.child(0), max_col);
+      if (node->a == nullptr) return nullptr;
+      if (node->a->kind == VNode::kConst) {
+        node->kind = VNode::kConst;
+        node->lit = Value(int64_t{Truthy(node->a->lit) ? 0 : 1});
+        node->a.reset();
+      }
+      return node;
+    }
+    case ExprKind::kContains: {
+      node->kind = VNode::kContains;
+      node->a = CompileNode(*e.child(0), max_col);
+      if (node->a == nullptr) return nullptr;
+      node->b = CompileNode(*e.child(1), max_col);
+      if (node->b == nullptr) return nullptr;
+      if (node->a->kind == VNode::kConst && node->b->kind == VNode::kConst) {
+        node->lit = EvalContainsScalar(node->a->lit, node->b->lit);
+        node->kind = VNode::kConst;
+        node->a.reset();
+        node->b.reset();
+      }
+      return node;
+    }
+    case ExprKind::kOther:
+      return nullptr;  // Unknown node type: caller keeps the row path.
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+/// One node's result over the batch's live rows. Dense representations
+/// hold one slot per *live* row (index k); column references stay
+/// physical (index via the selection vector). kConst broadcasts.
+struct VecVal {
+  enum Rep { kConst, kColRef, kDenseInt, kDenseDbl, kDenseNull, kDenseVal };
+  Rep rep = kDenseNull;
+  Value cval;                                   // kConst
+  const ColumnBatch::Column* colref = nullptr;  // kColRef
+  std::vector<int64_t> ints;                    // kDenseInt
+  std::vector<double> dbls;                     // kDenseDbl
+  std::vector<Value> vals;                      // kDenseVal (generic)
+  std::vector<uint8_t> nulls;  // dense reps: empty = no nulls
+};
+
+inline uint32_t Phys(const uint32_t* idx, size_t k) {
+  return idx != nullptr ? idx[k] : static_cast<uint32_t>(k);
+}
+
+/// Rebuilds the boxed Value of one live row (generic-path accessor).
+Value ValueOf(const VecVal& v, const uint32_t* idx, size_t k) {
+  switch (v.rep) {
+    case VecVal::kConst:
+      return v.cval;
+    case VecVal::kColRef:
+      return v.colref->ValueAt(Phys(idx, k));
+    case VecVal::kDenseInt:
+      return (!v.nulls.empty() && v.nulls[k] != 0) ? Value::Null()
+                                                   : Value::Int(v.ints[k]);
+    case VecVal::kDenseDbl:
+      return (!v.nulls.empty() && v.nulls[k] != 0) ? Value::Null()
+                                                   : Value::Double(v.dbls[k]);
+    case VecVal::kDenseNull:
+      return Value::Null();
+    case VecVal::kDenseVal:
+      return v.vals[k];
+  }
+  return Value::Null();
+}
+
+/// A numeric operand admissible to the tight typed kernels: a numeric
+/// constant, a no-null int/double column (physical indexing), or a
+/// no-null dense intermediate (live indexing). Anything else (per-row
+/// nulls, strings, generic results) routes to the per-row fallback.
+struct NumSrc {
+  bool ok = false;
+  bool is_int = false;  // exact int64 source (no double involved)
+  bool is_const = false;
+  bool physical = false;  // index via idx[k] rather than k
+  int64_t ci = 0;
+  double cd = 0.0;
+  const int64_t* ip = nullptr;
+  const double* dp = nullptr;
+
+  int64_t IntAt(uint32_t r, size_t k) const {
+    return is_const ? ci : ip[physical ? r : k];
+  }
+  double DblAt(uint32_t r, size_t k) const {
+    if (is_const) return cd;
+    const size_t at = physical ? r : k;
+    return ip != nullptr ? static_cast<double>(ip[at]) : dp[at];
+  }
+};
+
+NumSrc MakeNumSrc(const VecVal& v) {
+  NumSrc s;
+  switch (v.rep) {
+    case VecVal::kConst:
+      if (v.cval.type() == ValueType::kInt) {
+        s.ok = true;
+        s.is_int = true;
+        s.is_const = true;
+        s.ci = v.cval.AsInt();
+        s.cd = static_cast<double>(s.ci);
+      } else if (v.cval.type() == ValueType::kDouble) {
+        s.ok = true;
+        s.is_const = true;
+        s.cd = v.cval.AsDouble();
+      }
+      return s;
+    case VecVal::kColRef:
+      if (v.colref->HasNulls()) return s;
+      if (v.colref->type == ValueType::kInt) {
+        s.ok = true;
+        s.is_int = true;
+        s.physical = true;
+        s.ip = v.colref->ints.data();
+      } else if (v.colref->type == ValueType::kDouble) {
+        s.ok = true;
+        s.physical = true;
+        s.dp = v.colref->dbls.data();
+      }
+      return s;
+    case VecVal::kDenseInt:
+      if (v.nulls.empty()) {
+        s.ok = true;
+        s.is_int = true;
+        s.ip = v.ints.data();
+      }
+      return s;
+    case VecVal::kDenseDbl:
+      if (v.nulls.empty()) {
+        s.ok = true;
+        s.dp = v.dbls.data();
+      }
+      return s;
+    default:
+      return s;
+  }
+}
+
+/// A string operand admissible to the string kernels: a string constant
+/// or a no-null string column.
+struct StrSrc {
+  bool ok = false;
+  bool is_const = false;
+  std::string_view cs;
+  const ColumnBatch::Column* col = nullptr;
+
+  std::string_view At(uint32_t r) const { return is_const ? cs : col->Str(r); }
+};
+
+StrSrc MakeStrSrc(const VecVal& v) {
+  StrSrc s;
+  if (v.rep == VecVal::kConst && v.cval.type() == ValueType::kString) {
+    s.ok = true;
+    s.is_const = true;
+    s.cs = v.cval.AsString();
+  } else if (v.rep == VecVal::kColRef &&
+             v.colref->type == ValueType::kString && !v.colref->HasNulls()) {
+    s.ok = true;
+    s.col = v.colref;
+  }
+  return s;
+}
+
+template <typename Pred>
+void CmpLoopInt(const NumSrc& a, const NumSrc& b, const uint32_t* idx,
+                size_t n, std::vector<int64_t>* out, Pred pred) {
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t r = Phys(idx, k);
+    (*out)[k] = pred(a.IntAt(r, k), b.IntAt(r, k)) ? 1 : 0;
+  }
+}
+
+template <typename Pred>
+void CmpLoopDbl(const NumSrc& a, const NumSrc& b, const uint32_t* idx,
+                size_t n, std::vector<int64_t>* out, Pred pred) {
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t r = Phys(idx, k);
+    (*out)[k] = pred(a.DblAt(r, k), b.DblAt(r, k)) ? 1 : 0;
+  }
+}
+
+/// Numeric comparison kernel. The double predicates are spelled so NaN
+/// behaves exactly like Value::Compare (NaN compares "equal": both a<b
+/// and a>b false -> 0): kEq is !(a<b)&&!(a>b), kLe is !(a>b), etc.
+void CmpKernel(BinOp op, const NumSrc& a, const NumSrc& b,
+               const uint32_t* idx, size_t n, VecVal* out) {
+  out->rep = VecVal::kDenseInt;
+  out->ints.resize(n);
+  out->nulls.clear();
+  std::vector<int64_t>* o = &out->ints;
+  if (a.is_int && b.is_int) {
+    switch (op) {
+      case BinOp::kEq:
+        CmpLoopInt(a, b, idx, n, o, [](int64_t x, int64_t y) { return x == y; });
+        break;
+      case BinOp::kNe:
+        CmpLoopInt(a, b, idx, n, o, [](int64_t x, int64_t y) { return x != y; });
+        break;
+      case BinOp::kLt:
+        CmpLoopInt(a, b, idx, n, o, [](int64_t x, int64_t y) { return x < y; });
+        break;
+      case BinOp::kLe:
+        CmpLoopInt(a, b, idx, n, o, [](int64_t x, int64_t y) { return x <= y; });
+        break;
+      case BinOp::kGt:
+        CmpLoopInt(a, b, idx, n, o, [](int64_t x, int64_t y) { return x > y; });
+        break;
+      case BinOp::kGe:
+        CmpLoopInt(a, b, idx, n, o, [](int64_t x, int64_t y) { return x >= y; });
+        break;
+      default:
+        break;
+    }
+    return;
+  }
+  switch (op) {
+    case BinOp::kEq:
+      CmpLoopDbl(a, b, idx, n, o,
+                 [](double x, double y) { return !(x < y) && !(x > y); });
+      break;
+    case BinOp::kNe:
+      CmpLoopDbl(a, b, idx, n, o,
+                 [](double x, double y) { return x < y || x > y; });
+      break;
+    case BinOp::kLt:
+      CmpLoopDbl(a, b, idx, n, o, [](double x, double y) { return x < y; });
+      break;
+    case BinOp::kLe:
+      CmpLoopDbl(a, b, idx, n, o, [](double x, double y) { return !(x > y); });
+      break;
+    case BinOp::kGt:
+      CmpLoopDbl(a, b, idx, n, o, [](double x, double y) { return x > y; });
+      break;
+    case BinOp::kGe:
+      CmpLoopDbl(a, b, idx, n, o, [](double x, double y) { return !(x < y); });
+      break;
+    default:
+      break;
+  }
+}
+
+/// String comparison kernel (both operands no-null strings). Matches
+/// Value::Compare's byte order.
+void StrCmpKernel(BinOp op, const StrSrc& a, const StrSrc& b,
+                  const uint32_t* idx, size_t n, VecVal* out) {
+  out->rep = VecVal::kDenseInt;
+  out->ints.resize(n);
+  out->nulls.clear();
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t r = Phys(idx, k);
+    const int c = a.At(r).compare(b.At(r));
+    bool v = false;
+    switch (op) {
+      case BinOp::kEq:
+        v = c == 0;
+        break;
+      case BinOp::kNe:
+        v = c != 0;
+        break;
+      case BinOp::kLt:
+        v = c < 0;
+        break;
+      case BinOp::kLe:
+        v = c <= 0;
+        break;
+      case BinOp::kGt:
+        v = c > 0;
+        break;
+      case BinOp::kGe:
+        v = c >= 0;
+        break;
+      default:
+        break;
+    }
+    out->ints[k] = v ? 1 : 0;
+  }
+}
+
+void SetNull(VecVal* out, size_t n, size_t k) {
+  if (out->nulls.empty()) out->nulls.assign(n, 0);
+  out->nulls[k] = 1;
+}
+
+/// Arithmetic kernel for NumSrc operands. Int/int stays int (with
+/// per-row null on /0 and %0, exactly like Value::Div/Mod); any double
+/// operand promotes the whole result to double.
+void ArithKernel(BinOp op, const NumSrc& a, const NumSrc& b,
+                 const uint32_t* idx, size_t n, VecVal* out) {
+  out->nulls.clear();
+  if (a.is_int && b.is_int) {
+    out->rep = VecVal::kDenseInt;
+    out->ints.resize(n);
+    for (size_t k = 0; k < n; ++k) {
+      const uint32_t r = Phys(idx, k);
+      const int64_t x = a.IntAt(r, k), y = b.IntAt(r, k);
+      int64_t v = 0;
+      switch (op) {
+        case BinOp::kAdd:
+          v = x + y;
+          break;
+        case BinOp::kSub:
+          v = x - y;
+          break;
+        case BinOp::kMul:
+          v = x * y;
+          break;
+        case BinOp::kDiv:
+          if (y == 0) {
+            SetNull(out, n, k);
+          } else {
+            v = x / y;
+          }
+          break;
+        case BinOp::kMod:
+          if (y == 0) {
+            SetNull(out, n, k);
+          } else {
+            v = x % y;
+          }
+          break;
+        default:
+          break;
+      }
+      out->ints[k] = v;
+    }
+    return;
+  }
+  out->rep = VecVal::kDenseDbl;
+  out->dbls.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t r = Phys(idx, k);
+    const double x = a.DblAt(r, k), y = b.DblAt(r, k);
+    double v = 0.0;
+    switch (op) {
+      case BinOp::kAdd:
+        v = x + y;
+        break;
+      case BinOp::kSub:
+        v = x - y;
+        break;
+      case BinOp::kMul:
+        v = x * y;
+        break;
+      case BinOp::kDiv:
+        if (y == 0.0) {
+          SetNull(out, n, k);
+        } else {
+          v = x / y;
+        }
+        break;
+      default:
+        break;
+    }
+    out->dbls[k] = v;
+  }
+}
+
+/// Truthiness of each live row as a dense 0/1 vector (the And/Or/Not
+/// combine domain; also the Filter refine input). Matches Truthy().
+void TruthyMask(const VecVal& v, const uint32_t* idx, size_t n,
+                std::vector<int64_t>* out) {
+  out->resize(n);
+  switch (v.rep) {
+    case VecVal::kConst: {
+      const int64_t t = Truthy(v.cval) ? 1 : 0;
+      std::fill(out->begin(), out->end(), t);
+      return;
+    }
+    case VecVal::kDenseNull:
+      std::fill(out->begin(), out->end(), int64_t{0});
+      return;
+    case VecVal::kDenseInt:
+      for (size_t k = 0; k < n; ++k) {
+        (*out)[k] =
+            ((v.nulls.empty() || v.nulls[k] == 0) && v.ints[k] != 0) ? 1 : 0;
+      }
+      return;
+    case VecVal::kDenseDbl:
+      for (size_t k = 0; k < n; ++k) {
+        (*out)[k] =
+            ((v.nulls.empty() || v.nulls[k] == 0) && v.dbls[k] != 0.0) ? 1 : 0;
+      }
+      return;
+    case VecVal::kDenseVal:
+      for (size_t k = 0; k < n; ++k) (*out)[k] = Truthy(v.vals[k]) ? 1 : 0;
+      return;
+    case VecVal::kColRef: {
+      const ColumnBatch::Column& c = *v.colref;
+      switch (c.type) {
+        case ValueType::kNull:
+          std::fill(out->begin(), out->end(), int64_t{0});
+          return;
+        case ValueType::kInt:
+          for (size_t k = 0; k < n; ++k) {
+            const uint32_t r = Phys(idx, k);
+            (*out)[k] = (!c.IsNull(r) && c.ints[r] != 0) ? 1 : 0;
+          }
+          return;
+        case ValueType::kDouble:
+          for (size_t k = 0; k < n; ++k) {
+            const uint32_t r = Phys(idx, k);
+            (*out)[k] = (!c.IsNull(r) && c.dbls[r] != 0.0) ? 1 : 0;
+          }
+          return;
+        case ValueType::kString:
+          for (size_t k = 0; k < n; ++k) {
+            const uint32_t r = Phys(idx, k);
+            (*out)[k] = (!c.IsNull(r) && !c.Str(r).empty()) ? 1 : 0;
+          }
+          return;
+      }
+      return;
+    }
+  }
+}
+
+void EvalNode(const VNode& nd, const ColumnBatch& cb, const uint32_t* idx,
+              size_t n, VecVal* out);
+
+/// Per-row fallback for a binary node: boxes operand Values and applies
+/// the scalar twin. Correct for every operand/type combination.
+void GenericBin(BinOp op, const VecVal& a, const VecVal& b,
+                const uint32_t* idx, size_t n, VecVal* out) {
+  out->rep = VecVal::kDenseVal;
+  out->vals.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    out->vals[k] = EvalBinScalar(op, ValueOf(a, idx, k), ValueOf(b, idx, k));
+  }
+}
+
+void EvalBinNode(const VNode& nd, const ColumnBatch& cb, const uint32_t* idx,
+                 size_t n, VecVal* out) {
+  VecVal a, b;
+  EvalNode(*nd.a, cb, idx, n, &a);
+  EvalNode(*nd.b, cb, idx, n, &b);
+  if (nd.op == BinOp::kAnd || nd.op == BinOp::kOr) {
+    // Operands are side-effect-free, so evaluating both columns fully is
+    // equivalent to the scalar short-circuit.
+    std::vector<int64_t> ta, tb;
+    TruthyMask(a, idx, n, &ta);
+    TruthyMask(b, idx, n, &tb);
+    out->rep = VecVal::kDenseInt;
+    out->nulls.clear();
+    out->ints.resize(n);
+    if (nd.op == BinOp::kAnd) {
+      for (size_t k = 0; k < n; ++k) out->ints[k] = ta[k] & tb[k];
+    } else {
+      for (size_t k = 0; k < n; ++k) out->ints[k] = ta[k] | tb[k];
+    }
+    return;
+  }
+  if (IsCmp(nd.op)) {
+    const NumSrc na = MakeNumSrc(a), nb = MakeNumSrc(b);
+    if (na.ok && nb.ok) {
+      CmpKernel(nd.op, na, nb, idx, n, out);
+      return;
+    }
+    const StrSrc sa = MakeStrSrc(a), sb = MakeStrSrc(b);
+    if (sa.ok && sb.ok) {
+      StrCmpKernel(nd.op, sa, sb, idx, n, out);
+      return;
+    }
+    GenericBin(nd.op, a, b, idx, n, out);
+    return;
+  }
+  // Arithmetic.
+  const NumSrc na = MakeNumSrc(a), nb = MakeNumSrc(b);
+  const bool mod_ok = nd.op != BinOp::kMod || (na.is_int && nb.is_int);
+  if (na.ok && nb.ok && mod_ok) {
+    ArithKernel(nd.op, na, nb, idx, n, out);
+    return;
+  }
+  GenericBin(nd.op, a, b, idx, n, out);
+}
+
+void EvalNode(const VNode& nd, const ColumnBatch& cb, const uint32_t* idx,
+              size_t n, VecVal* out) {
+  switch (nd.kind) {
+    case VNode::kConst:
+      out->rep = VecVal::kConst;
+      out->cval = nd.lit;
+      return;
+    case VNode::kCol:
+      out->rep = VecVal::kColRef;
+      out->colref = &cb.cols[static_cast<size_t>(nd.col)];
+      return;
+    case VNode::kBin:
+      EvalBinNode(nd, cb, idx, n, out);
+      return;
+    case VNode::kNot: {
+      VecVal a;
+      EvalNode(*nd.a, cb, idx, n, &a);
+      std::vector<int64_t> t;
+      TruthyMask(a, idx, n, &t);
+      out->rep = VecVal::kDenseInt;
+      out->nulls.clear();
+      out->ints.resize(n);
+      for (size_t k = 0; k < n; ++k) out->ints[k] = 1 - t[k];
+      return;
+    }
+    case VNode::kContains: {
+      VecVal a, b;
+      EvalNode(*nd.a, cb, idx, n, &a);
+      EvalNode(*nd.b, cb, idx, n, &b);
+      const StrSrc sa = MakeStrSrc(a), sb = MakeStrSrc(b);
+      out->rep = VecVal::kDenseInt;
+      out->nulls.clear();
+      out->ints.resize(n);
+      if (sa.ok && sb.ok) {
+        for (size_t k = 0; k < n; ++k) {
+          const uint32_t r = Phys(idx, k);
+          out->ints[k] = Contains(sa.At(r), sb.At(r)) ? 1 : 0;
+        }
+      } else {
+        for (size_t k = 0; k < n; ++k) {
+          out->ints[k] =
+              EvalContainsScalar(ValueOf(a, idx, k), ValueOf(b, idx, k))
+                  .AsInt();
+        }
+      }
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Projection materialization helpers
+// ---------------------------------------------------------------------------
+
+void GatherColumn(const ColumnBatch::Column& src, const uint32_t* idx,
+                  size_t n, ColumnBatch::Column* dst) {
+  dst->Clear();
+  dst->type = src.type;
+  if (idx == nullptr) {
+    *dst = src;  // whole column survives: flat array copies
+    return;
+  }
+  const bool has_nulls = src.HasNulls();
+  if (has_nulls) dst->nulls.reserve(n);
+  switch (src.type) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      dst->ints.reserve(n);
+      for (size_t k = 0; k < n; ++k) dst->ints.push_back(src.ints[idx[k]]);
+      break;
+    case ValueType::kDouble:
+      dst->dbls.reserve(n);
+      for (size_t k = 0; k < n; ++k) dst->dbls.push_back(src.dbls[idx[k]]);
+      break;
+    case ValueType::kString:
+      dst->offsets.reserve(n + 1);
+      dst->offsets.push_back(0);
+      for (size_t k = 0; k < n; ++k) {
+        dst->bytes.append(src.Str(idx[k]));
+        dst->offsets.push_back(static_cast<uint32_t>(dst->bytes.size()));
+      }
+      break;
+  }
+  if (has_nulls) {
+    for (size_t k = 0; k < n; ++k) dst->nulls.push_back(src.nulls[idx[k]]);
+  }
+}
+
+void FillConst(const Value& v, size_t n, ColumnBatch::Column* dst) {
+  dst->Clear();
+  dst->type = v.type();
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      dst->ints.assign(n, v.AsInt());
+      break;
+    case ValueType::kDouble:
+      dst->dbls.assign(n, v.AsDouble());
+      break;
+    case ValueType::kString: {
+      const std::string& s = v.AsString();
+      dst->offsets.reserve(n + 1);
+      dst->offsets.push_back(0);
+      dst->bytes.reserve(n * s.size());
+      for (size_t k = 0; k < n; ++k) {
+        dst->bytes.append(s);
+        dst->offsets.push_back(static_cast<uint32_t>(dst->bytes.size()));
+      }
+      break;
+    }
+  }
+}
+
+/// Lands an evaluated VecVal as a dense output column. Returns false
+/// when a generic (kDenseVal) result mixes non-null types across rows —
+/// not representable columnarly, so the whole batch falls back.
+bool VecToColumn(VecVal&& v, const uint32_t* idx, size_t n,
+                 ColumnBatch::Column* dst) {
+  switch (v.rep) {
+    case VecVal::kConst:
+      FillConst(v.cval, n, dst);
+      return true;
+    case VecVal::kColRef:
+      GatherColumn(*v.colref, idx, n, dst);
+      return true;
+    case VecVal::kDenseInt:
+      dst->Clear();
+      dst->type = ValueType::kInt;
+      dst->ints = std::move(v.ints);
+      dst->nulls = std::move(v.nulls);
+      return true;
+    case VecVal::kDenseDbl:
+      dst->Clear();
+      dst->type = ValueType::kDouble;
+      dst->dbls = std::move(v.dbls);
+      dst->nulls = std::move(v.nulls);
+      return true;
+    case VecVal::kDenseNull:
+      dst->Clear();
+      return true;
+    case VecVal::kDenseVal: {
+      dst->Clear();
+      ValueType t = ValueType::kNull;
+      for (const Value& val : v.vals) {
+        if (val.is_null()) continue;
+        if (t == ValueType::kNull) {
+          t = val.type();
+        } else if (t != val.type()) {
+          return false;
+        }
+      }
+      dst->type = t;
+      if (t == ValueType::kString) dst->offsets.push_back(0);
+      for (size_t k = 0; k < n; ++k) {
+        const Value& val = v.vals[k];
+        const bool is_null = val.is_null();
+        if (is_null && dst->nulls.empty() && t != ValueType::kNull) {
+          dst->nulls.assign(k, 0);
+        }
+        if (!dst->nulls.empty()) dst->nulls.push_back(is_null ? 1 : 0);
+        switch (t) {
+          case ValueType::kNull:
+            break;
+          case ValueType::kInt:
+            dst->ints.push_back(is_null ? 0 : val.AsInt());
+            break;
+          case ValueType::kDouble:
+            dst->dbls.push_back(is_null ? 0.0 : val.AsDouble());
+            break;
+          case ValueType::kString:
+            if (!is_null) dst->bytes.append(val.AsString());
+            dst->offsets.push_back(static_cast<uint32_t>(dst->bytes.size()));
+            break;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CompiledPredicate
+// ---------------------------------------------------------------------------
+
+CompiledPredicate::CompiledPredicate(std::unique_ptr<VNode> root, int max_col)
+    : root_(std::move(root)), max_col_(max_col) {}
+
+CompiledPredicate::~CompiledPredicate() = default;
+
+std::unique_ptr<CompiledPredicate> CompiledPredicate::Compile(const Expr& e) {
+  int max_col = -1;
+  std::unique_ptr<VNode> root = CompileNode(e, &max_col);
+  if (root == nullptr) return nullptr;
+  return std::unique_ptr<CompiledPredicate>(
+      new CompiledPredicate(std::move(root), max_col));
+}
+
+bool CompiledPredicate::Filter(ColumnBatch* cb) const {
+  if (max_col_ >= 0 && static_cast<size_t>(max_col_) >= cb->width()) {
+    return false;  // batch narrower than the plan: row path handles it
+  }
+  const size_t n = cb->ActiveRows();
+  if (n == 0) return true;
+  const uint32_t* idx = cb->has_sel ? cb->sel.data() : nullptr;
+  VecVal v;
+  EvalNode(*root_, *cb, idx, n, &v);
+  if (v.rep == VecVal::kConst) {
+    // Constant predicate: keep everything or drop everything.
+    if (Truthy(v.cval)) return true;
+    cb->sel.clear();
+    cb->has_sel = true;
+    return true;
+  }
+  std::vector<int64_t> keep;
+  TruthyMask(v, idx, n, &keep);
+  if (!cb->has_sel) {
+    cb->sel.clear();
+    cb->sel.reserve(n);
+    for (size_t k = 0; k < n; ++k) {
+      if (keep[k] != 0) cb->sel.push_back(static_cast<uint32_t>(k));
+    }
+    cb->has_sel = true;
+  } else {
+    // Refine in place: writes trail reads, both ascending.
+    size_t j = 0;
+    for (size_t k = 0; k < n; ++k) {
+      if (keep[k] != 0) cb->sel[j++] = cb->sel[k];
+    }
+    cb->sel.resize(j);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// CompiledProjection
+// ---------------------------------------------------------------------------
+
+CompiledProjection::CompiledProjection(
+    std::vector<std::unique_ptr<VNode>> outs, int max_col)
+    : outs_(std::move(outs)), max_col_(max_col) {}
+
+CompiledProjection::~CompiledProjection() = default;
+
+std::unique_ptr<CompiledProjection> CompiledProjection::Compile(
+    const std::vector<ExprRef>& exprs) {
+  int max_col = -1;
+  std::vector<std::unique_ptr<VNode>> outs;
+  outs.reserve(exprs.size());
+  for (const ExprRef& e : exprs) {
+    if (e == nullptr) return nullptr;
+    std::unique_ptr<VNode> node = CompileNode(*e, &max_col);
+    if (node == nullptr) return nullptr;
+    outs.push_back(std::move(node));
+  }
+  return std::unique_ptr<CompiledProjection>(
+      new CompiledProjection(std::move(outs), max_col));
+}
+
+bool CompiledProjection::Project(const ColumnBatch& in,
+                                 ColumnBatch* out) const {
+  if (max_col_ >= 0 && static_cast<size_t>(max_col_) >= in.width()) {
+    return false;
+  }
+  out->Clear();
+  const size_t n = in.ActiveRows();
+  const uint32_t* idx = in.has_sel ? in.sel.data() : nullptr;
+  out->cols.resize(outs_.size());
+  for (size_t i = 0; i < outs_.size(); ++i) {
+    const VNode& nd = *outs_[i];
+    if (nd.kind == VNode::kCol) {
+      GatherColumn(in.cols[static_cast<size_t>(nd.col)], idx, n,
+                   &out->cols[i]);
+      continue;
+    }
+    if (nd.kind == VNode::kConst) {
+      FillConst(nd.lit, n, &out->cols[i]);
+      continue;
+    }
+    VecVal v;
+    EvalNode(nd, in, idx, n, &v);
+    if (!VecToColumn(std::move(v), idx, n, &out->cols[i])) {
+      out->Clear();
+      return false;
+    }
+  }
+  // Timestamps survive projection unchanged (gathered over live rows).
+  out->ts.reserve(n);
+  for (size_t k = 0; k < n; ++k) out->ts.push_back(in.ts[in.Active(k)]);
+  // Remap punctuation anchors across the dropped rows: the new position
+  // is the number of live rows preceding the old physical position.
+  out->puncts.reserve(in.puncts.size());
+  for (const ColumnBatch::PunctSlot& p : in.puncts) {
+    uint32_t pos = p.pos;
+    if (in.has_sel) {
+      pos = static_cast<uint32_t>(
+          std::lower_bound(in.sel.begin(), in.sel.end(), p.pos) -
+          in.sel.begin());
+    }
+    out->puncts.push_back({pos, p.punct});
+  }
+  return true;
+}
+
+}  // namespace vec
+}  // namespace sqp

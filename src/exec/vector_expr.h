@@ -1,0 +1,75 @@
+#ifndef SQP_EXEC_VECTOR_EXPR_H_
+#define SQP_EXEC_VECTOR_EXPR_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/column_batch.h"
+#include "exec/expr.h"
+
+namespace sqp {
+namespace vec {
+
+struct VNode;  // compiled expression node (vector_expr.cc)
+
+/// A predicate compiled for column-at-a-time evaluation. Compile walks
+/// the Expr tree via its reflection API (folding constant subtrees) and
+/// returns nullptr for shapes it cannot vectorize — the caller keeps the
+/// per-tuple path. Evaluation dispatches per *batch* on the runtime
+/// column types: no-null int/double columns take tight typed loops, and
+/// every remaining shape (per-row nulls, strings in arithmetic, mixed
+/// type-tag comparisons) takes a per-row loop built from the same Value
+/// primitives the scalar evaluator uses, so results are bit-identical to
+/// Expr::Eval by construction.
+///
+/// Not thread-safe: like an Operator, a compiled expression belongs to
+/// one driving thread at a time.
+class CompiledPredicate {
+ public:
+  ~CompiledPredicate();
+
+  static std::unique_ptr<CompiledPredicate> Compile(const Expr& e);
+
+  /// Refines cb->sel in place to the live rows where the predicate is
+  /// truthy (identical to the row path's Truthy(Eval(t))). Returns false
+  /// without touching the batch when it cannot apply (batch narrower
+  /// than the referenced columns) — the caller materializes and falls
+  /// back to rows.
+  bool Filter(ColumnBatch* cb) const;
+
+ private:
+  CompiledPredicate(std::unique_ptr<VNode> root, int max_col);
+
+  std::unique_ptr<VNode> root_;
+  int max_col_;
+};
+
+/// A projection list compiled for column-at-a-time evaluation. Pure
+/// column references gather (or wholesale-copy) source arrays; computed
+/// expressions evaluate like CompiledPredicate and land as freshly typed
+/// dense columns. The output batch is dense (no selection vector) with
+/// punctuation slots remapped across the dropped rows.
+class CompiledProjection {
+ public:
+  ~CompiledProjection();
+
+  static std::unique_ptr<CompiledProjection> Compile(
+      const std::vector<ExprRef>& exprs);
+
+  /// Projects the live rows of `in` into `out` (cleared first). Returns
+  /// false when the batch cannot be projected columnarly (referenced
+  /// column missing, or an expression whose per-row results mix types) —
+  /// `out` is unusable and the caller falls back to the row path.
+  bool Project(const ColumnBatch& in, ColumnBatch* out) const;
+
+ private:
+  CompiledProjection(std::vector<std::unique_ptr<VNode>> outs, int max_col);
+
+  std::vector<std::unique_ptr<VNode>> outs_;
+  int max_col_;
+};
+
+}  // namespace vec
+}  // namespace sqp
+
+#endif  // SQP_EXEC_VECTOR_EXPR_H_

@@ -60,6 +60,13 @@ struct alignas(64) OpMetrics {
   void CountOut(bool punct) {
     (punct ? puncts_out : tuples_out).fetch_add(1, std::memory_order_relaxed);
   }
+  /// Bulk emission count, the output twin of CountInBulk — columnar
+  /// operators account a whole batch with two adds instead of one CAS
+  /// pair per element (the E15 amortization).
+  void CountOutBulk(uint64_t tuples, uint64_t puncts) {
+    if (tuples != 0) tuples_out.fetch_add(tuples, std::memory_order_relaxed);
+    if (puncts != 0) puncts_out.fetch_add(puncts, std::memory_order_relaxed);
+  }
   void IncBatches() { batches.fetch_add(1, std::memory_order_relaxed); }
   void AddBusyNs(uint64_t ns) {
     busy_ns.fetch_add(ns, std::memory_order_relaxed);

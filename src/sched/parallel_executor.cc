@@ -23,12 +23,14 @@ class ParallelExecutor::Relay : public Operator {
   }
 
   void Push(const Element& e, int /*port*/ = 0) override {
-    buf_.push_back(Item{e, port_});
+    buf_.push_back(Item{e, port_, nullptr});
     if (e.is_punctuation() || buf_.size() >= cap_) FlushBuffer();
   }
 
   /// Reached by the upstream operator's flush cascade.
   void Flush() override { FlushBuffer(); }
+
+  bool SupportsColumns(int /*port*/ = 0) const override { return true; }
 
  protected:
   /// Batched hand-off from the upstream operator's Emit coalescing:
@@ -42,9 +44,21 @@ class ParallelExecutor::Relay : public Operator {
     bool saw_punct = false;
     for (Element& e : batch) {
       if (e.is_punctuation()) saw_punct = true;
-      buf_.push_back(Item{std::move(e), port_});
+      buf_.push_back(Item{std::move(e), port_, nullptr});
     }
     if (saw_punct || buf_.size() >= cap_) FlushBuffer();
+  }
+
+  /// Columnar hand-off: the batch crosses the stage boundary intact (no
+  /// materialization) as a single queue item. Appended after any
+  /// buffered row items so emission order is preserved, then flushed
+  /// immediately — a columnar batch is already the amortization unit.
+  void PushColumns(ColumnBatch& batch, int /*port*/) override {
+    Item item;
+    item.port = port_;
+    item.cols = std::make_unique<ColumnBatch>(std::move(batch));
+    buf_.push_back(std::move(item));
+    FlushBuffer();
   }
 
  public:
@@ -103,11 +117,11 @@ void ParallelExecutor::Start() {
 }
 
 bool ParallelExecutor::Arrive(Element e) {
-  return Enqueue(0, Item{std::move(e), stages_[0].in_port});
+  return Enqueue(0, Item{std::move(e), stages_[0].in_port, nullptr});
 }
 
 bool ParallelExecutor::ArriveOn(Element e, int port) {
-  return Enqueue(0, Item{std::move(e), port});
+  return Enqueue(0, Item{std::move(e), port, nullptr});
 }
 
 bool ParallelExecutor::Enqueue(size_t stage, Item item) {
@@ -116,13 +130,13 @@ bool ParallelExecutor::Enqueue(size_t stage, Item item) {
   if (stop_ || st.closed) return false;
   const size_t limit = st.cfg.queue_limit;
   // Punctuations bypass the limit: a lost watermark deadlocks windows.
-  if (limit != 0 && st.q.size() >= limit && !item.e.is_punctuation()) {
+  if (limit != 0 && st.q_rows >= limit && !item.e.is_punctuation()) {
     if (st.cfg.backpressure == Backpressure::kDropNewest) {
       ++st.dropped;
       return false;
     }
     st.not_full.wait(lock, [&] {
-      return stop_ || st.closed || st.q.size() < limit;
+      return stop_ || st.closed || st.q_rows < limit;
     });
     // Shutdown refusal, not an overload drop: the caller sees `false`
     // but `dropped` only counts queue-overflow losses.
@@ -130,8 +144,9 @@ bool ParallelExecutor::Enqueue(size_t stage, Item item) {
   }
   const bool is_punct = item.e.is_punctuation();
   st.q.push_back(std::move(item));
+  st.q_rows += 1;
   ++st.enqueued;
-  if (st.q.size() > st.max_depth) st.max_depth = st.q.size();
+  if (st.q_rows > st.max_depth) st.max_depth = st.q_rows;
   // Batched wakeup: signalling every element lets the consumer preempt
   // the producer one element at a time — on few cores that degenerates
   // into two context switches per element. Wake only once a batch is
@@ -144,7 +159,7 @@ bool ParallelExecutor::Enqueue(size_t stage, Item item) {
   // signalling on every element past it would be a futex call per tuple.
   size_t wake = st.cfg.wake_batch == 0 ? 1 : st.cfg.wake_batch;
   if (limit != 0 && wake > limit) wake = limit;
-  if (is_punct || st.q.size() == wake) st.not_empty.notify_one();
+  if (is_punct || st.q_rows == wake) st.not_empty.notify_one();
   return true;
 }
 
@@ -153,35 +168,56 @@ void ParallelExecutor::EnqueueBatch(size_t stage, std::vector<Item>& items) {
   std::unique_lock<std::mutex> lock(st.mu);
   const size_t limit = st.cfg.queue_limit;
   if (stop_ || st.closed) return;
+  size_t chunk_rows = 0;
+  for (const Item& item : items) chunk_rows += item.Weight();
   // Fast path: the whole chunk fits (or the queue is unbounded) — bulk
   // move without per-element bookkeeping.
-  if (limit == 0 || st.q.size() + items.size() <= limit) {
+  if (limit == 0 || st.q_rows + chunk_rows <= limit) {
     st.q.insert(st.q.end(), std::make_move_iterator(items.begin()),
                 std::make_move_iterator(items.end()));
-    st.enqueued += items.size();
-    if (st.q.size() > st.max_depth) st.max_depth = st.q.size();
+    st.q_rows += chunk_rows;
+    st.enqueued += chunk_rows;
+    if (st.q_rows > st.max_depth) st.max_depth = st.q_rows;
     st.not_empty.notify_one();
     return;
   }
   for (Item& item : items) {
     if (stop_ || st.closed) return;  // Shutdown: remainder refused.
-    if (limit != 0 && st.q.size() >= limit && !item.e.is_punctuation()) {
+    const bool bypass = item.cols == nullptr && item.e.is_punctuation();
+    if (limit != 0 && st.q_rows >= limit && !bypass) {
       if (st.cfg.backpressure == Backpressure::kDropNewest) {
-        ++st.dropped;
+        if (item.cols != nullptr) {
+          // A columnar item drops only its data rows; its punctuation
+          // slots are re-admitted as plain elements (puncts are never
+          // dropped — same contract as the row path).
+          st.dropped += item.cols->ActiveRows();
+          for (ColumnBatch::PunctSlot& ps : item.cols->puncts) {
+            st.q.push_back(
+                Item{Element(std::move(ps.punct)), item.port, nullptr});
+            st.q_rows += 1;
+            ++st.enqueued;
+          }
+        } else {
+          ++st.dropped;
+        }
         continue;
       }
       // The consumer must drain us before we can continue: make sure it
       // is awake before sleeping on not_full.
       st.not_empty.notify_one();
       st.not_full.wait(lock, [&] {
-        return stop_ || st.closed || st.q.size() < limit;
+        return stop_ || st.closed || st.q_rows < limit;
       });
       if (stop_ || st.closed) return;
     }
+    // A columnar item lands whole once below the limit (it may
+    // transiently overshoot by its row count, like punctuations do).
+    const size_t w = item.Weight();
     st.q.push_back(std::move(item));
-    ++st.enqueued;
+    st.q_rows += w;
+    st.enqueued += w;
   }
-  if (st.q.size() > st.max_depth) st.max_depth = st.q.size();
+  if (st.q_rows > st.max_depth) st.max_depth = st.q_rows;
   st.not_empty.notify_one();  // Once per chunk, not per element.
 }
 
@@ -199,12 +235,15 @@ void ParallelExecutor::WorkerLoop(size_t stage) {
   StageState& st = *states_[stage];
   Operator* op = st.cfg.op;
   const size_t max_batch = st.cfg.max_batch == 0 ? 1 : st.cfg.max_batch;
+  const bool columnar = st.cfg.columnar;
   std::deque<Item> batch;
   ElementBatch eb;
+  ColumnBatch cb;
   if (max_batch > 1) eb.reserve(max_batch);
   for (;;) {
     batch.clear();
     bool flush = false;
+    size_t claimed = 0;
     {
       std::unique_lock<std::mutex> lock(st.mu);
       // wait_for, not wait: producers suppress wakeups until a full
@@ -215,18 +254,22 @@ void ParallelExecutor::WorkerLoop(size_t stage) {
       });
       if (stop_) return;
       if (!st.q.empty()) {
-        // Claim at most max_batch elements per lock acquisition —
-        // max_batch is the one hand-off granularity knob, so =1 really
-        // is the classic element-at-a-time executor (a lock round-trip
-        // and a producer wakeup per element) that the batched path is
-        // measured against.
-        if (st.q.size() <= max_batch) {
+        // Claim at most max_batch elements (columnar items weigh their
+        // row counts) per lock acquisition — max_batch is the one
+        // hand-off granularity knob, so =1 really is the classic
+        // element-at-a-time executor (a lock round-trip and a producer
+        // wakeup per element) that the batched path is measured against.
+        if (st.q_rows <= max_batch) {
           batch.swap(st.q);
+          claimed = st.q_rows;
+          st.q_rows = 0;
         } else {
-          for (size_t k = 0; k < max_batch; ++k) {
+          while (!st.q.empty() && claimed < max_batch) {
+            claimed += st.q.front().Weight();
             batch.push_back(std::move(st.q.front()));
             st.q.pop_front();
           }
+          st.q_rows -= claimed;  // Weights are stable while queued.
         }
       } else if (st.closed) {
         // closed && empty: our input is finished.
@@ -241,32 +284,52 @@ void ParallelExecutor::WorkerLoop(size_t stage) {
     st.not_full.notify_all();
     if (obs::OpMetrics* m = op->metrics()) {
       m->IncBatches();
-      m->UpdateQueueDepth(batch.size());
+      m->UpdateQueueDepth(claimed);
     }
     auto t0 = std::chrono::steady_clock::now();
     uint64_t deliveries = 0;
     if (max_batch <= 1) {
-      // Exact pre-batching path: one virtual Push per element.
+      // Exact pre-batching path: one virtual Push per element (columnar
+      // items arriving from an upstream stage are still delivered whole
+      // — slicing them back into rows would defeat the hand-off).
       for (Item& item : batch) {
-        op->Process(item.e, item.port);
+        if (item.cols != nullptr) {
+          op->ProcessColumns(*item.cols, item.port);
+        } else {
+          op->Process(item.e, item.port);
+        }
         if (stop_) break;
       }
     } else {
       // Slice the claimed queue into same-port runs of at most
-      // max_batch elements and deliver each as one ProcessBatch call.
-      // Elements are moved out of the claimed vector; order, including
-      // punctuations, is untouched.
+      // max_batch elements and deliver each as one ProcessBatch call
+      // (or, on a columnar stage, one row→column conversion and one
+      // ProcessColumns call). Columnar items already in the queue are
+      // delivered whole, in order. Elements are moved out of the
+      // claimed vector; order, including punctuations, is untouched.
       size_t i = 0;
       while (i < batch.size() && !stop_) {
+        if (batch[i].cols != nullptr) {
+          op->ProcessColumns(*batch[i].cols, batch[i].port);
+          ++i;
+          ++deliveries;
+          continue;
+        }
         const int port = batch[i].port;
         size_t end = batch.size() - i > max_batch ? i + max_batch
                                                   : batch.size();
         eb.clear();
-        while (i < end && batch[i].port == port) {
+        while (i < end && batch[i].port == port &&
+               batch[i].cols == nullptr) {
           eb.push_back(std::move(batch[i].e));
           ++i;
         }
-        op->ProcessBatch(eb, port);
+        if (columnar && op->SupportsColumns(port) &&
+            ColumnBatch::FromRows(eb, &cb)) {
+          op->ProcessColumns(cb, port);
+        } else {
+          op->ProcessBatch(eb, port);
+        }
         ++deliveries;
       }
     }
@@ -278,7 +341,7 @@ void ParallelExecutor::WorkerLoop(size_t stage) {
         std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(st.mu);
-      st.processed += batch.size();
+      st.processed += claimed;
       st.batches += deliveries;
     }
     if (stop_) return;
@@ -321,7 +384,7 @@ sched::StageStats ParallelExecutor::stage_stats(size_t i) const {
   out.processed = st.processed;
   out.batches = st.batches;
   out.dropped = st.dropped;
-  out.queue_depth = st.q.size();
+  out.queue_depth = st.q_rows;
   out.max_queue_depth = st.max_depth;
   out.busy_time =
       static_cast<double>(st.busy_ns.load(std::memory_order_relaxed)) * 1e-9;
@@ -354,7 +417,7 @@ size_t ParallelExecutor::QueuedElements() const {
   size_t n = 0;
   for (const auto& st : states_) {
     std::lock_guard<std::mutex> lock(st->mu);
-    n += st->q.size();
+    n += st->q_rows;
   }
   return n;
 }

@@ -78,6 +78,15 @@ class ParallelExecutor {
     /// and punctuations alike) is preserved either way, and the bound
     /// also caps how long a claimed run can delay the relay flush.
     size_t max_batch = 64;
+    /// Columnar delivery: the worker converts each claimed same-port
+    /// run of row elements into a ColumnBatch (ColumnBatch::FromRows)
+    /// and hands it to the operator as one ProcessColumns call, falling
+    /// back to ProcessBatch when conversion fails (ragged or mixed-type
+    /// rows). Columnar batches emitted by an upstream stage cross this
+    /// stage's queue intact regardless of the flag — it only controls
+    /// row→column conversion at this stage's delivery point. Meaningful
+    /// only when the operator reports SupportsColumns(in_port).
+    bool columnar = false;
   };
 
   /// `sink` receives the last stage's output; pass nullptr to keep the
@@ -123,9 +132,24 @@ class ParallelExecutor {
   size_t QueuedElements() const;
 
  private:
+  /// One queue slot: either a single row element (`cols == nullptr`) or
+  /// a whole columnar batch crossing the stage boundary without
+  /// materialization. Queue accounting (limits, depths, enqueued/
+  /// processed/dropped counters) is in *elements*: a columnar item
+  /// weighs its live rows plus punctuation slots, so `queue_limit`
+  /// bounds the same quantity either way.
   struct Item {
     Element e;
-    int port;
+    int port = 0;
+    std::unique_ptr<ColumnBatch> cols;
+
+    /// Element count this item charges against queue accounting (min 1
+    /// so even a fully-filtered columnar batch holds a queue slot).
+    size_t Weight() const {
+      if (cols == nullptr) return 1;
+      size_t w = cols->ActiveRows() + cols->puncts.size();
+      return w == 0 ? 1 : w;
+    }
   };
 
   /// One stage's queue + worker + counters. Counters written by the
@@ -138,6 +162,9 @@ class ParallelExecutor {
     std::condition_variable not_empty;
     std::condition_variable not_full;
     std::deque<Item> q;
+    /// Sum of item weights in `q` (elements, not slots): what limits,
+    /// wake thresholds and depth counters measure. Guarded by mu.
+    size_t q_rows = 0;
     /// No further input will ever be enqueued (drain cascade reached us).
     bool closed = false;
     // Counters (guarded by mu except busy_ns, owned by the worker).

@@ -280,9 +280,21 @@ void QueryServer::HandleResults(int fd, const std::string& id,
     ResultQueue::Wait got = sess->queue.WaitRows(next, batch, deadline);
     if (!got.rows.empty()) {
       std::string out;
+      size_t need = 0;
+      for (const SessionRow& row : got.rows) need += row.json.size() + 24;
+      out.reserve(need);
       for (const SessionRow& row : got.rows) {
-        out += "{\"seq\":" + std::to_string(row.seq) + "," +
-               RowJson(*row.tuple) + "}\n";
+        out += "{\"seq\":";
+        out += std::to_string(row.seq);
+        out.push_back(',');
+        // Cached render from enqueue time; re-encode only if absent
+        // (a row pushed by code that bypassed ResultQueue::Push).
+        if (!row.json.empty()) {
+          out += row.json;
+        } else {
+          AppendRowJson(*row.tuple, &out);
+        }
+        out += "}\n";
       }
       next = got.rows.back().seq + 1;
       sent += got.rows.size();

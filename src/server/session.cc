@@ -14,6 +14,10 @@ ResultQueue::ResultQueue(ResultQueueOptions options) : options_(options) {
 }
 
 bool ResultQueue::Push(const TupleRef& tuple) {
+  // Render outside the lock: encoding cost lands on the producer once
+  // per row instead of on every reader poll, and never stalls readers.
+  std::string json;
+  AppendRowJson(*tuple, &json);
   std::unique_lock<std::mutex> lock(mu_);
   if (closed_.load(std::memory_order_relaxed)) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -43,6 +47,7 @@ bool ResultQueue::Push(const TupleRef& tuple) {
   SessionRow row;
   row.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   row.tuple = tuple;
+  row.json = std::move(json);
   rows_.push_back(std::move(row));
   depth_.store(rows_.size(), std::memory_order_relaxed);
   produced_.fetch_add(1, std::memory_order_relaxed);
@@ -114,33 +119,62 @@ ResultQueue::Wait ResultQueue::WaitRows(
   return out;
 }
 
-std::string ValueJson(const Value& v) {
+void AppendValueJson(const Value& v, std::string* out) {
   switch (v.type()) {
     case ValueType::kNull:
-      return "null";
-    case ValueType::kInt:
-      return std::to_string(v.AsInt());
+      *out += "null";
+      return;
+    case ValueType::kInt: {
+      char buf[24];
+      int n = std::snprintf(buf, sizeof(buf), "%lld",
+                            static_cast<long long>(v.AsInt()));
+      out->append(buf, static_cast<size_t>(n));
+      return;
+    }
     case ValueType::kDouble: {
       const double d = v.AsDouble();
       // %.17g renders NaN/Infinity as "nan"/"inf" — not JSON. null is.
-      if (!std::isfinite(d)) return "null";
+      if (!std::isfinite(d)) {
+        *out += "null";
+        return;
+      }
       char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.17g", d);
-      return buf;
+      int n = std::snprintf(buf, sizeof(buf), "%.17g", d);
+      out->append(buf, static_cast<size_t>(n));
+      return;
     }
     case ValueType::kString:
-      return "\"" + obs::JsonEscape(v.AsString()) + "\"";
+      out->push_back('"');
+      *out += obs::JsonEscape(v.AsString());
+      out->push_back('"');
+      return;
   }
-  return "null";
+  *out += "null";
+}
+
+void AppendRowJson(const Tuple& t, std::string* out) {
+  // ~14 bytes covers a typical numeric cell with its comma; strings
+  // grow the buffer once more at worst.
+  out->reserve(out->size() + 16 + 14 * t.arity());
+  *out += "\"ts\":";
+  *out += std::to_string(t.ts());
+  *out += ",\"row\":[";
+  for (size_t i = 0; i < t.arity(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendValueJson(t.at(i), out);
+  }
+  out->push_back(']');
+}
+
+std::string ValueJson(const Value& v) {
+  std::string out;
+  AppendValueJson(v, &out);
+  return out;
 }
 
 std::string RowJson(const Tuple& t) {
-  std::string out = "\"ts\":" + std::to_string(t.ts()) + ",\"row\":[";
-  for (size_t i = 0; i < t.arity(); ++i) {
-    if (i > 0) out += ",";
-    out += ValueJson(t.at(i));
-  }
-  out += "]";
+  std::string out;
+  AppendRowJson(t, &out);
   return out;
 }
 

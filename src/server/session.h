@@ -43,6 +43,11 @@ struct ResultQueueOptions {
 struct SessionRow {
   uint64_t seq = 0;
   TupleRef tuple;
+  /// {"ts":...,"row":[...]} fragment, rendered once at enqueue (off the
+  /// queue lock): re-polls, reattaches at an old cursor, and repeated
+  /// long-poll rounds re-send the cached bytes instead of re-encoding
+  /// the tuple each time.
+  std::string json;
 };
 
 /// The bounded per-client output queue between one standing query's sink
@@ -131,7 +136,12 @@ class ResultQueue {
 };
 
 /// JSON rendering for result delivery: one Value ("42", "3.5", "\"abc\"",
-/// "null") and one tuple as {"ts":T,"row":[...]} fragments.
+/// "null") and one tuple as {"ts":T,"row":[...]} fragments. The Append
+/// forms build into an existing buffer (reserving capacity up front)
+/// so batch encoding pays no per-value temporary strings; the returning
+/// forms delegate to them.
+void AppendValueJson(const Value& v, std::string* out);
+void AppendRowJson(const Tuple& t, std::string* out);
 std::string ValueJson(const Value& v);
 std::string RowJson(const Tuple& t);
 
