@@ -1,0 +1,273 @@
+// Experiment E21: what durability costs on the ingest path, and what
+// recovery buys back. The same grouped aggregation ingests the same
+// feed under three regimes — archive off, group-commit (background
+// flusher, the default), and sync-every-append (inline flush per
+// record, the group-commit counterfactual) — and reports ingest
+// throughput plus overhead vs the archive-off baseline. A second table
+// measures recovery of the archived run: checkpoint restore (nothing
+// replays) vs full archive replay from seq 0. Every durable run's
+// output is compared against the in-memory baseline; a mismatch aborts
+// the bench, so the numbers are only ever printed for correct runs.
+
+#include <benchmark/benchmark.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "arch/engine.h"
+#include "bench_util.h"
+#include "dur/archive.h"
+#include "dur/codec.h"
+#include "dur/manager.h"
+#include "obs/trace.h"
+#include "stream/generators.h"
+
+namespace sqp {
+namespace {
+
+using bench::Fmt;
+using bench::FmtInt;
+using bench::Table;
+
+constexpr char kQuery[] =
+    "select tb, protocol, count(*), sum(len) from packets "
+    "group by ts/100 as tb, protocol";
+
+std::string FreshDir() {
+  std::string tmpl = "/tmp/sqp-bench-dur-XXXXXX";
+  char* got = ::mkdtemp(tmpl.data());
+  if (got == nullptr) {
+    std::fprintf(stderr, "bench_durability: mkdtemp failed\n");
+    std::exit(1);
+  }
+  return got;
+}
+
+/// Best-effort cleanup of the known archive tree (streams/*/segments,
+/// ckpt/*). Leaves anything unexpected in place.
+void RemoveTree(const std::string& root) {
+  std::vector<std::string> streams;
+  if (dur::ListDir(root + "/streams", &streams).ok()) {
+    for (const std::string& s : streams) {
+      const std::string dir = root + "/streams/" + s;
+      std::vector<std::string> segs;
+      if (dur::ListDir(dir, &segs).ok()) {
+        for (const std::string& f : segs) ::unlink((dir + "/" + f).c_str());
+      }
+      ::rmdir(dir.c_str());
+    }
+    ::rmdir((root + "/streams").c_str());
+  }
+  std::vector<std::string> ckpts;
+  if (dur::ListDir(root + "/ckpt", &ckpts).ok()) {
+    for (const std::string& f : ckpts) {
+      ::unlink((root + "/ckpt/" + f).c_str());
+    }
+    ::rmdir((root + "/ckpt").c_str());
+  }
+  ::rmdir(root.c_str());
+}
+
+uint64_t TreeBytes(const std::string& root) {
+  uint64_t total = 0;
+  std::vector<std::string> streams;
+  if (dur::ListDir(root + "/streams", &streams).ok()) {
+    for (const std::string& s : streams) {
+      const std::string dir = root + "/streams/" + s;
+      std::vector<std::string> segs;
+      if (dur::ListDir(dir, &segs).ok()) {
+        for (const std::string& f : segs) {
+          struct stat st;
+          if (::stat((dir + "/" + f).c_str(), &st) == 0) {
+            total += static_cast<uint64_t>(st.st_size);
+          }
+        }
+      }
+    }
+  }
+  return total;
+}
+
+TupleRef Pkt(int i) {
+  const int64_t ts = i;
+  return MakeTuple(ts, {Value(ts), Value(int64_t{i % 7}),
+                        Value(int64_t{i % 11}), Value(int64_t{i % 13}),
+                        Value(int64_t{80}),
+                        Value(int64_t{i % 2 == 0 ? 6 : 17}),
+                        Value(int64_t{64 + i % 1400}), Value(int64_t{0}),
+                        Value(int64_t{0}), Value("")});
+}
+
+struct RunResult {
+  double secs = 0;
+  size_t rows = 0;
+  uint64_t archive_bytes = 0;
+};
+
+enum class Mode { kOff, kGroupCommit, kSyncAppend };
+
+RunResult RunIngest(Mode mode, int tuples, const std::string& dir) {
+  StreamEngine engine;
+  (void)engine.RegisterStream("packets", gen::PacketSchema());
+  auto q = engine.Submit(kQuery);
+  if (!q.ok()) {
+    std::fprintf(stderr, "bench_durability: submit failed: %s\n",
+                 q.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (mode != Mode::kOff) {
+    dur::DurabilityOptions opt;
+    opt.flush_interval_ms = mode == Mode::kGroupCommit ? 5 : 0;
+    opt.checkpoint_every = static_cast<uint64_t>(tuples) / 4;
+    Status st = engine.EnableDurability(dir, opt);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench_durability: enable failed: %s\n",
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  const uint64_t t0 = obs::NowNs();
+  for (int i = 0; i < tuples; ++i) {
+    (void)engine.Ingest("packets", Pkt(i));
+  }
+  engine.FinishAll();
+  RunResult out;
+  out.secs = static_cast<double>(obs::NowNs() - t0) / 1e9;
+  out.rows = (*q)->result_count();
+  if (mode != Mode::kOff) out.archive_bytes = TreeBytes(dir);
+  return out;
+}
+
+struct RecoveryResult {
+  double secs = 0;
+  size_t rows = 0;
+  uint64_t replayed = 0;
+  size_t restored = 0;
+};
+
+RecoveryResult RunRecovery(const std::string& dir, bool use_checkpoint) {
+  StreamEngine engine;
+  (void)engine.RegisterStream("packets", gen::PacketSchema());
+  auto q = engine.Submit(kQuery);
+  if (!q.ok()) std::exit(1);
+  dur::DurabilityOptions opt;
+  opt.use_checkpoint = use_checkpoint;
+  const uint64_t t0 = obs::NowNs();
+  Status st = engine.EnableDurability(dir, opt);
+  const double secs = static_cast<double>(obs::NowNs() - t0) / 1e9;
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench_durability: recovery failed: %s\n",
+                 st.ToString().c_str());
+    std::exit(1);
+  }
+  const RecoveryReport& rep = engine.recovery_report();
+  engine.FinishAll();
+  RecoveryResult out;
+  out.secs = secs;
+  out.rows = (*q)->result_count();
+  out.replayed = rep.replayed_tuples + rep.replayed_puncts;
+  out.restored = rep.restored_queries;
+  return out;
+}
+
+void PrintDurabilitySweep() {
+  const int tuples = static_cast<int>(bench::Iters(1000000, 20000));
+
+  const RunResult off = RunIngest(Mode::kOff, tuples, "");
+  std::string group_dir = FreshDir();
+  const RunResult group = RunIngest(Mode::kGroupCommit, tuples, group_dir);
+  std::string sync_dir = FreshDir();
+  const RunResult sync = RunIngest(Mode::kSyncAppend, tuples, sync_dir);
+
+  if (group.rows != off.rows || sync.rows != off.rows) {
+    std::fprintf(stderr,
+                 "bench_durability: output mismatch: off=%zu group=%zu "
+                 "sync=%zu rows\n",
+                 off.rows, group.rows, sync.rows);
+    std::exit(1);
+  }
+
+  Table table({"mode", "tuples", "tuples/s", "overhead", "archive_mb"});
+  auto add = [&](const char* mode, const RunResult& r, bool baseline) {
+    const double rate = static_cast<double>(tuples) / r.secs;
+    table.AddRow({mode, FmtInt(static_cast<uint64_t>(tuples)),
+                  FmtInt(static_cast<uint64_t>(rate)),
+                  baseline ? std::string("baseline")
+                           : Fmt((r.secs / off.secs - 1.0) * 100.0),
+                  Fmt(static_cast<double>(r.archive_bytes) / (1 << 20))});
+  };
+  add("off", off, true);
+  add("group-commit", group, false);
+  add("sync-append", sync, false);
+  table.Print("E21 durability: archive cost on the ingest path");
+
+  // Recovery of the group-commit archive (its FinishAll sealed a final
+  // checkpoint): restore-only vs full replay, both must reproduce the
+  // live run's rows.
+  const RecoveryResult ckpt = RunRecovery(group_dir, /*use_checkpoint=*/true);
+  const RecoveryResult full = RunRecovery(group_dir, /*use_checkpoint=*/false);
+  if (ckpt.rows != off.rows || full.rows != off.rows) {
+    std::fprintf(stderr,
+                 "bench_durability: recovery mismatch: live=%zu ckpt=%zu "
+                 "full=%zu rows\n",
+                 off.rows, ckpt.rows, full.rows);
+    std::exit(1);
+  }
+  Table rec({"path", "replayed", "restored_queries", "seconds", "records/s"});
+  rec.AddRow({"checkpoint restore", FmtInt(ckpt.replayed),
+              FmtInt(ckpt.restored), Fmt(ckpt.secs), "-"});
+  rec.AddRow({"full replay", FmtInt(full.replayed), FmtInt(full.restored),
+              Fmt(full.secs),
+              FmtInt(static_cast<uint64_t>(
+                  static_cast<double>(full.replayed) / full.secs))});
+  rec.Print("E21b recovery: checkpoint restore vs full archive replay");
+
+  RemoveTree(group_dir);
+  RemoveTree(sync_dir);
+}
+
+void BM_ArchiveAppend(benchmark::State& state) {
+  std::string dir = FreshDir();
+  obs::MetricsRegistry metrics;
+  dur::DurabilityOptions opt;
+  opt.flush_interval_ms = 1000;  // Measure the buffered append alone.
+  dur::DurabilityManager mgr(dir, opt, &metrics);
+  if (!mgr.Open().ok()) std::exit(1);
+  Element e(Pkt(42));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.Append("packets", e));
+  }
+  (void)mgr.Flush();
+  state.SetItemsProcessed(state.iterations());
+  RemoveTree(dir);
+}
+BENCHMARK(BM_ArchiveAppend);
+
+void BM_FrameCrc(benchmark::State& state) {
+  dur::BufWriter w;
+  w.Elem(Element(Pkt(7)));
+  const std::string& payload = w.data();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dur::Crc32(payload.data(), payload.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_FrameCrc);
+
+}  // namespace
+}  // namespace sqp
+
+int main(int argc, char** argv) {
+  sqp::bench::ParseBenchArgs(argc, argv);
+  sqp::PrintDurabilitySweep();
+  sqp::bench::RunMicrobenchmarks(argc, argv);
+  return 0;
+}

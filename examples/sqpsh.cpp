@@ -87,6 +87,17 @@ void Usage() {
       "                    --serve endpoint, stream --rows rows, close\n"
       "  --policy P        client: block|drop|shed result-queue policy\n"
       "  --queue N         client: per-session result queue capacity\n"
+      "  --durable DIR     archive every ingested element (and punctuation)\n"
+      "                    under DIR before delivery; on start, recover from\n"
+      "                    an existing archive (checkpoint restore + suffix\n"
+      "                    replay) into the submitted queries\n"
+      "  --checkpoint-every N  with --durable: checkpoint operator state\n"
+      "                    every N archived records (default: only a final\n"
+      "                    checkpoint when the run finishes)\n"
+      "  --ignore-checkpoint   with --durable: skip checkpoint restore and\n"
+      "                    replay the full archive (recovery audit)\n"
+      "  --replay          with --durable: no live generation — run the\n"
+      "                    queries purely over the archived past\n"
       "  --help            this message\n"
       "commands:\n"
       "  \\metrics[=json|prom]  metrics snapshot mid-run and after the run\n"
@@ -268,6 +279,10 @@ int main(int argc, char** argv) {
   std::string connect_hostport;  // Client mode when non-empty.
   std::string client_policy;
   int64_t client_queue = 0;
+  std::string durable_dir;       // Empty = durability off.
+  int64_t checkpoint_every = 0;
+  bool ignore_checkpoint = false;
+  bool replay_mode = false;
   bool top_mode = false;
   MetricsMode metrics_mode = MetricsMode::kOff;
   std::vector<std::string> query_texts;
@@ -306,6 +321,15 @@ int main(int argc, char** argv) {
       client_policy = argv[++i];
     } else if (std::strcmp(argv[i], "--queue") == 0 && i + 1 < argc) {
       client_queue = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--durable") == 0 && i + 1 < argc) {
+      durable_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
+               i + 1 < argc) {
+      checkpoint_every = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--ignore-checkpoint") == 0) {
+      ignore_checkpoint = true;
+    } else if (std::strcmp(argv[i], "--replay") == 0) {
+      replay_mode = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage();
       return 0;
@@ -349,6 +373,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--columnar requires --parallel (serial ingest\n"
                          "is element-at-a-time; only stage workers batch\n"
                          "tuples into columns)\n");
+    return 2;
+  }
+  if ((replay_mode || ignore_checkpoint || checkpoint_every > 0) &&
+      durable_dir.empty()) {
+    std::fprintf(stderr, "--replay/--ignore-checkpoint/--checkpoint-every "
+                         "require --durable DIR\n");
     return 2;
   }
 
@@ -465,6 +495,29 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
     handles.push_back(*q);
+  }
+
+  // After Submit (recovery restores checkpointed state into the standing
+  // queries, matched by query text) and before the first Ingest.
+  if (!durable_dir.empty()) {
+    dur::DurabilityOptions dopt;
+    dopt.checkpoint_every = static_cast<uint64_t>(
+        checkpoint_every > 0 ? checkpoint_every : 0);
+    dopt.use_checkpoint = !ignore_checkpoint;
+    Status st = engine.EnableDurability(durable_dir, dopt);
+    if (!st.ok()) {
+      std::fprintf(stderr, "--durable failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("durable: %s (%s)\n\n", durable_dir.c_str(),
+                engine.recovery_report().ToString().c_str());
+    std::fflush(stdout);
+  }
+  if (replay_mode) {
+    // Replay mode runs the queries purely over the archived past: the
+    // recovery pass above already poured the archive through them, so
+    // skip live generation and go straight to the flush.
+    tuples = 0;
   }
 
   gen::PacketGenerator packets(gen::PacketOptions{});

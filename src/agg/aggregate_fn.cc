@@ -92,6 +92,21 @@ void Accumulator::Remove(const Value& /*v*/) {
   assert(false && "Remove called on non-invertible accumulator");
 }
 
+Status Accumulator::LoadState(dur::BufReader& /*r*/) {
+  return Status::Unimplemented(std::string("no state serializer for ") +
+                               AggKindName(kind()));
+}
+
+bool AggStateSerializable(AggKind kind) {
+  switch (kind) {
+    case AggKind::kApproxMedian:
+    case AggKind::kApproxCountDistinct:
+      return false;
+    default:
+      return true;
+  }
+}
+
 namespace {
 
 class CountAcc : public Accumulator {
@@ -103,6 +118,11 @@ class CountAcc : public Accumulator {
   Value Result() const override { return Value(static_cast<int64_t>(n_)); }
   void Merge(const Accumulator& other) override { n_ += other.count(); }
   size_t MemoryBytes() const override { return sizeof(*this); }
+  bool SaveState(dur::BufWriter& w) const override {
+    w.U64(n_);
+    return true;
+  }
+  Status LoadState(dur::BufReader& r) override { return r.U64(&n_); }
 };
 
 class SumAcc : public Accumulator {
@@ -132,6 +152,21 @@ class SumAcc : public Accumulator {
     int_sum_ += o.int_sum_;
   }
   size_t MemoryBytes() const override { return sizeof(*this); }
+  bool SaveState(dur::BufWriter& w) const override {
+    w.U64(n_);
+    w.U8(saw_double_ ? 1 : 0);
+    w.F64(sum_);
+    w.I64(int_sum_);
+    return true;
+  }
+  Status LoadState(dur::BufReader& r) override {
+    uint8_t b = 0;
+    SQP_RETURN_NOT_OK(r.U64(&n_));
+    SQP_RETURN_NOT_OK(r.U8(&b));
+    saw_double_ = b != 0;
+    SQP_RETURN_NOT_OK(r.F64(&sum_));
+    return r.I64(&int_sum_);
+  }
 
  private:
   bool saw_double_ = false;
@@ -161,6 +196,15 @@ class MinMaxAcc : public Accumulator {
   size_t MemoryBytes() const override {
     return sizeof(*this) + best_.MemoryBytes();
   }
+  bool SaveState(dur::BufWriter& w) const override {
+    w.U64(n_);
+    w.Val(best_);
+    return true;
+  }
+  Status LoadState(dur::BufReader& r) override {
+    SQP_RETURN_NOT_OK(r.U64(&n_));
+    return r.Val(&best_);
+  }
 
  private:
   bool is_min_;
@@ -189,6 +233,15 @@ class AvgAcc : public Accumulator {
     sum_ += o.sum_;
   }
   size_t MemoryBytes() const override { return sizeof(*this); }
+  bool SaveState(dur::BufWriter& w) const override {
+    w.U64(n_);
+    w.F64(sum_);
+    return true;
+  }
+  Status LoadState(dur::BufReader& r) override {
+    SQP_RETURN_NOT_OK(r.U64(&n_));
+    return r.F64(&sum_);
+  }
 
  private:
   double sum_ = 0.0;
@@ -224,6 +277,17 @@ class StddevAcc : public Accumulator {
     sum_sq_ += o.sum_sq_;
   }
   size_t MemoryBytes() const override { return sizeof(*this); }
+  bool SaveState(dur::BufWriter& w) const override {
+    w.U64(n_);
+    w.F64(sum_);
+    w.F64(sum_sq_);
+    return true;
+  }
+  Status LoadState(dur::BufReader& r) override {
+    SQP_RETURN_NOT_OK(r.U64(&n_));
+    SQP_RETURN_NOT_OK(r.F64(&sum_));
+    return r.F64(&sum_sq_);
+  }
 
  private:
   double sum_ = 0.0;
@@ -255,6 +319,25 @@ class MedianAcc : public Accumulator {
   size_t MemoryBytes() const override {
     return sizeof(*this) + vals_.capacity() * sizeof(double);
   }
+  bool SaveState(dur::BufWriter& w) const override {
+    w.U64(n_);
+    w.U32(static_cast<uint32_t>(vals_.size()));
+    for (double v : vals_) w.F64(v);
+    return true;
+  }
+  Status LoadState(dur::BufReader& r) override {
+    SQP_RETURN_NOT_OK(r.U64(&n_));
+    uint32_t count = 0;
+    SQP_RETURN_NOT_OK(r.U32(&count));
+    vals_.clear();
+    vals_.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      double v = 0;
+      SQP_RETURN_NOT_OK(r.F64(&v));
+      vals_.push_back(v);
+    }
+    return Status::OK();
+  }
 
  private:
   std::vector<double> vals_;
@@ -280,6 +363,24 @@ class CountDistinctAcc : public Accumulator {
     for (const Value& v : seen_) bytes += v.MemoryBytes() + 16;
     return bytes;
   }
+  bool SaveState(dur::BufWriter& w) const override {
+    w.U64(n_);
+    w.U32(static_cast<uint32_t>(seen_.size()));
+    for (const Value& v : seen_) w.Val(v);
+    return true;
+  }
+  Status LoadState(dur::BufReader& r) override {
+    SQP_RETURN_NOT_OK(r.U64(&n_));
+    uint32_t count = 0;
+    SQP_RETURN_NOT_OK(r.U32(&count));
+    seen_.clear();
+    for (uint32_t i = 0; i < count; ++i) {
+      Value v;
+      SQP_RETURN_NOT_OK(r.Val(&v));
+      seen_.insert(std::move(v));
+    }
+    return Status::OK();
+  }
 
  private:
   std::unordered_set<Value, ValueHash> seen_;
@@ -304,6 +405,15 @@ class FirstLastAcc : public Accumulator {
   }
   size_t MemoryBytes() const override {
     return sizeof(*this) + val_.MemoryBytes();
+  }
+  bool SaveState(dur::BufWriter& w) const override {
+    w.U64(n_);
+    w.Val(val_);
+    return true;
+  }
+  Status LoadState(dur::BufReader& r) override {
+    SQP_RETURN_NOT_OK(r.U64(&n_));
+    return r.Val(&val_);
   }
 
  private:
@@ -331,6 +441,15 @@ class BlendAcc : public Accumulator {
     n_ += o.n_;
   }
   size_t MemoryBytes() const override { return sizeof(*this); }
+  bool SaveState(dur::BufWriter& w) const override {
+    w.U64(n_);
+    w.F64(sig_);
+    return true;
+  }
+  Status LoadState(dur::BufReader& r) override {
+    SQP_RETURN_NOT_OK(r.U64(&n_));
+    return r.F64(&sig_);
+  }
 
  private:
   double alpha_;

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "common/value.h"
+#include "dur/codec.h"
 
 namespace sqp {
 
@@ -72,9 +73,25 @@ class Accumulator {
 
   virtual uint64_t count() const { return n_; }
 
+  /// Serializes the exact accumulator state for a durability checkpoint
+  /// (dur::Checkpoint). Returns false when this kind has no serializer —
+  /// the sketch-backed accumulators — in which case the owning query is
+  /// excluded from checkpoints and recovers by full replay.
+  virtual bool SaveState(dur::BufWriter& w) const {
+    (void)w;
+    return false;
+  }
+  /// Inverse of SaveState, on a freshly built accumulator of the same
+  /// configuration. Default: Unimplemented.
+  virtual Status LoadState(dur::BufReader& r);
+
  protected:
   uint64_t n_ = 0;
 };
+
+/// True when accumulators of `kind` round-trip through
+/// SaveState/LoadState (everything except the sketches).
+bool AggStateSerializable(AggKind kind);
 
 /// Factory + metadata for one aggregate expression.
 class AggregateFunction {

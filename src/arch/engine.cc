@@ -328,6 +328,11 @@ Status StreamEngine::IngestElement(const std::string& stream,
   }
   auto ic = ingest_counters_.find(stream);
   if (ic != ingest_counters_.end()) ic->second->Inc();
+  // Archive-before-deliver: once delivery runs, the element must be
+  // recoverable. (Group commit means the bytes may still sit in the
+  // buffer for up to a flush interval — a crash inside that window
+  // loses the tail, which replay tolerates by construction.)
+  if (dur_ != nullptr) dur_->Append(stream, e);
   for (auto& q : queries_) {
     for (const QueryHandle::Tap& tap : q->taps_) {
       if (tap.stream != stream) continue;
@@ -340,6 +345,12 @@ Status StreamEngine::IngestElement(const std::string& stream,
         DeliverDirect(*q, tap, e);
       }
     }
+  }
+  // Periodic checkpoint rides the ingest thread after delivery: the
+  // serial operators are quiescent here, and the shared lock keeps
+  // registration out.
+  if (dur_ != nullptr && dur_->TakeCheckpointDue()) {
+    SQP_RETURN_NOT_OK(CheckpointLocked());
   }
   return Status::OK();
 }
@@ -513,6 +524,12 @@ void StreamEngine::FinishAll() {
       if (tap.entry != nullptr) tap.entry->Flush();
     }
     q->query_->Finish();
+  }
+  if (dur_ != nullptr) {
+    // Seal the archive and capture the post-flush state (collectors now
+    // hold the final rows): a --replay of a finished run restores
+    // everything from the checkpoint and replays nothing.
+    (void)CheckpointLocked();
   }
 }
 

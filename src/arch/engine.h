@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "cql/planner.h"
+#include "dur/checkpointable.h"
+#include "dur/manager.h"
 #include "exec/reorder.h"
 #include "exec/sharding.h"
 #include "obs/http_exporter.h"
@@ -77,6 +79,32 @@ struct SubmitOptions {
   /// output goes to a bounded per-session queue instead of an unbounded
   /// in-process vector.
   bool collect = true;
+};
+
+/// What EnableDurability's recovery pass did, for operators and tests.
+struct RecoveryReport {
+  /// True when EnableDurability found an existing archive or checkpoint
+  /// and ran recovery (even if nothing needed replaying).
+  bool recovered = false;
+  bool checkpoint_loaded = false;
+  uint64_t checkpoint_id = 0;
+  /// Archive position the checkpoint captured; included queries replay
+  /// only records past it.
+  uint64_t checkpoint_position = 0;
+  uint64_t replayed_tuples = 0;
+  uint64_t replayed_puncts = 0;
+  /// Queries whose operator state was restored from the checkpoint.
+  size_t restored_queries = 0;
+  size_t restored_operators = 0;
+  /// Queries replayed from seq 0 (not in the checkpoint, or their plan
+  /// is not checkpointable).
+  size_t replay_from_zero_queries = 0;
+  /// Streams whose archive tail was torn by the crash (truncated at the
+  /// last intact record).
+  size_t torn_streams = 0;
+  double replay_seconds = 0.0;
+
+  std::string ToString() const;
 };
 
 /// A handle to one standing (continuous, persistent) query.
@@ -336,6 +364,35 @@ class StreamEngine {
   /// rejected.
   bool finished() const { return finished_; }
 
+  /// Turns on the durable archive under `dir` (created if absent): every
+  /// ingested element — tuples and punctuation — is appended to a
+  /// per-stream segmented write-ahead archive before delivery, group-
+  /// committed by a background flusher. If `dir` already holds an
+  /// archive and options.recover is set (the default), recovery runs
+  /// first: the latest checkpoint's operator state is restored into
+  /// matching already-submitted queries (matched by CQL text) and the
+  /// archive suffix is replayed through their plans in original ingest
+  /// order, so Submit your queries *before* calling this. Defined in
+  /// src/arch/engine_dur.cc.
+  Status EnableDurability(const std::string& dir,
+                          dur::DurabilityOptions options = {});
+  bool durable() const { return dur_ != nullptr; }
+  dur::DurabilityManager* durability() { return dur_.get(); }
+  /// What the recovery pass of the last EnableDurability did.
+  const RecoveryReport& recovery_report() const { return recovery_; }
+
+  /// Flushes the archive and writes a checkpoint of every query's
+  /// operator state now. Must be called from the ingest thread (or while
+  /// ingest is quiescent) — it reads live operator state.
+  Status CheckpointNow();
+
+  /// Replays the whole archive (flushed first) into one query — the
+  /// "--replay" mode: submit a fresh query over the archived past, pour
+  /// the archive through it, then let live ingest take over. Returns the
+  /// number of elements delivered. Takes the registration lock
+  /// exclusively; the handle's on_result callback must not block.
+  Result<uint64_t> ReplayInto(QueryHandle* handle);
+
   /// Closes the observation loop for one query: interposes a
   /// RandomDropOp gate between Ingest and the query, attaches a
   /// FeedbackShedder, and drives its Observe() from every monitor tick
@@ -363,6 +420,20 @@ class StreamEngine {
   void DeliverDirect(QueryHandle& q, const QueryHandle::Tap& tap,
                      const Element& e);
 
+  /// Checkpointing/recovery internals (src/arch/engine_dur.cc). All
+  /// require reg_mu_ held (shared is enough for CheckpointLocked — it
+  /// runs on the ingest thread; RecoverLocked runs under the exclusive
+  /// lock of EnableDurability before any concurrent ingest exists).
+  Status CheckpointLocked();
+  Status RecoverLocked();
+  /// Walks `q`'s plan; true when every operator either carries state
+  /// serializers (collected into `ops`, sink last) or is known
+  /// stateless. False (with `why`) excludes the query from checkpoints —
+  /// recovery then replays its archive input from seq 0.
+  bool CollectCheckpointOps(QueryHandle& q,
+                            std::vector<CheckpointableOperator*>* ops,
+                            std::string* why) const;
+
   /// The label this query's collectors/listeners register under —
   /// handle->metrics_label_ when metrics were on at Submit, otherwise a
   /// lazily assigned "qN" cached on the handle so teardown can find the
@@ -389,6 +460,13 @@ class StreamEngine {
   // vector-index label would be reissued after an erase and collide).
   uint64_t query_seq_ = 0;
   bool finished_ = false;
+  // Declared after metrics_ and queries_: the manager (whose flusher
+  // thread ticks registry counters) dies before either.
+  std::unique_ptr<dur::DurabilityManager> dur_;
+  RecoveryReport recovery_;
+  uint64_t ckpt_id_ = 0;  // Last checkpoint id written or recovered.
+  obs::Counter* dur_ckpt_ctr_ = nullptr;
+  obs::Counter* dur_replay_ctr_ = nullptr;
   uint64_t latency_sample_every_ = 256;
   // Declared after queries_ so teardown runs observation-first: the
   // exporter stops serving, then the monitor joins its sampler (whose

@@ -1,6 +1,10 @@
 #include "cql/lexer.h"
 
 #include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
 
 #include "common/strings.h"
 
@@ -59,11 +63,35 @@ Result<std::vector<Token>> Lex(const std::string& input) {
       }
       std::string text = input.substr(start, i - start);
       if (is_double) {
+        // strtod instead of std::stod: an overflowing literal like 1e999
+        // (or a huge digit string) must come back as a lex error, not an
+        // uncaught std::out_of_range that kills the process — this path
+        // is reachable from the network via POST /query.
+        errno = 0;
+        char* end = nullptr;
+        double d = std::strtod(text.c_str(), &end);
+        if (end != text.c_str() + text.size() ||
+            (errno == ERANGE && !std::isfinite(d))) {
+          return Status::ParseError(
+              StrFormat("numeric literal out of range at offset %zu: %s",
+                        start, text.c_str()));
+        }
         tok.kind = TokenKind::kDouble;
-        tok.double_val = std::stod(text);
+        tok.double_val = d;
       } else {
+        // from_chars instead of std::stoll: same crash class — an int
+        // literal past INT64_MAX must be a lex error, not a terminating
+        // std::out_of_range.
+        int64_t v = 0;
+        auto [p, ec] =
+            std::from_chars(text.data(), text.data() + text.size(), v);
+        if (ec != std::errc() || p != text.data() + text.size()) {
+          return Status::ParseError(
+              StrFormat("integer literal out of range at offset %zu: %s",
+                        start, text.c_str()));
+        }
         tok.kind = TokenKind::kInt;
-        tok.int_val = std::stoll(text);
+        tok.int_val = v;
       }
       tok.text = std::move(text);
       out.push_back(std::move(tok));

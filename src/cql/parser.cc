@@ -179,7 +179,20 @@ class Parser {
 
   // --- Expressions (precedence climbing) ---
 
-  Result<AstExprRef> ParseExpr() { return ParseOr(); }
+  // Every recursive descent into an expression passes through here.
+  // Deeply nested input (kilobytes of '(' from a hostile client) would
+  // otherwise overflow the stack — a process kill no try/catch can stop.
+  static constexpr int kMaxExprDepth = 200;
+
+  Result<AstExprRef> ParseExpr() {
+    if (depth_ >= kMaxExprDepth) {
+      return Status::ParseError("expression nesting too deep");
+    }
+    ++depth_;
+    auto e = ParseOr();
+    --depth_;
+    return e;
+  }
 
   Result<AstExprRef> ParseOr() {
     auto lhs = ParseAnd();
@@ -207,8 +220,15 @@ class Parser {
 
   Result<AstExprRef> ParseNot() {
     if (PeekKeyword("not")) {
+      // Self-recursion that bypasses ParseExpr ("not not not ...") needs
+      // its own depth charge.
+      if (depth_ >= kMaxExprDepth) {
+        return Status::ParseError("expression nesting too deep");
+      }
       Advance();
+      ++depth_;
       auto e = ParseNot();
+      --depth_;
       if (!e.ok()) return e;
       return AstExpr::MakeNot(std::move(*e));
     }
@@ -287,8 +307,15 @@ class Parser {
           return e;
         }
         if (tok.IsSymbol("-")) {
+          // Unary minus chains ("- - - 1") recurse without a ParseExpr
+          // hop; count them against the same budget.
+          if (depth_ >= kMaxExprDepth) {
+            return Status::ParseError("expression nesting too deep");
+          }
           Advance();
+          ++depth_;
           auto e = ParsePrimary();
+          --depth_;
           if (!e.ok()) return e;
           return AstExpr::Binary(BinOp::kSub, AstExpr::Const(Value(int64_t{0})),
                                  std::move(*e));
@@ -337,6 +364,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;  // Live expression-recursion depth (kMaxExprDepth cap).
 };
 
 }  // namespace

@@ -109,12 +109,13 @@ class GroupOutputLowering {
   Result<int> ResolveCombined(const AstExprRef& e) {
     auto lowered = LowerExpr(e, aliases_, schemas_, aq_.stream_offset);
     if (!lowered.ok()) return lowered.status();
-    // LowerExpr produced Col(idx); recover the index via ToString ("$i").
-    std::string s = (*lowered)->ToString();
-    if (s.size() < 2 || s[0] != '$') {
+    // Ask the lowered expression for its ordinal directly; the old
+    // ToString round-trip ("$i" + std::stoi) could throw out of a
+    // network-reachable path instead of returning a plan error.
+    if ((*lowered)->kind() != ExprKind::kColumn) {
       return Status::Internal("expected column expression");
     }
-    return std::stoi(s.substr(1));
+    return (*lowered)->column_index();
   }
 
   const AnalyzedQuery& aq_;
@@ -431,7 +432,10 @@ Result<std::unique_ptr<CompiledQuery>> Compile(const std::string& text,
       }
       auto e = LowerExpr(item.expr, aliases, schemas, aq.stream_offset);
       if (!e.ok()) return e.status();
-      int idx = std::stoi((*e)->ToString().substr(1));
+      if ((*e)->kind() != ExprKind::kColumn) {
+        return Status::Internal("expected column expression");
+      }
+      int idx = (*e)->column_index();
       cols.push_back(idx);
       Field f = aq.combined.field(static_cast<size_t>(idx));
       if (!item.alias.empty()) f.name = item.alias;

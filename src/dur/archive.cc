@@ -1,0 +1,263 @@
+#include "dur/archive.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace sqp {
+namespace dur {
+
+namespace {
+
+constexpr uint32_t kSegmentMagic = 0x53515041;  // "SQPA"
+constexpr uint32_t kSegmentVersion = 1;
+// Frames larger than this are treated as corruption, not data: the
+// archive never writes records anywhere near it, and honoring a garbage
+// length would turn one flipped bit into a gigabyte allocation.
+constexpr uint32_t kMaxFrameLen = 64u << 20;
+
+std::string SegmentName(uint64_t first_seq) {
+  return StrFormat("seg-%016llx.sqpa",
+                   static_cast<unsigned long long>(first_seq));
+}
+
+}  // namespace
+
+Status MakeDirs(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty path");
+  std::string partial;
+  size_t i = 0;
+  while (i < path.size()) {
+    size_t next = path.find('/', i + 1);
+    if (next == std::string::npos) next = path.size();
+    partial = path.substr(0, next);
+    i = next;
+    if (partial.empty() || partial == "/" || partial == ".") continue;
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Internal(StrFormat("mkdir %s: %s", partial.c_str(),
+                                        std::strerror(errno)));
+    }
+  }
+  return Status::OK();
+}
+
+Status ListDir(const std::string& path, std::vector<std::string>* out) {
+  out->clear();
+  DIR* d = ::opendir(path.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return Status::OK();
+    return Status::Internal(StrFormat("opendir %s: %s", path.c_str(),
+                                      std::strerror(errno)));
+  }
+  while (struct dirent* e = ::readdir(d)) {
+    if (e->d_name[0] == '.') continue;
+    out->push_back(e->d_name);
+  }
+  ::closedir(d);
+  std::sort(out->begin(), out->end());
+  return Status::OK();
+}
+
+void FrameRecordTo(uint64_t seq, const Element& e, BufWriter* w) {
+  // Reserve the crc|len slots, encode the payload in place, then patch
+  // them — one buffer, no payload copy.
+  const size_t base = w->size();
+  w->U32(0);
+  w->U32(0);
+  w->U64(seq);
+  w->Elem(e);
+  const size_t len = w->size() - base - 8;
+  w->PatchU32(base + 4, static_cast<uint32_t>(len));
+  w->PatchU32(base, Crc32(w->data().data() + base + 8, len));
+}
+
+std::string FrameRecord(uint64_t seq, const Element& e) {
+  BufWriter frame;
+  FrameRecordTo(seq, e, &frame);
+  return frame.Take();
+}
+
+ArchiveWriter::ArchiveWriter(std::string root, std::string stream,
+                             size_t segment_bytes)
+    : dir_(root + "/streams/" + stream),
+      stream_(std::move(stream)),
+      segment_bytes_(segment_bytes) {}
+
+ArchiveWriter::~ArchiveWriter() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void ArchiveWriter::AppendFramed(uint64_t seq, std::string_view framed) {
+  if (!have_pending_) {
+    pending_first_seq_ = seq;
+    have_pending_ = true;
+  }
+  pending_.append(framed.data(), framed.size());
+}
+
+Status ArchiveWriter::EnsureOpen() {
+  if (f_ != nullptr) return Status::OK();
+  SQP_RETURN_NOT_OK(MakeDirs(dir_));
+  const std::string path = dir_ + "/" + SegmentName(pending_first_seq_);
+  f_ = std::fopen(path.c_str(), "wb");
+  if (f_ == nullptr) {
+    return Status::Internal(StrFormat("open %s: %s", path.c_str(),
+                                      std::strerror(errno)));
+  }
+  BufWriter header;
+  header.U32(kSegmentMagic);
+  header.U32(kSegmentVersion);
+  header.Str(stream_);
+  if (std::fwrite(header.data().data(), 1, header.size(), f_) !=
+      header.size()) {
+    return Status::Internal("short write on segment header: " + path);
+  }
+  seg_bytes_ = header.size();
+  return Status::OK();
+}
+
+Status ArchiveWriter::Flush(bool fsync) {
+  if (pending_.empty()) return Status::OK();
+  SQP_RETURN_NOT_OK(EnsureOpen());
+  if (std::fwrite(pending_.data(), 1, pending_.size(), f_) !=
+      pending_.size()) {
+    return Status::Internal("short write on segment for stream " + stream_);
+  }
+  if (std::fflush(f_) != 0) {
+    return Status::Internal("fflush failed for stream " + stream_);
+  }
+  if (fsync) ::fsync(::fileno(f_));
+  seg_bytes_ += pending_.size();
+  bytes_written_ += pending_.size();
+  pending_.clear();
+  have_pending_ = false;
+  // Size-based rotation at flush granularity: the next batch opens a
+  // fresh segment named for its first seq.
+  if (seg_bytes_ >= segment_bytes_) {
+    std::fclose(f_);
+    f_ = nullptr;
+    seg_bytes_ = 0;
+  }
+  return Status::OK();
+}
+
+ArchiveReader::~ArchiveReader() {
+  for (StreamCursor& c : cursors_) {
+    if (c.f != nullptr) std::fclose(c.f);
+  }
+}
+
+Status ArchiveReader::Open() {
+  std::vector<std::string> streams;
+  SQP_RETURN_NOT_OK(ListDir(root_ + "/streams", &streams));
+  for (const std::string& s : streams) {
+    StreamCursor c;
+    c.stream = s;
+    c.dir = root_ + "/streams/" + s;
+    SQP_RETURN_NOT_OK(ListDir(c.dir, &c.segments));
+    cursors_.push_back(std::move(c));
+  }
+  for (StreamCursor& c : cursors_) SQP_RETURN_NOT_OK(AdvanceCursor(c));
+  return Status::OK();
+}
+
+Status ArchiveReader::OpenNextSegment(StreamCursor& c) {
+  while (c.seg_index < c.segments.size()) {
+    const std::string path = c.dir + "/" + c.segments[c.seg_index++];
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::Internal(StrFormat("open %s: %s", path.c_str(),
+                                        std::strerror(errno)));
+    }
+    // Validate the header. A header cut short by a crash is a torn tail
+    // like any other: skip the (empty) segment.
+    BufWriter expect;
+    expect.U32(kSegmentMagic);
+    expect.U32(kSegmentVersion);
+    expect.Str(c.stream);
+    std::string got(expect.size(), '\0');
+    size_t n = std::fread(got.data(), 1, got.size(), f);
+    if (n != got.size() || got != expect.data()) {
+      std::fclose(f);
+      ++torn_streams_;
+      c.done = true;
+      return Status::OK();
+    }
+    c.f = f;
+    return Status::OK();
+  }
+  c.done = true;
+  return Status::OK();
+}
+
+Status ArchiveReader::AdvanceCursor(StreamCursor& c) {
+  c.has_head = false;
+  while (!c.done) {
+    if (c.f == nullptr) {
+      SQP_RETURN_NOT_OK(OpenNextSegment(c));
+      continue;
+    }
+    char hdr[8];
+    size_t n = std::fread(hdr, 1, sizeof(hdr), c.f);
+    if (n == 0) {
+      // Clean end of this segment; move to the next one.
+      std::fclose(c.f);
+      c.f = nullptr;
+      continue;
+    }
+    uint32_t crc = 0, len = 0;
+    if (n == sizeof(hdr)) {
+      std::memcpy(&crc, hdr, 4);
+      std::memcpy(&len, hdr + 4, 4);
+    }
+    std::string payload;
+    bool torn = n != sizeof(hdr) || len == 0 || len > kMaxFrameLen;
+    if (!torn) {
+      payload.resize(len);
+      torn = std::fread(payload.data(), 1, len, c.f) != len ||
+             Crc32(payload.data(), len) != crc;
+    }
+    ArchivedRecord rec;
+    if (!torn) {
+      BufReader r(payload);
+      torn = !r.U64(&rec.seq).ok() || !r.Elem(&rec.element).ok() || !r.done();
+    }
+    if (torn) {
+      // The write the process died inside of. Everything after it in
+      // this stream is unreachable; stop the whole chain here.
+      std::fclose(c.f);
+      c.f = nullptr;
+      c.done = true;
+      ++torn_streams_;
+      return Status::OK();
+    }
+    rec.stream = c.stream;
+    c.head = std::move(rec);
+    c.has_head = true;
+    return Status::OK();
+  }
+  return Status::OK();
+}
+
+Result<bool> ArchiveReader::Next(ArchivedRecord* out) {
+  StreamCursor* best = nullptr;
+  for (StreamCursor& c : cursors_) {
+    if (!c.has_head) continue;
+    if (best == nullptr || c.head.seq < best->head.seq) best = &c;
+  }
+  if (best == nullptr) return false;
+  *out = std::move(best->head);
+  last_seq_ = std::max(last_seq_, out->seq);
+  SQP_RETURN_NOT_OK(AdvanceCursor(*best));
+  return true;
+}
+
+}  // namespace dur
+}  // namespace sqp

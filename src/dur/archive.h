@@ -1,0 +1,136 @@
+#ifndef SQP_DUR_ARCHIVE_H_
+#define SQP_DUR_ARCHIVE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dur/codec.h"
+#include "stream/element.h"
+
+namespace sqp {
+namespace dur {
+
+/// mkdir -p. OK when the directory already exists.
+Status MakeDirs(const std::string& path);
+/// Regular entries (no dot files) of `path`, sorted ascending. OK with an
+/// empty result when the directory does not exist.
+Status ListDir(const std::string& path, std::vector<std::string>* out);
+
+/// On-disk layout (one archive root per engine):
+///
+///   <root>/streams/<stream>/seg-<16-hex first seq>.sqpa
+///   <root>/ckpt/ckpt-<16-hex id>.sqpc
+///
+/// A segment starts with a header (magic, version, stream name) and then
+/// carries CRC-framed records:
+///
+///   u32 crc(payload) | u32 len | payload
+///   payload = u64 global_seq | element (tuple or punctuation, dur codec)
+///
+/// The global sequence number is assigned by the engine across *all*
+/// streams, so a reader merging per-stream segment chains by seq
+/// reproduces the exact ingest interleaving — which is what makes replay
+/// deterministic and keeps watermark ordering intact.
+///
+/// Torn tails are expected (the process can die mid-write): a reader
+/// stops a stream at the first record whose frame is short or whose CRC
+/// mismatches, and everything before it is still valid.
+
+/// Serializes one record into its framed wire form.
+std::string FrameRecord(uint64_t seq, const Element& e);
+
+/// Same, appended to an existing buffer — the allocation-free path the
+/// ingest-side Append uses with a reused scratch BufWriter.
+void FrameRecordTo(uint64_t seq, const Element& e, BufWriter* w);
+
+/// Append side for one stream's segment chain. Not thread-safe — the
+/// DurabilityManager serializes access. Append only buffers; Flush does
+/// the file IO (group commit).
+class ArchiveWriter {
+ public:
+  ArchiveWriter(std::string root, std::string stream, size_t segment_bytes);
+  ~ArchiveWriter();
+
+  /// Buffers an already-framed record (see FrameRecord); the bytes are
+  /// copied, the view need only live for the call.
+  void AppendFramed(uint64_t seq, std::string_view framed);
+
+  size_t pending_bytes() const { return pending_.size(); }
+
+  /// Writes buffered records to the current segment, rotating to a new
+  /// segment file once the current one exceeds the size bound. Flushes
+  /// libc buffers to the OS (surviving kill -9); `fsync` additionally
+  /// survives an OS crash.
+  Status Flush(bool fsync);
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  Status EnsureOpen();
+
+  std::string dir_;  // <root>/streams/<stream>
+  std::string stream_;
+  size_t segment_bytes_;
+  std::string pending_;
+  uint64_t pending_first_seq_ = 0;
+  bool have_pending_ = false;
+  FILE* f_ = nullptr;
+  size_t seg_bytes_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+/// One archived element, in global ingest order.
+struct ArchivedRecord {
+  std::string stream;
+  uint64_t seq = 0;
+  Element element;
+};
+
+/// Reads a whole archive root back in global-seq order by k-way merging
+/// the per-stream segment chains. Tolerant of torn tails.
+class ArchiveReader {
+ public:
+  explicit ArchiveReader(std::string root) : root_(std::move(root)) {}
+  ~ArchiveReader();
+
+  /// Scans the stream directories. OK (with no records) for an empty or
+  /// absent archive.
+  Status Open();
+
+  /// Loads the next record in global-seq order. Returns false at end.
+  Result<bool> Next(ArchivedRecord* out);
+
+  /// Highest seq returned by Next so far (0 before the first record).
+  uint64_t last_seq() const { return last_seq_; }
+  /// Streams whose tail was cut short by a torn/corrupt record.
+  size_t torn_streams() const { return torn_streams_; }
+
+ private:
+  struct StreamCursor {
+    std::string stream;
+    std::string dir;
+    std::vector<std::string> segments;  // File names, sorted = seq order.
+    size_t seg_index = 0;
+    FILE* f = nullptr;
+    ArchivedRecord head;
+    bool has_head = false;
+    bool done = false;
+  };
+
+  /// Advances `c` to its next decodable record; marks it done at the
+  /// chain's end or on the first torn/corrupt frame.
+  Status AdvanceCursor(StreamCursor& c);
+  Status OpenNextSegment(StreamCursor& c);
+
+  std::string root_;
+  std::vector<StreamCursor> cursors_;
+  uint64_t last_seq_ = 0;
+  size_t torn_streams_ = 0;
+};
+
+}  // namespace dur
+}  // namespace sqp
+
+#endif  // SQP_DUR_ARCHIVE_H_

@@ -1,0 +1,143 @@
+#include "dur/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/strings.h"
+#include "dur/archive.h"
+#include "dur/codec.h"
+
+namespace sqp {
+namespace dur {
+
+namespace {
+
+constexpr uint32_t kCkptMagic = 0x53515043;  // "SQPC"
+constexpr uint32_t kCkptVersion = 1;
+
+std::string CkptName(uint64_t id) {
+  return StrFormat("ckpt-%016llx.sqpc", static_cast<unsigned long long>(id));
+}
+
+Status ReadWholeFile(const std::string& path, std::string* out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("open " + path);
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) return Status::Internal("read " + path);
+  return Status::OK();
+}
+
+Status ParseCheckpoint(const std::string& bytes, Checkpoint* out) {
+  BufReader r(bytes);
+  uint32_t magic = 0, version = 0, crc = 0, body_len = 0;
+  SQP_RETURN_NOT_OK(r.U32(&magic));
+  SQP_RETURN_NOT_OK(r.U32(&version));
+  SQP_RETURN_NOT_OK(r.U32(&crc));
+  SQP_RETURN_NOT_OK(r.U32(&body_len));
+  if (magic != kCkptMagic || version != kCkptVersion) {
+    return Status::Internal("not a checkpoint file");
+  }
+  if (r.remaining() != body_len) {
+    return Status::Internal("checkpoint body length mismatch");
+  }
+  const char* body = bytes.data() + (bytes.size() - body_len);
+  if (Crc32(body, body_len) != crc) {
+    return Status::Internal("checkpoint CRC mismatch");
+  }
+  SQP_RETURN_NOT_OK(r.U64(&out->id));
+  SQP_RETURN_NOT_OK(r.U64(&out->position));
+  SQP_RETURN_NOT_OK(r.U64(&out->next_seq));
+  uint32_t nq = 0;
+  SQP_RETURN_NOT_OK(r.U32(&nq));
+  out->queries.clear();
+  for (uint32_t i = 0; i < nq; ++i) {
+    QueryCheckpoint qc;
+    SQP_RETURN_NOT_OK(r.Str(&qc.text));
+    uint8_t included = 0;
+    SQP_RETURN_NOT_OK(r.U8(&included));
+    qc.included = included != 0;
+    uint32_t nops = 0;
+    SQP_RETURN_NOT_OK(r.U32(&nops));
+    for (uint32_t k = 0; k < nops; ++k) {
+      std::string state;
+      SQP_RETURN_NOT_OK(r.Str(&state));
+      qc.op_states.push_back(std::move(state));
+    }
+    out->queries.push_back(std::move(qc));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteCheckpoint(const std::string& root, const Checkpoint& c,
+                       size_t keep) {
+  const std::string dir = root + "/ckpt";
+  SQP_RETURN_NOT_OK(MakeDirs(dir));
+
+  BufWriter body;
+  body.U64(c.id);
+  body.U64(c.position);
+  body.U64(c.next_seq);
+  body.U32(static_cast<uint32_t>(c.queries.size()));
+  for (const QueryCheckpoint& qc : c.queries) {
+    body.Str(qc.text);
+    body.U8(qc.included ? 1 : 0);
+    body.U32(static_cast<uint32_t>(qc.op_states.size()));
+    for (const std::string& s : qc.op_states) body.Str(s);
+  }
+
+  BufWriter file;
+  file.U32(kCkptMagic);
+  file.U32(kCkptVersion);
+  file.U32(Crc32(body.data().data(), body.size()));
+  file.U32(static_cast<uint32_t>(body.size()));
+  file.Raw(body.data().data(), body.size());
+
+  // tmp + rename: a reader never sees a half-written checkpoint, and a
+  // crash mid-write leaves only a dot-file ListDir ignores.
+  const std::string tmp = dir + "/.tmp-" + CkptName(c.id);
+  const std::string final_path = dir + "/" + CkptName(c.id);
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("open " + tmp);
+  bool ok = std::fwrite(file.data().data(), 1, file.size(), f) == file.size();
+  ok = std::fflush(f) == 0 && ok;
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write on " + tmp);
+  }
+  if (std::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename " + tmp + " -> " + final_path);
+  }
+
+  std::vector<std::string> files;
+  SQP_RETURN_NOT_OK(ListDir(dir, &files));
+  if (files.size() > keep) {
+    for (size_t i = 0; i + keep < files.size(); ++i) {
+      std::remove((dir + "/" + files[i]).c_str());
+    }
+  }
+  return Status::OK();
+}
+
+Result<Checkpoint> ReadLatestCheckpoint(const std::string& root) {
+  std::vector<std::string> files;
+  SQP_RETURN_NOT_OK(ListDir(root + "/ckpt", &files));
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    std::string bytes;
+    if (!ReadWholeFile(root + "/ckpt/" + *it, &bytes).ok()) continue;
+    Checkpoint c;
+    if (ParseCheckpoint(bytes, &c).ok()) return c;
+  }
+  return Status::NotFound("no readable checkpoint under " + root + "/ckpt");
+}
+
+}  // namespace dur
+}  // namespace sqp

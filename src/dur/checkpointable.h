@@ -1,0 +1,41 @@
+#ifndef SQP_DUR_CHECKPOINTABLE_H_
+#define SQP_DUR_CHECKPOINTABLE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dur/codec.h"
+
+namespace sqp {
+
+/// Mixin for operators whose in-memory state can round-trip through a
+/// checkpoint (dur::Checkpoint). Implemented by the stateful synopses
+/// the CQL planner emits — windowed group-by, punctuated group-by,
+/// symmetric hash join, distinct — plus the result collector.
+///
+/// Contract: SaveState on a quiescent operator (the single driving
+/// thread is parked in the checkpoint) followed by RestoreState on a
+/// freshly built operator of the same configuration must reproduce
+/// behavior exactly: pushing the same element suffix yields the same
+/// outputs. RestoreState returns a Status (never throws) so a corrupt
+/// or mismatched checkpoint degrades to full replay, not a crash.
+class CheckpointableOperator {
+ public:
+  virtual ~CheckpointableOperator() = default;
+
+  /// False when the current configuration cannot round-trip — e.g. an
+  /// approximate-sketch accumulator (GK quantile, HyperLogLog) with no
+  /// serializer. The engine then excludes the whole query from the
+  /// checkpoint and recovery replays it from seq 0.
+  virtual bool CanCheckpointState(std::string* why) const {
+    (void)why;
+    return true;
+  }
+
+  virtual void SaveState(dur::BufWriter& w) const = 0;
+  virtual Status RestoreState(dur::BufReader& r) = 0;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_DUR_CHECKPOINTABLE_H_

@@ -1,0 +1,112 @@
+#ifndef SQP_DUR_CODEC_H_
+#define SQP_DUR_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/tuple.h"
+#include "stream/element.h"
+
+namespace sqp {
+namespace dur {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `n` bytes. Pass the
+/// previous return value as `seed` to checksum data in pieces.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+/// Append-only little-endian encoder for the archive/checkpoint wire
+/// format. All multi-byte integers are fixed-width little-endian so a
+/// record is decodable on any host this engine builds on.
+class BufWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { AppendLE(&v, sizeof(v)); }
+  void U64(uint64_t v) { AppendLE(&v, sizeof(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  /// u32 length + raw bytes.
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+  void Raw(const void* p, size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+
+  /// u8 type tag (== ValueType) + typed payload.
+  void Val(const Value& v);
+  /// i64 ts + u32 arity + values.
+  void Tup(const Tuple& t);
+  /// i64 ts + u8 has_key + [key].
+  void Punct(const Punctuation& p);
+  /// u8 kind (0 = tuple, 1 = punctuation) + payload.
+  void Elem(const Element& e);
+
+  const std::string& data() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+  std::string Take() { return std::move(buf_); }
+  void Clear() { buf_.clear(); }
+
+  /// Overwrites 4 bytes at `off` (little-endian) — for patching a
+  /// length/CRC slot reserved before its value was known.
+  void PatchU32(size_t off, uint32_t v) {
+    std::memcpy(buf_.data() + off, &v, sizeof(v));
+  }
+
+ private:
+  void AppendLE(const void* p, size_t n) {
+    // Every supported target is little-endian; memcpy keeps it UB-free.
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+/// Bounds-checked decoder over a borrowed byte range. Every read returns
+/// Status so corrupt or truncated input surfaces as a recoverable error,
+/// never as UB or an exception.
+class BufReader {
+ public:
+  BufReader(const char* p, size_t n) : p_(p), end_(p + n) {}
+  explicit BufReader(std::string_view s) : BufReader(s.data(), s.size()) {}
+
+  Status U8(uint8_t* out);
+  Status U32(uint32_t* out);
+  Status U64(uint64_t* out);
+  Status I64(int64_t* out) {
+    return U64(reinterpret_cast<uint64_t*>(out));
+  }
+  Status F64(double* out);
+  Status Str(std::string* out);
+
+  Status Val(Value* out);
+  Status Tup(TupleRef* out);
+  Status Punct(Punctuation* out);
+  Status Elem(Element* out);
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  bool done() const { return p_ == end_; }
+
+ private:
+  Status Need(size_t n) {
+    if (remaining() < n) {
+      return Status::Internal("dur: truncated record (need " +
+                              std::to_string(n) + " bytes, have " +
+                              std::to_string(remaining()) + ")");
+    }
+    return Status::OK();
+  }
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace dur
+}  // namespace sqp
+
+#endif  // SQP_DUR_CODEC_H_

@@ -1,0 +1,112 @@
+#include "dur/manager.h"
+
+#include <chrono>
+
+namespace sqp {
+namespace dur {
+
+DurabilityManager::DurabilityManager(std::string root,
+                                     DurabilityOptions options,
+                                     obs::MetricsRegistry* metrics)
+    : root_(std::move(root)), opts_(options) {
+  if (metrics != nullptr) {
+    records_ctr_ = metrics->GetCounter("sqp_dur_records_total", {});
+    bytes_ctr_ = metrics->GetCounter("sqp_dur_bytes_total", {});
+    flushes_ctr_ = metrics->GetCounter("sqp_dur_flushes_total", {});
+  }
+}
+
+DurabilityManager::~DurabilityManager() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  // Final group commit so a clean shutdown archives everything.
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushLocked();
+}
+
+Status DurabilityManager::Open() {
+  SQP_RETURN_NOT_OK(MakeDirs(root_ + "/streams"));
+  if (opts_.flush_interval_ms > 0) {
+    flusher_ = std::thread([this] { FlusherLoop(); });
+  }
+  return Status::OK();
+}
+
+ArchiveWriter* DurabilityManager::WriterForLocked(const std::string& stream) {
+  auto it = writers_.find(stream);
+  if (it == writers_.end()) {
+    it = writers_
+             .emplace(stream, std::make_unique<ArchiveWriter>(
+                                  root_, stream, opts_.segment_bytes))
+             .first;
+  }
+  return it->second.get();
+}
+
+uint64_t DurabilityManager::Append(const std::string& stream,
+                                   const Element& e) {
+  const uint64_t seq = next_seq_++;
+  ++since_checkpoint_;
+  // Frame into the reused scratch buffer — ingest thread only, so a
+  // single member buffer makes the steady-state append allocation-free.
+  scratch_.Clear();
+  FrameRecordTo(seq, e, &scratch_);
+  const size_t framed_bytes = scratch_.size();
+
+  bool flush_inline = opts_.flush_interval_ms <= 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    WriterForLocked(stream)->AppendFramed(seq, scratch_.data());
+    pending_bytes_ += framed_bytes;
+    flush_inline = flush_inline || pending_bytes_ >= opts_.flush_buffer_bytes;
+    if (flush_inline) FlushLocked();
+  }
+
+  appended_.fetch_add(1, std::memory_order_relaxed);
+  bytes_total_.fetch_add(framed_bytes, std::memory_order_relaxed);
+  if (records_ctr_ != nullptr) records_ctr_->Inc();
+  if (bytes_ctr_ != nullptr) bytes_ctr_->Inc(framed_bytes);
+  return seq;
+}
+
+Status DurabilityManager::FlushLocked() {
+  if (pending_bytes_ == 0) return flush_error_;
+  for (auto& [name, writer] : writers_) {
+    Status st = writer->Flush(opts_.fsync);
+    if (!st.ok() && flush_error_.ok()) flush_error_ = st;
+  }
+  pending_bytes_ = 0;
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  if (flushes_ctr_ != nullptr) flushes_ctr_->Inc();
+  return flush_error_;
+}
+
+Status DurabilityManager::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+bool DurabilityManager::TakeCheckpointDue() {
+  if (opts_.checkpoint_every == 0 ||
+      since_checkpoint_ < opts_.checkpoint_every) {
+    return false;
+  }
+  since_checkpoint_ = 0;
+  return true;
+}
+
+void DurabilityManager::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(opts_.flush_interval_ms),
+                 [this] { return stop_; });
+    FlushLocked();
+  }
+}
+
+}  // namespace dur
+}  // namespace sqp

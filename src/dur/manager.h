@@ -1,0 +1,124 @@
+#ifndef SQP_DUR_MANAGER_H_
+#define SQP_DUR_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "dur/archive.h"
+#include "obs/registry.h"
+
+namespace sqp {
+namespace dur {
+
+/// Tuning for StreamEngine::EnableDurability.
+struct DurabilityOptions {
+  /// Archive segments rotate once they exceed this.
+  size_t segment_bytes = 64u << 20;
+  /// Group-commit period of the background flusher. <= 0 flushes
+  /// synchronously on every append (the slow, maximally durable mode
+  /// bench_durability measures as the group-commit counterfactual).
+  int flush_interval_ms = 5;
+  /// Pending bytes that force an early flush on the ingest thread, so an
+  /// ingest burst cannot grow the buffer without bound between ticks.
+  size_t flush_buffer_bytes = 1u << 20;
+  /// fsync segments on flush: survives OS/power failure, not just
+  /// process death. Off by default — the write() alone survives kill -9.
+  bool fsync = false;
+  /// Records between automatic checkpoints (0 = only explicit
+  /// CheckpointNow / final checkpoint at FinishAll).
+  uint64_t checkpoint_every = 0;
+  /// Checkpoint files retained (older ones are pruned).
+  size_t keep_checkpoints = 2;
+  /// Recover (checkpoint restore + archive replay) from an existing
+  /// archive when EnableDurability finds one.
+  bool recover = true;
+  /// False: ignore any checkpoint and replay the full archive — the
+  /// recovery-audit mode (`sqpsh --ignore-checkpoint`).
+  bool use_checkpoint = true;
+};
+
+/// Owns the archive write path: per-stream segment writers behind one
+/// group-commit buffer, flushed by a background thread every
+/// `flush_interval_ms` (and inline when the buffer tops
+/// `flush_buffer_bytes`). Append is called by the engine's single ingest
+/// thread; Flush may run concurrently from the flusher.
+class DurabilityManager {
+ public:
+  DurabilityManager(std::string root, DurabilityOptions options,
+                    obs::MetricsRegistry* metrics);
+  ~DurabilityManager();
+
+  /// Creates the directory tree and starts the flusher thread.
+  Status Open();
+
+  /// Assigns the next global seq, frames the record, and buffers it for
+  /// the stream's segment chain. Ingest thread only.
+  uint64_t Append(const std::string& stream, const Element& e);
+
+  /// Group commit: writes every stream's pending records and flushes to
+  /// the OS. Safe from any thread.
+  Status Flush();
+
+  /// True once `checkpoint_every` records accumulated since the last
+  /// call that returned true. Clears the counter. Ingest thread only.
+  bool TakeCheckpointDue();
+
+  /// Global sequence counter (next to be assigned / resume point after
+  /// recovery). Ingest thread only, except during recovery setup.
+  uint64_t next_seq() const { return next_seq_; }
+  void set_next_seq(uint64_t s) { next_seq_ = s; }
+  /// Seq of the last appended record (0 when nothing was appended).
+  uint64_t last_seq() const { return next_seq_ == 0 ? 0 : next_seq_ - 1; }
+
+  const std::string& root() const { return root_; }
+  const DurabilityOptions& options() const { return opts_; }
+
+  uint64_t appended() const {
+    return appended_.load(std::memory_order_relaxed);
+  }
+  uint64_t flushes() const { return flushes_.load(std::memory_order_relaxed); }
+  uint64_t bytes_buffered_total() const {
+    return bytes_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ArchiveWriter* WriterForLocked(const std::string& stream);
+  Status FlushLocked();
+  void FlusherLoop();
+
+  const std::string root_;
+  const DurabilityOptions opts_;
+
+  // Ingest-thread-only counters (no lock needed).
+  uint64_t next_seq_ = 1;  // Seq 0 is reserved as "before everything".
+  uint64_t since_checkpoint_ = 0;
+  BufWriter scratch_;  // Reused frame buffer, ingest thread only.
+
+  std::mutex mu_;  // Guards writers_, their buffers, and the file IO.
+  std::condition_variable cv_;
+  std::map<std::string, std::unique_ptr<ArchiveWriter>> writers_;
+  size_t pending_bytes_ = 0;
+  bool stop_ = false;
+  Status flush_error_;  // First IO failure, sticky; surfaced by Flush().
+
+  std::atomic<uint64_t> appended_{0};
+  std::atomic<uint64_t> flushes_{0};
+  std::atomic<uint64_t> bytes_total_{0};
+
+  obs::Counter* records_ctr_ = nullptr;
+  obs::Counter* bytes_ctr_ = nullptr;
+  obs::Counter* flushes_ctr_ = nullptr;
+
+  std::thread flusher_;
+};
+
+}  // namespace dur
+}  // namespace sqp
+
+#endif  // SQP_DUR_MANAGER_H_

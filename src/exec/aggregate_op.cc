@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "exec/ckpt_util.h"
+
 namespace sqp {
 
 namespace {
@@ -122,6 +124,54 @@ size_t GroupByAggregateOp::open_groups() const {
   size_t n = 0;
   for (const auto& [bucket, groups] : buckets_) n += groups.size();
   return n;
+}
+
+bool GroupByAggregateOp::CanCheckpointState(std::string* why) const {
+  for (const AggregateFunction& fn : fns_) {
+    if (!AggStateSerializable(fn.kind())) {
+      if (why != nullptr) {
+        *why = std::string("aggregate ") + AggKindName(fn.kind()) +
+               " has no state serializer";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+void GroupByAggregateOp::SaveState(dur::BufWriter& w) const {
+  w.I64(max_ts_);
+  w.U32(static_cast<uint32_t>(buckets_.size()));
+  for (const auto& [bucket, groups] : buckets_) {
+    w.I64(bucket);
+    w.U32(static_cast<uint32_t>(groups.size()));
+    for (const auto& [key, state] : groups) {
+      ckpt::SaveKey(w, key);
+      ckpt::SaveAccs(w, state.accs);
+    }
+  }
+}
+
+Status GroupByAggregateOp::RestoreState(dur::BufReader& r) {
+  buckets_.clear();
+  SQP_RETURN_NOT_OK(r.I64(&max_ts_));
+  uint32_t nbuckets = 0;
+  SQP_RETURN_NOT_OK(r.U32(&nbuckets));
+  for (uint32_t b = 0; b < nbuckets; ++b) {
+    int64_t bucket = 0;
+    uint32_t ngroups = 0;
+    SQP_RETURN_NOT_OK(r.I64(&bucket));
+    SQP_RETURN_NOT_OK(r.U32(&ngroups));
+    GroupMap& groups = buckets_[bucket];
+    for (uint32_t g = 0; g < ngroups; ++g) {
+      Key key;
+      SQP_RETURN_NOT_OK(ckpt::LoadKey(r, &key));
+      GroupState state;
+      SQP_RETURN_NOT_OK(ckpt::LoadAccs(r, fns_, &state.accs));
+      groups.emplace(std::move(key), std::move(state));
+    }
+  }
+  return Status::OK();
 }
 
 Result<Schema> GroupByAggregateOp::OutputSchema(const Schema& input,

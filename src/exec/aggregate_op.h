@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "agg/partial_agg.h"
+#include "dur/checkpointable.h"
 #include "exec/expr.h"
 #include "exec/operator.h"
 #include "exec/sharding.h"
@@ -41,7 +42,9 @@ struct GroupByOptions {
 /// Memory behaviour mirrors [ABB+02]: bounded iff the grouping columns
 /// have bounded domains within a window and no aggregate is holistic —
 /// measured, not assumed, via StateBytes() (experiment E4).
-class GroupByAggregateOp : public Operator, public ShardableOperator {
+class GroupByAggregateOp : public Operator,
+                           public ShardableOperator,
+                           public CheckpointableOperator {
  public:
   GroupByAggregateOp(GroupByOptions options, std::string name = "group-by");
 
@@ -80,6 +83,12 @@ class GroupByAggregateOp : public Operator, public ShardableOperator {
 
   /// Number of currently open (bucket, group) pairs.
   size_t open_groups() const;
+
+  /// Checkpointing: open buckets/groups and their accumulators round-trip
+  /// exactly, unless an aggregate is sketch-backed (no serializer).
+  bool CanCheckpointState(std::string* why) const override;
+  void SaveState(dur::BufWriter& w) const override;
+  Status RestoreState(dur::BufReader& r) override;
 
  private:
   struct GroupState {

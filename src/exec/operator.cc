@@ -269,4 +269,33 @@ size_t CollectorSink::StateBytes() const {
   return bytes;
 }
 
+void CollectorSink::SaveState(dur::BufWriter& w) const {
+  w.U32(static_cast<uint32_t>(tuples_.size()));
+  for (const TupleRef& t : tuples_) w.Tup(*t);
+  w.U32(static_cast<uint32_t>(puncts_.size()));
+  for (const Punctuation& p : puncts_) w.Punct(p);
+}
+
+Status CollectorSink::RestoreState(dur::BufReader& r) {
+  tuples_.clear();
+  puncts_.clear();
+  uint32_t ntuples = 0;
+  SQP_RETURN_NOT_OK(r.U32(&ntuples));
+  tuples_.reserve(ntuples);
+  for (uint32_t i = 0; i < ntuples; ++i) {
+    TupleRef t;
+    SQP_RETURN_NOT_OK(r.Tup(&t));
+    tuples_.push_back(std::move(t));
+  }
+  uint32_t npuncts = 0;
+  SQP_RETURN_NOT_OK(r.U32(&npuncts));
+  puncts_.reserve(npuncts);
+  for (uint32_t i = 0; i < npuncts; ++i) {
+    Punctuation p;
+    SQP_RETURN_NOT_OK(r.Punct(&p));
+    puncts_.push_back(std::move(p));
+  }
+  return Status::OK();
+}
+
 }  // namespace sqp

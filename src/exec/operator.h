@@ -13,6 +13,7 @@
 #include <thread>
 #endif
 
+#include "dur/checkpointable.h"
 #include "exec/column_batch.h"
 #include "obs/op_metrics.h"
 #include "stream/element.h"
@@ -258,9 +259,15 @@ class Operator {
 };
 
 /// Terminal operator that retains results for inspection (tests, examples).
-class CollectorSink : public Operator {
+/// Checkpointable so a recovered engine's collected results equal an
+/// uninterrupted run's (dur recovery restores the prefix, replay
+/// regenerates the suffix).
+class CollectorSink : public Operator, public CheckpointableOperator {
  public:
   CollectorSink() : Operator("collect") {}
+
+  void SaveState(dur::BufWriter& w) const override;
+  Status RestoreState(dur::BufReader& r) override;
 
   void Push(const Element& e, int port = 0) override;
 

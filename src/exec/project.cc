@@ -1,5 +1,7 @@
 #include "exec/project.h"
 
+#include "exec/ckpt_util.h"
+
 namespace sqp {
 
 ProjectOp::ProjectOp(std::vector<ExprRef> exprs, std::string name)
@@ -132,6 +134,25 @@ size_t DistinctOp::StateBytes() const {
     bytes += 16;
   }
   return bytes;
+}
+
+void DistinctOp::SaveState(dur::BufWriter& w) const {
+  w.I64(current_bucket_);
+  w.U32(static_cast<uint32_t>(seen_.size()));
+  for (const Key& k : seen_) ckpt::SaveKey(w, k);
+}
+
+Status DistinctOp::RestoreState(dur::BufReader& r) {
+  SQP_RETURN_NOT_OK(r.I64(&current_bucket_));
+  uint32_t n = 0;
+  SQP_RETURN_NOT_OK(r.U32(&n));
+  seen_.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    Key k;
+    SQP_RETURN_NOT_OK(ckpt::LoadKey(r, &k));
+    seen_.insert(std::move(k));
+  }
+  return Status::OK();
 }
 
 }  // namespace sqp

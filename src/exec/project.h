@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/schema.h"
+#include "dur/checkpointable.h"
 #include "exec/expr.h"
 #include "exec/operator.h"
 #include "exec/vector_expr.h"
@@ -60,13 +61,17 @@ class ProjectOp : public Operator {
 /// seen-set per tumbling window when `window_size > 0` (reset at bucket
 /// boundaries, keeping memory bounded); unbounded otherwise — the
 /// distinction slide 36 draws for `select distinct`.
-class DistinctOp : public Operator {
+class DistinctOp : public Operator, public CheckpointableOperator {
  public:
   explicit DistinctOp(std::vector<int> cols, int64_t window_size = 0,
                       std::string name = "distinct");
 
   void Push(const Element& e, int port = 0) override;
   size_t StateBytes() const override;
+
+  /// Checkpointing: the seen-set and current bucket round-trip.
+  void SaveState(dur::BufWriter& w) const override;
+  Status RestoreState(dur::BufReader& r) override;
 
  private:
   std::vector<int> cols_;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "exec/ckpt_util.h"
+
 namespace sqp {
 
 PunctuationGroupByOp::PunctuationGroupByOp(int key_col,
@@ -137,6 +139,43 @@ size_t PunctuationGroupByOp::StateBytes() const {
     for (const auto& acc : state.accs) bytes += acc->MemoryBytes();
   }
   return bytes;
+}
+
+bool PunctuationGroupByOp::CanCheckpointState(std::string* why) const {
+  for (const AggregateFunction& fn : fns_) {
+    if (!AggStateSerializable(fn.kind())) {
+      if (why != nullptr) {
+        *why = std::string("aggregate ") + AggKindName(fn.kind()) +
+               " has no state serializer";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+void PunctuationGroupByOp::SaveState(dur::BufWriter& w) const {
+  w.U32(static_cast<uint32_t>(groups_.size()));
+  for (const auto& [key, state] : groups_) {
+    w.Val(key);
+    w.I64(state.last_ts);
+    ckpt::SaveAccs(w, state.accs);
+  }
+}
+
+Status PunctuationGroupByOp::RestoreState(dur::BufReader& r) {
+  groups_.clear();
+  uint32_t ngroups = 0;
+  SQP_RETURN_NOT_OK(r.U32(&ngroups));
+  for (uint32_t g = 0; g < ngroups; ++g) {
+    Value key;
+    SQP_RETURN_NOT_OK(r.Val(&key));
+    GroupState state;
+    SQP_RETURN_NOT_OK(r.I64(&state.last_ts));
+    SQP_RETURN_NOT_OK(ckpt::LoadAccs(r, fns_, &state.accs));
+    groups_.emplace(std::move(key), std::move(state));
+  }
+  return Status::OK();
 }
 
 }  // namespace sqp

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "agg/partial_agg.h"
+#include "dur/checkpointable.h"
 #include "exec/operator.h"
 #include "exec/sharding.h"
 
@@ -21,7 +22,9 @@ namespace sqp {
 /// Output row: [ts = close time, key, agg...]. Unlike the tumbling
 /// GroupByAggregateOp, window extent here is *data-dependent*: the
 /// application, not the clock, decides when a group is complete.
-class PunctuationGroupByOp : public Operator, public ShardableOperator {
+class PunctuationGroupByOp : public Operator,
+                             public ShardableOperator,
+                             public CheckpointableOperator {
  public:
   /// `key_col` both partitions tuples and matches CloseKey punctuations.
   PunctuationGroupByOp(int key_col, std::vector<AggSpec> aggs,
@@ -53,6 +56,12 @@ class PunctuationGroupByOp : public Operator, public ShardableOperator {
     return {{key_col_}};
   }
   bool CanShard(std::string* /*why*/) const override { return true; }
+
+  /// Checkpointing: every open group (accumulators + last activity ts)
+  /// round-trips exactly, unless an aggregate is sketch-backed.
+  bool CanCheckpointState(std::string* why) const override;
+  void SaveState(dur::BufWriter& w) const override;
+  Status RestoreState(dur::BufReader& r) override;
 
  protected:
   void PushColumns(ColumnBatch& batch, int port) override;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/ckpt_util.h"
+
 namespace sqp {
 
 SymmetricHashJoinOp::SymmetricHashJoinOp(std::vector<int> left_cols,
@@ -60,6 +62,46 @@ void SymmetricHashJoinOp::Flush() {
 
 size_t SymmetricHashJoinOp::StateBytes() const {
   return sizeof(*this) + table_bytes_[0] + table_bytes_[1];
+}
+
+void SymmetricHashJoinOp::SaveState(dur::BufWriter& w) const {
+  w.I64(flushes_);
+  for (int side = 0; side < 2; ++side) {
+    w.U32(static_cast<uint32_t>(table_[side].size()));
+    for (const auto& [key, tuples] : table_[side]) {
+      ckpt::SaveKey(w, key);
+      w.U32(static_cast<uint32_t>(tuples.size()));
+      for (const TupleRef& t : tuples) w.Tup(*t);
+    }
+  }
+}
+
+Status SymmetricHashJoinOp::RestoreState(dur::BufReader& r) {
+  int64_t flushes = 0;
+  SQP_RETURN_NOT_OK(r.I64(&flushes));
+  flushes_ = static_cast<int>(flushes);
+  for (int side = 0; side < 2; ++side) {
+    table_[side].clear();
+    table_bytes_[side] = 0;
+    uint32_t nkeys = 0;
+    SQP_RETURN_NOT_OK(r.U32(&nkeys));
+    for (uint32_t k = 0; k < nkeys; ++k) {
+      Key key;
+      SQP_RETURN_NOT_OK(ckpt::LoadKey(r, &key));
+      uint32_t ntuples = 0;
+      SQP_RETURN_NOT_OK(r.U32(&ntuples));
+      std::vector<TupleRef> tuples;
+      tuples.reserve(ntuples);
+      for (uint32_t i = 0; i < ntuples; ++i) {
+        TupleRef t;
+        SQP_RETURN_NOT_OK(r.Tup(&t));
+        table_bytes_[side] += t->MemoryBytes();
+        tuples.push_back(std::move(t));
+      }
+      table_[side].emplace(std::move(key), std::move(tuples));
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace sqp

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dur/checkpointable.h"
 #include "exec/operator.h"
 #include "exec/sharding.h"
 
@@ -18,7 +19,9 @@ namespace sqp {
 ///
 /// Output row: left tuple's values ++ right tuple's values; output ts is
 /// the later of the two.
-class SymmetricHashJoinOp : public Operator, public ShardableOperator {
+class SymmetricHashJoinOp : public Operator,
+                            public ShardableOperator,
+                            public CheckpointableOperator {
  public:
   SymmetricHashJoinOp(std::vector<int> left_cols, std::vector<int> right_cols,
                       std::string name = "sym-hash-join");
@@ -37,6 +40,10 @@ class SymmetricHashJoinOp : public Operator, public ShardableOperator {
     return {key_cols_[0], key_cols_[1]};
   }
   bool CanShard(std::string* /*why*/) const override { return true; }
+
+  /// Checkpointing: both build tables (all retained tuples) round-trip.
+  void SaveState(dur::BufWriter& w) const override;
+  Status RestoreState(dur::BufReader& r) override;
 
  private:
   void EmitJoined(const Tuple& left, const Tuple& right);

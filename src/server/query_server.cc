@@ -169,6 +169,21 @@ QueryServer::Response QueryServer::HandleSubmit(const HttpRequest& req) {
             ErrorJson("bad policy", "want block|drop|shed, got " + policy)};
   }
 
+  const bool replay = req.ParamInt("replay", 0) != 0;
+  if (replay && !engine_->durable()) {
+    return {409, "application/json",
+            ErrorJson("replay unavailable",
+                      "the engine has no durable archive (start it with "
+                      "--durable)")};
+  }
+  if (replay && qopts.overflow == SessionOverflow::kBlock) {
+    // Replay pours the whole archive while holding the engine's
+    // registration lock; a blocking result queue with no reader yet
+    // would wedge the engine. Lossy policies drain safely.
+    return {400, "application/json",
+            ErrorJson("bad replay", "replay requires policy=drop or shed")};
+  }
+
   AdmissionController::Decision adm = admission_.Admit(qopts.limit);
   if (!adm.admitted) {
     return {429, "application/json", ErrorJson("rejected", adm.reason)};
@@ -213,6 +228,22 @@ QueryServer::Response QueryServer::HandleSubmit(const HttpRequest& req) {
     }
   }
 
+  uint64_t replayed = 0;
+  if (replay) {
+    // New query over the archived past: pour the archive through it
+    // before any live element arrives, then live ingest takes over.
+    Result<uint64_t> poured = engine_->ReplayInto(sess->handle);
+    if (!poured.ok()) {
+      sess->queue.Close();
+      engine_->Remove(sess->handle);
+      sess->handle = nullptr;
+      admission_.Release(qopts.limit);
+      return {409, "application/json",
+              ErrorJson("replay", poured.status().message())};
+    }
+    replayed = *poured;
+  }
+
   {
     std::lock_guard<std::mutex> lock(mu_);
     sessions_[id] = sess;
@@ -236,6 +267,7 @@ QueryServer::Response QueryServer::HandleSubmit(const HttpRequest& req) {
   std::string body = "{\"session\":\"" + id + "\"";
   body += ",\"policy\":\"" + policy + "\"";
   body += ",\"queue\":" + std::to_string(qopts.limit);
+  if (replay) body += ",\"replayed\":" + std::to_string(replayed);
   body += ",\"schema\":\"" + obs::JsonEscape(sess->schema) + "\"";
   body += ",\"plan\":\"" + obs::JsonEscape(sess->plan) + "\"";
   body += ",\"results\":\"/session/" + id + "/results\"}\n";
@@ -408,7 +440,7 @@ QueryServer::Response QueryServer::HandleStats() {
 QueryServer::Response QueryServer::HandleRoot() {
   std::string body =
       "{\"service\":\"sqp query server\",\"endpoints\":["
-      "\"POST /query?queue=&policy=block|drop|shed&block_ms=\","
+      "\"POST /query?queue=&policy=block|drop|shed&block_ms=&replay=1\","
       "\"GET /session/<id>\",\"GET /session/<id>/results?cursor=&max=&wait_ms=\","
       "\"DELETE /session/<id>\",\"GET /sessions\",\"GET /stats\","
       "\"GET /healthz\"]}\n";

@@ -1,0 +1,464 @@
+// sqp::dur end to end: codec framing, archive torn-tail tolerance,
+// checkpoint round-trips, and the crash-recovery invariant — a run that
+// dies (including by SIGKILL) and recovers from checkpoint + archive
+// suffix produces the same result multiset as an uninterrupted run.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "arch/engine.h"
+#include "dur/archive.h"
+#include "dur/checkpoint.h"
+#include "dur/codec.h"
+#include "dur/manager.h"
+#include "stream/generators.h"
+
+namespace sqp {
+namespace {
+
+std::string TempDir(const char* tag) {
+  std::string tmpl = std::string(::testing::TempDir()) + "sqp-dur-" + tag +
+                     "-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  char* made = mkdtemp(buf.data());
+  EXPECT_NE(made, nullptr);
+  return made == nullptr ? std::string() : std::string(made);
+}
+
+TupleRef Pkt(int64_t ts, int64_t src, int64_t proto, int64_t len) {
+  return MakeTuple(ts, {Value(ts), Value(src), Value(int64_t{9}),
+                        Value(int64_t{1}), Value(int64_t{2}), Value(proto),
+                        Value(len), Value(int64_t{0}), Value(int64_t{0}),
+                        Value("")});
+}
+
+std::vector<std::string> Rows(const QueryHandle* q) {
+  std::vector<std::string> rows;
+  rows.reserve(q->results().size());
+  for (const TupleRef& t : q->results()) rows.push_back(t->ToString());
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+// ---------------------------------------------------------------------
+// Codec
+
+TEST(DurCodecTest, Crc32KnownVector) {
+  const char* s = "123456789";  // The classic CRC-32/IEEE check string.
+  EXPECT_EQ(dur::Crc32(s, 9), 0xCBF43926u);
+}
+
+TEST(DurCodecTest, ScalarAndValueRoundTrip) {
+  dur::BufWriter w;
+  w.U8(7);
+  w.U32(0xDEADBEEFu);
+  w.U64(1ull << 53);
+  w.I64(-42);
+  w.F64(2.5);
+  w.Str("hello");
+  w.Val(Value());
+  w.Val(Value(int64_t{-9}));
+  w.Val(Value(3.25));
+  w.Val(Value("streams"));
+
+  dur::BufReader r(w.data().data(), w.data().size());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double f = 0;
+  std::string s;
+  ASSERT_TRUE(r.U8(&u8).ok());
+  ASSERT_TRUE(r.U32(&u32).ok());
+  ASSERT_TRUE(r.U64(&u64).ok());
+  ASSERT_TRUE(r.I64(&i64).ok());
+  ASSERT_TRUE(r.F64(&f).ok());
+  ASSERT_TRUE(r.Str(&s).ok());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 1ull << 53);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(f, 2.5);
+  EXPECT_EQ(s, "hello");
+  Value v;
+  ASSERT_TRUE(r.Val(&v).ok());
+  EXPECT_TRUE(v.is_null());
+  ASSERT_TRUE(r.Val(&v).ok());
+  EXPECT_EQ(v.AsInt(), -9);
+  ASSERT_TRUE(r.Val(&v).ok());
+  EXPECT_EQ(v.AsDouble(), 3.25);
+  ASSERT_TRUE(r.Val(&v).ok());
+  EXPECT_EQ(v.AsString(), "streams");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(DurCodecTest, ElementRoundTripAndTruncation) {
+  dur::BufWriter w;
+  w.Elem(Element(Pkt(5, 10, 6, 99)));
+  w.Elem(Element(Punctuation::CloseKey(7, Value("k"))));
+
+  dur::BufReader r(w.data().data(), w.data().size());
+  Element e;
+  ASSERT_TRUE(r.Elem(&e).ok());
+  ASSERT_TRUE(e.is_tuple());
+  EXPECT_EQ(e.tuple()->ts(), 5);
+  EXPECT_EQ(e.tuple()->at(6).AsInt(), 99);
+  ASSERT_TRUE(r.Elem(&e).ok());
+  ASSERT_TRUE(e.is_punctuation());
+  EXPECT_TRUE(e.punctuation().has_key);
+  EXPECT_EQ(e.punctuation().key.AsString(), "k");
+
+  // Every strict prefix must fail cleanly, never read past the end.
+  for (size_t cut = 0; cut < w.size(); ++cut) {
+    dur::BufReader short_r(w.data().data(), cut);
+    Element dummy;
+    Status st = short_r.Elem(&dummy);
+    if (cut == 0 || st.ok()) {
+      // A prefix that happens to hold the full first element is fine.
+      continue;
+    }
+    EXPECT_FALSE(st.ok());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Archive
+
+TEST(DurArchiveTest, MergesStreamsInGlobalSeqOrder) {
+  std::string root = TempDir("merge");
+  dur::DurabilityManager mgr(root, {}, nullptr);
+  ASSERT_TRUE(mgr.Open().ok());
+  // Interleave two streams; seq assignment records the interleaving.
+  for (int i = 0; i < 50; ++i) {
+    mgr.Append("a", Element(Pkt(i, 1, 6, i)));
+    mgr.Append("b", Element(Punctuation::Watermark(i)));
+  }
+  ASSERT_TRUE(mgr.Flush().ok());
+
+  dur::ArchiveReader reader(root);
+  ASSERT_TRUE(reader.Open().ok());
+  dur::ArchivedRecord rec;
+  uint64_t expect_seq = 1;
+  while (true) {
+    auto has = reader.Next(&rec);
+    ASSERT_TRUE(has.ok()) << has.status().ToString();
+    if (!*has) break;
+    EXPECT_EQ(rec.seq, expect_seq);
+    EXPECT_EQ(rec.stream, (expect_seq % 2 == 1) ? "a" : "b");
+    ++expect_seq;
+  }
+  EXPECT_EQ(expect_seq, 101u);
+  EXPECT_EQ(reader.torn_streams(), 0u);
+}
+
+TEST(DurArchiveTest, TornTailTruncatesAtLastIntactRecord) {
+  std::string root = TempDir("torn");
+  dur::DurabilityManager mgr(root, {}, nullptr);
+  ASSERT_TRUE(mgr.Open().ok());
+  for (int i = 0; i < 10; ++i) mgr.Append("s", Element(Pkt(i, 1, 6, i)));
+  ASSERT_TRUE(mgr.Flush().ok());
+
+  // Simulate a crash mid-write: garbage half-frame at the segment tail.
+  std::string dir = root + "/streams/s";
+  std::vector<std::string> segs;
+  ASSERT_TRUE(dur::ListDir(dir, &segs).ok());
+  ASSERT_EQ(segs.size(), 1u);
+  FILE* f = std::fopen((dir + "/" + segs[0]).c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  const char garbage[] = {0x13, 0x37, 0x00, 0x05};
+  std::fwrite(garbage, 1, sizeof(garbage), f);
+  std::fclose(f);
+
+  dur::ArchiveReader reader(root);
+  ASSERT_TRUE(reader.Open().ok());
+  dur::ArchivedRecord rec;
+  int n = 0;
+  while (true) {
+    auto has = reader.Next(&rec);
+    ASSERT_TRUE(has.ok());
+    if (!*has) break;
+    ++n;
+  }
+  EXPECT_EQ(n, 10);  // All intact records, none invented.
+  EXPECT_EQ(reader.torn_streams(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint files
+
+TEST(DurCheckpointTest, RoundTripAndPrune) {
+  std::string root = TempDir("ckpt");
+  for (uint64_t id = 1; id <= 4; ++id) {
+    dur::Checkpoint c;
+    c.id = id;
+    c.position = id * 100;
+    c.next_seq = id * 100 + 1;
+    dur::QueryCheckpoint qc;
+    qc.text = "select ts from s";
+    qc.included = true;
+    qc.op_states = {"state-" + std::to_string(id), ""};
+    c.queries.push_back(qc);
+    ASSERT_TRUE(dur::WriteCheckpoint(root, c, /*keep=*/2).ok());
+  }
+  auto latest = dur::ReadLatestCheckpoint(root);
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(latest->id, 4u);
+  EXPECT_EQ(latest->position, 400u);
+  ASSERT_EQ(latest->queries.size(), 1u);
+  EXPECT_TRUE(latest->queries[0].included);
+  ASSERT_EQ(latest->queries[0].op_states.size(), 2u);
+  EXPECT_EQ(latest->queries[0].op_states[0], "state-4");
+  // keep=2 pruned the first two files.
+  std::vector<std::string> files;
+  ASSERT_TRUE(dur::ListDir(root + "/ckpt", &files).ok());
+  EXPECT_EQ(files.size(), 2u);
+}
+
+TEST(DurCheckpointTest, CorruptLatestFallsBackToPrevious) {
+  std::string root = TempDir("ckpt-corrupt");
+  for (uint64_t id = 1; id <= 2; ++id) {
+    dur::Checkpoint c;
+    c.id = id;
+    c.position = id;
+    c.next_seq = id + 1;
+    ASSERT_TRUE(dur::WriteCheckpoint(root, c, 4).ok());
+  }
+  std::vector<std::string> files;
+  ASSERT_TRUE(dur::ListDir(root + "/ckpt", &files).ok());
+  ASSERT_EQ(files.size(), 2u);
+  // Flip a byte in the newest file's body.
+  std::string newest = root + "/ckpt/" + files.back();
+  FILE* f = std::fopen(newest.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, -1, SEEK_END);
+  std::fputc(0x5A, f);
+  std::fclose(f);
+
+  auto latest = dur::ReadLatestCheckpoint(root);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->id, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Engine recovery
+
+constexpr char kAggQuery[] =
+    "select tb, protocol, count(*), sum(len) from packets "
+    "group by ts/10 as tb, protocol";
+
+void IngestRange(StreamEngine& engine, int from, int to) {
+  for (int i = from; i < to; ++i) {
+    ASSERT_TRUE(
+        engine.Ingest("packets", Pkt(i, i % 7, i % 2 == 0 ? 6 : 17, i % 512))
+            .ok());
+  }
+}
+
+std::vector<std::string> ReferenceRows(int tuples) {
+  StreamEngine ref;
+  EXPECT_TRUE(ref.RegisterStream("packets", gen::PacketSchema()).ok());
+  auto q = ref.Submit(kAggQuery);
+  EXPECT_TRUE(q.ok());
+  IngestRange(ref, 0, tuples);
+  ref.FinishAll();
+  return Rows(*q);
+}
+
+std::vector<std::string> RecoverRows(const std::string& dir,
+                                     bool use_checkpoint,
+                                     RecoveryReport* report = nullptr) {
+  StreamEngine engine;
+  EXPECT_TRUE(engine.RegisterStream("packets", gen::PacketSchema()).ok());
+  auto q = engine.Submit(kAggQuery);
+  EXPECT_TRUE(q.ok());
+  dur::DurabilityOptions opt;
+  opt.use_checkpoint = use_checkpoint;
+  Status st = engine.EnableDurability(dir, opt);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  if (report != nullptr) *report = engine.recovery_report();
+  engine.FinishAll();
+  return Rows(*q);
+}
+
+TEST(EngineDurabilityTest, FinishedRunReplaysIdentically) {
+  std::string dir = TempDir("finished");
+  const int kTuples = 500;
+  std::vector<std::string> live;
+  {
+    StreamEngine engine;
+    ASSERT_TRUE(engine.RegisterStream("packets", gen::PacketSchema()).ok());
+    auto q = engine.Submit(kAggQuery);
+    ASSERT_TRUE(q.ok());
+    dur::DurabilityOptions opt;
+    opt.checkpoint_every = 100;
+    ASSERT_TRUE(engine.EnableDurability(dir, opt).ok());
+    EXPECT_FALSE(engine.recovery_report().recovered);
+    IngestRange(engine, 0, kTuples);
+    engine.FinishAll();
+    live = Rows(*q);
+  }
+  EXPECT_EQ(live, ReferenceRows(kTuples));
+
+  // Checkpoint-restore path: the final checkpoint holds everything, so
+  // nothing replays.
+  RecoveryReport rep;
+  EXPECT_EQ(RecoverRows(dir, /*use_checkpoint=*/true, &rep), live);
+  EXPECT_TRUE(rep.recovered);
+  EXPECT_TRUE(rep.checkpoint_loaded);
+  EXPECT_EQ(rep.restored_queries, 1u);
+  EXPECT_EQ(rep.replayed_tuples + rep.replayed_puncts, 0u);
+
+  // Full-replay audit path reproduces the same multiset from seq 0.
+  EXPECT_EQ(RecoverRows(dir, /*use_checkpoint=*/false, &rep), live);
+  EXPECT_EQ(rep.replayed_tuples, static_cast<uint64_t>(kTuples));
+  EXPECT_EQ(rep.restored_queries, 0u);
+}
+
+TEST(EngineDurabilityTest, SigkillMidRunRecoversEquivalently) {
+  std::string dir = TempDir("sigkill");
+  const int kTuples = 700;
+
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: durable run that dies hard mid-stream — no FinishAll, no
+    // destructors, a torn archive tail is fair game.
+    StreamEngine engine;
+    if (!engine.RegisterStream("packets", gen::PacketSchema()).ok()) _exit(3);
+    if (!engine.Submit(kAggQuery).ok()) _exit(3);
+    dur::DurabilityOptions opt;
+    opt.checkpoint_every = 150;
+    opt.flush_interval_ms = 0;  // Inline flush: every append hits the OS.
+    if (!engine.EnableDurability(dir, opt).ok()) _exit(3);
+    for (int i = 0; i < kTuples; ++i) {
+      (void)engine.Ingest("packets",
+                          Pkt(i, i % 7, i % 2 == 0 ? 6 : 17, i % 512));
+    }
+    raise(SIGKILL);
+    _exit(4);  // Unreachable.
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+  ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+  // Inline flush means the archive holds all 700 records, so recovery
+  // must reproduce the uninterrupted run exactly (as a multiset).
+  RecoveryReport rep;
+  std::vector<std::string> recovered =
+      RecoverRows(dir, /*use_checkpoint=*/true, &rep);
+  EXPECT_TRUE(rep.checkpoint_loaded);  // checkpoint_every fired.
+  EXPECT_GT(rep.checkpoint_position, 0u);
+  EXPECT_GT(rep.replayed_tuples, 0u);  // The suffix past the checkpoint.
+  EXPECT_LT(rep.replayed_tuples, static_cast<uint64_t>(kTuples));
+  EXPECT_EQ(recovered, ReferenceRows(kTuples));
+
+  // And checkpoint restore + suffix == full replay of the same archive.
+  EXPECT_EQ(RecoverRows(dir, /*use_checkpoint=*/false), recovered);
+}
+
+TEST(EngineDurabilityTest, NonCheckpointableQueryFallsBackToFullReplay) {
+  std::string dir = TempDir("fallback");
+  const char* q_text =
+      "select tb, approx_count_distinct(src_ip) from packets "
+      "group by ts/10 as tb";
+  std::vector<std::string> live;
+  {
+    StreamEngine engine;
+    ASSERT_TRUE(engine.RegisterStream("packets", gen::PacketSchema()).ok());
+    auto q = engine.Submit(q_text);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    dur::DurabilityOptions opt;
+    opt.checkpoint_every = 50;
+    ASSERT_TRUE(engine.EnableDurability(dir, opt).ok());
+    IngestRange(engine, 0, 300);
+    engine.FinishAll();
+    live = Rows(*q);
+  }
+  // The HLL sketch has no serializer, so the checkpoint excludes the
+  // query; recovery replays its input from seq 0 and still converges.
+  StreamEngine engine;
+  ASSERT_TRUE(engine.RegisterStream("packets", gen::PacketSchema()).ok());
+  auto q = engine.Submit(q_text);
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(engine.EnableDurability(dir, {}).ok());
+  const RecoveryReport& rep = engine.recovery_report();
+  EXPECT_TRUE(rep.checkpoint_loaded);
+  EXPECT_EQ(rep.restored_queries, 0u);
+  EXPECT_EQ(rep.replay_from_zero_queries, 1u);
+  EXPECT_EQ(rep.replayed_tuples, 300u);
+  engine.FinishAll();
+  EXPECT_EQ(Rows(*q), live);
+}
+
+TEST(EngineDurabilityTest, PunctuationIsArchivedAndReplayed) {
+  std::string dir = TempDir("punct");
+  {
+    StreamEngine engine;
+    ASSERT_TRUE(engine.RegisterStream("packets", gen::PacketSchema()).ok());
+    ASSERT_TRUE(engine.EnableDurability(dir, {}).ok());
+    ASSERT_TRUE(engine.IngestElement("packets", Element(Pkt(1, 1, 6, 9))).ok());
+    ASSERT_TRUE(
+        engine
+            .IngestElement("packets", Element(Punctuation::Watermark(10)))
+            .ok());
+    engine.FinishAll();
+  }
+  StreamEngine engine;
+  ASSERT_TRUE(engine.RegisterStream("packets", gen::PacketSchema()).ok());
+  dur::DurabilityOptions opt;
+  opt.use_checkpoint = false;
+  ASSERT_TRUE(engine.EnableDurability(dir, opt).ok());
+  EXPECT_EQ(engine.recovery_report().replayed_tuples, 1u);
+  EXPECT_EQ(engine.recovery_report().replayed_puncts, 1u);
+}
+
+TEST(EngineDurabilityTest, ReplayIntoNewQueryOverArchivedPast) {
+  std::string dir = TempDir("replayinto");
+  StreamEngine engine;
+  ASSERT_TRUE(engine.RegisterStream("packets", gen::PacketSchema()).ok());
+  ASSERT_TRUE(engine.EnableDurability(dir, {}).ok());
+  IngestRange(engine, 0, 100);
+
+  // A late subscriber sees the archived past, then live data.
+  auto q = engine.Submit("select ts from packets where len > 10");
+  ASSERT_TRUE(q.ok());
+  auto replayed = engine.ReplayInto(*q);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_EQ(*replayed, 100u);
+  size_t after_replay = (*q)->result_count();
+  EXPECT_GT(after_replay, 0u);
+
+  IngestRange(engine, 100, 150);
+  engine.FinishAll();
+  EXPECT_GT((*q)->result_count(), after_replay);
+
+  // The late query's total equals a from-the-start subscription.
+  StreamEngine ref;
+  ASSERT_TRUE(ref.RegisterStream("packets", gen::PacketSchema()).ok());
+  auto rq = ref.Submit("select ts from packets where len > 10");
+  ASSERT_TRUE(rq.ok());
+  IngestRange(ref, 0, 150);
+  ref.FinishAll();
+  EXPECT_EQ(Rows(*q), Rows(*rq));
+}
+
+TEST(EngineDurabilityTest, EnableTwiceRejected) {
+  std::string dir = TempDir("twice");
+  StreamEngine engine;
+  ASSERT_TRUE(engine.RegisterStream("packets", gen::PacketSchema()).ok());
+  ASSERT_TRUE(engine.EnableDurability(dir, {}).ok());
+  EXPECT_EQ(engine.EnableDurability(dir, {}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace sqp

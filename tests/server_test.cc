@@ -711,6 +711,67 @@ TEST_F(QueryServerTest, EngineTeardownWhileClientStreams) {
   reader.join();
 }
 
+// Crash-class inputs at the network boundary: oversized numeric
+// literals and pathological nesting once escaped the lexer/parser as
+// uncaught exceptions (std::stoll) or stack overflow, killing the whole
+// server. Each must come back as a 400 — and the server must keep
+// answering afterwards.
+TEST_F(QueryServerTest, HostileQueriesAnswer400AndServerSurvives) {
+  int port = Serve();
+  const std::vector<std::string> hostile = {
+      "select 99999999999999999999 from packets",
+      "select ts from packets where len > " + std::string(400, '9'),
+      "select ts from packets where len > " + std::string(400, '9') + ".5",
+      "select count(*) from packets [range 99999999999999999999]",
+      "select ts from packets where " + std::string(20000, '(') + "1" +
+          std::string(20000, ')') + " = 1",
+      std::string(1 << 16, '@'),
+  };
+  for (const std::string& cql : hostile) {
+    std::string resp = Post(port, "/query", cql);
+    EXPECT_NE(resp.find(" 400 "), std::string::npos)
+        << "query: " << cql.substr(0, 80);
+  }
+  // Still alive: health checks pass and a well-formed submit works.
+  EXPECT_NE(Get(port, "/healthz").find(" 200 "), std::string::npos);
+  std::string sid = Submit(port, "select ts from packets where len > 100");
+  EXPECT_FALSE(sid.empty());
+}
+
+// ?replay=1 pours the durable archive through a new session before live
+// ingest takes over — the late subscriber sees the archived past.
+TEST_F(QueryServerTest, ReplaySessionSeesArchivedPast) {
+  std::string tmpl = std::string(::testing::TempDir()) + "sqp-srv-XXXXXX";
+  std::vector<char> dirbuf(tmpl.begin(), tmpl.end());
+  dirbuf.push_back('\0');
+  ASSERT_NE(mkdtemp(dirbuf.data()), nullptr);
+  int port = Serve();
+  ASSERT_TRUE(engine_.EnableDurability(dirbuf.data(), {}).ok());
+
+  gen::PacketGenerator generator(gen::PacketOptions{});
+  for (int i = 0; i < 500; ++i) {
+    (void)engine_.Ingest("packets", generator.Next());
+  }
+
+  // Replay needs a lossy queue policy; with the default block policy it
+  // must be refused outright (not wedge the engine).
+  std::string refused =
+      Post(port, "/query?replay=1", "select ts from packets");
+  EXPECT_NE(refused.find(" 400 "), std::string::npos);
+
+  std::string resp = Body(Post(port, "/query?replay=1&policy=drop&queue=4096",
+                               "select ts from packets where len > 0"));
+  std::string sid = JsonStr(resp, "session");
+  ASSERT_FALSE(sid.empty()) << resp;
+  // All 500 archived elements were poured through the new query.
+  EXPECT_NE(resp.find("\"replayed\":500"), std::string::npos) << resp;
+
+  engine_.FinishAll();
+  engine_.query_server()->FinishSessions();
+  std::vector<std::string> rows = StreamAll(port, sid);
+  EXPECT_GT(rows.size(), 0u);
+}
+
 // The metrics exporter rides the same listener now; make sure the
 // refactor kept it serving.
 TEST_F(QueryServerTest, MetricsExporterStillServesOverSharedListener) {
