@@ -142,6 +142,13 @@ Result<QueryHandle*> StreamEngine::Submit(const std::string& query_text,
     handle->taps_.push_back(tap);
   }
 
+  // Stamp the archive boundary under the same exclusive lock that makes
+  // the query live: every record at or below it was archived before any
+  // live delivery to this handle could happen, every record above it
+  // will be delivered live. ReplayInto replays only up to this seq, so
+  // a replay racing ingest never double-delivers.
+  if (dur_ != nullptr) handle->submit_seq_ = dur_->last_seq();
+
   queries_.push_back(std::move(handle));
   return queries_.back().get();
 }
@@ -331,8 +338,14 @@ Status StreamEngine::IngestElement(const std::string& stream,
   // Archive-before-deliver: once delivery runs, the element must be
   // recoverable. (Group commit means the bytes may still sit in the
   // buffer for up to a flush interval — a crash inside that window
-  // loses the tail, which replay tolerates by construction.)
-  if (dur_ != nullptr) dur_->Append(stream, e);
+  // loses the tail, which replay tolerates by construction.) A sticky
+  // archive IO failure therefore stops ingest before delivery: the
+  // element can never be made durable, so letting it flow would hand
+  // out results that no recovery could reproduce.
+  if (dur_ != nullptr) {
+    auto seq = dur_->Append(stream, e);
+    if (!seq.ok()) return seq.status();
+  }
   for (auto& q : queries_) {
     for (const QueryHandle::Tap& tap : q->taps_) {
       if (tap.stream != stream) continue;

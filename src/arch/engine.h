@@ -198,6 +198,11 @@ class QueryHandle {
   bool chain_mode_ = false;  // True: plan split op-per-stage.
   bool columnar_ = false;    // Set by EnableColumnar.
   bool ingested_ = false;    // Any element delivered yet?
+  // Archive seq boundary at registration (set under the exclusive
+  // registration lock by Submit, or by EnableDurability for queries that
+  // predate it): records <= submit_seq_ were never delivered live to
+  // this handle, records > it are. ReplayInto replays only up to here.
+  uint64_t submit_seq_ = 0;
   // End-to-end latency probe: the engine arms `pending_ingest_ns_` with
   // a NowNs() timestamp on every Nth delivered tuple (arm-if-empty, so
   // a sample in flight is never overwritten); the tee claims it at the
@@ -382,15 +387,20 @@ class StreamEngine {
   const RecoveryReport& recovery_report() const { return recovery_; }
 
   /// Flushes the archive and writes a checkpoint of every query's
-  /// operator state now. Must be called from the ingest thread (or while
-  /// ingest is quiescent) — it reads live operator state.
+  /// operator state now. Safe from any thread: takes the registration
+  /// lock exclusively, so concurrent ingest is held off while live
+  /// operator state is read.
   Status CheckpointNow();
 
-  /// Replays the whole archive (flushed first) into one query — the
+  /// Replays the archived past into one freshly submitted query — the
   /// "--replay" mode: submit a fresh query over the archived past, pour
-  /// the archive through it, then let live ingest take over. Returns the
-  /// number of elements delivered. Takes the registration lock
-  /// exclusively; the handle's on_result callback must not block.
+  /// the archive through it, then let live ingest take over. Replay
+  /// stops at the handle's Submit-time archive position: anything
+  /// archived after Submit is (or will be) delivered live, so elements
+  /// that raced in between Submit and this call are never delivered
+  /// twice. Returns the number of elements delivered. Takes the
+  /// registration lock exclusively; the handle's on_result callback must
+  /// not block.
   Result<uint64_t> ReplayInto(QueryHandle* handle);
 
   /// Closes the observation loop for one query: interposes a
@@ -421,9 +431,11 @@ class StreamEngine {
                      const Element& e);
 
   /// Checkpointing/recovery internals (src/arch/engine_dur.cc). All
-  /// require reg_mu_ held (shared is enough for CheckpointLocked — it
-  /// runs on the ingest thread; RecoverLocked runs under the exclusive
-  /// lock of EnableDurability before any concurrent ingest exists).
+  /// require reg_mu_ held (shared is enough for CheckpointLocked only
+  /// when called on the ingest thread, where operators are quiescent;
+  /// any other caller must hold it exclusively — CheckpointNow does.
+  /// RecoverLocked runs under the exclusive lock of EnableDurability
+  /// before any concurrent ingest exists).
   Status CheckpointLocked();
   Status RecoverLocked();
   /// Walks `q`'s plan; true when every operator either carries state

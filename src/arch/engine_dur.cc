@@ -119,7 +119,8 @@ Status StreamEngine::CheckpointLocked() {
   // by the next recovery's suffix) are still only in the buffer.
   SQP_RETURN_NOT_OK(dur_->Flush());
   SQP_RETURN_NOT_OK(dur::WriteCheckpoint(dur_->root(), ckpt,
-                                         dur_->options().keep_checkpoints));
+                                         dur_->options().keep_checkpoints,
+                                         dur_->options().fsync));
   ckpt_id_ = ckpt.id;
   if (dur_ckpt_ctr_ != nullptr) dur_ckpt_ctr_->Inc();
   metrics_.GetGauge("sqp_dur_checkpoint_position")
@@ -128,7 +129,11 @@ Status StreamEngine::CheckpointLocked() {
 }
 
 Status StreamEngine::CheckpointNow() {
-  std::shared_lock<std::shared_mutex> reg(reg_mu_);
+  // Exclusive, not shared: ingest holds the lock shared, so this is the
+  // only way a checkpoint taken from an arbitrary thread is guaranteed
+  // not to read operator state mid-mutation. Checkpoints are rare; the
+  // brief ingest stall is the price of a consistent snapshot.
+  std::unique_lock<std::shared_mutex> reg(reg_mu_);
   return CheckpointLocked();
 }
 
@@ -283,6 +288,11 @@ Status StreamEngine::EnableDurability(const std::string& dir,
       return st;
     }
   }
+  // Queries that predate durability get their replay boundary here: the
+  // archive content as of this point was already poured into them by
+  // recovery (or deliberately skipped with recover=false), and anything
+  // archived from now on reaches them live.
+  for (auto& q : queries_) q->submit_seq_ = dur_->last_seq();
   return Status::OK();
 }
 
@@ -297,12 +307,18 @@ Result<uint64_t> StreamEngine::ReplayInto(QueryHandle* handle) {
   SQP_RETURN_NOT_OK(dur_->Flush());
   dur::ArchiveReader reader(dur_->root());
   SQP_RETURN_NOT_OK(reader.Open());
+  // Bound the replay at the handle's registration point: every record
+  // archived after Submit is (or will be) delivered live to this
+  // handle, so pouring it again would duplicate results whenever ingest
+  // races this call.
+  const uint64_t bound = handle->submit_seq_;
   dur::ArchivedRecord rec;
   uint64_t delivered = 0;
   while (true) {
     auto has = reader.Next(&rec);
     if (!has.ok()) return has.status();
     if (!*has) break;
+    if (rec.seq > bound) break;  // Merged order is ascending.
     for (const QueryHandle::Tap& tap : handle->taps_) {
       if (tap.stream != rec.stream) continue;
       handle->ingested_ = true;

@@ -1,6 +1,7 @@
 #include "dur/archive.h"
 
 #include <dirent.h>
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -26,6 +27,14 @@ constexpr uint32_t kMaxFrameLen = 64u << 20;
 std::string SegmentName(uint64_t first_seq) {
   return StrFormat("seg-%016llx.sqpa",
                    static_cast<unsigned long long>(first_seq));
+}
+
+// Best-effort repair: chop a torn tail off a crashed segment so future
+// recoveries see a clean chain. Failure (read-only archive) is fine —
+// the reader skips the torn tail either way.
+void TruncateFile(const std::string& path, long len) {
+  if (len < 0) return;
+  (void)::truncate(path.c_str(), static_cast<off_t>(len));
 }
 
 }  // namespace
@@ -62,6 +71,21 @@ Status ListDir(const std::string& path, std::vector<std::string>* out) {
   }
   ::closedir(d);
   std::sort(out->begin(), out->end());
+  return Status::OK();
+}
+
+Status FsyncDir(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("open dir %s: %s", path.c_str(),
+                                      std::strerror(errno)));
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal(StrFormat("fsync dir %s: %s", path.c_str(),
+                                      std::strerror(errno)));
+  }
   return Status::OK();
 }
 
@@ -120,20 +144,25 @@ Status ArchiveWriter::EnsureOpen() {
     return Status::Internal("short write on segment header: " + path);
   }
   seg_bytes_ = header.size();
+  dir_sync_pending_ = true;
   return Status::OK();
 }
 
 Status ArchiveWriter::Flush(bool fsync) {
   if (pending_.empty()) return Status::OK();
-  SQP_RETURN_NOT_OK(EnsureOpen());
-  if (std::fwrite(pending_.data(), 1, pending_.size(), f_) !=
-      pending_.size()) {
-    return Status::Internal("short write on segment for stream " + stream_);
+  Status st = FlushPendingLocked(fsync);
+  if (!st.ok()) {
+    // Abandon the (possibly half-written) segment and keep the buffer:
+    // the retry lands in a fresh file named for the buffer's first seq,
+    // and the reader's monotonic-seq guard drops whatever duplicate
+    // prefix of this batch made it to disk here.
+    if (f_ != nullptr) {
+      std::fclose(f_);
+      f_ = nullptr;
+    }
+    seg_bytes_ = 0;
+    return st;
   }
-  if (std::fflush(f_) != 0) {
-    return Status::Internal("fflush failed for stream " + stream_);
-  }
-  if (fsync) ::fsync(::fileno(f_));
   seg_bytes_ += pending_.size();
   bytes_written_ += pending_.size();
   pending_.clear();
@@ -144,6 +173,31 @@ Status ArchiveWriter::Flush(bool fsync) {
     std::fclose(f_);
     f_ = nullptr;
     seg_bytes_ = 0;
+  }
+  return Status::OK();
+}
+
+Status ArchiveWriter::FlushPendingLocked(bool fsync) {
+  SQP_RETURN_NOT_OK(EnsureOpen());
+  if (std::fwrite(pending_.data(), 1, pending_.size(), f_) !=
+      pending_.size()) {
+    return Status::Internal("short write on segment for stream " + stream_);
+  }
+  if (std::fflush(f_) != 0) {
+    return Status::Internal("fflush failed for stream " + stream_);
+  }
+  if (fsync) {
+    if (::fsync(::fileno(f_)) != 0) {
+      return Status::Internal(StrFormat("fsync failed for stream %s: %s",
+                                        stream_.c_str(),
+                                        std::strerror(errno)));
+    }
+    // First durable flush of a new segment also pins its directory
+    // entry; without this the file itself can vanish on power loss.
+    if (dir_sync_pending_) {
+      SQP_RETURN_NOT_OK(FsyncDir(dir_));
+      dir_sync_pending_ = false;
+    }
   }
   return Status::OK();
 }
@@ -176,8 +230,9 @@ Status ArchiveReader::OpenNextSegment(StreamCursor& c) {
       return Status::Internal(StrFormat("open %s: %s", path.c_str(),
                                         std::strerror(errno)));
     }
-    // Validate the header. A header cut short by a crash is a torn tail
-    // like any other: skip the (empty) segment.
+    // Validate the header. A header cut short by a crash means the
+    // segment holds nothing durable: drop the husk (best effort) and
+    // keep walking the chain — later segments are still valid.
     BufWriter expect;
     expect.U32(kSegmentMagic);
     expect.U32(kSegmentVersion);
@@ -187,10 +242,11 @@ Status ArchiveReader::OpenNextSegment(StreamCursor& c) {
     if (n != got.size() || got != expect.data()) {
       std::fclose(f);
       ++torn_streams_;
-      c.done = true;
-      return Status::OK();
+      (void)::unlink(path.c_str());
+      continue;
     }
     c.f = f;
+    c.cur_path = path;
     return Status::OK();
   }
   c.done = true;
@@ -204,6 +260,7 @@ Status ArchiveReader::AdvanceCursor(StreamCursor& c) {
       SQP_RETURN_NOT_OK(OpenNextSegment(c));
       continue;
     }
+    const long frame_off = std::ftell(c.f);
     char hdr[8];
     size_t n = std::fread(hdr, 1, sizeof(hdr), c.f);
     if (n == 0) {
@@ -230,14 +287,24 @@ Status ArchiveReader::AdvanceCursor(StreamCursor& c) {
       torn = !r.U64(&rec.seq).ok() || !r.Elem(&rec.element).ok() || !r.done();
     }
     if (torn) {
-      // The write the process died inside of. Everything after it in
-      // this stream is unreachable; stop the whole chain here.
+      // The write the process died inside of. Nothing past it in THIS
+      // segment is reachable, but segments written after a crash ->
+      // recover -> continue cycle sort later in the chain and hold
+      // records that were acknowledged durable — never stop the whole
+      // chain. Chop the garbage tail off so the next recovery starts
+      // clean, then carry on with the next segment file.
       std::fclose(c.f);
       c.f = nullptr;
-      c.done = true;
       ++torn_streams_;
-      return Status::OK();
+      TruncateFile(c.cur_path, frame_off);
+      continue;
     }
+    // Exactly-once guard: a flush retried after a short write can leave
+    // a record both in a broken segment's intact prefix and again in
+    // its replacement; drop non-advancing seqs.
+    if (c.emitted && rec.seq <= c.last_seq) continue;
+    c.last_seq = rec.seq;
+    c.emitted = true;
     rec.stream = c.stream;
     c.head = std::move(rec);
     c.has_head = true;

@@ -17,6 +17,9 @@ Status MakeDirs(const std::string& path);
 /// Regular entries (no dot files) of `path`, sorted ascending. OK with an
 /// empty result when the directory does not exist.
 Status ListDir(const std::string& path, std::vector<std::string>* out);
+/// fsync on the directory itself, pinning entries created/renamed in it
+/// against power loss.
+Status FsyncDir(const std::string& path);
 
 /// On-disk layout (one archive root per engine):
 ///
@@ -35,8 +38,12 @@ Status ListDir(const std::string& path, std::vector<std::string>* out);
 /// deterministic and keeps watermark ordering intact.
 ///
 /// Torn tails are expected (the process can die mid-write): a reader
-/// stops a stream at the first record whose frame is short or whose CRC
-/// mismatches, and everything before it is still valid.
+/// stops *within that segment* at the first record whose frame is short
+/// or whose CRC mismatches, truncates the garbage tail off the file
+/// (best effort), and continues with the stream's later segment files —
+/// a crash -> recover -> continue cycle appends to a fresh segment, so
+/// records acknowledged after the recovery must never be masked by an
+/// older torn frame.
 
 /// Serializes one record into its framed wire form.
 std::string FrameRecord(uint64_t seq, const Element& e);
@@ -62,13 +69,18 @@ class ArchiveWriter {
   /// Writes buffered records to the current segment, rotating to a new
   /// segment file once the current one exceeds the size bound. Flushes
   /// libc buffers to the OS (surviving kill -9); `fsync` additionally
-  /// survives an OS crash.
+  /// survives an OS crash (the fsync result is checked, and the first
+  /// durable flush of a segment also fsyncs its directory). On failure
+  /// the buffer is kept for retry and the current segment is abandoned,
+  /// so the retry lands in a fresh file.
   Status Flush(bool fsync);
 
   uint64_t bytes_written() const { return bytes_written_; }
 
  private:
   Status EnsureOpen();
+  /// The IO of Flush, without the success/failure bookkeeping.
+  Status FlushPendingLocked(bool fsync);
 
   std::string dir_;  // <root>/streams/<stream>
   std::string stream_;
@@ -79,6 +91,7 @@ class ArchiveWriter {
   FILE* f_ = nullptr;
   size_t seg_bytes_ = 0;
   uint64_t bytes_written_ = 0;
+  bool dir_sync_pending_ = false;  // New segment's dirent not yet fsynced.
 };
 
 /// One archived element, in global ingest order.
@@ -104,7 +117,8 @@ class ArchiveReader {
 
   /// Highest seq returned by Next so far (0 before the first record).
   uint64_t last_seq() const { return last_seq_; }
-  /// Streams whose tail was cut short by a torn/corrupt record.
+  /// Torn/corrupt segment tails encountered (each truncated at the last
+  /// intact record, best effort, before continuing with the chain).
   size_t torn_streams() const { return torn_streams_; }
 
  private:
@@ -114,13 +128,17 @@ class ArchiveReader {
     std::vector<std::string> segments;  // File names, sorted = seq order.
     size_t seg_index = 0;
     FILE* f = nullptr;
+    std::string cur_path;  // Path of the open segment (for tail repair).
     ArchivedRecord head;
     bool has_head = false;
     bool done = false;
+    uint64_t last_seq = 0;  // Exactly-once guard across segment overlap.
+    bool emitted = false;
   };
 
   /// Advances `c` to its next decodable record; marks it done at the
-  /// chain's end or on the first torn/corrupt frame.
+  /// chain's end. A torn/corrupt frame ends its segment (truncated at
+  /// the last intact record), not the chain.
   Status AdvanceCursor(StreamCursor& c);
   Status OpenNextSegment(StreamCursor& c);
 

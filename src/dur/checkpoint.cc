@@ -1,5 +1,7 @@
 #include "dur/checkpoint.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 
@@ -76,7 +78,7 @@ Status ParseCheckpoint(const std::string& bytes, Checkpoint* out) {
 }  // namespace
 
 Status WriteCheckpoint(const std::string& root, const Checkpoint& c,
-                       size_t keep) {
+                       size_t keep, bool fsync) {
   const std::string dir = root + "/ckpt";
   SQP_RETURN_NOT_OK(MakeDirs(dir));
 
@@ -107,6 +109,9 @@ Status WriteCheckpoint(const std::string& root, const Checkpoint& c,
   if (f == nullptr) return Status::Internal("open " + tmp);
   bool ok = std::fwrite(file.data().data(), 1, file.size(), f) == file.size();
   ok = std::fflush(f) == 0 && ok;
+  // Sync the contents before the rename publishes the file, or power
+  // loss could leave a fully renamed checkpoint full of zeroes.
+  if (fsync && ok) ok = ::fsync(::fileno(f)) == 0;
   std::fclose(f);
   if (!ok) {
     std::remove(tmp.c_str());
@@ -116,6 +121,7 @@ Status WriteCheckpoint(const std::string& root, const Checkpoint& c,
     std::remove(tmp.c_str());
     return Status::Internal("rename " + tmp + " -> " + final_path);
   }
+  if (fsync) SQP_RETURN_NOT_OK(FsyncDir(dir));
 
   std::vector<std::string> files;
   SQP_RETURN_NOT_OK(ListDir(dir, &files));

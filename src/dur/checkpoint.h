@@ -37,8 +37,11 @@ struct Checkpoint {
 
 /// Writes `c` under `<root>/ckpt/` (tmp file + atomic rename, CRC over
 /// the body) and prunes all but the newest `keep` checkpoint files.
+/// `fsync` additionally syncs the file before the rename and the
+/// directory after it, so the checkpoint survives OS/power failure —
+/// pass the archive's fsync option so both halves share one contract.
 Status WriteCheckpoint(const std::string& root, const Checkpoint& c,
-                       size_t keep);
+                       size_t keep, bool fsync = false);
 
 /// Loads the newest readable checkpoint. Files whose CRC fails (e.g. a
 /// crash mid-prune corrupted nothing — rename is atomic — but disks

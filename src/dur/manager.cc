@@ -47,10 +47,9 @@ ArchiveWriter* DurabilityManager::WriterForLocked(const std::string& stream) {
   return it->second.get();
 }
 
-uint64_t DurabilityManager::Append(const std::string& stream,
-                                   const Element& e) {
-  const uint64_t seq = next_seq_++;
-  ++since_checkpoint_;
+Result<uint64_t> DurabilityManager::Append(const std::string& stream,
+                                           const Element& e) {
+  const uint64_t seq = next_seq_;
   // Frame into the reused scratch buffer — ingest thread only, so a
   // single member buffer makes the steady-state append allocation-free.
   scratch_.Clear();
@@ -60,11 +59,17 @@ uint64_t DurabilityManager::Append(const std::string& stream,
   bool flush_inline = opts_.flush_interval_ms <= 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // A sticky IO failure (disk full, bad archive dir) means nothing
+    // buffered here will ever reach disk: refuse the record so ingest
+    // fails loudly instead of growing the buffer without bound.
+    if (!flush_error_.ok()) return flush_error_;
     WriterForLocked(stream)->AppendFramed(seq, scratch_.data());
     pending_bytes_ += framed_bytes;
     flush_inline = flush_inline || pending_bytes_ >= opts_.flush_buffer_bytes;
-    if (flush_inline) FlushLocked();
+    if (flush_inline) SQP_RETURN_NOT_OK(FlushLocked());
   }
+  ++next_seq_;
+  ++since_checkpoint_;
 
   appended_.fetch_add(1, std::memory_order_relaxed);
   bytes_total_.fetch_add(framed_bytes, std::memory_order_relaxed);
@@ -79,7 +84,11 @@ Status DurabilityManager::FlushLocked() {
     Status st = writer->Flush(opts_.fsync);
     if (!st.ok() && flush_error_.ok()) flush_error_ = st;
   }
-  pending_bytes_ = 0;
+  // A failed writer keeps its unwritten buffer: recompute instead of
+  // zeroing so the byte-threshold trigger still sees it.
+  size_t still_pending = 0;
+  for (auto& [name, writer] : writers_) still_pending += writer->pending_bytes();
+  pending_bytes_ = still_pending;
   flushes_.fetch_add(1, std::memory_order_relaxed);
   if (flushes_ctr_ != nullptr) flushes_ctr_->Inc();
   return flush_error_;

@@ -58,8 +58,12 @@ class DurabilityManager {
   Status Open();
 
   /// Assigns the next global seq, frames the record, and buffers it for
-  /// the stream's segment chain. Ingest thread only.
-  uint64_t Append(const std::string& stream, const Element& e);
+  /// the stream's segment chain. Ingest thread only. Fails (without
+  /// buffering or consuming a seq) once any flush has hit a sticky IO
+  /// error — the ingest path must stop rather than acknowledge elements
+  /// that will never reach disk — and propagates the error of an inline
+  /// flush it triggered.
+  Result<uint64_t> Append(const std::string& stream, const Element& e);
 
   /// Group commit: writes every stream's pending records and flushes to
   /// the OS. Safe from any thread.
@@ -105,7 +109,7 @@ class DurabilityManager {
   std::map<std::string, std::unique_ptr<ArchiveWriter>> writers_;
   size_t pending_bytes_ = 0;
   bool stop_ = false;
-  Status flush_error_;  // First IO failure, sticky; surfaced by Flush().
+  Status flush_error_;  // First IO failure, sticky; fails Append/Flush.
 
   std::atomic<uint64_t> appended_{0};
   std::atomic<uint64_t> flushes_{0};

@@ -230,8 +230,10 @@ QueryServer::Response QueryServer::HandleSubmit(const HttpRequest& req) {
 
   uint64_t replayed = 0;
   if (replay) {
-    // New query over the archived past: pour the archive through it
-    // before any live element arrives, then live ingest takes over.
+    // New query over the archived past. Submit stamped the handle with
+    // the archive position at registration, and ReplayInto stops there:
+    // elements ingested between Submit and this call are delivered live
+    // only, never replayed on top — no duplicates in the session.
     Result<uint64_t> poured = engine_->ReplayInto(sess->handle);
     if (!poured.ok()) {
       sess->queue.Close();

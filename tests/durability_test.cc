@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 #include <signal.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -177,18 +178,107 @@ TEST(DurArchiveTest, TornTailTruncatesAtLastIntactRecord) {
   std::fwrite(garbage, 1, sizeof(garbage), f);
   std::fclose(f);
 
-  dur::ArchiveReader reader(root);
-  ASSERT_TRUE(reader.Open().ok());
+  std::string seg_path = dir + "/" + segs[0];
+  struct stat st {};
+  ASSERT_EQ(::stat(seg_path.c_str(), &st), 0);
+  const off_t torn_size = st.st_size;
+
+  {
+    dur::ArchiveReader reader(root);
+    ASSERT_TRUE(reader.Open().ok());
+    dur::ArchivedRecord rec;
+    int n = 0;
+    while (true) {
+      auto has = reader.Next(&rec);
+      ASSERT_TRUE(has.ok());
+      if (!*has) break;
+      ++n;
+    }
+    EXPECT_EQ(n, 10);  // All intact records, none invented.
+    EXPECT_EQ(reader.torn_streams(), 1u);
+  }
+
+  // The reader physically repaired the tail: the garbage is gone and a
+  // second pass sees a clean chain.
+  ASSERT_EQ(::stat(seg_path.c_str(), &st), 0);
+  EXPECT_EQ(st.st_size, torn_size - static_cast<off_t>(sizeof(garbage)));
+  dur::ArchiveReader again(root);
+  ASSERT_TRUE(again.Open().ok());
   dur::ArchivedRecord rec;
   int n = 0;
   while (true) {
-    auto has = reader.Next(&rec);
+    auto has = again.Next(&rec);
     ASSERT_TRUE(has.ok());
     if (!*has) break;
     ++n;
   }
-  EXPECT_EQ(n, 10);  // All intact records, none invented.
+  EXPECT_EQ(n, 10);
+  EXPECT_EQ(again.torn_streams(), 0u);
+}
+
+TEST(DurArchiveTest, TornSegmentDoesNotMaskLaterSegments) {
+  std::string root = TempDir("torn-chain");
+  // Segment 1 (seqs 1..3) from a writer that "crashed" mid-frame, then a
+  // successor segment (seqs 3..5) from the restarted writer — the seq-3
+  // overlap mimics a flush retried after a short write.
+  {
+    dur::ArchiveWriter w(root, "s", /*segment_bytes=*/64u << 20);
+    for (uint64_t seq = 1; seq <= 3; ++seq) {
+      w.AppendFramed(seq, dur::FrameRecord(seq, Element(Pkt(1, 1, 6, 1))));
+    }
+    ASSERT_TRUE(w.Flush(false).ok());
+  }
+  std::vector<std::string> segs;
+  ASSERT_TRUE(dur::ListDir(root + "/streams/s", &segs).ok());
+  ASSERT_EQ(segs.size(), 1u);
+  FILE* f = std::fopen((root + "/streams/s/" + segs[0]).c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  const char garbage[] = {0x7F, 0x01, 0x02};
+  std::fwrite(garbage, 1, sizeof(garbage), f);
+  std::fclose(f);
+  {
+    dur::ArchiveWriter w(root, "s", 64u << 20);
+    for (uint64_t seq = 3; seq <= 5; ++seq) {
+      w.AppendFramed(seq, dur::FrameRecord(seq, Element(Pkt(1, 1, 6, 1))));
+    }
+    ASSERT_TRUE(w.Flush(false).ok());
+  }
+
+  // The torn frame ends its segment, not the chain: the successor's
+  // records still replay, exactly once each.
+  dur::ArchiveReader reader(root);
+  ASSERT_TRUE(reader.Open().ok());
+  dur::ArchivedRecord rec;
+  std::vector<uint64_t> seqs;
+  while (true) {
+    auto has = reader.Next(&rec);
+    ASSERT_TRUE(has.ok()) << has.status().ToString();
+    if (!*has) break;
+    seqs.push_back(rec.seq);
+  }
+  EXPECT_EQ(seqs, (std::vector<uint64_t>{1, 2, 3, 4, 5}));
   EXPECT_EQ(reader.torn_streams(), 1u);
+}
+
+TEST(DurManagerTest, AppendSurfacesStickyFlushError) {
+  std::string root = TempDir("ioerr") + "/arch";
+  // Block the stream's directory slot with a regular file so the
+  // segment open fails — a stand-in for any persistent IO error.
+  ASSERT_TRUE(dur::MakeDirs(root + "/streams").ok());
+  FILE* blocker = std::fopen((root + "/streams/s").c_str(), "wb");
+  ASSERT_NE(blocker, nullptr);
+  std::fclose(blocker);
+
+  dur::DurabilityOptions opt;
+  opt.flush_interval_ms = 0;  // Inline flush: the failure is immediate.
+  dur::DurabilityManager mgr(root, opt, nullptr);
+  ASSERT_TRUE(mgr.Open().ok());
+  auto first = mgr.Append("s", Element(Pkt(1, 1, 6, 1)));
+  EXPECT_FALSE(first.ok());  // The inline flush it triggered failed.
+  auto second = mgr.Append("s", Element(Pkt(2, 1, 6, 2)));
+  EXPECT_FALSE(second.ok());  // Sticky: refused outright, not buffered.
+  EXPECT_EQ(mgr.appended(), 0u);
+  EXPECT_FALSE(mgr.Flush().ok());
 }
 
 // ---------------------------------------------------------------------
@@ -447,6 +537,85 @@ TEST(EngineDurabilityTest, ReplayIntoNewQueryOverArchivedPast) {
   auto rq = ref.Submit("select ts from packets where len > 10");
   ASSERT_TRUE(rq.ok());
   IngestRange(ref, 0, 150);
+  ref.FinishAll();
+  EXPECT_EQ(Rows(*q), Rows(*rq));
+}
+
+TEST(EngineDurabilityTest, TornTailDoesNotMaskRecordsAfterRestart) {
+  std::string dir = TempDir("torn-restart");
+  // Run 1: durable ingest, then a crash tears the segment tail.
+  {
+    StreamEngine engine;
+    ASSERT_TRUE(engine.RegisterStream("packets", gen::PacketSchema()).ok());
+    ASSERT_TRUE(engine.Submit(kAggQuery).ok());
+    dur::DurabilityOptions opt;
+    opt.flush_interval_ms = 0;
+    ASSERT_TRUE(engine.EnableDurability(dir, opt).ok());
+    IngestRange(engine, 0, 100);
+  }
+  std::vector<std::string> segs;
+  ASSERT_TRUE(dur::ListDir(dir + "/streams/packets", &segs).ok());
+  ASSERT_FALSE(segs.empty());
+  FILE* f =
+      std::fopen((dir + "/streams/packets/" + segs.back()).c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  const char garbage[] = {0x2A, 0x00, 0x00, 0x01, 0x55};
+  std::fwrite(garbage, 1, sizeof(garbage), f);
+  std::fclose(f);
+
+  // Run 2: recover past the torn frame and keep ingesting — the new
+  // records land in a segment that sorts after the torn one.
+  {
+    StreamEngine engine;
+    ASSERT_TRUE(engine.RegisterStream("packets", gen::PacketSchema()).ok());
+    ASSERT_TRUE(engine.Submit(kAggQuery).ok());
+    dur::DurabilityOptions opt;
+    opt.flush_interval_ms = 0;
+    ASSERT_TRUE(engine.EnableDurability(dir, opt).ok());
+    IngestRange(engine, 100, 200);
+    engine.FinishAll();
+  }
+
+  // Run 3: a full replay must see run 2's records — the stale torn
+  // frame (already truncated away by run 2's recovery) must not end the
+  // chain early and silently drop data that was acknowledged durable.
+  StreamEngine engine;
+  ASSERT_TRUE(engine.RegisterStream("packets", gen::PacketSchema()).ok());
+  auto q = engine.Submit(kAggQuery);
+  ASSERT_TRUE(q.ok());
+  dur::DurabilityOptions opt;
+  opt.use_checkpoint = false;
+  ASSERT_TRUE(engine.EnableDurability(dir, opt).ok());
+  EXPECT_EQ(engine.recovery_report().replayed_tuples, 200u);
+  engine.FinishAll();
+  EXPECT_EQ(Rows(*q), ReferenceRows(200));
+}
+
+TEST(EngineDurabilityTest, ReplayIntoStopsAtSubmitBoundary) {
+  std::string dir = TempDir("replay-bound");
+  StreamEngine engine;
+  ASSERT_TRUE(engine.RegisterStream("packets", gen::PacketSchema()).ok());
+  ASSERT_TRUE(engine.EnableDurability(dir, {}).ok());
+  IngestRange(engine, 0, 50);
+
+  auto q = engine.Submit("select ts from packets where len > 10");
+  ASSERT_TRUE(q.ok());
+  // Elements arriving between Submit and ReplayInto are delivered live;
+  // the replay must stop at the Submit-time archive position so they
+  // are not delivered a second time.
+  IngestRange(engine, 50, 80);
+  auto replayed = engine.ReplayInto(*q);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_EQ(*replayed, 50u);
+
+  IngestRange(engine, 80, 100);
+  engine.FinishAll();
+
+  StreamEngine ref;
+  ASSERT_TRUE(ref.RegisterStream("packets", gen::PacketSchema()).ok());
+  auto rq = ref.Submit("select ts from packets where len > 10");
+  ASSERT_TRUE(rq.ok());
+  IngestRange(ref, 0, 100);
   ref.FinishAll();
   EXPECT_EQ(Rows(*q), Rows(*rq));
 }
