@@ -17,7 +17,15 @@
 //   \metrics=prom   same snapshot in Prometheus text exposition format
 //   \top            live refreshing dashboard from the continuous
 //                   monitor: stream rates, per-operator throughput and
-//                   selectivity, backlog, latency p50/p99, drop rates
+//                   selectivity, backlog, latency p50/p99, watermark
+//                   lag, drop rates
+//   \explain analyze [qN]
+//                   per-operator profile of a running query (mid-run and
+//                   final): rows in/out, selectivity, busy time, queue
+//                   wait, state bytes, watermark lag vs the source
+//   \events         dump the engine's structured event log after the
+//                   run (query lifecycle, checkpoints, replay, shed
+//                   gates, admission rejections, shard stalls)
 //
 //   ./build/examples/sqpsh --tuples 50000 '\metrics'
 //     "select tb, src_ip, sum(len) from packets where protocol = 6
@@ -82,6 +90,9 @@ void Usage() {
       "                    /session/<id>/results (0 = ephemeral port)\n"
       "  --rate N          pace ingest at N tuples/s per stream (serve\n"
       "                    mode; 0 = full speed, the default)\n"
+      "  --punct N         inject an event-time watermark into every stream\n"
+      "                    each N tuples, so windows close and \\explain\n"
+      "                    analyze / \\top report watermark lag (0 = off)\n"
       "  --max-sessions N  admission cap on concurrent server queries\n"
       "  --connect H:P     act as a client: submit the query to a running\n"
       "                    --serve endpoint, stream --rows rows, close\n"
@@ -102,8 +113,58 @@ void Usage() {
       "commands:\n"
       "  \\metrics[=json|prom]  metrics snapshot mid-run and after the run\n"
       "  \\top                  live monitor dashboard (rates, selectivity,\n"
-      "                        backlog, latency, drop rates)\n"
+      "                        backlog, latency, watermark lag, drop rates)\n"
+      "  \\explain analyze [qN] per-operator query profile (rows, sel,\n"
+      "                        busy, queue wait, state, watermark lag)\n"
+      "  \\events               dump the engine's structured event log\n"
       "streams: packets, cdr, sensors\n");
+}
+
+/// True for a query label the engine assigns ("q0", "q12", ...).
+bool IsQueryLabel(const char* s) {
+  if (s[0] != 'q' || s[1] == '\0') return false;
+  for (const char* p = s + 1; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+  }
+  return true;
+}
+
+/// EXPLAIN ANALYZE for every profiled query (or just `target` when
+/// non-empty), rendered from a live profiler snapshot.
+void PrintProfiles(const sqp::StreamEngine& engine,
+                   const std::vector<sqp::QueryHandle*>& handles,
+                   const std::string& target, const char* when) {
+  bool any = false;
+  for (const sqp::QueryHandle* q : handles) {
+    if (!target.empty() && q->metrics_label() != target) continue;
+    sqp::obs::QueryProfile profile;
+    if (!engine.ProfileSnapshot(q, &profile)) continue;
+    any = true;
+    std::printf("\n--- explain analyze (%s) ---\n%s", when,
+                profile.Pretty().c_str());
+  }
+  if (!any) {
+    std::printf("\n--- explain analyze (%s) ---\n"
+                "no profiled query%s%s\n",
+                when, target.empty() ? "" : " matching ",
+                target.c_str());
+  }
+}
+
+void PrintEvents(const sqp::StreamEngine& engine) {
+  const std::vector<sqp::obs::EngineEvent> events = engine.Events().Tail();
+  std::printf("\n--- events (%zu retained of %llu emitted) ---\n",
+              events.size(),
+              static_cast<unsigned long long>(engine.Events().total()));
+  const int64_t base = events.empty() ? 0 : events.front().wall_ms;
+  for (const sqp::obs::EngineEvent& e : events) {
+    std::printf("  #%-4llu t+%8.3fs %-20s %-4s %s\n",
+                static_cast<unsigned long long>(e.seq),
+                static_cast<double>(e.wall_ms - base) * 1e-3,
+                sqp::obs::EventKindName(e.kind),
+                e.query.empty() ? "-" : e.query.c_str(),
+                e.message.c_str());
+  }
 }
 
 void PrintMetrics(const sqp::StreamEngine& engine, MetricsMode mode,
@@ -275,6 +336,7 @@ int main(int argc, char** argv) {
   int64_t shards = 0;  // 0 = sharding off.
   int64_t serve_port = -1;     // < 0 = no query server.
   int64_t rate = 0;            // Tuples/s per stream (0 = full speed).
+  int64_t punct_every = 0;     // Watermark every N tuples (0 = none).
   int64_t max_sessions = 0;    // 0 = server default.
   std::string connect_hostport;  // Client mode when non-empty.
   std::string client_policy;
@@ -284,6 +346,9 @@ int main(int argc, char** argv) {
   bool ignore_checkpoint = false;
   bool replay_mode = false;
   bool top_mode = false;
+  bool explain_analyze = false;
+  std::string explain_target;  // Empty = every query.
+  bool events_mode = false;
   MetricsMode metrics_mode = MetricsMode::kOff;
   std::vector<std::string> query_texts;
   for (int i = 1; i < argc; ++i) {
@@ -313,6 +378,8 @@ int main(int argc, char** argv) {
       serve_port = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc) {
       rate = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--punct") == 0 && i + 1 < argc) {
+      punct_every = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--max-sessions") == 0 && i + 1 < argc) {
       max_sessions = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
@@ -341,6 +408,33 @@ int main(int argc, char** argv) {
       metrics_mode = MetricsMode::kProm;
     } else if (std::strcmp(argv[i], "\\top") == 0) {
       top_mode = true;
+    } else if (std::strncmp(argv[i], "\\explain", 8) == 0) {
+      // \explain analyze [qN] — "analyze" and the label work both inside
+      // one quoted argument ('\explain analyze q0') and as separate ones.
+      explain_analyze = true;
+      std::string words = argv[i] + 8;
+      while (i + 1 < argc && (std::strcmp(argv[i + 1], "analyze") == 0 ||
+                              IsQueryLabel(argv[i + 1]))) {
+        words += " ";
+        words += argv[++i];
+      }
+      size_t pos = 0;
+      while (pos < words.size()) {
+        size_t sp = words.find(' ', pos);
+        if (sp == std::string::npos) sp = words.size();
+        std::string word = words.substr(pos, sp - pos);
+        pos = sp + 1;
+        if (word.empty() || word == "analyze") continue;
+        if (IsQueryLabel(word.c_str())) {
+          explain_target = word;
+        } else {
+          std::fprintf(stderr, "\\explain: want [analyze] [qN], got %s\n",
+                       word.c_str());
+          return 2;
+        }
+      }
+    } else if (std::strcmp(argv[i], "\\events") == 0) {
+      events_mode = true;
     } else if (argv[i][0] == '\\') {
       std::fprintf(stderr, "unknown command: %s\n", argv[i]);
       Usage();
@@ -409,7 +503,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("serving http://localhost:%d/metrics (also /snapshot.json, "
-                "/series.json)\n\n", *bound);
+                "/series.json, /events.json, /profile/<q>.json)\n\n", *bound);
   }
   if (serve_port >= 0) {
     server::QueryServerOptions sopt;
@@ -530,9 +624,25 @@ int main(int argc, char** argv) {
   const int64_t top_every = top_mode && tuples >= 5 ? tuples / 5 : 0;
   const auto ingest_start = std::chrono::steady_clock::now();
   for (int64_t i = 0; i < tuples; ++i) {
-    (void)engine.Ingest("packets", packets.Next());
-    (void)engine.Ingest("cdr", cdrs.Next());
-    (void)engine.Ingest("sensors", sensors.Next());
+    TupleRef packet = packets.Next();
+    const int64_t packet_ts = packet->ts();
+    (void)engine.Ingest("packets", std::move(packet));
+    TupleRef cdr = cdrs.Next();
+    const int64_t cdr_ts = cdr->ts();
+    (void)engine.Ingest("cdr", std::move(cdr));
+    TupleRef sensor = sensors.Next();
+    const int64_t sensor_ts = sensor->ts();
+    (void)engine.Ingest("sensors", std::move(sensor));
+    if (punct_every > 0 && (i + 1) % punct_every == 0) {
+      // Event-time watermarks let windows close and give the profiler
+      // (\explain analyze, \top) a real per-operator lag to report.
+      (void)engine.IngestElement("packets",
+                                 Element(Punctuation::Watermark(packet_ts)));
+      (void)engine.IngestElement("cdr",
+                                 Element(Punctuation::Watermark(cdr_ts)));
+      (void)engine.IngestElement("sensors",
+                                 Element(Punctuation::Watermark(sensor_ts)));
+    }
     if (rate > 0 && (i & 255) == 0) {
       // Pace to `rate` tuples/s per stream so server clients see a
       // steady feed instead of one burst.
@@ -542,6 +652,9 @@ int main(int argc, char** argv) {
     }
     if (i == midpoint && metrics_mode == MetricsMode::kPretty) {
       PrintMetrics(engine, metrics_mode, "mid-run, live");
+    }
+    if (i == midpoint && explain_analyze) {
+      PrintProfiles(engine, handles, explain_target, "mid-run, live");
     }
     if (top_every > 0 && i > 0 && i % top_every == 0) {
       // Force a sample so the dashboard is fresh even when the run is
@@ -579,6 +692,10 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   PrintMetrics(engine, metrics_mode, "final");
+  if (explain_analyze) {
+    PrintProfiles(engine, handles, explain_target, "final");
+  }
+  if (events_mode) PrintEvents(engine);
   if (top_mode) {
     engine.monitor()->TickOnce();
     std::printf("\n--- top (final) ---\n%s",

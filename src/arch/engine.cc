@@ -1,5 +1,7 @@
 #include "arch/engine.h"
 
+#include <cstdio>
+
 #include "obs/trace.h"
 
 namespace sqp {
@@ -63,6 +65,14 @@ class QueryStageOp : public Operator {
 
 }  // namespace
 
+StreamEngine::StreamEngine() {
+  // Per-query watermark gauges (sqp_query_watermark_lag,
+  // sqp_query_source_watermark) join every snapshot/scrape.
+  metrics_.AddCollector("profiler", [this](obs::SnapshotBuilder& b) {
+    profiler_.Publish(b);
+  });
+}
+
 Status StreamEngine::RegisterStream(const std::string& name, SchemaRef schema,
                                     std::vector<FieldDomain> domains,
                                     StreamOptions options) {
@@ -99,6 +109,17 @@ Result<QueryHandle*> StreamEngine::Submit(const std::string& query_text,
       options.collect ? handle->sink_.get() : nullptr, &handle->callback_,
       handle->latency_hist_, &handle->pending_ingest_ns_);
   handle->query_->AttachSink(handle->tee_.get());
+
+  // Profile the query: one OpProfile slot per plan operator plus a
+  // source-side watermark tap. After AttachSink so the plan root has
+  // its outward edge (BindPlan's liveness walk reads output()).
+  if (metrics_enabled_) {
+    handle->profile_source_ =
+        profiler_.Register(handle->metrics_label_, query_text);
+    profiler_.BindPlan(handle->metrics_label_, handle->query_->plan());
+  }
+  events_.Emit(obs::EventKind::kQuerySubmit, handle->metrics_label_,
+               query_text);
 
   // Wire per-input front-ends: reorder and/or heartbeat per the owning
   // stream's options.
@@ -272,6 +293,8 @@ Status StreamEngine::EnableSharding(QueryHandle* handle,
 
   cql::CompiledQuery* q = handle->query_.get();
   options.columnar = options.columnar || handle->columnar_;
+  options.events = &events_;
+  options.event_label = LabelFor(handle);
   handle->shard_rewrites_ = ShardStatefulOps(q->plan(), options);
   for (const ShardRewrite& rw : handle->shard_rewrites_) {
     if (rw.sharded == nullptr) continue;
@@ -283,6 +306,14 @@ Status StreamEngine::EnableSharding(QueryHandle* handle,
   if (handle->sharded_ops_.empty()) return Status::OK();
 
   const std::string label = LabelFor(handle);
+  // The rewrite spliced new operators (each ShardedOp) into the plan:
+  // re-bind metrics (existing slots are reused, the ShardedOps get
+  // fresh ones) and re-walk the profile tree, which also drops the
+  // disconnected originals from the EXPLAIN ANALYZE view.
+  if (metrics_enabled_ && handle->profile_source_ != nullptr) {
+    q->plan().BindMetrics(metrics_, label);
+    profiler_.BindPlan(label, q->plan());
+  }
   metrics_.AddCollector("shards:" + label,
                         [handle, label](obs::SnapshotBuilder& b) {
                           for (const ShardedOp* op : handle->sharded_ops_) {
@@ -294,6 +325,13 @@ Status StreamEngine::EnableSharding(QueryHandle* handle,
 
 void StreamEngine::DeliverDirect(QueryHandle& q, const QueryHandle::Tap& tap,
                                  const Element& e) {
+  // Source-side watermark tap: stamp (event ts, ingest ns) so the
+  // profiler can report per-operator lag and propagation delay against
+  // what actually entered the query.
+  if (q.profile_source_ != nullptr && e.is_punctuation() &&
+      !e.punctuation().has_key) {
+    q.profile_source_->OnWatermark(e.punctuation().ts);
+  }
   // Arm the end-to-end latency probe on every Nth tuple that actually
   // enters the query (post-shedding, so dropped tuples don't leave a
   // stale timestamp that a much later output would claim). Countdown
@@ -344,7 +382,16 @@ Status StreamEngine::IngestElement(const std::string& stream,
   // out results that no recovery could reproduce.
   if (dur_ != nullptr) {
     auto seq = dur_->Append(stream, e);
-    if (!seq.ok()) return seq.status();
+    if (!seq.ok()) {
+      if (!flush_error_logged_) {
+        // Once per sticky failure, not once per rejected ingest.
+        flush_error_logged_ = true;
+        events_.Emit(obs::EventKind::kFlushError, "",
+                     "archive append failed on stream '" + stream +
+                         "': " + seq.status().ToString());
+      }
+      return seq.status();
+    }
   }
   for (auto& q : queries_) {
     for (const QueryHandle::Tap& tap : q->taps_) {
@@ -383,6 +430,14 @@ Result<int> StreamEngine::ServeMetrics(int port) {
   }
   if (monitor_ == nullptr) StartMonitor();
   http_ = std::make_unique<obs::HttpExporter>(&metrics_, monitor_.get());
+  http_->SetEventLog(&events_);
+  http_->SetProfileSource(
+      [this](const std::string& label, std::string* json) {
+        obs::QueryProfile profile;
+        if (!profiler_.Snapshot(label, &profile)) return false;
+        *json = profile.ToJson();
+        return true;
+      });
   SQP_RETURN_NOT_OK(http_->Serve(port));
   return http_->port();
 }
@@ -446,10 +501,24 @@ Status StreamEngine::EnableAdaptiveShedding(QueryHandle* handle,
   // -> gate drop probability. Runs on the ticking thread with no locks
   // held; the gate's rate is atomic.
   monitor_->AddTickListener(
-      "shed:" + label, [handle, probe = std::move(probe)](uint64_t) {
+      "shed:" + label,
+      [this, handle, label, probe = std::move(probe)](uint64_t) {
         size_t backlog = probe();
         handle->shed_backlog_.store(backlog, std::memory_order_relaxed);
-        handle->shed_gate_->set_drop_rate(handle->shedder_->Observe(backlog));
+        const double rate = handle->shedder_->Observe(backlog);
+        handle->shed_gate_->set_drop_rate(rate);
+        // Gate transitions (crossing 1% drop probability) are lifecycle
+        // events; shed_active_ is only ever touched on this thread.
+        const bool active = rate > 0.01;
+        if (active != handle->shed_active_) {
+          handle->shed_active_ = active;
+          char msg[96];
+          std::snprintf(msg, sizeof(msg),
+                        "drop rate %.3f, backlog %zu", rate, backlog);
+          events_.Emit(active ? obs::EventKind::kShedActivated
+                              : obs::EventKind::kShedDeactivated,
+                       label, msg);
+        }
       });
   return Status::OK();
 }
@@ -515,6 +584,18 @@ Status StreamEngine::Remove(QueryHandle* handle) {
     metrics_.RemoveCollector("shed:" + label);
   }
 
+  // Detach the profile slots before their storage goes: the query is
+  // drained (workers joined above), so no operator thread can still be
+  // writing through them. Unregister barriers on in-flight snapshots.
+  if (handle->profile_source_ != nullptr) {
+    for (const auto& op : handle->query_->plan().operators()) {
+      op->BindProfile(nullptr);
+    }
+    profiler_.Unregister(handle->metrics_label_);
+  }
+  events_.Emit(obs::EventKind::kQueryStop, handle->metrics_label_,
+               handle->text_);
+
   queries_.erase(queries_.begin() + static_cast<long>(index));
   return Status::OK();
 }
@@ -544,6 +625,21 @@ void StreamEngine::FinishAll() {
     // everything from the checkpoint and replays nothing.
     (void)CheckpointLocked();
   }
+}
+
+bool StreamEngine::ProfileSnapshot(const std::string& label,
+                                   obs::QueryProfile* out) const {
+  return profiler_.Snapshot(label, out);
+}
+
+bool StreamEngine::ProfileSnapshot(const QueryHandle* handle,
+                                   obs::QueryProfile* out) const {
+  if (handle == nullptr || handle->metrics_label_.empty()) return false;
+  return profiler_.Snapshot(handle->metrics_label_, out);
+}
+
+std::vector<std::string> StreamEngine::ProfiledQueries() const {
+  return profiler_.Labels();
 }
 
 size_t StreamEngine::TotalStateBytes() const {

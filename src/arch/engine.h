@@ -12,8 +12,10 @@
 #include "cql/planner.h"
 #include "dur/checkpointable.h"
 #include "dur/manager.h"
+#include "exec/profiler.h"
 #include "exec/reorder.h"
 #include "exec/sharding.h"
+#include "obs/event_log.h"
 #include "obs/http_exporter.h"
 #include "obs/monitor.h"
 #include "obs/registry.h"
@@ -218,6 +220,12 @@ class QueryHandle {
   std::unique_ptr<Operator> shed_fwd_;
   std::unique_ptr<FeedbackShedder> shedder_;
   std::atomic<size_t> shed_backlog_{0};
+  // Profiler tap stamping every watermark entering this query (set at
+  // Submit when metrics are on); owned by the engine's QueryProfiler.
+  obs::QueryProfiler::SourceWatermark* profile_source_ = nullptr;
+  // Shed-gate transition tracker for the event log; touched only by the
+  // monitor tick listener thread.
+  bool shed_active_ = false;
 };
 
 /// The engine: a registry of streams and standing queries with shared
@@ -235,7 +243,7 @@ class QueryHandle {
 /// ingest from processing behind bounded queues.
 class StreamEngine {
  public:
-  StreamEngine() = default;
+  StreamEngine();
 
   /// Registers a stream with optional domain metadata and per-stream
   /// disorder/heartbeat handling.
@@ -327,6 +335,26 @@ class StreamEngine {
   /// branch per element.
   void SetMetricsEnabled(bool on) { metrics_enabled_ = on; }
   bool metrics_enabled() const { return metrics_enabled_; }
+
+  /// The engine's structured event log: a bounded ring of timestamped
+  /// lifecycle events (query submit/stop, checkpoints, replay, shed-gate
+  /// transitions, shard backpressure stalls, durability flush errors).
+  /// Exported at /events.json and tailed by `sqpsh \events`. Safe from
+  /// any thread.
+  obs::EventLog& Events() { return events_; }
+  const obs::EventLog& Events() const { return events_; }
+
+  /// Copies one query's profile (the EXPLAIN ANALYZE payload): per-
+  /// operator rows in/out, selectivity, busy time, batch-size shape,
+  /// queue wait, state bytes, and event-time watermark lag against the
+  /// query's source watermark. Queries submitted while metrics were
+  /// enabled are profiled; returns false for unknown or unprofiled
+  /// labels. Safe from any thread while ingest runs.
+  bool ProfileSnapshot(const std::string& label, obs::QueryProfile* out) const;
+  bool ProfileSnapshot(const QueryHandle* handle,
+                       obs::QueryProfile* out) const;
+  /// Labels of the currently profiled queries.
+  std::vector<std::string> ProfiledQueries() const;
 
   /// Samples every Nth ingested tuple's path through its plan(s) into
   /// the trace ring (0 = off). Takes effect for queries submitted after
@@ -465,6 +493,12 @@ class StreamEngine {
   // reference per-query executors are only invoked via TakeSnapshot,
   // never during destruction.
   obs::MetricsRegistry metrics_;
+  // Like metrics_, both outlive queries_ (declared before, destroyed
+  // after): operators hold OpProfile* slots into profiler_ entries and
+  // write through them up to their final Flush, and teardown paths emit
+  // events until the last handle dies.
+  obs::EventLog events_;
+  obs::QueryProfiler profiler_;
   std::map<std::string, obs::Counter*> ingest_counters_;
   bool metrics_enabled_ = true;
   std::vector<std::unique_ptr<QueryHandle>> queries_;
@@ -477,6 +511,9 @@ class StreamEngine {
   std::unique_ptr<dur::DurabilityManager> dur_;
   RecoveryReport recovery_;
   uint64_t ckpt_id_ = 0;  // Last checkpoint id written or recovered.
+  // One kFlushError event per sticky archive failure, not one per
+  // rejected ingest (written on the ingest thread).
+  bool flush_error_logged_ = false;
   obs::Counter* dur_ckpt_ctr_ = nullptr;
   obs::Counter* dur_replay_ctr_ = nullptr;
   uint64_t latency_sample_every_ = 256;

@@ -125,6 +125,11 @@ Status StreamEngine::CheckpointLocked() {
   if (dur_ckpt_ctr_ != nullptr) dur_ckpt_ctr_->Inc();
   metrics_.GetGauge("sqp_dur_checkpoint_position")
       ->Set(static_cast<double>(ckpt.position));
+  events_.Emit(obs::EventKind::kCheckpointWritten, "",
+               StrFormat("checkpoint #%llu at seq %llu (%zu queries)",
+                         static_cast<unsigned long long>(ckpt.id),
+                         static_cast<unsigned long long>(ckpt.position),
+                         ckpt.queries.size()));
   return Status::OK();
 }
 
@@ -194,7 +199,17 @@ Status StreamEngine::RecoverLocked() {
     recovery_.checkpoint_loaded = true;
     recovery_.checkpoint_id = ckpt.id;
     recovery_.checkpoint_position = ckpt.position;
+    events_.Emit(
+        obs::EventKind::kCheckpointRestored, "",
+        StrFormat("checkpoint #%llu at seq %llu restored %zu queries "
+                  "(%zu operators)",
+                  static_cast<unsigned long long>(ckpt.id),
+                  static_cast<unsigned long long>(ckpt.position),
+                  recovery_.restored_queries, recovery_.restored_operators));
   }
+  events_.Emit(obs::EventKind::kReplayStart, "",
+               "replaying archive suffix through " +
+                   std::to_string(queries_.size()) + " queries");
 
   // 3) Replay the archive in original ingest order. The k-way merge by
   //    global seq reproduces the exact interleaving across streams, so
@@ -261,6 +276,7 @@ Status StreamEngine::RecoverLocked() {
   metrics_.GetGauge("sqp_dur_recovery_restored_queries")
       ->Set(static_cast<double>(recovery_.restored_queries));
   metrics_.GetGauge("sqp_dur_recovery_seconds")->Set(recovery_.replay_seconds);
+  events_.Emit(obs::EventKind::kReplayFinish, "", recovery_.ToString());
   return Status::OK();
 }
 
@@ -312,6 +328,8 @@ Result<uint64_t> StreamEngine::ReplayInto(QueryHandle* handle) {
   // handle, so pouring it again would duplicate results whenever ingest
   // races this call.
   const uint64_t bound = handle->submit_seq_;
+  events_.Emit(obs::EventKind::kReplayStart, handle->metrics_label_,
+               "replaying archive up to seq " + std::to_string(bound));
   dur::ArchivedRecord rec;
   uint64_t delivered = 0;
   while (true) {
@@ -327,6 +345,8 @@ Result<uint64_t> StreamEngine::ReplayInto(QueryHandle* handle) {
     }
     if (dur_replay_ctr_ != nullptr) dur_replay_ctr_->Inc();
   }
+  events_.Emit(obs::EventKind::kReplayFinish, handle->metrics_label_,
+               "replayed " + std::to_string(delivered) + " elements");
   return delivered;
 }
 

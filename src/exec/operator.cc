@@ -12,6 +12,11 @@ void Operator::Emit(const Element& e) {
   AssertSingleCaller();
   if (e.is_punctuation()) {
     ++stats_.puncts_out;
+    // Watermark tracking (event-time lag in EXPLAIN ANALYZE): keyed
+    // punctuations close one group, only non-keyed ones advance time.
+    if (profile_ != nullptr && !e.punctuation().has_key) {
+      profile_->OnWatermarkForward(e.punctuation().ts);
+    }
   } else {
     ++stats_.tuples_out;
   }
@@ -32,6 +37,9 @@ void Operator::Emit(Element&& e) {
   AssertSingleCaller();
   if (e.is_punctuation()) {
     ++stats_.puncts_out;
+    if (profile_ != nullptr && !e.punctuation().has_key) {
+      profile_->OnWatermarkForward(e.punctuation().ts);
+    }
   } else {
     ++stats_.tuples_out;
   }
@@ -46,6 +54,7 @@ void Operator::Emit(Element&& e) {
 
 void Operator::ProcessBatch(ElementBatch& batch, int port) {
   if (batch.empty()) return;
+  if (profile_ != nullptr) profile_->ObserveBatch(batch.size());
   if (metrics_ == nullptr && tracer_ == nullptr) {
     coalescing_ = out_ != nullptr;
     PushBatch(batch, port);
@@ -83,6 +92,9 @@ void Operator::ProcessBatchInstrumented(ElementBatch& batch, int port) {
   const uint64_t total = obs::NowNs() - t0;
   const uint64_t self = total > ctx.child_ns ? total - ctx.child_ns : 0;
   metrics_->AddBusyNs(self);
+  if (profile_ != nullptr) {
+    profile_->MaybeSampleState([this] { return StateBytes(); });
+  }
   ctx.child_ns = saved_child + total;
   --ctx.depth;
   if (entry) {
@@ -93,6 +105,9 @@ void Operator::ProcessBatchInstrumented(ElementBatch& batch, int port) {
 
 void Operator::ProcessColumns(ColumnBatch& batch, int port) {
   if (batch.empty()) return;
+  if (profile_ != nullptr) {
+    profile_->ObserveBatch(batch.ActiveRows() + batch.puncts.size());
+  }
   if (metrics_ == nullptr && tracer_ == nullptr) {
     coalescing_ = out_ != nullptr;
     PushColumns(batch, port);
@@ -129,6 +144,9 @@ void Operator::ProcessColumnsInstrumented(ColumnBatch& batch, int port) {
   const uint64_t total = obs::NowNs() - t0;
   const uint64_t self = total > ctx.child_ns ? total - ctx.child_ns : 0;
   metrics_->AddBusyNs(self);
+  if (profile_ != nullptr) {
+    profile_->MaybeSampleState([this] { return StateBytes(); });
+  }
   ctx.child_ns = saved_child + total;
   --ctx.depth;
   if (entry) {
@@ -144,6 +162,16 @@ void Operator::EmitColumns(ColumnBatch&& batch) {
   stats_.tuples_out += tuples;
   stats_.puncts_out += puncts;
   if (metrics_ != nullptr) metrics_->CountOutBulk(tuples, puncts);
+  if (profile_ != nullptr) {
+    // The newest watermark in the batch is the one that matters for lag
+    // tracking (slots are in stream order).
+    for (auto it = batch.puncts.rbegin(); it != batch.puncts.rend(); ++it) {
+      if (!it->punct.has_key) {
+        profile_->OnWatermarkForward(it->punct.ts);
+        break;
+      }
+    }
+  }
   // Row emissions buffered before this batch must go first so output
   // order matches the per-element path.
   FlushEmitBuffer();
@@ -195,6 +223,12 @@ void Operator::ProcessInstrumented(const Element& e, int port) {
   if (metrics_ != nullptr && ctx.busy_sampled) {
     const uint64_t self = total > ctx.child_ns ? total - ctx.child_ns : 0;
     metrics_->AddBusyNs(self * obs::kTimeSampleEvery);
+    // StateBytes sampling rides the already-sampled timing path (1/16
+    // chains, with its own geometric backoff on top), and only ever
+    // runs on this operator's single driving thread.
+    if (profile_ != nullptr) {
+      profile_->MaybeSampleState([this] { return StateBytes(); });
+    }
   }
   ctx.child_ns = saved_child + total;
   --ctx.depth;

@@ -16,6 +16,7 @@
 #include "dur/checkpointable.h"
 #include "exec/column_batch.h"
 #include "obs/op_metrics.h"
+#include "obs/op_profile.h"
 #include "stream/element.h"
 #include "stream/element_batch.h"
 
@@ -75,6 +76,7 @@ class Operator {
   /// per-operator code. Unbound operators (the default) pay one
   /// predictable branch and fall straight through to Push.
   void Process(const Element& e, int port = 0) {
+    if (profile_ != nullptr) profile_->CountSingle();
     if (metrics_ == nullptr && tracer_ == nullptr) {
       Push(e, port);
       return;
@@ -127,6 +129,15 @@ class Operator {
     tracer_ = tracer;
   }
   obs::OpMetrics* metrics() const { return metrics_; }
+
+  /// Binds this operator's per-query profile slot (see sqp::obs::
+  /// OpProfile and obs::QueryProfiler): watermark forwarding, batch-size
+  /// distribution, queue wait, and sampled StateBytes report there.
+  /// Virtual so composite operators (ShardedOp) can forward the slot to
+  /// the internal operator that actually emits downstream. Pass nullptr
+  /// to detach; same lifetime contract as Bind.
+  virtual void BindProfile(obs::OpProfile* profile) { profile_ = profile; }
+  obs::OpProfile* profile() const { return profile_; }
 
   /// End-of-stream: emit buffered results, then forward downstream.
   virtual void Flush();
@@ -250,6 +261,7 @@ class Operator {
   std::string name_;
   obs::OpMetrics* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  obs::OpProfile* profile_ = nullptr;
   /// True only inside a ProcessBatch call with a wired output.
   bool coalescing_ = false;
   ElementBatch emit_buf_;

@@ -127,6 +127,16 @@ bool ShardedOp::EnqueueShard(int shard, Item item) {
       ++st.dropped;
       return false;
     }
+    if (options_.events != nullptr) {
+      const uint64_t now = obs::NowNs();
+      if (now - st.last_stall_ns >= 1000000000ull) {  // 1/s per shard.
+        st.last_stall_ns = now;
+        options_.events->Emit(
+            obs::EventKind::kShardStall, options_.event_label,
+            name() + " shard " + std::to_string(shard) + " queue full (" +
+                std::to_string(st.q.size()) + " queued); producer blocked");
+      }
+    }
     st.not_full.wait(lock, [&] {
       return stop_.load(std::memory_order_relaxed) || st.closed ||
              st.q.size() < limit;

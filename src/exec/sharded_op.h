@@ -14,6 +14,7 @@
 
 #include "exec/exchange.h"
 #include "exec/operator.h"
+#include "obs/event_log.h"
 #include "obs/snapshot.h"
 
 namespace sqp {
@@ -55,6 +56,14 @@ struct ShardedOpOptions {
   /// re-serializes per element, so those are natural materialization
   /// boundaries.
   bool columnar = false;
+  /// Structured event sink for backpressure stalls (nullptr = silent).
+  /// A kShardStall event is emitted, rate-limited to one per second per
+  /// shard, whenever a producer blocks on a full shard queue under
+  /// kBlock — the signal that routing skew or an expensive replica is
+  /// throttling ingest.
+  obs::EventLog* events = nullptr;
+  /// Query label stamped on emitted events ("q0", ...).
+  std::string event_label;
 };
 
 /// Per-shard counters, snapshot-safe while the workers run.
@@ -115,6 +124,15 @@ class ShardedOp : public Operator {
   void Flush() override;
   size_t StateBytes() const override;
 
+  /// Binds the profile to the merge stage too: the merge is the fan-in
+  /// that emits the min-across-shards watermark downstream, so sharing
+  /// the slot makes the profile's watermark fields reflect post-merge
+  /// event time (what the rest of the chain actually observes).
+  void BindProfile(obs::OpProfile* profile) override {
+    Operator::BindProfile(profile);
+    merge_.BindProfile(profile);
+  }
+
   int shards() const { return options_.shards; }
   ShardRouting routing() const { return options_.routing; }
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -151,6 +169,8 @@ class ShardedOp : public Operator {
     bool closed = false;
     uint64_t dropped = 0;
     uint64_t max_depth = 0;
+    /// Last kShardStall emission (ns, guarded by mu) — rate limiter.
+    uint64_t last_stall_ns = 0;
     std::atomic<uint64_t> routed{0};
     std::atomic<uint64_t> merged{0};
     std::atomic<uint64_t> busy_ns{0};

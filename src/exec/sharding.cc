@@ -66,6 +66,8 @@ std::vector<ShardRewrite> ShardStatefulOps(Plan& plan,
     op_opts.wake_batch = options.wake_batch;
     op_opts.expected_flushes = static_cast<int>(key_cols.size());
     op_opts.columnar = options.columnar;
+    op_opts.events = options.events;
+    op_opts.event_label = options.event_label;
 
     ShardedOp* sharded = plan.Make<ShardedOp>(
         op_opts, [shardable](int) { return shardable->CloneReplica(); },

@@ -57,6 +57,10 @@ struct ShardPlanOptions {
   /// Columnar delivery inside each shard (ShardedOpOptions::columnar):
   /// replicas that support columns fold converted runs column-at-a-time.
   bool columnar = false;
+  /// Structured event sink + query label for backpressure-stall events,
+  /// passed through to every spliced ShardedOp (nullptr = silent).
+  obs::EventLog* events = nullptr;
+  std::string event_label;
 };
 
 /// One operator's outcome under the rewrite: either spliced (sharded !=

@@ -1,0 +1,102 @@
+#include "obs/event_log.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/snapshot.h"
+
+namespace sqp {
+namespace obs {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kQuerySubmit:
+      return "query_submit";
+    case EventKind::kQueryStop:
+      return "query_stop";
+    case EventKind::kCheckpointWritten:
+      return "checkpoint_written";
+    case EventKind::kCheckpointRestored:
+      return "checkpoint_restored";
+    case EventKind::kReplayStart:
+      return "replay_start";
+    case EventKind::kReplayFinish:
+      return "replay_finish";
+    case EventKind::kShedActivated:
+      return "shed_activated";
+    case EventKind::kShedDeactivated:
+      return "shed_deactivated";
+    case EventKind::kAdmissionRejected:
+      return "admission_rejected";
+    case EventKind::kShardStall:
+      return "shard_stall";
+    case EventKind::kFlushError:
+      return "flush_error";
+  }
+  return "unknown";
+}
+
+EventLog::EventLog(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  ring_.resize(capacity_);
+}
+
+void EventLog::Emit(EventKind kind, std::string query, std::string message) {
+  const int64_t wall_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  EngineEvent& slot = ring_[(next_seq_ - 1) % capacity_];
+  slot.seq = next_seq_++;
+  slot.wall_ms = wall_ms;
+  slot.kind = kind;
+  slot.query = std::move(query);
+  slot.message = std::move(message);
+}
+
+std::vector<EngineEvent> EventLog::Tail(size_t max, uint64_t after_seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t total = next_seq_ - 1;
+  const uint64_t retained = std::min<uint64_t>(total, capacity_);
+  uint64_t first = total - retained + 1;  // Oldest seq still in the ring.
+  if (after_seq + 1 > first) first = after_seq + 1;
+  if (max != 0 && total >= first && total - first + 1 > max) {
+    first = total - max + 1;
+  }
+  std::vector<EngineEvent> out;
+  if (first > total) return out;
+  out.reserve(static_cast<size_t>(total - first + 1));
+  for (uint64_t s = first; s <= total; ++s) {
+    out.push_back(ring_[(s - 1) % capacity_]);
+  }
+  return out;
+}
+
+std::string EventLog::ToJson(size_t max, uint64_t after_seq) const {
+  std::vector<EngineEvent> events = Tail(max, after_seq);
+  std::string out = "{\"events\":[";
+  bool first = true;
+  for (const EngineEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"seq\":" + std::to_string(e.seq);
+    out += ",\"wall_ms\":" + std::to_string(e.wall_ms);
+    out += ",\"kind\":\"" + std::string(EventKindName(e.kind)) + "\"";
+    if (!e.query.empty()) {
+      out += ",\"query\":\"" + JsonEscape(e.query) + "\"";
+    }
+    out += ",\"message\":\"" + JsonEscape(e.message) + "\"}";
+  }
+  out += "],\"total\":" + std::to_string(total());
+  out += ",\"capacity\":" + std::to_string(capacity_) + "}\n";
+  return out;
+}
+
+uint64_t EventLog::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+}  // namespace obs
+}  // namespace sqp

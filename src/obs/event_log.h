@@ -1,0 +1,84 @@
+#ifndef SQP_OBS_EVENT_LOG_H_
+#define SQP_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sqp {
+namespace obs {
+
+/// Engine lifecycle event kinds (see EventLog). The names are the wire
+/// format (`/events.json`, `sqpsh \events`), so renames are breaking.
+enum class EventKind {
+  kQuerySubmit,
+  kQueryStop,
+  kCheckpointWritten,
+  kCheckpointRestored,
+  kReplayStart,
+  kReplayFinish,
+  kShedActivated,
+  kShedDeactivated,
+  kAdmissionRejected,
+  kShardStall,
+  kFlushError,
+};
+
+const char* EventKindName(EventKind kind);
+
+/// One timestamped lifecycle event.
+struct EngineEvent {
+  /// Monotonic sequence number (1-based): `Tail(after_seq=...)` resumes
+  /// a client-side tail without re-reading, and gaps tell a reader how
+  /// many events the bounded ring overwrote.
+  uint64_t seq = 0;
+  /// Wall-clock milliseconds since the Unix epoch (system clock — these
+  /// are operator-facing timestamps, not latency measurements).
+  int64_t wall_ms = 0;
+  EventKind kind = EventKind::kQuerySubmit;
+  /// Query label ("q0", ...) when the event is query-scoped, else "".
+  std::string query;
+  /// Free-form detail ("ckpt id=3 pos=12000", an error message, ...).
+  std::string message;
+};
+
+/// Bounded ring of engine lifecycle events: query submit/stop,
+/// checkpoints, replay, shed-gate transitions, admission rejections,
+/// shard backpressure stalls, durability flush errors. Mutex-guarded —
+/// every producer site is a rare control-plane transition (never the
+/// per-tuple path), so a lock beats lock-free complexity here. Readers
+/// copy the tail out under the same lock.
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = 1024);
+
+  /// Appends one event, evicting the oldest past capacity.
+  void Emit(EventKind kind, std::string query, std::string message);
+
+  /// Most-recent events in chronological order. `max` = 0 means all
+  /// retained; `after_seq` skips events already seen (tail -f resume).
+  std::vector<EngineEvent> Tail(size_t max = 0, uint64_t after_seq = 0) const;
+
+  /// {"events":[{"seq":..,"wall_ms":..,"kind":"..","query":"..",
+  /// "message":".."},...],"total":N,"capacity":C} — same filtering as
+  /// Tail.
+  std::string ToJson(size_t max = 0, uint64_t after_seq = 0) const;
+
+  /// Events ever emitted (>= retained count once the ring wraps).
+  uint64_t total() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  /// Ring storage: ring_[seq % capacity_] holds event `seq` (seq is
+  /// 1-based, slot = (seq - 1) % capacity_).
+  std::vector<EngineEvent> ring_;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace obs
+}  // namespace sqp
+
+#endif  // SQP_OBS_EVENT_LOG_H_

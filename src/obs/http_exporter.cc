@@ -1,10 +1,33 @@
 #include "obs/http_exporter.h"
 
+#include <cstdlib>
+
 #include "obs/monitor.h"
 #include "server/http.h"
 
 namespace sqp {
 namespace obs {
+
+namespace {
+
+/// Numeric value of `key` in a raw query string ("after=12&max=50");
+/// 0 when absent or unparsable.
+uint64_t QueryParam(const std::string& query, const std::string& key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return std::strtoull(query.c_str() + eq + 1, nullptr, 10);
+    }
+    pos = amp + 1;
+  }
+  return 0;
+}
+
+}  // namespace
 
 HttpExporter::HttpExporter(const MetricsRegistry* registry,
                            const Monitor* monitor)
@@ -41,10 +64,14 @@ void HttpExporter::ServeConnection(int fd) {
 }
 
 HttpExporter::Response HttpExporter::Handle(const std::string& target) const {
-  // Route on the path alone; scrapers may append ?query params.
+  // Route on the path; /events.json reads tail params off the query.
   std::string path = target;
+  std::string query;
   size_t qmark = path.find('?');
-  if (qmark != std::string::npos) path.resize(qmark);
+  if (qmark != std::string::npos) {
+    query = path.substr(qmark + 1);
+    path.resize(qmark);
+  }
 
   Response resp;
   if (path == "/metrics") {
@@ -65,13 +92,37 @@ HttpExporter::Response HttpExporter::Handle(const std::string& target) const {
                                   "\"series\":[]}");
     return resp;
   }
+  if (path == "/events.json" && events_ != nullptr) {
+    resp.content_type = "application/json";
+    resp.body = events_->ToJson(QueryParam(query, "max"),
+                                QueryParam(query, "after"));
+    return resp;
+  }
+  if (path.rfind("/profile/", 0) == 0 && profile_source_) {
+    std::string label = path.substr(9);
+    if (label.size() > 5 && label.compare(label.size() - 5, 5, ".json") == 0) {
+      label.resize(label.size() - 5);
+    }
+    std::string body;
+    if (!label.empty() && profile_source_(label, &body)) {
+      resp.content_type = "application/json";
+      resp.body = std::move(body);
+      return resp;
+    }
+    resp.code = 404;
+    resp.content_type = "text/plain; charset=utf-8";
+    resp.body = "unknown query\n";
+    return resp;
+  }
   if (path == "/" || path.empty()) {
     resp.content_type = "text/plain; charset=utf-8";
     resp.body =
         "streamqp metrics exporter\n"
-        "  /metrics        Prometheus text exposition\n"
-        "  /snapshot.json  full metrics snapshot\n"
-        "  /series.json    monitor time-series history\n";
+        "  /metrics           Prometheus text exposition\n"
+        "  /snapshot.json     full metrics snapshot\n"
+        "  /series.json       monitor time-series history\n"
+        "  /events.json       structured event log (?after=,&max=)\n"
+        "  /profile/<q>.json  per-query EXPLAIN ANALYZE profile\n";
     return resp;
   }
   resp.code = 404;

@@ -1,9 +1,11 @@
 #ifndef SQP_OBS_HTTP_EXPORTER_H_
 #define SQP_OBS_HTTP_EXPORTER_H_
 
+#include <functional>
 #include <string>
 
 #include "common/status.h"
+#include "obs/event_log.h"
 #include "obs/registry.h"
 #include "server/net_listener.h"
 
@@ -16,9 +18,13 @@ class Monitor;
 /// three routes, each answered from a fresh registry snapshot so a
 /// scrape never blocks the hot path:
 ///
-///   GET /metrics        Prometheus text exposition
-///   GET /snapshot.json  Snapshot::ToJson()
-///   GET /series.json    Monitor::SeriesJson() (empty shell without one)
+///   GET /metrics         Prometheus text exposition
+///   GET /snapshot.json   Snapshot::ToJson()
+///   GET /series.json     Monitor::SeriesJson() (empty shell without one)
+///   GET /events.json     EventLog::ToJson() (404 without SetEventLog);
+///                        ?after=<seq>&max=<n> tail parameters
+///   GET /profile/<q>.json per-query EXPLAIN ANALYZE profile via the
+///                        SetProfileSource callback (404 without one)
 ///
 /// The socket plumbing (accept loop, per-connection recv/send timeouts,
 /// shutdown) lives in server::NetListener — the same listener the query
@@ -38,6 +44,19 @@ class HttpExporter {
 
   HttpExporter(const HttpExporter&) = delete;
   HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Wires the structured event log behind /events.json (not owned;
+  /// must outlive Stop()). Call before Serve.
+  void SetEventLog(const EventLog* events) { events_ = events; }
+
+  /// Callback answering /profile/<query>.json: fills *json with the
+  /// query's profile and returns true, or returns false for an unknown
+  /// query (404). Must be thread-safe against the serving thread. Call
+  /// before Serve.
+  using ProfileSource = std::function<bool(const std::string&, std::string*)>;
+  void SetProfileSource(ProfileSource source) {
+    profile_source_ = std::move(source);
+  }
 
   /// Binds 0.0.0.0:`port`, starts listening, and spawns the accept loop.
   Status Serve(int port);
@@ -62,6 +81,8 @@ class HttpExporter {
 
   const MetricsRegistry* registry_;
   const Monitor* monitor_;
+  const EventLog* events_ = nullptr;
+  ProfileSource profile_source_;
   server::NetListener listener_;
 };
 

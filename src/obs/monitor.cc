@@ -166,6 +166,12 @@ void Monitor::TickOnce(double dt_override_s) {
         }
         case MetricKind::kGauge:
           RecordLocked(key, {tick, wall_ms, s.value});
+          // The profiler's per-query output lag rides into the dashboard:
+          // how far behind source event time each query's results run.
+          if (s.name == "sqp_query_watermark_lag") {
+            derived_.push_back(
+                {"sqp_monitor_watermark_lag", s.labels, s.value});
+          }
           break;
         case MetricKind::kHistogram: {
           RecordLocked("p50(" + key + ")",
@@ -375,6 +381,8 @@ std::string Monitor::TopString() const {
   section("operator selectivity (windowed):", "sqp_monitor_op_selectivity",
           "", 1.0);
   section("queue backlog:", "sqp_monitor_backlog", "elements", 1.0);
+  section("watermark lag (event time):", "sqp_monitor_watermark_lag",
+          "ts units", 1.0);
   section("latency p50:", "sqp_monitor_latency_p50_ns", "ms", 1e-6);
   section("latency p99:", "sqp_monitor_latency_p99_ns", "ms", 1e-6);
   // Shedding state rides in as plain gauges the engine owns.

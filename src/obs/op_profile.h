@@ -1,0 +1,134 @@
+#ifndef SQP_OBS_OP_PROFILE_H_
+#define SQP_OBS_OP_PROFILE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sqp {
+namespace obs {
+
+/// Materialized per-operator profile state (what a snapshot carries).
+struct OpProfileData {
+  /// Event time of the last watermark this operator forwarded
+  /// downstream; kNoWatermark until the first one.
+  int64_t wm_ts = 0;
+  /// NowNs() wall timestamp of that forward (pairing with a source-side
+  /// ingest timestamp gives punctuation propagation delay).
+  uint64_t wm_ns = 0;
+  uint64_t wm_count = 0;
+  /// Per-element deliveries (Process calls) vs batched ones — the
+  /// batch-size distribution counts singles as batches of one.
+  uint64_t singles = 0;
+  /// Total ns elements spent parked in an executor queue in front of
+  /// this operator, and how many were so parked.
+  uint64_t queue_wait_ns = 0;
+  uint64_t queued_items = 0;
+  /// Last sampled and peak StateBytes() of this operator.
+  uint64_t state_bytes = 0;
+  uint64_t peak_state_bytes = 0;
+  HistogramData batch_rows;
+};
+
+/// One operator's per-query profile slot: the hot-path half of the
+/// query profiler (EXPLAIN ANALYZE). Like OpMetrics this is a bundle of
+/// relaxed atomics padded to a cache line — safe to write from the
+/// operator's single driving thread while any number of snapshot
+/// readers scrape it. Unbound operators (the default) pay one pointer
+/// null check per hook; the rows/selectivity/busy-time half of the
+/// profile stays in OpMetrics so nothing is double-counted.
+///
+/// StateBytes sampling is the exception to "any thread": the sampling
+/// interval counter is owner-thread-only plain state, and the operator
+/// samples itself from its own driving thread (a snapshot reader never
+/// calls StateBytes(), which is not thread-safe on most operators).
+struct alignas(64) OpProfile {
+  /// "No watermark forwarded yet" sentinel for wm_ts (event time is a
+  /// full int64 domain, so the minimum is reserved).
+  static constexpr int64_t kNoWatermark = INT64_MIN;
+  /// StateBytes() can be O(state) (CollectorSink walks its rows), so
+  /// sampling backs off geometrically to this ceiling.
+  static constexpr uint32_t kMaxStateSampleInterval = 256;
+
+  std::atomic<int64_t> wm_ts{kNoWatermark};
+  std::atomic<uint64_t> wm_ns{0};
+  std::atomic<uint64_t> wm_count{0};
+  std::atomic<uint64_t> singles{0};
+  std::atomic<uint64_t> queue_wait_ns{0};
+  std::atomic<uint64_t> queued_items{0};
+  std::atomic<uint64_t> state_bytes{0};
+  std::atomic<uint64_t> peak_state_bytes{0};
+  Histogram batch_rows;
+
+  /// The operator forwarded a non-keyed punctuation (watermark) with
+  /// event time `ts` downstream. Watermarks are rare relative to tuples,
+  /// so the clock read here is off the per-tuple path.
+  void OnWatermarkForward(int64_t ts) {
+    wm_ts.store(ts, std::memory_order_relaxed);
+    wm_ns.store(NowNs(), std::memory_order_relaxed);
+    wm_count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// A batched delivery of `rows` elements crossed this operator.
+  void ObserveBatch(uint64_t rows) { batch_rows.Observe(rows); }
+
+  /// A per-element delivery crossed this operator.
+  void CountSingle() { singles.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Executor-side: `items` elements waited `ns` total in this
+  /// operator's input queue.
+  void AddQueueWait(uint64_t ns, uint64_t items) {
+    queue_wait_ns.fetch_add(ns, std::memory_order_relaxed);
+    queued_items.fetch_add(items, std::memory_order_relaxed);
+  }
+
+  /// Records a StateBytes() sample (owner thread for the peak update is
+  /// not required — the max is a CAS loop).
+  void SampleState(uint64_t bytes) {
+    state_bytes.store(bytes, std::memory_order_relaxed);
+    uint64_t cur = peak_state_bytes.load(std::memory_order_relaxed);
+    while (cur < bytes && !peak_state_bytes.compare_exchange_weak(
+                              cur, bytes, std::memory_order_relaxed,
+                              std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Geometric-backoff sampling wrapper around SampleState: calls
+  /// `state_bytes_fn` on the 1st, 2nd, 4th, ... invocation, capping the
+  /// interval at kMaxStateSampleInterval. MUST be called only from the
+  /// operator's single driving thread (plain counters, and the callback
+  /// reads live operator state).
+  template <typename Fn>
+  void MaybeSampleState(Fn&& state_bytes_fn) {
+    if (++state_tick_ < state_every_) return;
+    state_tick_ = 0;
+    if (state_every_ < kMaxStateSampleInterval) state_every_ *= 2;
+    SampleState(static_cast<uint64_t>(state_bytes_fn()));
+  }
+
+  OpProfileData Snapshot() const {
+    OpProfileData d;
+    d.wm_ts = wm_ts.load(std::memory_order_relaxed);
+    d.wm_ns = wm_ns.load(std::memory_order_relaxed);
+    d.wm_count = wm_count.load(std::memory_order_relaxed);
+    d.singles = singles.load(std::memory_order_relaxed);
+    d.queue_wait_ns = queue_wait_ns.load(std::memory_order_relaxed);
+    d.queued_items = queued_items.load(std::memory_order_relaxed);
+    d.state_bytes = state_bytes.load(std::memory_order_relaxed);
+    d.peak_state_bytes = peak_state_bytes.load(std::memory_order_relaxed);
+    d.batch_rows = batch_rows.Data();
+    return d;
+  }
+
+ private:
+  // Owner-thread-only sampling interval state (see MaybeSampleState).
+  uint32_t state_tick_ = 0;
+  uint32_t state_every_ = 1;
+};
+
+}  // namespace obs
+}  // namespace sqp
+
+#endif  // SQP_OBS_OP_PROFILE_H_

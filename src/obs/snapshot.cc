@@ -94,6 +94,34 @@ const char* HelpFor(const std::string& name) {
       {"sqp_monitor_backlog", "Queued elements per query (monitor view)."},
       {"sqp_monitor_latency_p50_ns", "Monitor view of latency p50 (ns)."},
       {"sqp_monitor_latency_p99_ns", "Monitor view of latency p99 (ns)."},
+      {"sqp_dur_records_total", "Records appended to the durable archive."},
+      {"sqp_dur_bytes_total", "Bytes appended to the durable archive."},
+      {"sqp_dur_flushes_total", "Durable archive flush syncs."},
+      {"sqp_dur_checkpoints_total", "Engine checkpoints written."},
+      {"sqp_dur_replayed_total", "Archive records replayed into queries."},
+      {"sqp_dur_checkpoint_position",
+       "Archive sequence the newest checkpoint captured."},
+      {"sqp_dur_recovery_replayed",
+       "Elements replayed by the last crash recovery."},
+      {"sqp_dur_recovery_restored_queries",
+       "Queries restored from the checkpoint by the last recovery."},
+      {"sqp_dur_recovery_seconds", "Wall time of the last recovery replay."},
+      {"sqp_shard_skew",
+       "Max/mean routed-tuple ratio across shards (1.0 = balanced)."},
+      {"sqp_shard_count", "Worker shards behind the operator."},
+      {"sqp_shard_routed_total", "Tuples routed to the shard."},
+      {"sqp_shard_merged_total", "Tuples merged out of the shard."},
+      {"sqp_shard_dropped_total", "Tuples shed at the shard queue bound."},
+      {"sqp_shard_backlog", "Routed-but-unmerged elements in the shard."},
+      {"sqp_shard_max_queue_depth", "Shard queue high-water mark."},
+      {"sqp_shard_busy_time", "Time the shard spent processing."},
+      {"sqp_shard_state_bytes", "Operator state held by the shard."},
+      {"sqp_query_source_watermark",
+       "Latest source watermark the profiler saw for the query."},
+      {"sqp_query_watermark_lag",
+       "Source watermark minus the query's last output watermark."},
+      {"sqp_monitor_watermark_lag",
+       "Monitor view of per-query event-time output lag."},
       {"sqp_shed_drop_rate", "Adaptive shedding drop probability."},
       {"sqp_shed_dropped_total", "Tuples shed by the adaptive gate."},
       {"sqp_shed_backlog", "Backlog the shedding controller last saw."},

@@ -142,6 +142,10 @@ class ParallelExecutor {
     Element e;
     int port = 0;
     std::unique_ptr<ColumnBatch> cols;
+    /// Enqueue timestamp for queue-wait attribution; stamped only when
+    /// the receiving stage's operator has a profile bound (0 = unstamped
+    /// — profiling disabled, no clock read on the hand-off path).
+    uint64_t enq_ns = 0;
 
     /// Element count this item charges against queue accounting (min 1
     /// so even a fully-filtered columnar batch holds a queue slot).

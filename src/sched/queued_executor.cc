@@ -83,7 +83,11 @@ bool QueuedExecutor::Admit(size_t stage, Element e) {
     ++dropped_;
     return false;
   }
-  queues_[stage].push_back(Entry{std::move(e), seq_++, nullptr});
+  Entry entry{std::move(e), seq_++, nullptr};
+  // Queue-wait stamping is pay-for-what-you-profile: no clock read
+  // unless the consuming operator has a profile slot bound.
+  if (s.op->profile() != nullptr) entry.enq_ns = obs::NowNs();
+  queues_[stage].push_back(std::move(entry));
   q_rows_[stage] += 1;
   ++stats.enqueued;
   stats.queue_depth = q_rows_[stage];
@@ -111,6 +115,7 @@ bool QueuedExecutor::AdmitColumns(size_t stage, ColumnBatch&& batch) {
   Entry entry;
   entry.seq = seq_++;
   entry.cols = std::make_unique<ColumnBatch>(std::move(batch));
+  if (s.op->profile() != nullptr) entry.enq_ns = obs::NowNs();
   const size_t w = entry.Weight();
   queues_[stage].push_back(std::move(entry));
   q_rows_[stage] += w;
@@ -147,21 +152,33 @@ std::vector<OpView> QueuedExecutor::MakeViews() const {
 void QueuedExecutor::DeliverBatch(size_t stage, size_t n) {
   std::deque<Entry>& q = queues_[stage];
   sched::StageStats& stats = stage_stats_[stage];
+  obs::OpProfile* prof = stages_[stage].op->profile();
+  const uint64_t now = prof != nullptr ? obs::NowNs() : 0;
   if (n == 1) {
     Entry entry = std::move(q.front());
     q.pop_front();
     ++stats.processed;
     q_rows_[stage] -= 1;
     stats.queue_depth = q_rows_[stage];
+    if (prof != nullptr && entry.enq_ns != 0 && now > entry.enq_ns) {
+      prof->AddQueueWait(now - entry.enq_ns, 1);
+    }
     stages_[stage].op->Process(entry.e, 0);
     return;
   }
   scratch_.clear();
   scratch_.reserve(n);
+  uint64_t wait = 0, stamped = 0;
   for (size_t i = 0; i < n; ++i) {
-    scratch_.push_back(std::move(q.front().e));
+    Entry& front = q.front();
+    if (prof != nullptr && front.enq_ns != 0 && now > front.enq_ns) {
+      wait += now - front.enq_ns;
+      ++stamped;
+    }
+    scratch_.push_back(std::move(front.e));
     q.pop_front();
   }
+  if (stamped != 0) prof->AddQueueWait(wait, stamped);
   stats.processed += n;
   ++stats.batches;
   q_rows_[stage] -= n;
@@ -188,6 +205,12 @@ void QueuedExecutor::DeliverColumns(size_t stage) {
   ++stats.batches;
   q_rows_[stage] -= w;  // Weights are stable while queued.
   stats.queue_depth = q_rows_[stage];
+  if (obs::OpProfile* prof = stages_[stage].op->profile()) {
+    const uint64_t now = obs::NowNs();
+    if (entry.enq_ns != 0 && now > entry.enq_ns) {
+      prof->AddQueueWait(now - entry.enq_ns, 1);
+    }
+  }
   stages_[stage].op->ProcessColumns(*entry.cols, 0);
 }
 

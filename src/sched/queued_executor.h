@@ -91,6 +91,10 @@ class QueuedExecutor {
     Element e;
     uint64_t seq = 0;
     std::unique_ptr<ColumnBatch> cols;
+    /// Enqueue timestamp for queue-wait attribution; stamped only when
+    /// the receiving stage's operator has a profile bound (0 = unstamped
+    /// — profiling disabled, no clock read on the hand-off path).
+    uint64_t enq_ns = 0;
 
     /// Element count this entry charges against queue accounting (min 1
     /// so even a fully-filtered columnar batch holds a queue slot).

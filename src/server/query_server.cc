@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 #include "arch/engine.h"
 #include "obs/snapshot.h"
@@ -110,6 +111,8 @@ void QueryServer::HandleConnection(int fd) {
     Response r;
     if (tail.empty() && req.method == "GET") {
       r = HandleSessionInfo(id);
+    } else if (tail == "/profile" && req.method == "GET") {
+      r = HandleSessionProfile(id, req);
     } else if ((tail.empty() && req.method == "DELETE") ||
                (tail == "/close" && req.method == "POST")) {
       r = HandleSessionClose(id);
@@ -126,6 +129,8 @@ void QueryServer::HandleConnection(int fd) {
     r = HandleSubmit(req);
   } else if (p == "/sessions" && req.method == "GET") {
     r = HandleSessions();
+  } else if (p == "/events.json" && req.method == "GET") {
+    r = HandleEvents(req);
   } else if (p == "/stats" && req.method == "GET") {
     r = HandleStats();
   } else if (p == "/healthz" && req.method == "GET") {
@@ -186,6 +191,8 @@ QueryServer::Response QueryServer::HandleSubmit(const HttpRequest& req) {
 
   AdmissionController::Decision adm = admission_.Admit(qopts.limit);
   if (!adm.admitted) {
+    engine_->Events().Emit(obs::EventKind::kAdmissionRejected, "",
+                           adm.reason);
     return {429, "application/json", ErrorJson("rejected", adm.reason)};
   }
 
@@ -371,6 +378,39 @@ QueryServer::Response QueryServer::HandleSessionInfo(const std::string& id) {
   return {200, "application/json", SessionInfo(*it->second) + "\n"};
 }
 
+QueryServer::Response QueryServer::HandleSessionProfile(
+    const std::string& id, const HttpRequest& req) {
+  obs::QueryProfile profile;
+  {
+    // Holding mu_ pins the handle: CloseSession nulls it under the same
+    // lock before the engine tears the query down. The snapshot itself
+    // only reads operator atomics, so the critical section stays short.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return {404, "application/json", ErrorJson("no such session", id)};
+    }
+    if (!engine_->ProfileSnapshot(it->second->handle, &profile)) {
+      return {404, "application/json",
+              ErrorJson("no profile",
+                        "profiling requires engine metrics to be enabled")};
+    }
+  }
+  const std::string* format = req.Param("format");
+  if (format != nullptr && *format == "text") {
+    return {200, "text/plain; charset=utf-8", profile.Pretty()};
+  }
+  return {200, "application/json", profile.ToJson() + "\n"};
+}
+
+QueryServer::Response QueryServer::HandleEvents(const HttpRequest& req) {
+  uint64_t max = static_cast<uint64_t>(
+      std::max<int64_t>(0, req.ParamInt("max", 0)));
+  uint64_t after = static_cast<uint64_t>(
+      std::max<int64_t>(0, req.ParamInt("after", 0)));
+  return {200, "application/json", engine_->Events().ToJson(max, after)};
+}
+
 QueryServer::Response QueryServer::HandleSessionClose(const std::string& id) {
   if (!CloseSession(id, /*remove_query=*/true)) {
     return {404, "application/json", ErrorJson("no such session", id)};
@@ -435,6 +475,20 @@ QueryServer::Response QueryServer::HandleStats() {
           std::to_string(listener_.overflowed());
   body +=
       ",\"connections_active\":" + std::to_string(listener_.active_connections());
+  const RecoveryReport& rec = engine_->recovery_report();
+  body += std::string(",\"recovery\":{\"recovered\":") +
+          (rec.recovered ? "true" : "false");
+  body += std::string(",\"checkpoint_loaded\":") +
+          (rec.checkpoint_loaded ? "true" : "false");
+  body += ",\"checkpoint_id\":" + std::to_string(rec.checkpoint_id);
+  body += ",\"replayed_tuples\":" + std::to_string(rec.replayed_tuples);
+  body += ",\"replayed_puncts\":" + std::to_string(rec.replayed_puncts);
+  body += ",\"restored_queries\":" + std::to_string(rec.restored_queries);
+  body += ",\"restored_operators\":" + std::to_string(rec.restored_operators);
+  body += ",\"torn_streams\":" + std::to_string(rec.torn_streams);
+  char sec[32];
+  std::snprintf(sec, sizeof(sec), "%.3f", rec.replay_seconds);
+  body += std::string(",\"replay_seconds\":") + sec + "}";
   body += "}\n";
   return {200, "application/json", body};
 }
@@ -444,8 +498,9 @@ QueryServer::Response QueryServer::HandleRoot() {
       "{\"service\":\"sqp query server\",\"endpoints\":["
       "\"POST /query?queue=&policy=block|drop|shed&block_ms=&replay=1\","
       "\"GET /session/<id>\",\"GET /session/<id>/results?cursor=&max=&wait_ms=\","
+      "\"GET /session/<id>/profile?format=json|text\","
       "\"DELETE /session/<id>\",\"GET /sessions\",\"GET /stats\","
-      "\"GET /healthz\"]}\n";
+      "\"GET /events.json?after=&max=\",\"GET /healthz\"]}\n";
   return {200, "application/json", body};
 }
 

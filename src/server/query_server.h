@@ -74,8 +74,13 @@ struct QueryServerOptions {
 ///          re-requesting from the last processed seq after a detach
 ///          resumes with no gaps and no duplicates.
 ///   GET  /session/<id>        -> status document
+///   GET  /session/<id>/profile[?format=text]
+///       -> EXPLAIN ANALYZE for the session's query: the annotated plan
+///          tree with per-operator rows, selectivity, busy time, and
+///          watermark lag (JSON by default, text with ?format=text)
 ///   DELETE /session/<id>      -> tear the query down (also POST
 ///                                /session/<id>/close)
+///   GET  /events.json?after=&max=  -> engine structured event log
 ///   GET  /sessions, /stats, /healthz, /
 ///
 /// Teardown ordering (the no-deadlock contract with StreamEngine): a
@@ -124,7 +129,10 @@ class QueryServer {
   };
   Response HandleSubmit(const HttpRequest& req);
   Response HandleSessionInfo(const std::string& id);
+  Response HandleSessionProfile(const std::string& id,
+                                const HttpRequest& req);
   Response HandleSessionClose(const std::string& id);
+  Response HandleEvents(const HttpRequest& req);
   Response HandleSessions();
   Response HandleStats();
   Response HandleRoot();

@@ -445,6 +445,92 @@ TEST(MonitorEngineTest, ConcurrentTickIngestAndScrape) {
   EXPECT_GE(engine.monitor()->ticks(), 1u);
 }
 
+TEST(MonitorEngineTest, ConcurrentProfileScrapeWhileIngesting) {
+  // The profiler's scrape path (ProfileSnapshot, /profile/<q>.json,
+  // /events.json) races parallel ingest; TSan in CI proves the snapshot
+  // reads only atomics and registration-time copies.
+  StreamEngine engine;
+  ASSERT_TRUE(engine.RegisterStream("packets", gen::PacketSchema()).ok());
+  auto q = engine.Submit(
+      "select tb, count(*) from packets group by ts/60 as tb");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(engine.EnableParallel(*q).ok());
+  auto port = engine.ServeMetrics(0);
+  ASSERT_TRUE(port.ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<int> profile_hits{0};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      obs::QueryProfile p;
+      if (engine.ProfileSnapshot("q0", &p)) {
+        profile_hits.fetch_add(1, std::memory_order_relaxed);
+        (void)p.Pretty();
+        (void)p.ToJson();
+      }
+      (void)engine.Events().ToJson();
+      (void)engine.Metrics().TakeSnapshot();
+    }
+  });
+  std::thread http_scraper([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      (void)FetchRaw(*port, "/profile/q0.json");
+      (void)FetchRaw(*port, "/events.json");
+    }
+  });
+  const int kTuples = 20000;
+  for (int i = 0; i < kTuples; ++i) {
+    ASSERT_TRUE(engine.Ingest("packets", Pkt(i, 1, 6, 200)).ok());
+  }
+  engine.FinishAll();
+  done.store(true, std::memory_order_relaxed);
+  scraper.join();
+  http_scraper.join();
+
+  EXPECT_GT(profile_hits.load(), 0);
+  obs::QueryProfile final_profile;
+  ASSERT_TRUE(engine.ProfileSnapshot(*q, &final_profile));
+  EXPECT_EQ(final_profile.ops.back().tuples_in,
+            static_cast<uint64_t>(kTuples));
+  // The HTTP routes answer for real labels and 404 unknown ones.
+  EXPECT_NE(FetchRaw(*port, "/profile/q0.json").find("HTTP/1.0 200"),
+            std::string::npos);
+  EXPECT_NE(FetchRaw(*port, "/profile/zz.json").find("HTTP/1.0 404"),
+            std::string::npos);
+  EXPECT_NE(FetchRaw(*port, "/events.json").find("query_submit"),
+            std::string::npos);
+}
+
+TEST(MonitorEngineTest, TopStringCarriesWatermarkLag) {
+  StreamEngine engine;
+  ASSERT_TRUE(engine.RegisterStream("packets", gen::PacketSchema()).ok());
+  auto q = engine.Submit("select ts from packets where len > 100");
+  ASSERT_TRUE(q.ok());
+  obs::MonitorOptions mopt;
+  mopt.period_ms = 0;  // Deterministic ticks.
+  engine.StartMonitor(mopt);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine.Ingest("packets", Pkt(i, 1, 6, 200)).ok());
+  }
+  // A watermark through the chain gives the query an output watermark;
+  // the source tap saw it at ingest, so lag is publishable.
+  ASSERT_TRUE(
+      engine.IngestElement("packets", Element(Punctuation::Watermark(90)))
+          .ok());
+  engine.monitor()->TickOnce(1.0);
+  std::string top = engine.monitor()->TopString();
+  EXPECT_NE(top.find("watermark lag"), std::string::npos);
+  EXPECT_NE(top.find("query=q0"), std::string::npos);
+  // And the same gauges ride the registry snapshot (/snapshot.json).
+  obs::Snapshot snap = engine.Metrics().TakeSnapshot();
+  std::string prom = snap.ToPrometheus();
+  EXPECT_NE(prom.find("sqp_query_source_watermark{query=\"q0\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("sqp_query_watermark_lag{query=\"q0\"}"),
+            std::string::npos);
+  engine.FinishAll();
+}
+
 // ---------------------------------------------------------------------------
 // The closed loop: monitor-driven adaptive shedding.
 

@@ -6,9 +6,12 @@
 
 #include "arch/engine.h"
 #include "exec/plan.h"
+#include "exec/profiler.h"
 #include "exec/project.h"
 #include "exec/select.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/op_profile.h"
 #include "obs/registry.h"
 #include "obs/snapshot.h"
 #include "obs/trace.h"
@@ -405,6 +408,279 @@ TEST(EngineMetricsTest, DisabledMetricsBindNothing) {
   }
   engine.FinishAll();
   EXPECT_TRUE(engine.Metrics().TakeSnapshot().ops.empty());
+}
+
+// ---------------------------------------------------------------------------
+// OpProfile: the hot-path half of the query profiler.
+
+TEST(OpProfileTest, AggregatesDeliveriesWaitAndStatePeaks) {
+  obs::OpProfile p;
+  p.CountSingle();
+  p.CountSingle();
+  p.ObserveBatch(10);
+  p.ObserveBatch(30);
+  p.AddQueueWait(500, 5);
+  p.SampleState(100);
+  p.SampleState(400);
+  p.SampleState(200);  // State shrank; the peak must not.
+  obs::OpProfileData d = p.Snapshot();
+  EXPECT_EQ(d.singles, 2u);
+  EXPECT_EQ(d.batch_rows.count, 2u);
+  EXPECT_EQ(d.batch_rows.sum, 40u);
+  EXPECT_EQ(d.queue_wait_ns, 500u);
+  EXPECT_EQ(d.queued_items, 5u);
+  EXPECT_EQ(d.state_bytes, 200u);
+  EXPECT_EQ(d.peak_state_bytes, 400u);
+  // No watermark forwarded yet: the sentinel survives the snapshot.
+  EXPECT_EQ(d.wm_ts, obs::OpProfile::kNoWatermark);
+  EXPECT_EQ(d.wm_count, 0u);
+
+  p.OnWatermarkForward(42);
+  d = p.Snapshot();
+  EXPECT_EQ(d.wm_ts, 42);
+  EXPECT_EQ(d.wm_count, 1u);
+  EXPECT_GT(d.wm_ns, 0u);
+}
+
+TEST(OpProfileTest, StateSamplingBacksOffGeometrically) {
+  obs::OpProfile p;
+  int calls = 0;
+  for (int i = 0; i < 1000; ++i) {
+    p.MaybeSampleState([&] {
+      ++calls;
+      return 64;
+    });
+  }
+  // Intervals 1, 2, 4, ..., capped at 256: far fewer probes than
+  // invocations, but more than a handful.
+  EXPECT_GE(calls, 5);
+  EXPECT_LE(calls, 20);
+  EXPECT_EQ(p.Snapshot().state_bytes, 64u);
+}
+
+// ---------------------------------------------------------------------------
+// EventLog: bounded ring, sequence-based tailing, JSON export.
+
+TEST(EventLogTest, RingWrapsAndTailResumes) {
+  obs::EventLog log(4);
+  EXPECT_EQ(log.capacity(), 4u);
+  for (int i = 1; i <= 10; ++i) {
+    log.Emit(obs::EventKind::kQuerySubmit, "q0",
+             "m" + std::to_string(i));
+  }
+  EXPECT_EQ(log.total(), 10u);
+
+  std::vector<obs::EngineEvent> tail = log.Tail();
+  ASSERT_EQ(tail.size(), 4u);
+  EXPECT_EQ(tail.front().seq, 7u);  // Oldest surviving event first.
+  EXPECT_EQ(tail.back().seq, 10u);
+  EXPECT_EQ(tail.back().message, "m10");
+
+  // after_seq resumes a tail without re-reading.
+  std::vector<obs::EngineEvent> after = log.Tail(0, 8);
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(after.front().seq, 9u);
+
+  // max keeps only the newest events.
+  std::vector<obs::EngineEvent> last2 = log.Tail(2);
+  ASSERT_EQ(last2.size(), 2u);
+  EXPECT_EQ(last2.front().seq, 9u);
+
+  // Tail past the end is empty, not an error.
+  EXPECT_TRUE(log.Tail(0, 10).empty());
+
+  std::string json = log.ToJson();
+  EXPECT_NE(json.find("\"total\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"capacity\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"query_submit\""), std::string::npos);
+  EXPECT_NE(json.find("\"query\":\"q0\""), std::string::npos);
+}
+
+TEST(EventLogTest, KindNamesAreWireStable) {
+  EXPECT_STREQ(obs::EventKindName(obs::EventKind::kQuerySubmit),
+               "query_submit");
+  EXPECT_STREQ(obs::EventKindName(obs::EventKind::kCheckpointWritten),
+               "checkpoint_written");
+  EXPECT_STREQ(obs::EventKindName(obs::EventKind::kShardStall),
+               "shard_stall");
+  EXPECT_STREQ(obs::EventKindName(obs::EventKind::kFlushError),
+               "flush_error");
+}
+
+// ---------------------------------------------------------------------------
+// QueryProfiler: plan-shaped span tree, lag math, EXPLAIN ANALYZE
+// consistency with the metrics registry.
+
+TEST(QueryProfilerTest, SnapshotTreeMatchesMetricsCounters) {
+  obs::MetricsRegistry reg;
+  obs::QueryProfiler profiler;
+  Plan plan;
+  auto* sel = plan.Make<SelectOp>(Gt(Col(1), Lit(int64_t{499})));
+  auto* proj = plan.Make<ProjectOp>(std::vector<ExprRef>{Col(1)});
+  auto* sink = plan.Make<CollectorSink>();
+  sel->SetOutput(proj);
+  proj->SetOutput(sink);
+  plan.BindMetrics(reg, "q0");
+  obs::QueryProfiler::SourceWatermark* src =
+      profiler.Register("q0", "select v from t where v > 499");
+  profiler.BindPlan("q0", plan);
+
+  int64_t v = 0;
+  RunStream(sel, [&] { int64_t i = v++; return T(i, i % 1000); }, 10000);
+  src->OnWatermark(9000);
+  sel->Process(Element(Punctuation::Watermark(9000)));
+
+  obs::QueryProfile p;
+  ASSERT_TRUE(profiler.Snapshot("q0", &p));
+  EXPECT_EQ(p.query, "q0");
+  EXPECT_EQ(p.source_wm_ts, 9000);
+  EXPECT_EQ(p.source_wm_count, 1u);
+  ASSERT_EQ(p.ops.size(), 3u);
+
+  // Pre-order from the sink-most root: collect <- project <- select.
+  EXPECT_EQ(p.ops[0].op, "collect");
+  EXPECT_EQ(p.ops[0].depth, 0);
+  EXPECT_EQ(p.ops[1].op, "project");
+  EXPECT_EQ(p.ops[1].depth, 1);
+  EXPECT_EQ(p.ops[2].op, "select");
+  EXPECT_EQ(p.ops[2].depth, 2);
+
+  // Row counters are the same atomics the registry snapshot renders.
+  obs::Snapshot snap = reg.TakeSnapshot();
+  ASSERT_EQ(snap.ops.size(), 3u);
+  for (const obs::OpProfileRow& row : p.ops) {
+    bool matched = false;
+    for (const obs::OpSnapshot& o : snap.ops) {
+      if (o.op != row.op || o.index != row.index) continue;
+      matched = true;
+      EXPECT_EQ(row.tuples_in, o.tuples_in);
+      EXPECT_EQ(row.tuples_out, o.tuples_out);
+      EXPECT_DOUBLE_EQ(row.selectivity, o.Selectivity());
+    }
+    EXPECT_TRUE(matched) << row.op;
+  }
+  EXPECT_EQ(p.ops[2].tuples_in, 10000u);
+  EXPECT_EQ(p.ops[2].tuples_out, 5000u);
+
+  // Every forwarding operator relayed the watermark: zero lag vs the
+  // source, known propagation delay (the source ring still holds ts
+  // 9000). The sink forwards nothing, so its row keeps the sentinel.
+  for (const obs::OpProfileRow& row : p.ops) {
+    // RunStream drives per-element: deliveries fold singles in.
+    EXPECT_GT(row.deliveries, 0u) << row.op;
+    if (row.op == "collect") {
+      EXPECT_FALSE(row.has_watermark);
+      EXPECT_FALSE(row.has_lag);
+      continue;
+    }
+    EXPECT_TRUE(row.has_watermark) << row.op;
+    EXPECT_TRUE(row.has_lag) << row.op;
+    EXPECT_EQ(row.lag, 0) << row.op;
+    EXPECT_GE(row.propagation_ms, 0.0) << row.op;
+  }
+
+  // Renderings carry the table and the tree.
+  std::string pretty = p.Pretty();
+  EXPECT_NE(pretty.find("EXPLAIN ANALYZE q0"), std::string::npos);
+  EXPECT_NE(pretty.find("select"), std::string::npos);
+  std::string json = p.ToJson();
+  EXPECT_NE(json.find("\"query\":\"q0\""), std::string::npos);
+  EXPECT_NE(json.find("\"watermark_lag\":0"), std::string::npos);
+}
+
+TEST(QueryProfilerTest, LagNeedsBothSourceAndOperatorWatermarks) {
+  obs::QueryProfiler profiler;
+  Plan plan;
+  auto* sel = plan.Make<SelectOp>(Lit(int64_t{1}));
+  auto* sink = plan.Make<CollectorSink>();
+  sel->SetOutput(sink);
+  obs::QueryProfiler::SourceWatermark* src = profiler.Register("q0", "t");
+  profiler.BindPlan("q0", plan);
+
+  // Source saw a watermark but no operator forwarded one yet: the
+  // INT64_MIN sentinel must suppress lag, not produce a huge number.
+  src->OnWatermark(100);
+  obs::QueryProfile p;
+  ASSERT_TRUE(profiler.Snapshot("q0", &p));
+  for (const obs::OpProfileRow& row : p.ops) {
+    EXPECT_FALSE(row.has_watermark);
+    EXPECT_FALSE(row.has_lag);
+  }
+
+  // Operators forwarded a watermark the source never tapped: same
+  // suppression on a fresh registration (source at the sentinel). Only
+  // the forwarding operator records it — the sink keeps the sentinel.
+  profiler.Register("q1", "t");
+  profiler.BindPlan("q1", plan);
+  sel->Process(Element(Punctuation::Watermark(7)));
+  ASSERT_TRUE(profiler.Snapshot("q1", &p));
+  EXPECT_EQ(p.source_wm_ts, obs::OpProfile::kNoWatermark);
+  for (const obs::OpProfileRow& row : p.ops) {
+    EXPECT_EQ(row.has_watermark, row.op == "select") << row.op;
+    EXPECT_FALSE(row.has_lag);
+    EXPECT_LT(row.propagation_ms, 0.0);  // Unknown without a source tap.
+  }
+}
+
+TEST(QueryProfilerTest, UnregisterDropsAndLabelsList) {
+  obs::QueryProfiler profiler;
+  Plan plan;
+  auto* sel = plan.Make<SelectOp>(Lit(int64_t{1}));
+  auto* sink = plan.Make<CollectorSink>();
+  sel->SetOutput(sink);
+  profiler.Register("q0", "t");
+  profiler.BindPlan("q0", plan);
+  EXPECT_EQ(profiler.Labels(), std::vector<std::string>{"q0"});
+  obs::QueryProfile p;
+  EXPECT_TRUE(profiler.Snapshot("q0", &p));
+  EXPECT_FALSE(profiler.Snapshot("q9", &p));
+  for (const auto& op : plan.operators()) op->BindProfile(nullptr);
+  profiler.Unregister("q0");
+  EXPECT_FALSE(profiler.Snapshot("q0", &p));
+  EXPECT_TRUE(profiler.Labels().empty());
+}
+
+TEST(EngineProfilerTest, ExplainAnalyzeWindowedAggregate) {
+  StreamEngine engine;
+  ASSERT_TRUE(engine.RegisterStream("packets", gen::PacketSchema()).ok());
+  auto q = engine.Submit(
+      "select tb, count(*) from packets group by ts/60 as tb");
+  ASSERT_TRUE(q.ok());
+
+  gen::PacketGenerator packets(gen::PacketOptions{});
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(engine.Ingest("packets", packets.Next()).ok());
+  }
+  engine.FinishAll();
+
+  obs::QueryProfile p;
+  ASSERT_TRUE(engine.ProfileSnapshot(*q, &p));
+  EXPECT_EQ(p.query, "q0");
+  ASSERT_FALSE(p.ops.empty());
+  // The leaf of the tree is the plan's entry operator: all 2000 tuples
+  // entered it, and the numbers agree with the metrics registry.
+  EXPECT_EQ(p.ops.back().tuples_in, 2000u);
+  obs::Snapshot snap = engine.Metrics().TakeSnapshot();
+  for (const obs::OpProfileRow& row : p.ops) {
+    for (const obs::OpSnapshot& o : snap.ops) {
+      if (o.op == row.op && o.index == row.index) {
+        EXPECT_EQ(row.tuples_in, o.tuples_in) << row.op;
+        EXPECT_EQ(row.tuples_out, o.tuples_out) << row.op;
+      }
+    }
+  }
+  // The engine also answers by label, and lists the query.
+  EXPECT_TRUE(engine.ProfileSnapshot("q0", &p));
+  EXPECT_EQ(engine.ProfiledQueries(), std::vector<std::string>{"q0"});
+
+  // Submit/stop made it into the event log.
+  bool saw_submit = false;
+  for (const obs::EngineEvent& e : engine.Events().Tail()) {
+    if (e.kind == obs::EventKind::kQuerySubmit && e.query == "q0") {
+      saw_submit = true;
+    }
+  }
+  EXPECT_TRUE(saw_submit);
 }
 
 // ---------------------------------------------------------------------------
